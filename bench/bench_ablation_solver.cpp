@@ -1,0 +1,104 @@
+/// Ablation study of the design choices inside the Algorithm 1 + 2 solver
+/// stack (DESIGN.md "extensions"): what each ingredient buys on a fixed
+/// mid-size problem.
+///
+///   * Polak-Ribiere conjugation vs plain normalized SGD (line 7-8)
+///   * norm-proportional row sampling (Eq. 11) batch size k'' sweep
+///   * step size s sweep (line 9)
+///   * iterate tail-averaging on/off
+///   * Algorithm 1's uniform sampling vs a norm-weighted (leverage-score
+///     surrogate) sample — the paper's Sec. 3.3.A argument that uniform
+///     suffices under low coherence
+///   * constraint tolerance eps sweep (Eq. 5)
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mgba/metrics.hpp"
+#include "mgba/path_selection.hpp"
+#include "mgba/problem.hpp"
+#include "mgba/solvers.hpp"
+#include "pba/path_enum.hpp"
+#include "pba/path_eval.hpp"
+
+int main() {
+  using namespace mgba;
+  using namespace mgba::bench;
+
+  auto stack = make_stack(6, /*utilization=*/1.25);
+  Timer& timer = *stack->timer;
+  const PathEnumerator enumerator(timer, 20);
+  const std::vector<TimingPath> paths = enumerator.all_paths();
+  const PathEvaluator evaluator(timer, stack->table);
+  const MgbaProblem problem(timer, evaluator, paths, 0.02);
+  std::printf("ablation problem: %s, %zu rows x %zu vars\n\n",
+              stack->name.c_str(), problem.num_rows(), problem.num_cols());
+
+  const auto report = [&](const char* label, const SolveResult& r) {
+    std::printf("  %-34s mse=%8.4f(1e-3)  time=%7.3fs  iters=%zu\n", label,
+                1e3 * modeling_mse(problem, r.x), r.seconds, r.iterations);
+  };
+
+  std::printf("Algorithm 2 ingredients:\n");
+  {
+    SolverOptions base;
+    report("SCG (paper defaults)", solve_scg(problem, {}, base));
+
+    SolverOptions no_pr = base;
+    no_pr.use_conjugation = false;
+    report("  - without PR conjugation", solve_scg(problem, {}, no_pr));
+
+    SolverOptions no_avg = base;
+    no_avg.iterate_averaging = 0.0;
+    report("  - without tail averaging", solve_scg(problem, {}, no_avg));
+
+    SolverOptions decay = base;
+    decay.step_decay = 0.02;
+    report("  - with 1/(1+0.02k) step decay", solve_scg(problem, {}, decay));
+  }
+
+  std::printf("\nstep size s sweep (line 9):\n");
+  for (const double s : {0.005, 0.02, 0.08}) {
+    SolverOptions options;
+    options.step_size = s;
+    char label[64];
+    std::snprintf(label, sizeof label, "s = %.3f", s);
+    report(label, solve_scg(problem, {}, options));
+  }
+
+  std::printf("\nbatch fraction k'' sweep (Eq. 11):\n");
+  for (const double frac : {0.005, 0.02, 0.08}) {
+    SolverOptions options;
+    options.row_fraction = frac;
+    char label[64];
+    std::snprintf(label, sizeof label, "k'' = %.1f%% of rows", 100 * frac);
+    report(label, solve_scg(problem, {}, options));
+  }
+
+  std::printf("\nAlgorithm 1 sampling distribution:\n");
+  {
+    SolverOptions options;
+    SamplingOptions uniform;
+    report("uniform rows (paper)",
+           solve_scg_with_row_sampling(problem, {}, options, uniform));
+    SamplingOptions weighted = uniform;
+    weighted.norm_weighted = true;
+    report("norm-weighted rows (ablation)",
+           solve_scg_with_row_sampling(problem, {}, options, weighted));
+  }
+
+  std::printf("\nconstraint tolerance eps sweep (Eq. 5): max optimism after "
+              "high-penalty GD\n");
+  for (const double eps : {0.0, 0.02, 0.10}) {
+    const MgbaProblem p(timer, evaluator, paths, eps);
+    SolverOptions options;
+    options.penalty_weight = 1e3;
+    options.max_iterations = 800;
+    const SolveResult r = solve_gradient_descent(p, {}, options);
+    std::printf("  eps = %-5.2f  mse=%8.4f(1e-3)  max optimism violation "
+                "%8.3f ps\n",
+                eps, 1e3 * modeling_mse(p, r.x),
+                max_optimism_violation(p, r.x));
+  }
+  return 0;
+}

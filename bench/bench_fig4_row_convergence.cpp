@@ -1,0 +1,70 @@
+/// Reproduces paper Fig. 4: accuracy of the solution x as a function of
+/// the number of sampled rows (equations). The solution converges sharply
+/// once the sample size passes the effective support of x*, which is what
+/// makes the doubling strategy of Algorithm 1 terminate quickly.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "linalg/sampling.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mgba/metrics.hpp"
+#include "mgba/path_selection.hpp"
+#include "mgba/problem.hpp"
+#include "mgba/solvers.hpp"
+#include "pba/path_enum.hpp"
+#include "pba/path_eval.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace mgba;
+  using namespace mgba::bench;
+
+  auto stack = make_stack(1, /*utilization=*/1.30);
+  Timer& timer = *stack->timer;
+
+  const PathEnumerator enumerator(timer, 30);
+  const std::vector<TimingPath> paths = enumerator.all_paths();
+  const PathEvaluator evaluator(timer, stack->table);
+  const MgbaProblem problem(timer, evaluator, paths, 0.02);
+  const std::vector<std::size_t> violated = violated_rows(problem.gba_slack());
+
+  SolverOptions options;
+  options.max_iterations = 4000;
+
+  // Reference: the full-violated-set solution.
+  const SolveResult reference = solve_scg(problem, violated, options);
+
+  std::printf("Fig. 4: accuracy of x vs number of sampled rows\n");
+  std::printf("design %s: %zu violated rows, %zu variables\n\n",
+              stack->name.c_str(), violated.size(), problem.num_cols());
+  std::printf("%8s %14s %10s   curve (lower = closer to full solution)\n",
+              "rows", "||x-x*||/||x*||", "mse(1e-3)");
+  print_rule(86);
+
+  Rng rng(2024);
+  const double ref_norm = norm2(reference.x);
+  for (std::size_t m = 16; m <= violated.size() * 2; m *= 2) {
+    const std::size_t count = std::min(m, violated.size());
+    const auto picked = rng.sample_without_replacement(violated.size(), count);
+    std::vector<std::size_t> rows;
+    rows.reserve(count);
+    for (const std::size_t p : picked) rows.push_back(violated[p]);
+
+    const SolveResult solved = solve_scg(problem, rows, options);
+    const auto diff = subtract(solved.x, reference.x);
+    const double err = ref_norm == 0.0 ? 0.0 : norm2(diff) / ref_norm;
+    const double mse = modeling_mse(problem, solved.x);
+
+    std::printf("%8zu %14.4f %10.3f   ", count, err, 1e3 * mse);
+    const auto bar = static_cast<std::size_t>(
+        std::min(1.0, err) * 40.0);
+    for (std::size_t i = 0; i < bar; ++i) std::putchar('#');
+    std::putchar('\n');
+    if (count == violated.size()) break;
+  }
+  std::printf("\npaper shape: error collapses once the sample exceeds the "
+              "support of x*\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+/// Google-benchmark micro-kernels for the hot paths of the library: sparse
+/// matrix operations, the SCG inner loop, full and incremental timing
+/// propagation, AOCV depth analysis, and path enumeration. These are the
+/// primitives whose costs compose into the table-level runtimes.
+
+#include <benchmark/benchmark.h>
+
+#include "aocv/aocv_model.hpp"
+#include "bench_common.hpp"
+#include "linalg/sampling.hpp"
+#include "mgba/path_selection.hpp"
+#include "mgba/problem.hpp"
+#include "mgba/solvers.hpp"
+#include "pba/path_enum.hpp"
+#include "pba/path_eval.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mgba;
+using namespace mgba::bench;
+
+/// Lazily built shared fixtures (benchmark registration happens before
+/// main, so construct on first use).
+BenchStack& stack() {
+  static std::unique_ptr<BenchStack> s = make_stack(3, 1.10);
+  return *s;
+}
+
+MgbaProblem& problem() {
+  static std::unique_ptr<MgbaProblem> p = [] {
+    Timer& timer = *stack().timer;
+    static PathEnumerator enumerator(timer, 20);
+    static std::vector<TimingPath> paths = enumerator.all_paths();
+    static PathEvaluator evaluator(timer, stack().table);
+    return std::make_unique<MgbaProblem>(timer, evaluator, paths, 0.02);
+  }();
+  return *p;
+}
+
+void BM_CsrMatrixVectorMultiply(benchmark::State& state) {
+  const CsrMatrix& m = problem().matrix();
+  std::vector<double> x(m.num_cols(), 0.01);
+  std::vector<double> y(m.num_rows());
+  for (auto _ : state) {
+    m.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.nnz()));
+}
+BENCHMARK(BM_CsrMatrixVectorMultiply);
+
+void BM_StochasticGradient(benchmark::State& state) {
+  MgbaProblem& p = problem();
+  const std::size_t k = std::max<std::size_t>(8, p.num_rows() / 50);
+  std::vector<std::size_t> rows(k);
+  for (std::size_t i = 0; i < k; ++i) rows[i] = i * (p.num_rows() / k);
+  std::vector<double> x(p.num_cols(), 0.01), g(p.num_cols());
+  for (auto _ : state) {
+    p.gradient_rows(rows, x, 10.0, g);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_StochasticGradient);
+
+void BM_ScgSolve(benchmark::State& state) {
+  MgbaProblem& p = problem();
+  SolverOptions options;
+  options.max_iterations = static_cast<std::size_t>(state.range(0));
+  options.convergence_tol = 0.0;  // fixed iteration count
+  for (auto _ : state) {
+    const SolveResult r = solve_scg(p, {}, options);
+    benchmark::DoNotOptimize(r.x.data());
+  }
+}
+BENCHMARK(BM_ScgSolve)->Arg(50)->Arg(200);
+
+void BM_AliasTableDraw(benchmark::State& state) {
+  const auto norms = problem().matrix().row_norms_sq();
+  std::vector<double> weights(norms.begin(), norms.end());
+  for (double& w : weights) w = std::max(w, 1e-9);
+  const AliasTable table(weights);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.draw(rng));
+  }
+}
+BENCHMARK(BM_AliasTableDraw);
+
+void BM_FullTimingUpdate(benchmark::State& state) {
+  Timer& timer = *stack().timer;
+  const auto derates = compute_gba_derates(timer.graph(), stack().table);
+  for (auto _ : state) {
+    timer.set_instance_derates(derates);  // forces a full propagation
+    timer.update_timing();
+    benchmark::DoNotOptimize(timer.wns(Mode::Late));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(timer.graph().num_arcs()));
+}
+BENCHMARK(BM_FullTimingUpdate);
+
+void BM_IncrementalTimingUpdate(benchmark::State& state) {
+  Timer& timer = *stack().timer;
+  Design& design = stack().design();
+  timer.update_timing();
+  // Alternate one gate between two drive strengths.
+  InstanceId victim = kInvalidId;
+  for (std::size_t i = 0; i < design.num_instances(); ++i) {
+    const auto id = static_cast<InstanceId>(i);
+    if (design.cell_of(id).footprint == "NAND2") {
+      victim = id;
+      break;
+    }
+  }
+  const auto family = design.library().footprint_family("NAND2");
+  bool toggle = false;
+  for (auto _ : state) {
+    design.resize_instance(victim, family[toggle ? 1 : 0]);
+    toggle = !toggle;
+    timer.invalidate_instance(victim);
+    timer.update_timing();
+    benchmark::DoNotOptimize(timer.tns(Mode::Late));
+  }
+}
+BENCHMARK(BM_IncrementalTimingUpdate);
+
+void BM_DepthAnalysis(benchmark::State& state) {
+  const TimingGraph& graph = stack().timer->graph();
+  for (auto _ : state) {
+    const DepthAnalysis analysis(graph);
+    benchmark::DoNotOptimize(analysis.info(0).depth);
+  }
+}
+BENCHMARK(BM_DepthAnalysis);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  Timer& timer = *stack().timer;
+  timer.update_timing();
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const PathEnumerator enumerator(timer, k);
+    benchmark::DoNotOptimize(
+        enumerator.paths_to(timer.graph().endpoints().front()));
+  }
+}
+BENCHMARK(BM_PathEnumeration)->Arg(1)->Arg(8)->Arg(20);
+
+void BM_PbaPathEvaluation(benchmark::State& state) {
+  Timer& timer = *stack().timer;
+  timer.update_timing();
+  const PathEnumerator enumerator(timer, 4);
+  const std::vector<TimingPath> paths = enumerator.all_paths();
+  const PathEvaluator evaluator(timer, stack().table);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(paths[i % paths.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PbaPathEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

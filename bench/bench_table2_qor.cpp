@@ -1,0 +1,65 @@
+/// Reproduces paper Table 2: QoR improvement of the post-route closure
+/// flow when mGBA replaces GBA as the slack source, on D1..D10. Columns
+/// are percentage improvements (positive = mGBA better): WNS, TNS, chip
+/// area, leakage power, inserted buffers. Expected shape (paper): area
+/// -5.58 %, leakage -14.77 %, buffers -4.84 % on average, with WNS/TNS
+/// roughly neutral (occasionally slightly negative, e.g. the paper's D2,
+/// because the less pessimistic flow stops earlier).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mgba;
+  using namespace mgba::bench;
+
+  std::printf("Table 2: QoR Improvement for Designs (mGBA flow vs GBA flow)\n");
+  std::printf("%-4s | %8s %8s %8s %10s %8s\n", "", "WNS(%)", "TNS(%)",
+              "area(%)", "leakage(%)", "buffer(%)");
+  print_rule(60);
+
+  double sum[5] = {0, 0, 0, 0, 0};
+  for (int d = 1; d <= 10; ++d) {
+    const FlowRun gba_run = run_closure_flow(d, /*use_mgba=*/false);
+    const FlowRun mgba_run = run_closure_flow(d, /*use_mgba=*/true);
+    const OptimizerReport& gba = gba_run.report;
+    const OptimizerReport& mgba = mgba_run.report;
+
+    // WNS/TNS: signed golden-slack difference as a percentage of the clock
+    // period (both flows end at or near zero; a negative entry means the
+    // mGBA flow stopped with residual violations the GBA flow's extra
+    // pessimism-driven work happened to fix — the paper's D2 behaves the
+    // same way).
+    const double period = gba_run.clock_period_ps;
+    const double wns_pct =
+        100.0 * (mgba.final_qor.wns_ps - gba.final_qor.wns_ps) / period;
+    const double tns_pct =
+        100.0 * (mgba.final_qor.tns_ps - gba.final_qor.tns_ps) / period;
+    const double area_pct = improvement_pct(gba.final_qor.area_um2,
+                                            mgba.final_qor.area_um2);
+    const double leak_pct = improvement_pct(gba.final_qor.leakage_nw,
+                                            mgba.final_qor.leakage_nw);
+    const double buf_pct = improvement_pct(
+        static_cast<double>(gba.final_qor.buffer_count),
+        static_cast<double>(mgba.final_qor.buffer_count));
+
+    std::printf("%-4s | %8.2f %8.2f %8.2f %10.2f %8.2f   "
+                "(gba: %zu upsz %zu buf | mgba: %zu upsz %zu buf)\n",
+                (std::string("D") + std::to_string(d)).c_str(), wns_pct,
+                tns_pct, area_pct, leak_pct, buf_pct, gba.upsizes,
+                gba.buffers_inserted, mgba.upsizes, mgba.buffers_inserted);
+    sum[0] += wns_pct;
+    sum[1] += tns_pct;
+    sum[2] += area_pct;
+    sum[3] += leak_pct;
+    sum[4] += buf_pct;
+  }
+  print_rule(60);
+  std::printf("%-4s | %8.2f %8.2f %8.2f %10.2f %8.2f\n", "Avg.", sum[0] / 10,
+              sum[1] / 10, sum[2] / 10, sum[3] / 10, sum[4] / 10);
+  std::printf("\npaper: WNS 1.20 TNS 0.65 area 5.58 leakage 14.77 buffer "
+              "4.84 (avg %%)\n");
+  return 0;
+}

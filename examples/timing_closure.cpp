@@ -1,0 +1,47 @@
+/// \file timing_closure.cpp
+/// The headline use-case of the paper: run the post-route timing-closure
+/// optimizer twice on the same design — once driven by plain GBA slacks,
+/// once with the mGBA pessimism-reduction fit embedded — and compare the
+/// quality of results (paper Tables 2 and 5 for one design).
+///
+/// Usage: timing_closure [design 1..10]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgba;
+  using namespace mgba::bench;
+
+  const int d = argc > 1 ? std::atoi(argv[1]) : 9;
+  std::printf("running closure flow on D%d (GBA then mGBA)...\n\n", d);
+
+  const FlowRun gba = run_closure_flow(d, /*use_mgba=*/false);
+  const FlowRun mgba = run_closure_flow(d, /*use_mgba=*/true);
+
+  const auto print_run = [](const char* label, const FlowRun& run) {
+    const OptimizerReport& r = run.report;
+    std::printf("%-5s passes=%-3zu upsizes=%-4zu buffers=%-3zu "
+                "downsizes=%-5zu time=%.2fs (fit %.2fs)\n",
+                label, r.passes, r.upsizes, r.buffers_inserted, r.downsizes,
+                r.seconds, r.mgba_seconds);
+    std::printf("      initial %s\n", r.initial.to_string().c_str());
+    std::printf("      final   %s  (golden PBA)\n",
+                r.final_qor.to_string().c_str());
+  };
+  print_run("GBA", gba);
+  print_run("mGBA", mgba);
+
+  std::printf("\nmGBA flow vs GBA flow:\n");
+  std::printf("  area    %+.2f%%\n",
+              improvement_pct(gba.report.final_qor.area_um2,
+                              mgba.report.final_qor.area_um2));
+  std::printf("  leakage %+.2f%%\n",
+              improvement_pct(gba.report.final_qor.leakage_nw,
+                              mgba.report.final_qor.leakage_nw));
+  std::printf("  runtime %.2fx\n",
+              gba.report.seconds / mgba.report.seconds);
+  return 0;
+}

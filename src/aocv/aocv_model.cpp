@@ -1,0 +1,21 @@
+#include "aocv/aocv_model.hpp"
+
+namespace mgba {
+
+std::vector<DeratePair> compute_gba_derates(const TimingGraph& graph,
+                                            const DerateTable& table,
+                                            const AocvOptions& options) {
+  const DepthAnalysis analysis(graph);
+  std::vector<DeratePair> derates(graph.design().num_instances());
+  for (std::size_t i = 0; i < derates.size(); ++i) {
+    const InstanceAocvInfo& info = analysis.info(static_cast<InstanceId>(i));
+    const bool apply = (info.on_data_path && options.derate_data_cells) ||
+                       (info.on_clock_path && options.derate_clock_cells);
+    if (!apply) continue;
+    derates[i].late = table.late(info.depth, info.distance_um);
+    derates[i].early = table.early(info.depth, info.distance_um);
+  }
+  return derates;
+}
+
+}  // namespace mgba

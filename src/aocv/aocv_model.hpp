@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file aocv_model.hpp
+/// Glue between the derate table and the timer: computes the per-instance
+/// GBA derate factors from the worst-case depth/distance analysis, and
+/// exposes per-path (PBA) derate lookups for the path-based engine.
+
+#include <vector>
+
+#include "aocv/depth_analysis.hpp"
+#include "aocv/derate_table.hpp"
+#include "sta/timing_graph.hpp"
+#include "sta/timing_types.hpp"
+
+namespace mgba {
+
+struct AocvOptions {
+  /// Apply derates to clock-network cells (launch late / capture early).
+  bool derate_clock_cells = true;
+  /// Apply derates to combinational data cells.
+  bool derate_data_cells = true;
+};
+
+/// GBA derates for every instance: data cells use their worst data-path
+/// depth/distance, clock cells their clock-path depth/distance; flip-flops
+/// and cells on neither kind of path stay at identity. The returned vector
+/// is indexed by InstanceId and feeds Timer::set_instance_derates.
+std::vector<DeratePair> compute_gba_derates(const TimingGraph& graph,
+                                            const DerateTable& table,
+                                            const AocvOptions& options = {});
+
+/// Per-path PBA derate: factor for a data cell on a path whose exact cell
+/// depth is \p path_depth and whose endpoints are \p path_distance_um apart.
+inline double pba_late_derate(const DerateTable& table, std::size_t path_depth,
+                              double path_distance_um) {
+  return table.late(static_cast<double>(path_depth), path_distance_um);
+}
+
+}  // namespace mgba

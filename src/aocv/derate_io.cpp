@@ -1,0 +1,110 @@
+#include "aocv/derate_io.hpp"
+
+#include <istream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace mgba {
+
+void write_derate_table(const DerateTable& table, std::ostream& out) {
+  out << std::setprecision(12);
+  const auto depths = table.depth_axis();
+  const auto distances = table.distance_axis();
+
+  const auto write_block = [&](bool early) {
+    out << "depth";
+    for (const double d : depths) out << ' ' << d;
+    out << '\n';
+    for (const double dist : distances) {
+      out << dist;
+      for (const double depth : depths) {
+        out << ' ' << (early ? table.early(depth, dist)
+                             : table.late(depth, dist));
+      }
+      out << '\n';
+    }
+  };
+  out << "# AOCV derate table (late block, then early block)\n";
+  write_block(/*early=*/false);
+  out << "early\n";
+  write_block(/*early=*/true);
+}
+
+std::string derate_table_to_string(const DerateTable& table) {
+  std::ostringstream out;
+  write_derate_table(table, out);
+  return out.str();
+}
+
+namespace {
+
+/// Parses a distance token: plain number = um, trailing "nm" = nanometres,
+/// trailing "um" = micrometres.
+double parse_distance(std::string_view token) {
+  double scale = 1.0;
+  if (token.size() > 2 && token.substr(token.size() - 2) == "nm") {
+    scale = 1e-3;
+    token = token.substr(0, token.size() - 2);
+  } else if (token.size() > 2 && token.substr(token.size() - 2) == "um") {
+    token = token.substr(0, token.size() - 2);
+  }
+  return std::stod(std::string(token)) * scale;
+}
+
+}  // namespace
+
+DerateTable read_derate_table(std::istream& in) {
+  std::vector<double> depths;
+  std::vector<double> distances;
+  std::vector<double> late, early;
+  bool in_early = false;
+  bool seen_depth_header = false;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    const auto tokens = split(text);
+    if (tokens[0] == "early") {
+      MGBA_CHECK(seen_depth_header && "early block before any late block");
+      in_early = true;
+      continue;
+    }
+    if (tokens[0] == "depth") {
+      if (!seen_depth_header) {
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          depths.push_back(std::stod(std::string(tokens[i])));
+        }
+        seen_depth_header = true;
+      } else {
+        // The early block repeats the header; verify it matches.
+        MGBA_CHECK(tokens.size() == depths.size() + 1);
+      }
+      continue;
+    }
+    MGBA_CHECK(seen_depth_header && "row before depth header");
+    MGBA_CHECK(tokens.size() == depths.size() + 1);
+    const double dist = parse_distance(tokens[0]);
+    if (!in_early) distances.push_back(dist);
+    auto& values = in_early ? early : late;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      values.push_back(std::stod(std::string(tokens[i])));
+    }
+  }
+  MGBA_CHECK(!depths.empty());
+  MGBA_CHECK(late.size() == depths.size() * distances.size());
+  return DerateTable(std::move(depths), std::move(distances), std::move(late),
+                     std::move(early));
+}
+
+DerateTable derate_table_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_derate_table(in);
+}
+
+}  // namespace mgba

@@ -1,0 +1,225 @@
+#include "liberty/default_library.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace mgba {
+
+namespace {
+
+/// Footprint descriptors for the generated combinational cells. The
+/// complexity factor scales intrinsic delay/area/leakage relative to a
+/// plain two-input gate; stage_resistance scales the effective drive.
+struct FootprintSpec {
+  const char* name;
+  CellKind kind;
+  int num_inputs;
+  double complexity;  // intrinsic delay & cost multiplier
+};
+
+constexpr FootprintSpec kFootprints[] = {
+    {"INV", CellKind::Inverter, 1, 0.55},
+    {"BUF", CellKind::Buffer, 1, 0.90},
+    {"NAND2", CellKind::Combinational, 2, 1.00},
+    {"NOR2", CellKind::Combinational, 2, 1.10},
+    {"AND2", CellKind::Combinational, 2, 1.25},
+    {"OR2", CellKind::Combinational, 2, 1.30},
+    {"XOR2", CellKind::Combinational, 2, 1.65},
+    {"AOI21", CellKind::Combinational, 3, 1.45},
+    {"MUX2", CellKind::Combinational, 3, 1.70},
+};
+
+std::vector<double> default_slew_axis() {
+  return {5.0, 20.0, 60.0, 150.0, 400.0};
+}
+
+std::vector<double> default_load_axis() {
+  return {0.5, 2.0, 8.0, 24.0, 64.0};
+}
+
+LibCell make_comb_cell(const FootprintSpec& spec, int drive,
+                       const DefaultLibraryOptions& opt) {
+  const double size = static_cast<double>(drive);
+  const double resistance = opt.base_resistance * spec.complexity / size;
+  const double intrinsic = opt.base_intrinsic_ps * spec.complexity;
+  const double input_cap = opt.base_input_cap_ff * size;
+
+  LibCell cell;
+  cell.name = str_format("%s_X%d", spec.name, drive);
+  cell.footprint = spec.name;
+  cell.kind = spec.kind;
+  cell.area_um2 = opt.base_area_um2 * spec.complexity * size;
+  cell.leakage_nw = opt.base_leakage_nw * spec.complexity * size;
+
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    LibPin pin;
+    pin.name = spec.num_inputs == 1 ? "A" : std::string(1, char('A' + i));
+    pin.direction = PinDirection::Input;
+    pin.capacitance_ff = input_cap;
+    cell.pins.push_back(pin);
+  }
+  LibPin out;
+  out.name = spec.kind == CellKind::Inverter ? "ZN" : "Z";
+  out.direction = PinDirection::Output;
+  out.max_load_ff = 40.0 * size;
+  cell.pins.push_back(out);
+  const std::size_t out_idx = cell.pins.size() - 1;
+
+  const auto delay_fn = [=](double slew, double load) {
+    return intrinsic + opt.slew_coefficient * slew + resistance * load;
+  };
+  const auto slew_fn = [=](double slew, double load) {
+    // Output transition: intrinsic edge plus RC-limited component, with a
+    // weak dependence on the input transition.
+    return 0.6 * intrinsic + 0.1 * slew + 1.8 * resistance * load;
+  };
+
+  for (std::size_t i = 0; i < out_idx; ++i) {
+    LibTimingArc arc;
+    arc.from_pin = i;
+    arc.to_pin = out_idx;
+    arc.delay = LookupTable2D::from_function(default_slew_axis(),
+                                             default_load_axis(), delay_fn);
+    arc.output_slew = LookupTable2D::from_function(
+        default_slew_axis(), default_load_axis(), slew_fn);
+    cell.arcs.push_back(std::move(arc));
+  }
+  return cell;
+}
+
+LibCell make_dff_cell(int drive, const DefaultLibraryOptions& opt) {
+  const double size = static_cast<double>(drive);
+  const double resistance = opt.base_resistance * 1.2 / size;
+  const double intrinsic = opt.base_intrinsic_ps * 2.2;
+
+  LibCell cell;
+  cell.name = str_format("DFF_X%d", drive);
+  cell.footprint = "DFF";
+  cell.kind = CellKind::FlipFlop;
+  cell.area_um2 = opt.base_area_um2 * 4.5 * size;
+  cell.leakage_nw = opt.base_leakage_nw * 4.0 * size;
+
+  LibPin d{.name = "D",
+           .direction = PinDirection::Input,
+           .capacitance_ff = opt.base_input_cap_ff * size};
+  LibPin ck{.name = "CK",
+            .direction = PinDirection::Input,
+            .capacitance_ff = opt.base_input_cap_ff * 0.8 * size,
+            .is_clock = true};
+  LibPin q{.name = "Q", .direction = PinDirection::Output};
+  q.max_load_ff = 40.0 * size;
+  cell.pins = {d, ck, q};
+
+  // clk -> Q launch arc.
+  LibTimingArc ckq;
+  ckq.from_pin = 1;
+  ckq.to_pin = 2;
+  ckq.delay = LookupTable2D::from_function(
+      default_slew_axis(), default_load_axis(),
+      [=](double slew, double load) {
+        return intrinsic + opt.slew_coefficient * slew + resistance * load;
+      });
+  ckq.output_slew = LookupTable2D::from_function(
+      default_slew_axis(), default_load_axis(), [=](double slew, double load) {
+        return 0.6 * intrinsic + 0.1 * slew + 1.8 * resistance * load;
+      });
+  cell.arcs.push_back(std::move(ckq));
+
+  // Setup/hold tables over (clock slew, data slew).
+  LibConstraintArc con;
+  con.data_pin = 0;
+  con.clock_pin = 1;
+  con.setup = LookupTable2D::from_function(
+      default_slew_axis(), default_slew_axis(),
+      [](double clk_slew, double data_slew) {
+        return 22.0 + 0.15 * clk_slew + 0.25 * data_slew;
+      });
+  con.hold = LookupTable2D::from_function(
+      default_slew_axis(), default_slew_axis(),
+      [](double clk_slew, double data_slew) {
+        return 6.0 + 0.08 * clk_slew + 0.05 * data_slew;
+      });
+  cell.constraints.push_back(std::move(con));
+  return cell;
+}
+
+LookupTable2D constant_table(double value) {
+  return LookupTable2D({0.0}, {0.0}, {value});
+}
+
+}  // namespace
+
+Library make_default_library(const DefaultLibraryOptions& options) {
+  MGBA_CHECK(!options.drive_strengths.empty());
+  Library lib;
+  for (const FootprintSpec& spec : kFootprints) {
+    for (const int drive : options.drive_strengths) {
+      lib.add_cell(make_comb_cell(spec, drive, options));
+    }
+  }
+  for (const int drive : options.drive_strengths) {
+    lib.add_cell(make_dff_cell(drive, options));
+  }
+  return lib;
+}
+
+Library make_unit_delay_library(double delay_ps) {
+  Library lib;
+  for (const FootprintSpec& spec : kFootprints) {
+    LibCell cell;
+    cell.name = str_format("%s_X1", spec.name);
+    cell.footprint = spec.name;
+    cell.kind = spec.kind;
+    cell.area_um2 = 1.0;
+    cell.leakage_nw = 1.0;
+    for (int i = 0; i < spec.num_inputs; ++i) {
+      LibPin pin;
+      pin.name = spec.num_inputs == 1 ? "A" : std::string(1, char('A' + i));
+      pin.direction = PinDirection::Input;
+      pin.capacitance_ff = 0.0;
+      cell.pins.push_back(pin);
+    }
+    LibPin out{.name = "Z", .direction = PinDirection::Output};
+    cell.pins.push_back(out);
+    const std::size_t out_idx = cell.pins.size() - 1;
+    for (std::size_t i = 0; i < out_idx; ++i) {
+      LibTimingArc arc;
+      arc.from_pin = i;
+      arc.to_pin = out_idx;
+      arc.delay = constant_table(delay_ps);
+      arc.output_slew = constant_table(0.0);
+      cell.arcs.push_back(std::move(arc));
+    }
+    lib.add_cell(std::move(cell));
+  }
+
+  LibCell dff;
+  dff.name = "DFF_X1";
+  dff.footprint = "DFF";
+  dff.kind = CellKind::FlipFlop;
+  dff.area_um2 = 2.0;
+  dff.leakage_nw = 2.0;
+  dff.pins = {LibPin{.name = "D", .direction = PinDirection::Input},
+              LibPin{.name = "CK",
+                     .direction = PinDirection::Input,
+                     .is_clock = true},
+              LibPin{.name = "Q", .direction = PinDirection::Output}};
+  LibTimingArc ckq;
+  ckq.from_pin = 1;
+  ckq.to_pin = 2;
+  ckq.delay = constant_table(0.0);
+  ckq.output_slew = constant_table(0.0);
+  dff.arcs.push_back(std::move(ckq));
+  LibConstraintArc con;
+  con.data_pin = 0;
+  con.clock_pin = 1;
+  con.setup = constant_table(0.0);
+  con.hold = constant_table(0.0);
+  dff.constraints.push_back(std::move(con));
+  lib.add_cell(std::move(dff));
+  return lib;
+}
+
+}  // namespace mgba

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file default_library.hpp
+/// Built-in libraries. The paper's test cases use foundry libraries we do
+/// not have, so we generate a technology-plausible library from an
+/// analytical RC gate model: delay = intrinsic + k_s*slew_in + R_drive*load,
+/// with R_drive inversely proportional to drive strength and input
+/// capacitance proportional to it. Tables are sampled on a slew x load grid
+/// so the timer exercises real NLDM interpolation, not the closed form.
+
+#include "liberty/library.hpp"
+
+namespace mgba {
+
+/// Parameters of the analytical gate model used to characterize the
+/// generated library. Defaults approximate a generic 28-45nm class node.
+struct DefaultLibraryOptions {
+  /// Drive strengths generated per footprint (X1, X2, ...).
+  std::vector<int> drive_strengths{1, 2, 4, 8};
+  /// Base output resistance of an X1 gate in ps/fF (delay per fF of load).
+  double base_resistance = 2.0;
+  /// Base intrinsic delay of an X1 two-input gate in ps.
+  double base_intrinsic_ps = 18.0;
+  /// Input capacitance of an X1 gate input in fF.
+  double base_input_cap_ff = 1.2;
+  /// Slew-to-delay coupling coefficient (dimensionless).
+  double slew_coefficient = 0.25;
+  /// Base area of an X1 two-input gate in um^2.
+  double base_area_um2 = 1.6;
+  /// Base leakage of an X1 two-input gate in nW.
+  double base_leakage_nw = 2.5;
+};
+
+/// Builds the default multi-footprint library:
+/// INV, BUF, NAND2, NOR2, AND2, OR2, XOR2, AOI21, MUX2 and DFF, each at the
+/// requested drive strengths.
+Library make_default_library(const DefaultLibraryOptions& options = {});
+
+/// Builds a degenerate library in which every combinational gate has a
+/// constant delay of \p delay_ps independent of slew and load, and the DFF
+/// has zero setup/hold and zero clk->q delay. This reproduces the idealized
+/// "all gates are 100 ps" setting of the paper's Fig. 2 worked example.
+Library make_unit_delay_library(double delay_ps = 100.0);
+
+}  // namespace mgba

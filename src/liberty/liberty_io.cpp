@@ -1,0 +1,207 @@
+#include "liberty/liberty_io.hpp"
+
+#include <istream>
+#include <iomanip>
+#include <ostream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace mgba {
+
+namespace {
+
+const char* kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::Combinational: return "comb";
+    case CellKind::Buffer: return "buf";
+    case CellKind::Inverter: return "inv";
+    case CellKind::FlipFlop: return "ff";
+  }
+  return "comb";
+}
+
+CellKind kind_from(std::string_view name) {
+  if (name == "comb") return CellKind::Combinational;
+  if (name == "buf") return CellKind::Buffer;
+  if (name == "inv") return CellKind::Inverter;
+  if (name == "ff") return CellKind::FlipFlop;
+  MGBA_CHECK(false && "unknown cell kind");
+  return CellKind::Combinational;
+}
+
+void write_axis(std::ostream& out, const char* label,
+                std::span<const double> axis) {
+  out << "    " << label;
+  for (const double v : axis) out << ' ' << v;
+  out << '\n';
+}
+
+void write_table_values(std::ostream& out, const char* label,
+                        const LookupTable2D& table) {
+  out << "    " << label;
+  for (const double s : table.slew_axis()) {
+    for (const double l : table.load_axis()) out << ' ' << table.lookup(s, l);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void write_library(const Library& library, std::ostream& out) {
+  out << std::setprecision(12);
+  out << "library lib\n";
+  for (std::size_t c = 0; c < library.num_cells(); ++c) {
+    const LibCell& cell = library.cell(c);
+    out << "cell " << cell.name << " footprint " << cell.footprint
+        << " kind " << kind_name(cell.kind) << " area " << cell.area_um2
+        << " leakage " << cell.leakage_nw << '\n';
+    for (const LibPin& pin : cell.pins) {
+      out << "  pin " << pin.name << ' '
+          << (pin.direction == PinDirection::Input ? "input" : "output");
+      if (pin.is_clock) out << " clock";
+      if (pin.direction == PinDirection::Input) {
+        out << " cap " << pin.capacitance_ff;
+      } else if (pin.max_load_ff > 0.0) {
+        out << " max_load " << pin.max_load_ff;
+      }
+      out << '\n';
+    }
+    for (const LibTimingArc& arc : cell.arcs) {
+      out << "  arc " << cell.pins[arc.from_pin].name << ' '
+          << cell.pins[arc.to_pin].name << '\n';
+      write_axis(out, "slew_axis", arc.delay.slew_axis());
+      write_axis(out, "load_axis", arc.delay.load_axis());
+      write_table_values(out, "delay", arc.delay);
+      write_table_values(out, "slew", arc.output_slew);
+    }
+    for (const LibConstraintArc& con : cell.constraints) {
+      out << "  constraint " << cell.pins[con.data_pin].name << ' '
+          << cell.pins[con.clock_pin].name << '\n';
+      write_axis(out, "slew_axis", con.setup.slew_axis());
+      write_axis(out, "data_axis", con.setup.load_axis());
+      write_table_values(out, "setup", con.setup);
+      write_table_values(out, "hold", con.hold);
+    }
+  }
+}
+
+std::string library_to_string(const Library& library) {
+  std::ostringstream out;
+  write_library(library, out);
+  return out.str();
+}
+
+Library read_library(std::istream& in) {
+  Library library;
+
+  // Parse state: the cell being built and the axes of the table block in
+  // progress. Cells are committed when the next cell (or EOF) begins.
+  std::optional<LibCell> cell;
+  std::vector<double> slew_axis, load_axis;
+  const auto commit = [&] {
+    if (cell.has_value()) {
+      library.add_cell(std::move(*cell));
+      cell.reset();
+    }
+  };
+  const auto parse_values = [](const std::vector<std::string_view>& tokens) {
+    std::vector<double> values;
+    values.reserve(tokens.size() - 1);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      values.push_back(std::stod(std::string(tokens[i])));
+    }
+    return values;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    const auto tokens = split(text);
+    const std::string_view kw = tokens[0];
+
+    if (kw == "library") {
+      continue;  // informational
+    } else if (kw == "cell") {
+      commit();
+      cell.emplace();
+      cell->name = std::string(tokens[1]);
+      for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
+        const std::string_view key = tokens[i];
+        const std::string value(tokens[i + 1]);
+        if (key == "footprint") cell->footprint = value;
+        else if (key == "kind") cell->kind = kind_from(value);
+        else if (key == "area") cell->area_um2 = std::stod(value);
+        else if (key == "leakage") cell->leakage_nw = std::stod(value);
+        else MGBA_CHECK(false && "unknown cell attribute");
+      }
+    } else if (kw == "pin") {
+      MGBA_CHECK(cell.has_value());
+      LibPin pin;
+      pin.name = std::string(tokens[1]);
+      pin.direction = tokens[2] == "input" ? PinDirection::Input
+                                           : PinDirection::Output;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        if (tokens[i] == "clock") {
+          pin.is_clock = true;
+        } else if (tokens[i] == "cap") {
+          pin.capacitance_ff = std::stod(std::string(tokens[++i]));
+        } else if (tokens[i] == "max_load") {
+          pin.max_load_ff = std::stod(std::string(tokens[++i]));
+        } else {
+          MGBA_CHECK(false && "unknown pin attribute");
+        }
+      }
+      cell->pins.push_back(std::move(pin));
+    } else if (kw == "arc") {
+      MGBA_CHECK(cell.has_value() && tokens.size() == 3);
+      LibTimingArc arc;
+      arc.from_pin = cell->pin_index(std::string(tokens[1]));
+      arc.to_pin = cell->pin_index(std::string(tokens[2]));
+      cell->arcs.push_back(std::move(arc));
+    } else if (kw == "constraint") {
+      MGBA_CHECK(cell.has_value() && tokens.size() == 3);
+      LibConstraintArc con;
+      con.data_pin = cell->pin_index(std::string(tokens[1]));
+      con.clock_pin = cell->pin_index(std::string(tokens[2]));
+      cell->constraints.push_back(std::move(con));
+    } else if (kw == "slew_axis") {
+      slew_axis = parse_values(tokens);
+    } else if (kw == "load_axis" || kw == "data_axis") {
+      load_axis = parse_values(tokens);
+    } else if (kw == "delay" || kw == "slew" || kw == "setup" ||
+               kw == "hold") {
+      MGBA_CHECK(cell.has_value());
+      MGBA_CHECK(!slew_axis.empty() && !load_axis.empty());
+      LookupTable2D table(slew_axis, load_axis, parse_values(tokens));
+      if (kw == "delay") {
+        MGBA_CHECK(!cell->arcs.empty());
+        cell->arcs.back().delay = std::move(table);
+      } else if (kw == "slew") {
+        MGBA_CHECK(!cell->arcs.empty());
+        cell->arcs.back().output_slew = std::move(table);
+      } else if (kw == "setup") {
+        MGBA_CHECK(!cell->constraints.empty());
+        cell->constraints.back().setup = std::move(table);
+      } else {
+        MGBA_CHECK(!cell->constraints.empty());
+        cell->constraints.back().hold = std::move(table);
+      }
+    } else {
+      MGBA_CHECK(false && "unknown library statement");
+    }
+  }
+  commit();
+  return library;
+}
+
+Library library_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_library(in);
+}
+
+}  // namespace mgba

@@ -1,0 +1,103 @@
+#include "liberty/library.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mgba {
+
+std::size_t LibCell::num_inputs() const {
+  return static_cast<std::size_t>(
+      std::count_if(pins.begin(), pins.end(), [](const LibPin& p) {
+        return p.direction == PinDirection::Input;
+      }));
+}
+
+std::size_t LibCell::num_outputs() const {
+  return pins.size() - num_inputs();
+}
+
+std::size_t LibCell::output_pin() const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].direction == PinDirection::Output) return i;
+  }
+  MGBA_CHECK(false && "cell has no output pin");
+  return 0;
+}
+
+std::size_t LibCell::pin_index(const std::string& pin_name) const {
+  const auto idx = find_pin(pin_name);
+  MGBA_CHECK(idx.has_value());
+  return *idx;
+}
+
+std::optional<std::size_t> LibCell::find_pin(const std::string& pin_name) const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].name == pin_name) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t LibCell::clock_pin() const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].is_clock) return i;
+  }
+  MGBA_CHECK(false && "cell has no clock pin");
+  return 0;
+}
+
+std::size_t Library::add_cell(LibCell cell) {
+  MGBA_CHECK(!find_cell(cell.name).has_value());
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+const LibCell& Library::cell(std::size_t id) const {
+  MGBA_CHECK(id < cells_.size());
+  return cells_[id];
+}
+
+std::size_t Library::cell_id(const std::string& name) const {
+  const auto id = find_cell(name);
+  MGBA_CHECK(id.has_value());
+  return *id;
+}
+
+std::optional<std::size_t> Library::find_cell(const std::string& name) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Library::footprint_family(
+    const std::string& footprint) const {
+  std::vector<std::size_t> family;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].footprint == footprint) family.push_back(i);
+  }
+  std::sort(family.begin(), family.end(), [&](std::size_t a, std::size_t b) {
+    return cells_[a].area_um2 < cells_[b].area_um2;
+  });
+  return family;
+}
+
+std::optional<std::size_t> Library::smallest_buffer() const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].kind != CellKind::Buffer) continue;
+    if (!best || cells_[i].area_um2 < cells_[*best].area_um2) best = i;
+  }
+  return best;
+}
+
+std::optional<std::size_t> Library::strongest_buffer() const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].kind != CellKind::Buffer) continue;
+    if (!best || cells_[i].area_um2 > cells_[*best].area_um2) best = i;
+  }
+  return best;
+}
+
+}  // namespace mgba

@@ -1,0 +1,97 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mgba {
+
+CsrMatrix::CsrMatrix(std::size_t num_cols) : num_cols_(num_cols) {}
+
+void CsrMatrix::append_row(std::span<const std::size_t> cols,
+                           std::span<const double> values) {
+  MGBA_CHECK(cols.size() == values.size());
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    MGBA_DCHECK(cols[k] < num_cols_);
+    MGBA_DCHECK(k == 0 || cols[k] > cols[k - 1]);
+    col_idx_.push_back(cols[k]);
+    values_.push_back(values[k]);
+  }
+  row_ptr_.push_back(col_idx_.size());
+}
+
+void CsrMatrix::reserve(std::size_t rows, std::size_t nnz) {
+  row_ptr_.reserve(rows + 1);
+  col_idx_.reserve(nnz);
+  values_.reserve(nnz);
+}
+
+SparseRowView CsrMatrix::row(std::size_t i) const {
+  MGBA_DCHECK(i + 1 < row_ptr_.size());
+  const std::size_t begin = row_ptr_[i];
+  const std::size_t end = row_ptr_[i + 1];
+  return {std::span(col_idx_).subspan(begin, end - begin),
+          std::span(values_).subspan(begin, end - begin)};
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  MGBA_CHECK(x.size() == num_cols_);
+  MGBA_CHECK(y.size() == num_rows());
+  for (std::size_t i = 0; i < num_rows(); ++i) y[i] = row_dot(i, x);
+}
+
+void CsrMatrix::multiply_transpose(std::span<const double> x,
+                                   std::span<double> y) const {
+  MGBA_CHECK(x.size() == num_rows());
+  MGBA_CHECK(y.size() == num_cols_);
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t i = 0; i < num_rows(); ++i) add_scaled_row(i, x[i], y);
+}
+
+double CsrMatrix::row_dot(std::size_t i, std::span<const double> x) const {
+  const SparseRowView r = row(i);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < r.nnz(); ++k) acc += r.values[k] * x[r.cols[k]];
+  return acc;
+}
+
+void CsrMatrix::add_scaled_row(std::size_t i, double alpha,
+                               std::span<double> y) const {
+  const SparseRowView r = row(i);
+  for (std::size_t k = 0; k < r.nnz(); ++k) y[r.cols[k]] += alpha * r.values[k];
+}
+
+double CsrMatrix::row_norm_sq(std::size_t i) const {
+  const SparseRowView r = row(i);
+  double acc = 0.0;
+  for (const double v : r.values) acc += v * v;
+  return acc;
+}
+
+std::vector<double> CsrMatrix::row_norms_sq() const {
+  std::vector<double> norms(num_rows());
+  for (std::size_t i = 0; i < num_rows(); ++i) norms[i] = row_norm_sq(i);
+  return norms;
+}
+
+CsrMatrix CsrMatrix::select_rows(std::span<const std::size_t> rows) const {
+  CsrMatrix sub(num_cols_);
+  std::size_t nnz = 0;
+  for (const std::size_t i : rows) nnz += row(i).nnz();
+  sub.reserve(rows.size(), nnz);
+  for (const std::size_t i : rows) {
+    const SparseRowView r = row(i);
+    sub.append_row(r.cols, r.values);
+  }
+  return sub;
+}
+
+std::size_t CsrMatrix::num_nonempty_cols() const {
+  std::vector<bool> seen(num_cols_, false);
+  for (const std::size_t c : col_idx_) seen[c] = true;
+  return static_cast<std::size_t>(
+      std::count(seen.begin(), seen.end(), true));
+}
+
+}  // namespace mgba

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file csr_matrix.hpp
+/// Compressed sparse row matrix. This is the representation of the mGBA
+/// system matrix A (Eq. 9 of the paper): one row per selected timing path,
+/// one column per delay gate, entry a_ij = d_j * lambda_j when gate j lies
+/// on path i. Rows are short (a path rarely has more than ~100 cells) and
+/// m >> n, which drives every design decision here: row-major storage,
+/// cheap row views, and row-subset extraction for the sampling schemes.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mgba {
+
+/// One row of a CSR matrix: parallel index/value spans.
+struct SparseRowView {
+  std::span<const std::size_t> cols;
+  std::span<const double> values;
+
+  [[nodiscard]] std::size_t nnz() const { return cols.size(); }
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Creates an empty matrix with a fixed column count; rows are appended.
+  explicit CsrMatrix(std::size_t num_cols);
+
+  /// Appends a row given parallel (column, value) arrays. Columns must be
+  /// strictly increasing and < num_cols().
+  void append_row(std::span<const std::size_t> cols,
+                  std::span<const double> values);
+
+  /// Reserves storage for an expected shape (rows, nonzeros).
+  void reserve(std::size_t rows, std::size_t nnz);
+
+  [[nodiscard]] std::size_t num_rows() const { return row_ptr_.size() - 1; }
+  [[nodiscard]] std::size_t num_cols() const { return num_cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  [[nodiscard]] SparseRowView row(std::size_t i) const;
+
+  /// y = A * x. Requires x.size() == num_cols(), y.size() == num_rows().
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T * x. Requires x.size() == num_rows(), y.size() == num_cols().
+  void multiply_transpose(std::span<const double> x,
+                          std::span<double> y) const;
+
+  /// Dot product of row i with x.
+  [[nodiscard]] double row_dot(std::size_t i, std::span<const double> x) const;
+
+  /// Adds alpha * row(i) into y (a scatter); used by Kaczmarz-style updates.
+  void add_scaled_row(std::size_t i, double alpha, std::span<double> y) const;
+
+  /// Squared Euclidean norm of row i.
+  [[nodiscard]] double row_norm_sq(std::size_t i) const;
+
+  /// Squared norms of all rows; the sampling distribution of Eq. (11).
+  [[nodiscard]] std::vector<double> row_norms_sq() const;
+
+  /// Extracts the sub-matrix formed by the given rows (in the given order);
+  /// column count is preserved. This implements the row-sampling step of
+  /// Algorithm 1 without copying the full problem.
+  [[nodiscard]] CsrMatrix select_rows(std::span<const std::size_t> rows) const;
+
+  /// Number of columns that appear in at least one row (gate coverage metric
+  /// used by the path-selection experiment in paper Sec. 3.2).
+  [[nodiscard]] std::size_t num_nonempty_cols() const;
+
+ private:
+  std::size_t num_cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace mgba

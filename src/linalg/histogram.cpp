@@ -1,0 +1,69 @@
+#include "linalg/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace mgba {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(num_bins)),
+      counts_(num_bins, 0) {
+  MGBA_CHECK(hi > lo);
+  MGBA_CHECK(num_bins > 0);
+}
+
+void Histogram::add(double value) {
+  samples_.push_back(value);
+  ++total_;
+  double pos = (value - lo_) / width_;
+  auto bin = static_cast<std::ptrdiff_t>(std::floor(pos));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (const double v : values) add(v);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  MGBA_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::fraction_in(double lo, double hi) const {
+  if (total_ == 0) return 0.0;
+  const auto n = static_cast<double>(
+      std::count_if(samples_.begin(), samples_.end(),
+                    [&](double v) { return v >= lo && v < hi; }));
+  return n / static_cast<double>(total_);
+}
+
+std::string Histogram::to_text(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar_len = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[b]) * static_cast<double>(max_width) /
+                     static_cast<double>(peak)));
+    out += str_format("[%+8.4f, %+8.4f) %8zu |", bin_lo(b), bin_hi(b),
+                      counts_[b]);
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mgba

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-width histogram used to reproduce Fig. 3 of the paper (the
+/// distribution of the optimal weighting deviation x*, which is extremely
+/// concentrated around zero).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mgba {
+
+class Histogram {
+ public:
+  /// Bins span [lo, hi) uniformly; out-of-range samples land in the two
+  /// saturating edge bins.
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t num_bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Bin [lo, hi) boundaries for a bin index.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Fraction of all samples with value in [lo, hi); the paper reports the
+  /// fraction of x* inside [-0.01, 0.01] (95.9%).
+  [[nodiscard]] double fraction_in(double lo, double hi) const;
+
+  /// Renders a textual bar chart (for the Fig. 3 bench output).
+  [[nodiscard]] std::string to_text(std::size_t max_width = 60) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> samples_;  // kept for exact fraction_in queries
+  std::size_t total_ = 0;
+};
+
+}  // namespace mgba

@@ -1,0 +1,75 @@
+#include "linalg/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mgba {
+
+std::vector<std::size_t> sample_rows_uniform(std::size_t n, double ratio,
+                                             Rng& rng) {
+  if (n == 0) return {};
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  auto k = static_cast<std::size_t>(
+      std::ceil(ratio * static_cast<double>(n)));
+  k = std::clamp<std::size_t>(k, 1, n);
+  return rng.sample_without_replacement(n, k);
+}
+
+AliasTable::AliasTable(std::span<const double> weights)
+    : prob_(weights.size()), alias_(weights.size()) {
+  MGBA_CHECK(!weights.empty());
+  double sum = 0.0;
+  for (const double w : weights) {
+    MGBA_CHECK(w >= 0.0);
+    sum += w;
+  }
+  MGBA_CHECK(sum > 0.0);
+
+  const auto n = weights.size();
+  const double scale = static_cast<double>(n) / sum;
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Numerical leftovers: both stacks drain to probability 1 cells.
+  for (const std::size_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::size_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::size_t AliasTable::draw(Rng& rng) const {
+  const auto cell = static_cast<std::size_t>(rng.uniform_index(prob_.size()));
+  return rng.uniform() < prob_[cell] ? cell : alias_[cell];
+}
+
+std::vector<std::size_t> AliasTable::draw_many(std::size_t k, Rng& rng) const {
+  std::vector<std::size_t> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = draw(rng);
+  return out;
+}
+
+}  // namespace mgba

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file sampling.hpp
+/// Row-sampling primitives for the two stochastic components of the paper:
+///   * uniform row sampling (Algorithm 1) — sample a fraction r of rows
+///     uniformly at random, assuming low coherence per Blendenpik [17];
+///   * norm-weighted sampling (Eq. 11) — the randomized-Kaczmarz
+///     distribution P(j) = ||a_j||^2 / sum_l ||a_l||^2, drawn via a
+///     precomputed alias table for O(1) draws inside the SCG inner loop.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mgba {
+
+/// Samples ceil(ratio * n) distinct row indices uniformly (sorted).
+/// ratio is clamped to [0, 1]; at least one row is returned when n > 0.
+std::vector<std::size_t> sample_rows_uniform(std::size_t n, double ratio,
+                                             Rng& rng);
+
+/// Walker alias table over an unnormalized weight vector. Construction is
+/// O(n); each draw is O(1). Weights must be non-negative with positive sum.
+class AliasTable {
+ public:
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws one index with probability proportional to its weight.
+  [[nodiscard]] std::size_t draw(Rng& rng) const;
+
+  /// Draws k indices i.i.d. (with replacement).
+  [[nodiscard]] std::vector<std::size_t> draw_many(std::size_t k,
+                                                   Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace mgba

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file vector_ops.hpp
+/// Dense vector kernels used by the solvers. Free functions over
+/// std::span so the solvers can operate in-place on their own storage.
+
+#include <span>
+#include <vector>
+
+namespace mgba {
+
+/// Euclidean (2-) norm.
+double norm2(std::span<const double> v);
+
+/// Squared Euclidean norm.
+double norm2_sq(std::span<const double> v);
+
+/// Dot product; sizes must match.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// v *= alpha.
+void scale(std::span<double> v, double alpha);
+
+/// out = a - b.
+std::vector<double> subtract(std::span<const double> a,
+                             std::span<const double> b);
+
+/// ||a - b|| / ||b||; returns ||a|| when b is the zero vector. This is the
+/// relative-change criterion used in Algorithms 1 and 2 of the paper.
+double relative_change(std::span<const double> a, std::span<const double> b);
+
+/// Relative modeling error of the paper's Eq. (10)/(12):
+/// ||model - golden||^2 / ||golden||^2.
+double relative_error_sq(std::span<const double> model,
+                         std::span<const double> golden);
+
+}  // namespace mgba

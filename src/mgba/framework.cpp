@@ -1,0 +1,127 @@
+#include "mgba/framework.hpp"
+
+#include <algorithm>
+
+#include "mgba/metrics.hpp"
+#include "mgba/path_selection.hpp"
+#include "pba/path_enum.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mgba {
+
+MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
+                             const MgbaFlowOptions& options) {
+  MGBA_CHECK(options.candidate_paths_per_endpoint >=
+             options.paths_per_endpoint);
+  const Stopwatch total_watch;
+  MgbaFlowResult result;
+  const bool hold = options.check_kind == CheckKind::Hold;
+  const Mode mode = hold ? Mode::Early : Mode::Late;
+
+  // The fit is defined against plain GBA: clear any stale weights on the
+  // side being fitted.
+  if (hold) {
+    timer.set_instance_weights_early({});
+  } else {
+    timer.set_instance_weights({});
+  }
+  timer.update_timing();
+
+  // Candidate enumeration (per-endpoint k-best under GBA delays). When the
+  // flow targets violations only, skip clean endpoints entirely — this is
+  // what keeps the fit overhead a small fraction of the closure flow
+  // (paper Table 5: mGBA column ~2% of the flow runtime).
+  const PathEnumerator enumerator(timer, options.candidate_paths_per_endpoint,
+                                  mode);
+  std::vector<TimingPath> paths;
+  {
+    std::vector<NodeId> endpoints;
+    for (const NodeId e : timer.graph().endpoints()) {
+      if (!options.only_violated || timer.slack(e, mode) < 0.0) {
+        endpoints.push_back(e);
+      }
+    }
+    if (endpoints.empty()) endpoints = timer.graph().endpoints();
+    for (const NodeId e : endpoints) {
+      // Hold checks exist only at flip-flop data pins; keep the path list
+      // aligned 1:1 with the problem rows by filtering here.
+      if (hold && !timer.graph().check_at(e).has_value()) continue;
+      for (TimingPath& p : enumerator.paths_to(e)) {
+        paths.push_back(std::move(p));
+      }
+    }
+  }
+  result.candidate_paths = paths.size();
+  if (paths.empty()) return result;
+
+  // Full problem over all candidates (also the measurement set).
+  const PathEvaluator evaluator(timer, table, options.eval_options);
+  const MgbaProblem problem(timer, evaluator, paths, options.epsilon,
+                            options.check_kind);
+  result.variables = problem.num_cols();
+  if (problem.num_rows() == 0 || problem.num_cols() == 0) return result;
+
+  // Row universe: violated paths, falling back to all candidates when the
+  // design is already clean (so the fit is still meaningful).
+  std::vector<std::size_t> candidates = violated_rows(problem.gba_slack());
+  result.violated_paths = candidates.size();
+  if (candidates.empty() || !options.only_violated) {
+    candidates.resize(problem.num_rows());
+    for (std::size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+  }
+
+  // Scheme 2 selection: k' worst per endpoint, capped at m'.
+  const std::vector<std::size_t> rows = select_per_endpoint(
+      paths, problem.gba_slack(), candidates, options.paths_per_endpoint,
+      options.max_paths);
+  result.fitted_paths = rows.size();
+
+  // Solve.
+  SolveResult solved;
+  switch (options.solver) {
+    case MgbaSolverKind::GradientDescent:
+      solved = solve_gradient_descent(problem, rows, options.solver_options);
+      break;
+    case MgbaSolverKind::Scg:
+      solved = solve_scg(problem, rows, options.solver_options);
+      break;
+    case MgbaSolverKind::ScgWithRowSampling:
+      solved = solve_scg_with_row_sampling(problem, rows,
+                                           options.solver_options,
+                                           options.sampling_options);
+      break;
+  }
+  result.solve_seconds = solved.seconds;
+  result.solver_iterations = solved.iterations;
+
+  // Quality on the full candidate set.
+  const std::vector<double> x0(problem.num_cols(), 0.0);
+  result.mse_before = modeling_mse(problem, x0);
+  result.mse_after = modeling_mse(problem, solved.x);
+  result.pass_ratio_before = pass_ratio(problem, x0).ratio();
+  result.pass_ratio_after = pass_ratio(problem, solved.x).ratio();
+
+  // Apply the weighting factors to the timing graph (Fig. 5: "update
+  // timing graph").
+  result.instance_weights = problem.to_instance_weights(solved.x);
+  if (hold) {
+    timer.set_instance_weights_early(result.instance_weights);
+  } else {
+    timer.set_instance_weights(result.instance_weights);
+  }
+  timer.update_timing();
+
+  result.total_seconds = total_watch.seconds();
+  MGBA_LOG_INFO(
+      "mGBA flow: %zu candidates, %zu violated, fit %zu rows x %zu vars, "
+      "mse %.4g -> %.4g, pass %.3f -> %.3f, solve %.2fs",
+      result.candidate_paths, result.violated_paths, result.fitted_paths,
+      result.variables, result.mse_before, result.mse_after,
+      result.pass_ratio_before, result.pass_ratio_after,
+      result.solve_seconds);
+  return result;
+}
+
+}  // namespace mgba

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file framework.hpp
+/// The "modified GBA analysis flow" of paper Fig. 5 (right side): select
+/// critical paths per endpoint, compute their GBA and golden PBA timing,
+/// build the Eq. (9) system, solve it with the accelerated solver, and
+/// push the resulting weighting factors back into the timing graph so
+/// every subsequent (incremental) timing query sees mGBA slacks.
+
+#include <vector>
+
+#include "aocv/derate_table.hpp"
+#include "mgba/problem.hpp"
+#include "mgba/solvers.hpp"
+#include "sta/timer.hpp"
+
+namespace mgba {
+
+enum class MgbaSolverKind {
+  GradientDescent,      ///< GD + w/o RS (Table 4 baseline)
+  Scg,                  ///< SCG + w/o RS (Algorithm 2)
+  ScgWithRowSampling,   ///< SCG + RS (Algorithm 1 + 2, the proposed solver)
+};
+
+struct MgbaFlowOptions {
+  /// Which check to fit: Setup (the paper's formulation) or Hold (this
+  /// library's extension on the early-mode weights).
+  CheckKind check_kind = CheckKind::Setup;
+  /// k': worst paths kept per endpoint for the fit (paper uses 20).
+  std::size_t paths_per_endpoint = 20;
+  /// Candidate paths enumerated per endpoint before selection; also the
+  /// measurement set size for pass-ratio metrics. Must be >= k'.
+  std::size_t candidate_paths_per_endpoint = 20;
+  /// m': global cap on selected paths (paper: 5e6).
+  std::size_t max_paths = 5'000'000;
+  /// Fit only violated (negative GBA slack) paths, as the paper does.
+  /// When no path is violated the framework falls back to the most
+  /// critical candidates so x is still defined.
+  bool only_violated = true;
+  /// eps: allowed optimism relative to |s_pba| in the Eq. (5) constraint.
+  double epsilon = 0.02;
+  MgbaSolverKind solver = MgbaSolverKind::ScgWithRowSampling;
+  SolverOptions solver_options;
+  SamplingOptions sampling_options;
+  /// PBA golden evaluation options.
+  PathEvalOptions eval_options;
+};
+
+struct MgbaFlowResult {
+  /// Per-instance weight deviation x (index = InstanceId) applied to the
+  /// timer; empty when no paths were available to fit.
+  std::vector<double> instance_weights;
+
+  // Problem shape.
+  std::size_t candidate_paths = 0;
+  std::size_t violated_paths = 0;
+  std::size_t fitted_paths = 0;
+  std::size_t variables = 0;
+
+  // Quality on the full candidate set (before = x0, after = x*).
+  double mse_before = 0.0;
+  double mse_after = 0.0;
+  double pass_ratio_before = 1.0;
+  double pass_ratio_after = 1.0;
+
+  // Solver accounting.
+  double solve_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::size_t solver_iterations = 0;
+};
+
+/// Runs one mGBA fit on \p timer and leaves the weighting factors applied
+/// (Timer::set_instance_weights + update_timing). Clears any previously
+/// applied weights first so the fit is against plain GBA.
+MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
+                             const MgbaFlowOptions& options = {});
+
+}  // namespace mgba

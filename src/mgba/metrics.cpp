@@ -1,0 +1,78 @@
+#include "mgba/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace mgba {
+
+namespace {
+
+/// ||s_model(x) - s_pba||^2 and ||s_pba||^2 in one pass.
+std::pair<double, double> error_terms(const MgbaProblem& problem,
+                                      std::span<const double> x) {
+  const auto s_pba = problem.pba_slack();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < problem.num_rows(); ++i) {
+    const double diff = problem.model_slack(i, x) - s_pba[i];
+    num += diff * diff;
+    den += s_pba[i] * s_pba[i];
+  }
+  return {num, den};
+}
+
+}  // namespace
+
+double relative_error(const MgbaProblem& problem, std::span<const double> x) {
+  const auto [num, den] = error_terms(problem, x);
+  if (den == 0.0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+double modeling_mse(const MgbaProblem& problem, std::span<const double> x) {
+  const auto [num, den] = error_terms(problem, x);
+  if (den == 0.0) return num;
+  return num / den;
+}
+
+PassRatioResult pass_ratio(const MgbaProblem& problem,
+                           std::span<const double> x, double rel_tol,
+                           double abs_tol_ps) {
+  const auto s_pba = problem.pba_slack();
+  PassRatioResult result;
+  result.total = problem.num_rows();
+  for (std::size_t i = 0; i < problem.num_rows(); ++i) {
+    const double err = std::abs(problem.model_slack(i, x) - s_pba[i]);
+    if (err < abs_tol_ps || err < rel_tol * std::abs(s_pba[i])) ++result.good;
+  }
+  return result;
+}
+
+double gate_coverage(const MgbaProblem& problem,
+                     std::span<const std::size_t> rows) {
+  if (problem.num_cols() == 0) return 1.0;
+  std::vector<bool> covered(problem.num_cols(), false);
+  for (const std::size_t r : rows) {
+    const SparseRowView row = problem.matrix().row(r);
+    for (const std::size_t c : row.cols) covered[c] = true;
+  }
+  return static_cast<double>(
+             std::count(covered.begin(), covered.end(), true)) /
+         static_cast<double>(problem.num_cols());
+}
+
+double max_optimism_violation(const MgbaProblem& problem,
+                              std::span<const double> x) {
+  const auto bound = problem.lower_bounds();
+  const bool hold = problem.kind() == CheckKind::Hold;
+  double worst = -kInfPs;
+  for (std::size_t i = 0; i < problem.num_rows(); ++i) {
+    const double ax = problem.matrix().row_dot(i, x);
+    worst = std::max(worst, hold ? ax - bound[i] : bound[i] - ax);
+  }
+  return worst;
+}
+
+}  // namespace mgba

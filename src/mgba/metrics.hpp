@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The accuracy metrics of the paper:
+///   * Eq. (10): relative modeling error phi = ||s_gba'(x) - s_pba|| / ||s_pba||
+///   * Eq. (12): modeling squared error mse = ||s_gba'(x) - s_pba||^2 / ||s_pba||^2
+///   * Table 3 pass ratio: fraction of paths whose model slack is within
+///     5 % relative or 5 ps absolute of the golden PBA slack;
+///   * Sec. 3.2 gate coverage: fraction of problem variables (gates)
+///     touched by a selected row subset.
+
+#include <span>
+#include <vector>
+
+#include "mgba/problem.hpp"
+
+namespace mgba {
+
+/// Eq. (10), measured over all rows of \p problem for solution \p x
+/// (pass an all-zero x for the original GBA).
+double relative_error(const MgbaProblem& problem, std::span<const double> x);
+
+/// Eq. (12): squared version of the above.
+double modeling_mse(const MgbaProblem& problem, std::span<const double> x);
+
+struct PassRatioResult {
+  std::size_t total = 0;
+  std::size_t good = 0;
+  [[nodiscard]] double ratio() const {
+    return total == 0 ? 1.0 : static_cast<double>(good) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Table 3 pass ratio for solution \p x; x all-zero gives the GBA column.
+PassRatioResult pass_ratio(const MgbaProblem& problem,
+                           std::span<const double> x, double rel_tol = 0.05,
+                           double abs_tol_ps = 5.0);
+
+/// Fraction of problem columns (gates) with at least one entry in the
+/// selected rows — the coverage statistic of the Sec. 3.2 experiment.
+double gate_coverage(const MgbaProblem& problem,
+                     std::span<const std::size_t> rows);
+
+/// Largest optimism violation over all rows: max_i (s_pba_i + eps|s_pba_i|
+/// constraint slack shortfall) of Eq. (5); <= 0 means every constraint is
+/// satisfied. \p epsilon must match the problem's construction.
+double max_optimism_violation(const MgbaProblem& problem,
+                              std::span<const double> x);
+
+}  // namespace mgba

@@ -1,0 +1,60 @@
+#include "mgba/path_selection.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace mgba {
+
+std::vector<std::size_t> violated_rows(std::span<const double> gba_slacks) {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < gba_slacks.size(); ++i) {
+    if (gba_slacks[i] < 0.0) rows.push_back(i);
+  }
+  return rows;
+}
+
+std::vector<std::size_t> select_global_worst(
+    std::span<const double> gba_slacks,
+    std::span<const std::size_t> candidates, std::size_t max_paths) {
+  std::vector<std::size_t> rows(candidates.begin(), candidates.end());
+  std::sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+    return gba_slacks[a] < gba_slacks[b];
+  });
+  if (rows.size() > max_paths) rows.resize(max_paths);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::size_t> select_per_endpoint(
+    const std::vector<TimingPath>& paths, std::span<const double> gba_slacks,
+    std::span<const std::size_t> candidates, std::size_t k_per_endpoint,
+    std::size_t max_paths) {
+  // Bucket candidate rows per endpoint, keep each bucket's k' worst.
+  std::unordered_map<NodeId, std::vector<std::size_t>> buckets;
+  for (const std::size_t row : candidates) {
+    MGBA_CHECK(row < paths.size());
+    buckets[paths[row].endpoint()].push_back(row);
+  }
+  std::vector<std::size_t> rows;
+  for (auto& [endpoint, bucket] : buckets) {
+    std::sort(bucket.begin(), bucket.end(),
+              [&](std::size_t a, std::size_t b) {
+                return gba_slacks[a] < gba_slacks[b];
+              });
+    const std::size_t keep = std::min(k_per_endpoint, bucket.size());
+    rows.insert(rows.end(), bucket.begin(),
+                bucket.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  if (rows.size() > max_paths) {
+    std::sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+      return gba_slacks[a] < gba_slacks[b];
+    });
+    rows.resize(max_paths);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace mgba

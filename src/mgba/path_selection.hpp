@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file path_selection.hpp
+/// The two critical-path selection schemes of paper Sec. 3.2, expressed as
+/// row subsets of the full problem:
+///
+///   * scheme 1 (baseline): globally sort all candidate paths by GBA slack
+///     and keep the m' worst. Concentrates on a few critical gates and
+///     covers the variable space poorly (47 % gate coverage, 72 % error in
+///     the paper's experiment);
+///   * scheme 2 (proposed): for every endpoint keep only the k' worst
+///     paths ending there. Covers nearly all gates (95 %) at the same
+///     budget and is what the framework uses.
+
+#include <span>
+#include <vector>
+
+#include "pba/path.hpp"
+
+namespace mgba {
+
+/// Rows with negative GBA slack (the violated set the paper restricts to).
+std::vector<std::size_t> violated_rows(std::span<const double> gba_slacks);
+
+/// Scheme 1: the \p max_paths rows with the smallest slack, over the given
+/// candidate rows.
+std::vector<std::size_t> select_global_worst(
+    std::span<const double> gba_slacks,
+    std::span<const std::size_t> candidates, std::size_t max_paths);
+
+/// Scheme 2: for each endpoint, the \p k_per_endpoint worst candidate rows
+/// ending at it; the result is additionally capped at \p max_paths by
+/// global slack order.
+std::vector<std::size_t> select_per_endpoint(
+    const std::vector<TimingPath>& paths, std::span<const double> gba_slacks,
+    std::span<const std::size_t> candidates, std::size_t k_per_endpoint,
+    std::size_t max_paths);
+
+}  // namespace mgba

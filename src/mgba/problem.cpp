@@ -1,0 +1,155 @@
+#include "mgba/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mgba {
+
+MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
+                         const std::vector<TimingPath>& paths, double epsilon,
+                         CheckKind kind)
+    : kind_(kind) {
+  const TimingGraph& graph = timer.graph();
+  const bool hold = kind_ == CheckKind::Hold;
+  design_instances_ = graph.design().num_instances();
+  instance_column_.assign(design_instances_, -1);
+
+  // Pass 1: discover the column universe (weighted instances on any path).
+  for (const TimingPath& path : paths) {
+    for (const ArcId a : path.arcs) {
+      if (!timer.is_weighted(a)) continue;
+      const InstanceId inst = graph.arc(a).inst;
+      if (instance_column_[inst] < 0) {
+        instance_column_[inst] = static_cast<std::int32_t>(
+            column_instance_.size());
+        column_instance_.push_back(inst);
+      }
+    }
+  }
+
+  // Pass 2: rows. a_ij = base delay * GBA derate of gate j on path i, in
+  // the mode the check cares about.
+  matrix_ = CsrMatrix(column_instance_.size());
+  std::size_t nnz_estimate = 0;
+  for (const TimingPath& path : paths) nnz_estimate += path.arcs.size();
+  matrix_.reserve(paths.size(), nnz_estimate);
+
+  b_.reserve(paths.size());
+  bound_.reserve(paths.size());
+  s_pba_.reserve(paths.size());
+  s_gba0_.reserve(paths.size());
+
+  const Mode mode = hold ? Mode::Early : Mode::Late;
+  std::vector<std::pair<std::size_t, double>> entries;
+  std::vector<std::size_t> cols;
+  std::vector<double> values;
+  for (const TimingPath& path : paths) {
+    const PathTiming pt =
+        hold ? evaluator.evaluate_hold(path) : evaluator.evaluate(path);
+    if (pt.pba_slack_ps == kInfPs) continue;  // unconstrained hold endpoint
+
+    entries.clear();
+    for (const ArcId a : path.arcs) {
+      if (!timer.is_weighted(a)) continue;
+      const InstanceId inst = graph.arc(a).inst;
+      const DeratePair derate = timer.instance_derate(inst);
+      const double contribution = timer.arc_delay_base(a, mode) *
+                                  (hold ? derate.early : derate.late);
+      entries.emplace_back(
+          static_cast<std::size_t>(instance_column_[inst]), contribution);
+    }
+    std::sort(entries.begin(), entries.end());
+    cols.clear();
+    values.clear();
+    for (const auto& [col, val] : entries) {
+      // A path visits each instance at most once (simple path in a DAG),
+      // but merge defensively.
+      if (!cols.empty() && cols.back() == col) {
+        values.back() += val;
+      } else {
+        cols.push_back(col);
+        values.push_back(val);
+      }
+    }
+    matrix_.append_row(cols, values);
+
+    s_gba0_.push_back(pt.gba_slack_ps);
+    s_pba_.push_back(pt.pba_slack_ps);
+    const double tol = epsilon * std::abs(pt.pba_slack_ps);
+    if (hold) {
+      const double b = pt.pba_slack_ps - pt.gba_slack_ps;
+      b_.push_back(b);
+      bound_.push_back(b + tol);  // a.y must stay <= bound
+    } else {
+      const double b = pt.gba_slack_ps - pt.pba_slack_ps;
+      b_.push_back(b);
+      bound_.push_back(b - tol);  // a.x must stay >= bound
+    }
+  }
+}
+
+std::vector<double> MgbaProblem::to_instance_weights(
+    std::span<const double> x) const {
+  MGBA_CHECK(x.size() == num_cols());
+  std::vector<double> weights(design_instances_, 0.0);
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    weights[column_instance_[c]] = x[c];
+  }
+  return weights;
+}
+
+bool MgbaProblem::violates(std::size_t row, double ax) const {
+  return kind_ == CheckKind::Hold ? ax > bound_[row] : ax < bound_[row];
+}
+
+double MgbaProblem::objective(std::span<const double> x,
+                              double penalty_weight) const {
+  MGBA_CHECK(x.size() == num_cols());
+  double f = 0.0;
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    const double ax = matrix_.row_dot(i, x);
+    const double r = ax - b_[i];
+    f += r * r;
+    if (violates(i, ax)) {
+      const double v = ax - bound_[i];
+      f += penalty_weight * v * v;
+    }
+  }
+  return f;
+}
+
+void MgbaProblem::gradient(std::span<const double> x, double penalty_weight,
+                           std::span<double> g) const {
+  MGBA_CHECK(g.size() == num_cols());
+  std::fill(g.begin(), g.end(), 0.0);
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    const double ax = matrix_.row_dot(i, x);
+    double coeff = 2.0 * (ax - b_[i]);
+    if (violates(i, ax)) coeff += 2.0 * penalty_weight * (ax - bound_[i]);
+    matrix_.add_scaled_row(i, coeff, g);
+  }
+}
+
+void MgbaProblem::gradient_rows(std::span<const std::size_t> rows,
+                                std::span<const double> x,
+                                double penalty_weight,
+                                std::span<double> g) const {
+  MGBA_CHECK(g.size() == num_cols());
+  std::fill(g.begin(), g.end(), 0.0);
+  for (const std::size_t i : rows) {
+    const double ax = matrix_.row_dot(i, x);
+    double coeff = 2.0 * (ax - b_[i]);
+    if (violates(i, ax)) coeff += 2.0 * penalty_weight * (ax - bound_[i]);
+    matrix_.add_scaled_row(i, coeff, g);
+  }
+}
+
+double MgbaProblem::model_slack(std::size_t row,
+                                std::span<const double> x) const {
+  const double ax = matrix_.row_dot(row, x);
+  return kind_ == CheckKind::Hold ? s_gba0_[row] + ax : s_gba0_[row] - ax;
+}
+
+}  // namespace mgba

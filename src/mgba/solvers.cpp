@@ -1,0 +1,288 @@
+#include "mgba/solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "linalg/sampling.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mgba {
+
+namespace {
+
+/// Materializes the active row set (identity when \p rows is empty).
+std::vector<std::size_t> resolve_rows(const MgbaProblem& problem,
+                                      std::span<const std::size_t> rows) {
+  if (!rows.empty()) return {rows.begin(), rows.end()};
+  std::vector<std::size_t> all(problem.num_rows());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+/// Objective restricted to a row subset (penalty side follows the
+/// problem's check kind: a lower bound for setup, an upper bound for hold).
+double objective_rows(const MgbaProblem& problem,
+                      std::span<const std::size_t> rows,
+                      std::span<const double> x, double penalty) {
+  const CsrMatrix& matrix = problem.matrix();
+  const auto b = problem.rhs();
+  const auto bound = problem.lower_bounds();
+  const bool hold = problem.kind() == CheckKind::Hold;
+  double f = 0.0;
+  for (const std::size_t i : rows) {
+    const double ax = matrix.row_dot(i, x);
+    const double r = ax - b[i];
+    f += r * r;
+    if (hold ? ax > bound[i] : ax < bound[i]) {
+      const double v = ax - bound[i];
+      f += penalty * v * v;
+    }
+  }
+  return f;
+}
+
+std::vector<double> initial_x(const MgbaProblem& problem,
+                              std::span<const double> x0) {
+  if (x0.empty()) return std::vector<double>(problem.num_cols(), 0.0);
+  MGBA_CHECK(x0.size() == problem.num_cols());
+  return {x0.begin(), x0.end()};
+}
+
+}  // namespace
+
+SolveResult solve_gradient_descent(const MgbaProblem& problem,
+                                   std::span<const std::size_t> rows_in,
+                                   const SolverOptions& options,
+                                   std::span<const double> x0) {
+  const Stopwatch watch;
+  const std::vector<std::size_t> rows = resolve_rows(problem, rows_in);
+  std::vector<double> x = initial_x(problem, x0);
+  std::vector<double> g(problem.num_cols(), 0.0);
+  std::vector<double> x_prev = x;
+
+  SolveResult result;
+  double f = objective_rows(problem, rows, x, options.penalty_weight);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    problem.gradient_rows(rows, x, options.penalty_weight, g);
+    const double g_norm_sq = norm2_sq(g);
+    if (g_norm_sq == 0.0) break;
+
+    // Armijo backtracking line search along -g.
+    double t = 1.0 / std::sqrt(g_norm_sq);
+    constexpr double kShrink = 0.5;
+    constexpr double kSlope = 1e-4;
+    double f_new = f;
+    std::vector<double> x_trial = x;
+    for (int bt = 0; bt < 40; ++bt) {
+      x_trial = x;
+      axpy(-t, g, x_trial);
+      f_new = objective_rows(problem, rows, x_trial, options.penalty_weight);
+      if (f_new <= f - kSlope * t * g_norm_sq) break;
+      t *= kShrink;
+    }
+    x_prev = x;
+    x = x_trial;
+    f = f_new;
+    ++result.iterations;
+
+    if (relative_change(x, x_prev) <= options.convergence_tol) break;
+  }
+  result.x = std::move(x);
+  result.final_objective = f;
+  result.seconds = watch.seconds();
+  return result;
+}
+
+SolveResult solve_scg(const MgbaProblem& problem,
+                      std::span<const std::size_t> rows_in,
+                      const SolverOptions& options,
+                      std::span<const double> x0) {
+  const Stopwatch watch;
+  const std::vector<std::size_t> rows = resolve_rows(problem, rows_in);
+  const std::size_t n = problem.num_cols();
+  Rng rng(options.seed);
+
+  // Row selection distribution of Eq. (11): P(j) ~ ||a_j||^2. Rows with
+  // zero norm (paths containing no weighted gate) are never informative;
+  // give them a tiny floor so the alias table stays valid.
+  std::vector<double> weights(rows.size());
+  double max_norm = 0.0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    weights[r] = problem.matrix().row_norm_sq(rows[r]);
+    max_norm = std::max(max_norm, weights[r]);
+  }
+  if (max_norm == 0.0) {
+    // Degenerate problem: nothing to fit.
+    SolveResult result;
+    result.x.assign(n, 0.0);
+    result.seconds = watch.seconds();
+    return result;
+  }
+  for (double& w : weights) w = std::max(w, 1e-12 * max_norm);
+  const AliasTable alias(weights);
+
+  const std::size_t k_rows = std::max<std::size_t>(
+      options.min_rows,
+      static_cast<std::size_t>(
+          std::ceil(options.row_fraction * static_cast<double>(rows.size()))));
+
+  std::vector<double> x = initial_x(problem, x0);
+  std::vector<double> x_prev(n, 0.0);
+  std::vector<double> g(n, 0.0), g_prev(n, 0.0), d(n, 0.0);
+  std::vector<double> x_avg = x;
+  std::vector<double> checkpoint = x;
+  std::vector<std::size_t> sampled(k_rows);
+
+  SolveResult result;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Lines 3-4: draw k'' rows with norm-proportional probability.
+    for (std::size_t s = 0; s < k_rows; ++s) sampled[s] = rows[alias.draw(rng)];
+
+    // Line 5: stochastic gradient on the sampled rows.
+    problem.gradient_rows(sampled, x, options.penalty_weight, g);
+    const double g_norm = norm2(g);
+    if (g_norm == 0.0) break;
+    // Line 6: normalize.
+    scale(g, 1.0 / g_norm);
+
+    // Line 7: Polak-Ribiere parameter (PR+: clamped at 0 for stability, as
+    // is standard for nonlinear CG restarts).
+    double beta = 0.0;
+    if (options.use_conjugation && iter > 0) {
+      const double denom = norm2_sq(g_prev);
+      if (denom > 0.0) {
+        double num = 0.0;
+        for (std::size_t j = 0; j < n; ++j) num += g[j] * (g[j] - g_prev[j]);
+        beta = std::max(0.0, num / denom);
+      }
+    }
+    // Line 8: conjugate direction.
+    for (std::size_t j = 0; j < n; ++j) d[j] = -g[j] + beta * d[j];
+    const double d_norm = norm2(d);
+    if (d_norm == 0.0) break;
+
+    // Line 9: dynamic step, with the optional [15]-style decay schedule.
+    const double s_k = options.step_size /
+                       (1.0 + options.step_decay * static_cast<double>(iter));
+    const double alpha = s_k / d_norm;
+
+    // Line 10: update.
+    x_prev = x;
+    axpy(alpha, d, x);
+    std::swap(g_prev, g);
+    ++result.iterations;
+
+    // Tail averaging (see SolverOptions::iterate_averaging).
+    if (options.iterate_averaging > 0.0) {
+      const double gamma = options.iterate_averaging;
+      for (std::size_t j = 0; j < n; ++j) {
+        x_avg[j] += gamma * (x[j] - x_avg[j]);
+      }
+      // Line 2's relative-variation rule, applied to the averaged iterate
+      // at checkpoints (the raw iterate moves a fixed s every step, so the
+      // paper's per-step test never fires with a constant step size).
+      if (result.iterations % 100 == 0) {
+        if (relative_change(x_avg, checkpoint) <= options.convergence_tol) {
+          break;
+        }
+        checkpoint = x_avg;
+      }
+    } else if (iter > 0 &&
+               relative_change(x, x_prev) <= options.convergence_tol) {
+      break;  // Line 2, literal form.
+    }
+  }
+  if (options.iterate_averaging > 0.0 && result.iterations > 50) {
+    x = std::move(x_avg);
+  }
+  result.final_objective =
+      objective_rows(problem, rows, x, options.penalty_weight);
+  result.x = std::move(x);
+  result.seconds = watch.seconds();
+  return result;
+}
+
+SolveResult solve_scg_with_row_sampling(const MgbaProblem& problem,
+                                        std::span<const std::size_t> rows_in,
+                                        const SolverOptions& options,
+                                        const SamplingOptions& sampling) {
+  const Stopwatch watch;
+  const std::vector<std::size_t> rows = resolve_rows(problem, rows_in);
+  Rng rng(sampling.seed);
+
+  SolveResult result;
+  std::vector<double> x(problem.num_cols(), 0.0);
+  const double floor_ratio =
+      std::min(1.0, static_cast<double>(sampling.min_rows) /
+                        static_cast<double>(rows.size()));
+  double ratio = std::max(sampling.initial_ratio, floor_ratio);
+
+  // Norm-weighted ablation: one alias table over the active rows.
+  std::unique_ptr<AliasTable> norm_alias;
+  if (sampling.norm_weighted) {
+    std::vector<double> weights(rows.size());
+    double max_w = 0.0;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      weights[r] = problem.matrix().row_norm_sq(rows[r]);
+      max_w = std::max(max_w, weights[r]);
+    }
+    if (max_w > 0.0) {
+      for (double& w : weights) w = std::max(w, 1e-12 * max_w);
+      norm_alias = std::make_unique<AliasTable>(weights);
+    }
+  }
+
+  for (std::size_t round = 0; round < sampling.max_doublings; ++round) {
+    // Line 1/5: row sample at the current ratio — uniform per the paper,
+    // or norm-weighted for the leverage-surrogate ablation.
+    std::vector<std::size_t> picked;
+    if (norm_alias) {
+      const auto target = static_cast<std::size_t>(
+          std::ceil(ratio * static_cast<double>(rows.size())));
+      std::vector<bool> taken(rows.size(), false);
+      for (std::size_t draws = 0;
+           picked.size() < target && draws < target * 8; ++draws) {
+        const std::size_t r = norm_alias->draw(rng);
+        if (!taken[r]) {
+          taken[r] = true;
+          picked.push_back(r);
+        }
+      }
+      std::sort(picked.begin(), picked.end());
+    } else {
+      picked = sample_rows_uniform(rows.size(), ratio, rng);
+    }
+    std::vector<std::size_t> subset;
+    subset.reserve(picked.size());
+    for (const std::size_t p : picked) subset.push_back(rows[p]);
+
+    // Line 3: solve the reduced problem (warm-started, bounded budget).
+    SolverOptions inner = options;
+    inner.seed = options.seed + round;
+    inner.max_iterations =
+        std::min(options.max_iterations, sampling.inner_iterations);
+    SolveResult sub = solve_scg(problem, subset, inner, x);
+    result.iterations += sub.iterations;
+    result.outer_rounds = round + 1;
+
+    const double change = relative_change(sub.x, x);
+    x = std::move(sub.x);
+
+    // Line 2: stop when the solution stops moving between rounds.
+    if (round > 0 && change <= sampling.tolerance) break;
+    if (ratio >= 1.0) break;  // already solving the full set
+    // Line 4: double the sampling ratio.
+    ratio = std::min(1.0, ratio * 2.0);
+  }
+  result.final_objective =
+      objective_rows(problem, rows, x, options.penalty_weight);
+  result.x = std::move(x);
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace mgba

@@ -1,0 +1,407 @@
+#include "netlist/design.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace mgba {
+
+double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+Design::Design(const Library& library, std::string name)
+    : library_(&library), name_(std::move(name)) {}
+
+InstanceId Design::add_instance(std::string inst_name, std::size_t cell_id,
+                                Point location) {
+  const LibCell& cell = library_->cell(cell_id);
+  Instance inst;
+  inst.name = std::move(inst_name);
+  inst.cell = cell_id;
+  inst.location = location;
+  inst.pin_nets.assign(cell.pins.size(), kInvalidId);
+  instances_.push_back(std::move(inst));
+  return static_cast<InstanceId>(instances_.size() - 1);
+}
+
+NetId Design::add_net(std::string net_name) {
+  Net n;
+  n.name = std::move(net_name);
+  nets_.push_back(std::move(n));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+PortId Design::add_port(std::string port_name, PortDirection direction,
+                        Point location) {
+  Port p;
+  p.name = std::move(port_name);
+  p.direction = direction;
+  p.location = location;
+  ports_.push_back(std::move(p));
+  return static_cast<PortId>(ports_.size() - 1);
+}
+
+void Design::connect_pin(InstanceId inst, std::uint32_t pin_idx, NetId net_id) {
+  MGBA_CHECK(inst < instances_.size());
+  Instance& instance = instances_[inst];
+  MGBA_CHECK(pin_idx < instance.pin_nets.size());
+  MGBA_CHECK(instance.pin_nets[pin_idx] == kInvalidId);
+  instance.pin_nets[pin_idx] = net_id;
+
+  Net& net = mutable_net(net_id);
+  const LibPin& lib_pin = library_->cell(instance.cell).pins[pin_idx];
+  const Terminal t = Terminal::instance_pin(inst, pin_idx);
+  if (lib_pin.direction == PinDirection::Output) {
+    MGBA_CHECK(!net.driver.has_value());
+    net.driver = t;
+  } else {
+    net.sinks.push_back(t);
+  }
+}
+
+void Design::disconnect_pin(InstanceId inst, std::uint32_t pin_idx) {
+  MGBA_CHECK(inst < instances_.size());
+  Instance& instance = instances_[inst];
+  MGBA_CHECK(pin_idx < instance.pin_nets.size());
+  const NetId net_id = instance.pin_nets[pin_idx];
+  if (net_id == kInvalidId) return;
+  instance.pin_nets[pin_idx] = kInvalidId;
+
+  Net& net = mutable_net(net_id);
+  const Terminal t = Terminal::instance_pin(inst, pin_idx);
+  if (net.driver == t) {
+    net.driver.reset();
+    return;
+  }
+  for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+    if (net.sinks[i] == t) {
+      net.sinks.erase(net.sinks.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  MGBA_CHECK(false && "pin recorded a net the net does not know about");
+}
+
+void Design::connect_port(PortId port_id, NetId net_id) {
+  MGBA_CHECK(port_id < ports_.size());
+  Port& p = ports_[port_id];
+  MGBA_CHECK(p.net == kInvalidId);
+  p.net = net_id;
+
+  Net& net = mutable_net(net_id);
+  const Terminal t = Terminal::port(port_id);
+  if (p.direction == PortDirection::Input) {
+    MGBA_CHECK(!net.driver.has_value());
+    net.driver = t;  // input ports drive into the design
+  } else {
+    net.sinks.push_back(t);
+  }
+}
+
+void Design::disconnect_port(PortId port_id) {
+  MGBA_CHECK(port_id < ports_.size());
+  Port& p = ports_[port_id];
+  if (p.net == kInvalidId) return;
+  Net& net = mutable_net(p.net);
+  const Terminal t = Terminal::port(port_id);
+  p.net = kInvalidId;
+  if (net.driver == t) {
+    net.driver.reset();
+    return;
+  }
+  for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+    if (net.sinks[i] == t) {
+      net.sinks.erase(net.sinks.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  MGBA_CHECK(false && "port recorded a net the net does not know about");
+}
+
+void Design::resize_instance(InstanceId inst, std::size_t new_cell_id) {
+  MGBA_CHECK(inst < instances_.size());
+  Instance& instance = instances_[inst];
+  const LibCell& old_cell = library_->cell(instance.cell);
+  const LibCell& new_cell = library_->cell(new_cell_id);
+  MGBA_CHECK(old_cell.pins.size() == new_cell.pins.size());
+  for (std::size_t i = 0; i < old_cell.pins.size(); ++i) {
+    MGBA_CHECK(old_cell.pins[i].direction == new_cell.pins[i].direction);
+  }
+  instance.cell = new_cell_id;
+}
+
+InstanceId Design::insert_buffer(NetId net_id, std::size_t buffer_cell_id,
+                                 const std::string& base_name,
+                                 Point location) {
+  const LibCell& buf_cell = library_->cell(buffer_cell_id);
+  MGBA_CHECK(buf_cell.kind == CellKind::Buffer);
+
+  // Detach all current sinks (copy first: disconnect mutates the list).
+  const std::vector<Terminal> old_sinks = mutable_net(net_id).sinks;
+  for (const Terminal& t : old_sinks) {
+    if (t.kind == Terminal::Kind::InstancePin) {
+      disconnect_pin(t.id, t.pin);
+    } else {
+      // Output port sink: detach directly.
+      Port& p = ports_[t.id];
+      p.net = kInvalidId;
+      Net& net = mutable_net(net_id);
+      for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+        if (net.sinks[i] == t) {
+          net.sinks.erase(net.sinks.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
+
+  const InstanceId buf =
+      add_instance(base_name, buffer_cell_id, location);
+  const NetId out_net = add_net(base_name + "_net");
+
+  const std::size_t in_pin = [&] {
+    for (std::size_t i = 0; i < buf_cell.pins.size(); ++i) {
+      if (buf_cell.pins[i].direction == PinDirection::Input) return i;
+    }
+    MGBA_CHECK(false);
+    return std::size_t{0};
+  }();
+  connect_pin(buf, static_cast<std::uint32_t>(in_pin), net_id);
+  connect_pin(buf, static_cast<std::uint32_t>(buf_cell.output_pin()), out_net);
+
+  for (const Terminal& t : old_sinks) {
+    if (t.kind == Terminal::Kind::InstancePin) {
+      connect_pin(t.id, t.pin, out_net);
+    } else {
+      connect_port(t.id, out_net);
+    }
+  }
+  return buf;
+}
+
+InstanceId Design::insert_buffer_for_sink(NetId net_id, const Terminal& sink,
+                                          std::size_t buffer_cell_id,
+                                          const std::string& base_name,
+                                          Point location) {
+  const LibCell& buf_cell = library_->cell(buffer_cell_id);
+  MGBA_CHECK(buf_cell.kind == CellKind::Buffer);
+
+  // Detach just the requested sink.
+  if (sink.kind == Terminal::Kind::InstancePin) {
+    MGBA_CHECK(instances_[sink.id].pin_nets[sink.pin] == net_id);
+    disconnect_pin(sink.id, sink.pin);
+  } else {
+    Port& p = ports_[sink.id];
+    MGBA_CHECK(p.net == net_id);
+    p.net = kInvalidId;
+    Net& net = mutable_net(net_id);
+    for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+      if (net.sinks[i] == sink) {
+        net.sinks.erase(net.sinks.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+
+  const InstanceId buf = add_instance(base_name, buffer_cell_id, location);
+  const NetId out_net = add_net(base_name + "_net");
+  const std::size_t in_pin = [&] {
+    for (std::size_t i = 0; i < buf_cell.pins.size(); ++i) {
+      if (buf_cell.pins[i].direction == PinDirection::Input) return i;
+    }
+    MGBA_CHECK(false);
+    return std::size_t{0};
+  }();
+  connect_pin(buf, static_cast<std::uint32_t>(in_pin), net_id);
+  connect_pin(buf, static_cast<std::uint32_t>(buf_cell.output_pin()), out_net);
+  if (sink.kind == Terminal::Kind::InstancePin) {
+    connect_pin(sink.id, sink.pin, out_net);
+  } else {
+    connect_port(sink.id, out_net);
+  }
+  return buf;
+}
+
+void Design::remove_buffer(InstanceId buffer, NetId original_net) {
+  const LibCell& cell = cell_of(buffer);
+  MGBA_CHECK(cell.kind == CellKind::Buffer);
+  const std::size_t out_pin = cell.output_pin();
+  const NetId out_net = instances_[buffer].pin_nets[out_pin];
+  MGBA_CHECK(out_net != kInvalidId);
+
+  const std::vector<Terminal> sinks = nets_[out_net].sinks;
+  for (const Terminal& t : sinks) {
+    if (t.kind == Terminal::Kind::InstancePin) {
+      disconnect_pin(t.id, t.pin);
+    } else {
+      Port& p = ports_[t.id];
+      p.net = kInvalidId;
+      Net& net = mutable_net(out_net);
+      for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+        if (net.sinks[i] == t) {
+          net.sinks.erase(net.sinks.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t p = 0; p < instances_[buffer].pin_nets.size(); ++p) {
+    disconnect_pin(buffer, static_cast<std::uint32_t>(p));
+  }
+  for (const Terminal& t : sinks) {
+    if (t.kind == Terminal::Kind::InstancePin) {
+      connect_pin(t.id, t.pin, original_net);
+    } else {
+      connect_port(t.id, original_net);
+    }
+  }
+}
+
+bool Design::is_disconnected(InstanceId id) const {
+  for (const NetId net : instance(id).pin_nets) {
+    if (net != kInvalidId) return false;
+  }
+  return true;
+}
+
+const Instance& Design::instance(InstanceId id) const {
+  MGBA_CHECK(id < instances_.size());
+  return instances_[id];
+}
+
+const Net& Design::net(NetId id) const {
+  MGBA_CHECK(id < nets_.size());
+  return nets_[id];
+}
+
+const Port& Design::port(PortId id) const {
+  MGBA_CHECK(id < ports_.size());
+  return ports_[id];
+}
+
+void Design::set_location(InstanceId id, Point location) {
+  MGBA_CHECK(id < instances_.size());
+  instances_[id].location = location;
+}
+
+std::optional<InstanceId> Design::find_instance(
+    const std::string& inst_name) const {
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].name == inst_name) return static_cast<InstanceId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<NetId> Design::find_net(const std::string& net_name) const {
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].name == net_name) return static_cast<NetId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<PortId> Design::find_port(const std::string& port_name) const {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i].name == port_name) return static_cast<PortId>(i);
+  }
+  return std::nullopt;
+}
+
+const LibCell& Design::cell_of(InstanceId id) const {
+  return library_->cell(instance(id).cell);
+}
+
+double Design::total_area() const {
+  double area = 0.0;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (is_disconnected(static_cast<InstanceId>(i))) continue;
+    area += library_->cell(instances_[i].cell).area_um2;
+  }
+  return area;
+}
+
+double Design::total_leakage() const {
+  double leakage = 0.0;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (is_disconnected(static_cast<InstanceId>(i))) continue;
+    leakage += library_->cell(instances_[i].cell).leakage_nw;
+  }
+  return leakage;
+}
+
+double Design::net_load_ff(NetId id, double wire_cap_per_um) const {
+  const Net& n = net(id);
+  double load = 0.0;
+  Point driver_loc{};
+  if (n.driver) driver_loc = terminal_location(*n.driver);
+  for (const Terminal& t : n.sinks) {
+    if (t.kind == Terminal::Kind::InstancePin) {
+      const LibCell& cell = cell_of(t.id);
+      load += cell.pins[t.pin].capacitance_ff;
+    }
+    if (n.driver) {
+      load += wire_cap_per_um * manhattan(driver_loc, terminal_location(t));
+    }
+  }
+  return load;
+}
+
+Point Design::terminal_location(const Terminal& t) const {
+  if (t.kind == Terminal::Kind::InstancePin) return instance(t.id).location;
+  return port(t.id).location;
+}
+
+void Design::validate() const {
+  // Instance side -> net side.
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    const LibCell& cell = library_->cell(inst.cell);
+    MGBA_CHECK(inst.pin_nets.size() == cell.pins.size());
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const NetId net_id = inst.pin_nets[p];
+      if (net_id == kInvalidId) continue;
+      MGBA_CHECK(net_id < nets_.size());
+      const Net& n = nets_[net_id];
+      const Terminal t = Terminal::instance_pin(static_cast<InstanceId>(i),
+                                                static_cast<std::uint32_t>(p));
+      if (cell.pins[p].direction == PinDirection::Output) {
+        MGBA_CHECK(n.driver == t);
+      } else {
+        bool found = false;
+        for (const Terminal& s : n.sinks) found = found || s == t;
+        MGBA_CHECK(found);
+      }
+    }
+  }
+  // Net side -> instance/port side.
+  for (std::size_t ni = 0; ni < nets_.size(); ++ni) {
+    const Net& n = nets_[ni];
+    const auto check_terminal = [&](const Terminal& t, bool is_driver) {
+      if (t.kind == Terminal::Kind::InstancePin) {
+        MGBA_CHECK(t.id < instances_.size());
+        const Instance& inst = instances_[t.id];
+        MGBA_CHECK(t.pin < inst.pin_nets.size());
+        MGBA_CHECK(inst.pin_nets[t.pin] == static_cast<NetId>(ni));
+        const PinDirection dir =
+            library_->cell(inst.cell).pins[t.pin].direction;
+        MGBA_CHECK(is_driver == (dir == PinDirection::Output));
+      } else {
+        MGBA_CHECK(t.id < ports_.size());
+        MGBA_CHECK(ports_[t.id].net == static_cast<NetId>(ni));
+        const bool is_input_port =
+            ports_[t.id].direction == PortDirection::Input;
+        MGBA_CHECK(is_driver == is_input_port);
+      }
+    };
+    if (n.driver) check_terminal(*n.driver, /*is_driver=*/true);
+    for (const Terminal& s : n.sinks) check_terminal(s, /*is_driver=*/false);
+  }
+}
+
+Net& Design::mutable_net(NetId id) {
+  MGBA_CHECK(id < nets_.size());
+  return nets_[id];
+}
+
+}  // namespace mgba

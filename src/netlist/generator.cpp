@@ -1,0 +1,386 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace mgba {
+
+namespace {
+
+/// Weighted choice over footprint names for combinational gates. The mix
+/// approximates a post-synthesis histogram: inverters/buffers common,
+/// complex gates rarer.
+const char* pick_footprint(Rng& rng) {
+  static constexpr struct {
+    const char* name;
+    double weight;
+  } kMix[] = {
+      {"INV", 0.16},  {"BUF", 0.08},   {"NAND2", 0.22}, {"NOR2", 0.14},
+      {"AND2", 0.12}, {"OR2", 0.10},   {"XOR2", 0.07},  {"AOI21", 0.06},
+      {"MUX2", 0.05},
+  };
+  double total = 0.0;
+  for (const auto& m : kMix) total += m.weight;
+  double r = rng.uniform(0.0, total);
+  for (const auto& m : kMix) {
+    if (r < m.weight) return m.name;
+    r -= m.weight;
+  }
+  return kMix[0].name;
+}
+
+std::size_t pick_drive(const std::vector<std::size_t>& family,
+                       const std::vector<double>& weights, Rng& rng) {
+  MGBA_CHECK(!family.empty());
+  double total = 0.0;
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    total += i < weights.size() ? weights[i] : 0.0;
+  }
+  if (total <= 0.0) return family.front();
+  double r = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    const double w = i < weights.size() ? weights[i] : 0.0;
+    if (r < w) return family[i];
+    r -= w;
+  }
+  return family.back();
+}
+
+/// Geometric back-distance with the given mean (>= 1).
+std::size_t geometric_back(Rng& rng, double mean) {
+  const double p = 1.0 / std::max(1.0, mean);
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  const auto k = static_cast<std::size_t>(std::floor(std::log(u) / std::log(1.0 - p)));
+  return 1 + k;
+}
+
+}  // namespace
+
+GeneratedDesign generate_design(const Library& library,
+                                const GeneratorOptions& opt) {
+  MGBA_CHECK(opt.num_gates > 0);
+  MGBA_CHECK(opt.num_flops > 0);
+  Rng rng(opt.seed);
+
+  GeneratedDesign out{.design = Design(library, opt.name),
+                      .clock_port = "CLK",
+                      .input_ports = {},
+                      .output_ports = {}};
+  Design& design = out.design;
+
+  const double die =
+      std::sqrt(static_cast<double>(opt.num_gates + opt.num_flops)) *
+      opt.placement_pitch_um;
+  const auto random_point = [&]() -> Point {
+    return {rng.uniform(0.0, die), rng.uniform(0.0, die)};
+  };
+
+  // --- clock source and flip-flops ---------------------------------------
+  const PortId clk_port =
+      design.add_port("CLK", PortDirection::Input, {0.0, 0.0});
+  const NetId clk_root_net = design.add_net("clk_root");
+  design.connect_port(clk_port, clk_root_net);
+  out.clock_port = "CLK";
+
+  const auto dff_family = library.footprint_family("DFF");
+  MGBA_CHECK(!dff_family.empty());
+  const std::size_t dff_cell = dff_family.front();
+  const std::size_t dff_d = library.cell(dff_cell).pin_index("D");
+  const std::size_t dff_ck = library.cell(dff_cell).clock_pin();
+  const std::size_t dff_q = library.cell(dff_cell).output_pin();
+
+  std::vector<InstanceId> flops;
+  std::vector<NetId> flop_q_nets;
+  flops.reserve(opt.num_flops);
+  for (std::size_t i = 0; i < opt.num_flops; ++i) {
+    const InstanceId ff = design.add_instance(str_format("ff_%zu", i),
+                                              dff_cell, random_point());
+    const NetId q_net = design.add_net(str_format("ffq_%zu", i));
+    design.connect_pin(ff, static_cast<std::uint32_t>(dff_q), q_net);
+    flops.push_back(ff);
+    flop_q_nets.push_back(q_net);
+  }
+
+  // --- clock tree ----------------------------------------------------------
+  // Recursive H-tree-like buffered distribution: groups of clock_tree_fanout
+  // sinks share a buffer; buffer levels share a trunk back to the port. The
+  // shared trunk is what CRPR later credits back.
+  {
+    const auto buf_family = library.footprint_family("BUF");
+    MGBA_CHECK(!buf_family.empty());
+    const std::size_t buf_cell = buf_family.back();  // strongest buffer
+    const std::size_t buf_in = 0;
+    const std::size_t buf_out = library.cell(buf_cell).output_pin();
+
+    // Current level of sink terminals to distribute to.
+    struct ClockSink {
+      Terminal terminal;
+      Point location;
+    };
+    std::vector<ClockSink> sinks;
+    sinks.reserve(flops.size());
+    for (const InstanceId ff : flops) {
+      sinks.push_back({Terminal::instance_pin(
+                           ff, static_cast<std::uint32_t>(dff_ck)),
+                       design.instance(ff).location});
+    }
+    // Sort by position so groups are spatially local (realistic tree).
+    std::sort(sinks.begin(), sinks.end(), [](const auto& a, const auto& b) {
+      if (a.location.x != b.location.x) return a.location.x < b.location.x;
+      return a.location.y < b.location.y;
+    });
+
+    std::size_t buf_counter = 0;
+    while (sinks.size() > opt.clock_tree_fanout) {
+      std::vector<ClockSink> next;
+      for (std::size_t begin = 0; begin < sinks.size();
+           begin += opt.clock_tree_fanout) {
+        const std::size_t end =
+            std::min(begin + opt.clock_tree_fanout, sinks.size());
+        Point centroid{0.0, 0.0};
+        for (std::size_t i = begin; i < end; ++i) {
+          centroid.x += sinks[i].location.x;
+          centroid.y += sinks[i].location.y;
+        }
+        const auto count = static_cast<double>(end - begin);
+        centroid.x /= count;
+        centroid.y /= count;
+
+        const InstanceId buf = design.add_instance(
+            str_format("ckbuf_%zu", buf_counter++), buf_cell, centroid);
+        const NetId branch_net =
+            design.add_net(str_format("ckbranch_%zu", buf_counter));
+        design.connect_pin(buf, static_cast<std::uint32_t>(buf_out),
+                           branch_net);
+        for (std::size_t i = begin; i < end; ++i) {
+          const Terminal& t = sinks[i].terminal;
+          design.connect_pin(t.id, t.pin, branch_net);
+        }
+        next.push_back({Terminal::instance_pin(
+                            buf, static_cast<std::uint32_t>(buf_in)),
+                        centroid});
+      }
+      sinks = std::move(next);
+    }
+    for (const ClockSink& s : sinks) {
+      design.connect_pin(s.terminal.id, s.terminal.pin, clk_root_net);
+    }
+  }
+
+  // --- primary data inputs -------------------------------------------------
+  std::vector<NetId> launch_nets = flop_q_nets;  // FF Q + PI nets
+  for (std::size_t i = 0; i < opt.num_inputs; ++i) {
+    const std::string name = str_format("in_%zu", i);
+    const PortId port =
+        design.add_port(name, PortDirection::Input, random_point());
+    const NetId net = design.add_net(str_format("inet_%zu", i));
+    design.connect_port(port, net);
+    launch_nets.push_back(net);
+    out.input_ports.push_back(name);
+  }
+
+  // Partition launch points round-robin across blocks.
+  const std::size_t num_blocks =
+      std::max<std::size_t>(1, std::min(opt.num_blocks, opt.num_gates));
+  std::vector<std::vector<NetId>> block_launch(num_blocks);
+  for (std::size_t i = 0; i < launch_nets.size(); ++i) {
+    block_launch[i % num_blocks].push_back(launch_nets[i]);
+  }
+  for (auto& bl : block_launch) {
+    if (bl.empty()) bl = launch_nets;  // tiny configs: share everything
+  }
+
+  // --- combinational fabric ------------------------------------------------
+  // Gates are laid out in target_depth levels; a gate may only tap outputs
+  // of strictly earlier levels (or launch points), which bounds every
+  // path's cell depth by target_depth and guarantees acyclicity. Depth
+  // *variety* — the source of the GBA/PBA depth gap — comes from taps that
+  // reach back a geometric number of levels or straight to a launch point.
+  std::vector<NetId> gate_out_nets;
+  std::vector<std::size_t> gate_block(opt.num_gates, 0);
+  const std::size_t num_levels =
+      std::max<std::size_t>(1, std::min(opt.target_depth, opt.num_gates));
+  // level_nets[block][level]: outputs available for tapping.
+  std::vector<std::vector<std::vector<NetId>>> level_nets(
+      num_blocks, std::vector<std::vector<NetId>>(num_levels));
+  std::vector<std::size_t> net_fanout(design.num_nets(), 0);
+  gate_out_nets.reserve(opt.num_gates);
+
+  const auto record_fanout = [&](NetId net) {
+    if (net >= net_fanout.size()) net_fanout.resize(net + 1, 0);
+    ++net_fanout[net];
+  };
+
+  for (std::size_t g = 0; g < opt.num_gates; ++g) {
+    // Contiguous block partition; levels progress within each block.
+    const std::size_t block = g * num_blocks / opt.num_gates;
+    const std::size_t block_begin = (block * opt.num_gates) / num_blocks;
+    const std::size_t block_end =
+        ((block + 1) * opt.num_gates) / num_blocks;
+    const std::size_t block_size = std::max<std::size_t>(1, block_end - block_begin);
+    const std::size_t level =
+        std::min(num_levels - 1, (g - block_begin) * num_levels / block_size);
+    gate_block[g] = block;
+
+    const char* footprint = pick_footprint(rng);
+    const auto family = library.footprint_family(footprint);
+    const std::size_t cell_id = pick_drive(family, opt.drive_weights, rng);
+    const LibCell& cell = library.cell(cell_id);
+
+    const InstanceId inst =
+        design.add_instance(str_format("g_%zu", g), cell_id, random_point());
+    const NetId out_net = design.add_net(str_format("n_%zu", g));
+    design.connect_pin(inst, static_cast<std::uint32_t>(cell.output_pin()),
+                       out_net);
+
+    const auto& my_launch = block_launch[block];
+    const auto pick_from_level = [&](std::size_t lvl) -> NetId {
+      const auto& nets = level_nets[block][lvl];
+      if (nets.empty()) return kInvalidId;
+      return nets[rng.uniform_index(nets.size())];
+    };
+
+    std::size_t input_slot = 0;
+    for (std::size_t p = 0; p < cell.pins.size(); ++p) {
+      if (cell.pins[p].direction != PinDirection::Input) continue;
+      NetId src = kInvalidId;
+      if (level == 0 || rng.bernoulli(opt.launch_tap_prob)) {
+        src = my_launch[rng.uniform_index(my_launch.size())];
+      } else if (input_slot == 0 && rng.bernoulli(opt.chain_bias)) {
+        src = pick_from_level(level - 1);  // extend the deepest paths
+      } else {
+        const std::size_t back = std::min(
+            geometric_back(rng, opt.reconvergence_window), level);
+        src = pick_from_level(level - back);
+      }
+      if (src == kInvalidId) {
+        src = my_launch[rng.uniform_index(my_launch.size())];
+      }
+      design.connect_pin(inst, static_cast<std::uint32_t>(p), src);
+      record_fanout(src);
+      ++input_slot;
+    }
+    gate_out_nets.push_back(out_net);
+    level_nets[block][level].push_back(out_net);
+  }
+
+  // --- endpoints -----------------------------------------------------------
+  // Dangling gate outputs feed FF D pins and primary outputs first; any
+  // remainder becomes extra primary outputs so nothing floats.
+  std::deque<NetId> dangling;
+  for (const NetId net : gate_out_nets) {
+    if (net >= net_fanout.size() || net_fanout[net] == 0) {
+      dangling.push_back(net);
+    }
+  }
+  const auto take_source = [&]() -> NetId {
+    if (!dangling.empty()) {
+      const NetId net = dangling.front();
+      dangling.pop_front();
+      return net;
+    }
+    return gate_out_nets[gate_out_nets.size() -
+                         1 - rng.uniform_index(std::min<std::size_t>(
+                                 gate_out_nets.size(), 64))];
+  };
+
+  for (const InstanceId ff : flops) {
+    design.connect_pin(ff, static_cast<std::uint32_t>(dff_d), take_source());
+  }
+  for (std::size_t i = 0; i < opt.num_outputs; ++i) {
+    const std::string name = str_format("out_%zu", i);
+    const PortId port =
+        design.add_port(name, PortDirection::Output, random_point());
+    design.connect_port(port, take_source());
+    out.output_ports.push_back(name);
+  }
+  std::size_t extra = 0;
+  while (!dangling.empty()) {
+    const std::string name = str_format("xout_%zu", extra++);
+    const PortId port =
+        design.add_port(name, PortDirection::Output, random_point());
+    const NetId net = dangling.front();
+    dangling.pop_front();
+    design.connect_port(port, net);
+    out.output_ports.push_back(name);
+  }
+  // Flip-flop outputs nothing tapped: expose them as registered outputs so
+  // no net floats.
+  for (const NetId q_net : flop_q_nets) {
+    if (!design.net(q_net).sinks.empty()) continue;
+    const std::string name = str_format("qout_%zu", extra++);
+    const PortId port =
+        design.add_port(name, PortDirection::Output, random_point());
+    design.connect_port(port, q_net);
+    out.output_ports.push_back(name);
+  }
+  // Primary inputs nothing tapped: tie each off through a pad inverter to
+  // an extra output so every net stays driven-and-loaded.
+  const auto inv_family = library.footprint_family("INV");
+  MGBA_CHECK(!inv_family.empty());
+  std::size_t pads = 0;
+  for (const NetId in_net : launch_nets) {
+    if (!design.net(in_net).sinks.empty()) continue;
+    const Point loc = random_point();
+    const InstanceId pad = design.add_instance(
+        str_format("pad_%zu", pads), inv_family.front(), loc);
+    design.connect_pin(pad, 0, in_net);
+    const NetId pad_net = design.add_net(str_format("padnet_%zu", pads));
+    const LibCell& pad_cell = library.cell(inv_family.front());
+    design.connect_pin(pad,
+                       static_cast<std::uint32_t>(pad_cell.output_pin()),
+                       pad_net);
+    const std::string name = str_format("pout_%zu", pads++);
+    const PortId port = design.add_port(name, PortDirection::Output, loc);
+    design.connect_port(port, pad_net);
+    out.output_ports.push_back(name);
+  }
+
+  design.validate();
+  return out;
+}
+
+GeneratorOptions benchmark_design_options(int d) {
+  MGBA_CHECK(d >= 1 && d <= 10);
+  GeneratorOptions opt;
+  opt.seed = 1000 + static_cast<std::uint64_t>(d);
+  opt.name = str_format("D%d", d);
+
+  // Sizes ramp from ~1.2k to ~26k instances; structural knobs vary so the
+  // ten cases stress different regimes (deep chains vs. wide reconvergence)
+  // the way distinct industrial designs would.
+  static constexpr struct {
+    std::size_t gates, flops, ins, outs, depth, blocks;
+    double chain_bias, window, launch_prob;
+  } kCfg[10] = {
+      {1200, 96, 24, 24, 36, 5, 0.62, 4.0, 0.10},     // D1 small, deep
+      {9000, 480, 48, 48, 56, 32, 0.50, 8.0, 0.10},   // D2 mid, wide
+      {4200, 280, 40, 40, 44, 16, 0.58, 5.0, 0.12},   // D3
+      {3600, 300, 32, 32, 28, 14, 0.45, 10.0, 0.16},  // D4 shallow
+      {2400, 160, 32, 32, 64, 9, 0.66, 3.0, 0.08},    // D5 deep chains
+      {5200, 360, 40, 40, 48, 20, 0.55, 6.0, 0.12},   // D6
+      {4800, 320, 40, 40, 40, 18, 0.52, 7.0, 0.14},   // D7
+      {13000, 720, 64, 64, 52, 48, 0.48, 8.0, 0.10},  // D8 large
+      {11000, 600, 56, 56, 60, 40, 0.57, 5.0, 0.11},  // D9 large, deep
+      {10000, 560, 56, 56, 32, 36, 0.46, 12.0, 0.15}, // D10 large, wide
+  };
+  const auto& c = kCfg[d - 1];
+  opt.num_gates = c.gates;
+  opt.num_flops = c.flops;
+  opt.num_inputs = c.ins;
+  opt.num_outputs = c.outs;
+  opt.target_depth = c.depth;
+  opt.num_blocks = c.blocks;
+  opt.chain_bias = c.chain_bias;
+  opt.reconvergence_window = c.window;
+  opt.launch_tap_prob = c.launch_prob;
+  return opt;
+}
+
+}  // namespace mgba

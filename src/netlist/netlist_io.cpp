@@ -1,0 +1,114 @@
+#include "netlist/netlist_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace mgba {
+
+void write_netlist(const Design& design, std::ostream& out) {
+  out << "design " << design.name() << "\n";
+  for (std::size_t p = 0; p < design.num_ports(); ++p) {
+    const Port& port = design.port(static_cast<PortId>(p));
+    out << "port " << port.name << ' '
+        << (port.direction == PortDirection::Input ? "input" : "output") << ' '
+        << port.location.x << ' ' << port.location.y << "\n";
+  }
+  for (std::size_t i = 0; i < design.num_instances(); ++i) {
+    const Instance& inst = design.instance(static_cast<InstanceId>(i));
+    out << "inst " << inst.name << ' '
+        << design.library().cell(inst.cell).name << ' ' << inst.location.x
+        << ' ' << inst.location.y << "\n";
+  }
+  for (std::size_t n = 0; n < design.num_nets(); ++n) {
+    out << "net " << design.net(static_cast<NetId>(n)).name << "\n";
+  }
+  for (std::size_t i = 0; i < design.num_instances(); ++i) {
+    const Instance& inst = design.instance(static_cast<InstanceId>(i));
+    const LibCell& cell = design.library().cell(inst.cell);
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      if (inst.pin_nets[p] == kInvalidId) continue;
+      out << "pin " << inst.name << ' ' << cell.pins[p].name << ' '
+          << design.net(inst.pin_nets[p]).name << "\n";
+    }
+  }
+  for (std::size_t p = 0; p < design.num_ports(); ++p) {
+    const Port& port = design.port(static_cast<PortId>(p));
+    if (port.net == kInvalidId) continue;
+    out << "pconn " << port.name << ' ' << design.net(port.net).name << "\n";
+  }
+}
+
+std::string netlist_to_string(const Design& design) {
+  std::ostringstream out;
+  write_netlist(design, out);
+  return out.str();
+}
+
+Design read_netlist(const Library& library, std::istream& in) {
+  Design design(library, "top");
+  bool named = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    const auto tokens = split(text);
+    const std::string_view kw = tokens[0];
+
+    if (kw == "design") {
+      MGBA_CHECK(tokens.size() == 2);
+      if (!named) {
+        design = Design(library, std::string(tokens[1]));
+        named = true;
+      }
+    } else if (kw == "port") {
+      MGBA_CHECK(tokens.size() == 5);
+      const PortDirection dir = tokens[2] == "input" ? PortDirection::Input
+                                                     : PortDirection::Output;
+      design.add_port(std::string(tokens[1]), dir,
+                      {std::stod(std::string(tokens[3])),
+                       std::stod(std::string(tokens[4]))});
+    } else if (kw == "inst") {
+      MGBA_CHECK(tokens.size() == 5);
+      const auto cell_id = library.find_cell(std::string(tokens[2]));
+      MGBA_CHECK(cell_id.has_value());
+      design.add_instance(std::string(tokens[1]), *cell_id,
+                          {std::stod(std::string(tokens[3])),
+                           std::stod(std::string(tokens[4]))});
+    } else if (kw == "net") {
+      MGBA_CHECK(tokens.size() == 2);
+      design.add_net(std::string(tokens[1]));
+    } else if (kw == "pin") {
+      MGBA_CHECK(tokens.size() == 4);
+      const auto inst = design.find_instance(std::string(tokens[1]));
+      MGBA_CHECK(inst.has_value());
+      const LibCell& cell = design.cell_of(*inst);
+      const auto pin = cell.find_pin(std::string(tokens[2]));
+      MGBA_CHECK(pin.has_value());
+      const auto net = design.find_net(std::string(tokens[3]));
+      MGBA_CHECK(net.has_value());
+      design.connect_pin(*inst, static_cast<std::uint32_t>(*pin), *net);
+    } else if (kw == "pconn") {
+      MGBA_CHECK(tokens.size() == 3);
+      const auto port = design.find_port(std::string(tokens[1]));
+      MGBA_CHECK(port.has_value());
+      const auto net = design.find_net(std::string(tokens[2]));
+      MGBA_CHECK(net.has_value());
+      design.connect_port(*port, *net);
+    } else {
+      MGBA_CHECK(false && "unknown netlist statement");
+    }
+  }
+  design.validate();
+  return design;
+}
+
+Design netlist_from_string(const Library& library, const std::string& text) {
+  std::istringstream in(text);
+  return read_netlist(library, in);
+}
+
+}  // namespace mgba

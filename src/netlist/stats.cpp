@@ -1,0 +1,71 @@
+#include "netlist/stats.hpp"
+
+#include "util/strings.hpp"
+
+namespace mgba {
+
+DesignStats compute_design_stats(const Design& design) {
+  DesignStats stats;
+  stats.nets = design.num_nets();
+  stats.ports = design.num_ports();
+  stats.area_um2 = design.total_area();
+  stats.leakage_nw = design.total_leakage();
+
+  for (std::size_t i = 0; i < design.num_instances(); ++i) {
+    const InstanceId id = static_cast<InstanceId>(i);
+    if (design.is_disconnected(id)) continue;
+    const LibCell& cell = design.cell_of(id);
+    ++stats.instances;
+    switch (cell.kind) {
+      case CellKind::FlipFlop:
+        ++stats.flops;
+        break;
+      case CellKind::Buffer:
+        ++stats.buffers;
+        ++stats.combinational;
+        break;
+      default:
+        ++stats.combinational;
+        break;
+    }
+    ++stats.by_footprint[cell.footprint];
+    const auto underscore = cell.name.rfind('_');
+    if (underscore != std::string::npos) {
+      ++stats.by_drive[cell.name.substr(underscore + 1)];
+    }
+  }
+
+  std::size_t driven_nets = 0, total_sinks = 0;
+  for (std::size_t n = 0; n < design.num_nets(); ++n) {
+    const Net& net = design.net(static_cast<NetId>(n));
+    if (!net.driver) continue;
+    ++driven_nets;
+    total_sinks += net.sinks.size();
+    stats.max_fanout = std::max(stats.max_fanout, net.sinks.size());
+  }
+  if (driven_nets > 0) {
+    stats.avg_fanout =
+        static_cast<double>(total_sinks) / static_cast<double>(driven_nets);
+  }
+  return stats;
+}
+
+std::string DesignStats::to_string() const {
+  std::string out = str_format(
+      "instances=%zu (comb=%zu flops=%zu buffers=%zu) nets=%zu ports=%zu\n"
+      "area=%.1fum2 leakage=%.1fnW fanout avg=%.2f max=%zu\n",
+      instances, combinational, flops, buffers, nets, ports, area_um2,
+      leakage_nw, avg_fanout, max_fanout);
+  out += "footprints:";
+  for (const auto& [name, count] : by_footprint) {
+    out += str_format(" %s=%zu", name.c_str(), count);
+  }
+  out += "\ndrives:";
+  for (const auto& [name, count] : by_drive) {
+    out += str_format(" %s=%zu", name.c_str(), count);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace mgba

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file stats.hpp
+/// Design composition statistics: the summary a timing engineer prints
+/// before any analysis (cell mix, drive mix, fanout profile, area and
+/// leakage totals). Used by the CLI tool and the benches to characterize
+/// the generated D1..D10 stand-ins.
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace mgba {
+
+struct DesignStats {
+  std::size_t instances = 0;      ///< connected instances
+  std::size_t combinational = 0;
+  std::size_t flops = 0;
+  std::size_t buffers = 0;        ///< buffer-kind cells (incl. clock tree)
+  std::size_t nets = 0;
+  std::size_t ports = 0;
+  double area_um2 = 0.0;
+  double leakage_nw = 0.0;
+
+  /// Instance count per footprint ("NAND2" -> 210).
+  std::map<std::string, std::size_t> by_footprint;
+  /// Instance count per drive strength suffix ("X1" -> 1500).
+  std::map<std::string, std::size_t> by_drive;
+
+  std::size_t max_fanout = 0;
+  double avg_fanout = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+DesignStats compute_design_stats(const Design& design);
+
+}  // namespace mgba

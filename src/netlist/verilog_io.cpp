@@ -1,0 +1,262 @@
+#include "netlist/verilog_io.hpp"
+
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace mgba {
+
+namespace {
+
+/// The Verilog-visible signal name of each net: a connected port's name
+/// when one exists (the port *is* the signal in Verilog), else the net's
+/// own name. Returns one name per net plus the list of extra output ports
+/// that alias an already-named net (emitted as assign statements).
+struct NetNaming {
+  std::vector<std::string> name;                   // per NetId
+  std::vector<std::pair<std::string, NetId>> aliases;  // port -> net
+};
+
+NetNaming name_nets(const Design& design) {
+  NetNaming naming;
+  naming.name.resize(design.num_nets());
+  for (std::size_t n = 0; n < design.num_nets(); ++n) {
+    naming.name[n] = design.net(static_cast<NetId>(n)).name;
+  }
+  std::vector<bool> port_named(design.num_nets(), false);
+  for (std::size_t p = 0; p < design.num_ports(); ++p) {
+    const Port& port = design.port(static_cast<PortId>(p));
+    if (port.net == kInvalidId) continue;
+    if (!port_named[port.net]) {
+      naming.name[port.net] = port.name;
+      port_named[port.net] = true;
+    } else {
+      naming.aliases.emplace_back(port.name, port.net);
+    }
+  }
+  return naming;
+}
+
+}  // namespace
+
+void write_verilog(const Design& design, std::ostream& out) {
+  const NetNaming naming = name_nets(design);
+
+  out << "module " << design.name() << " (";
+  for (std::size_t p = 0; p < design.num_ports(); ++p) {
+    if (p != 0) out << ", ";
+    out << design.port(static_cast<PortId>(p)).name;
+  }
+  out << ");\n";
+
+  for (std::size_t p = 0; p < design.num_ports(); ++p) {
+    const Port& port = design.port(static_cast<PortId>(p));
+    out << "  " << (port.direction == PortDirection::Input ? "input" : "output")
+        << ' ' << port.name << ";\n";
+  }
+
+  // Wires: nets not named by a port.
+  std::vector<bool> is_port_net(design.num_nets(), false);
+  for (std::size_t p = 0; p < design.num_ports(); ++p) {
+    const Port& port = design.port(static_cast<PortId>(p));
+    if (port.net != kInvalidId &&
+        naming.name[port.net] == port.name) {
+      is_port_net[port.net] = true;
+    }
+  }
+  for (std::size_t n = 0; n < design.num_nets(); ++n) {
+    const Net& net = design.net(static_cast<NetId>(n));
+    if (is_port_net[n]) continue;
+    if (!net.driver && net.sinks.empty()) continue;  // dead net
+    out << "  wire " << naming.name[n] << ";\n";
+  }
+
+  for (std::size_t i = 0; i < design.num_instances(); ++i) {
+    const InstanceId id = static_cast<InstanceId>(i);
+    if (design.is_disconnected(id)) continue;
+    const Instance& inst = design.instance(id);
+    const LibCell& cell = design.library().cell(inst.cell);
+    out << "  " << cell.name << ' ' << inst.name << " (";
+    bool first = true;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      if (inst.pin_nets[p] == kInvalidId) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << '.' << cell.pins[p].name << '(' << naming.name[inst.pin_nets[p]]
+          << ')';
+    }
+    out << ");\n";
+  }
+
+  for (const auto& [port, net] : naming.aliases) {
+    out << "  assign " << port << " = " << naming.name[net] << ";\n";
+  }
+  out << "endmodule\n";
+}
+
+std::string verilog_to_string(const Design& design) {
+  std::ostringstream out;
+  write_verilog(design, out);
+  return out.str();
+}
+
+namespace {
+
+/// Comment-stripping tokenizer: identifiers/numbers plus the single-char
+/// tokens ( ) , ; . =
+std::vector<std::string> tokenize_verilog(std::istream& in) {
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+    } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      const std::size_t end = text.find("*/", i + 2);
+      MGBA_CHECK(end != std::string::npos && "unterminated block comment");
+      i = end + 2;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '.' ||
+               c == '=') {
+      tokens.emplace_back(1, c);
+      ++i;
+    } else {
+      std::size_t j = i;
+      while (j < text.size()) {
+        const char d = text[j];
+        if (std::isspace(static_cast<unsigned char>(d)) || d == '(' ||
+            d == ')' || d == ',' || d == ';' || d == '.' || d == '=' ||
+            d == '/') {
+          break;
+        }
+        ++j;
+      }
+      tokens.push_back(text.substr(i, j - i));
+      i = j;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Design read_verilog(const Library& library, std::istream& in) {
+  const std::vector<std::string> tokens = tokenize_verilog(in);
+  std::size_t pos = 0;
+  const auto peek = [&]() -> const std::string& {
+    static const std::string kEnd;
+    return pos < tokens.size() ? tokens[pos] : kEnd;
+  };
+  const auto next = [&]() -> const std::string& {
+    MGBA_CHECK(pos < tokens.size() && "unexpected end of Verilog input");
+    return tokens[pos++];
+  };
+  const auto expect = [&](const char* token) {
+    const std::string& got = next();
+    MGBA_CHECK(got == token && "unexpected Verilog token");
+  };
+
+  MGBA_CHECK(next() == "module");
+  Design design(library, next());
+  // Skip the header port list; ports are declared by input/output below.
+  expect("(");
+  while (peek() != ")") ++pos;
+  expect(")");
+  expect(";");
+
+  std::map<std::string, NetId> nets;
+  const auto net_of = [&](const std::string& name) {
+    const auto it = nets.find(name);
+    if (it != nets.end()) return it->second;
+    const NetId id = design.add_net(name);
+    nets.emplace(name, id);
+    return id;
+  };
+
+  while (peek() != "endmodule") {
+    const std::string& kw = next();
+    if (kw == "input" || kw == "output") {
+      const PortDirection dir =
+          kw == "input" ? PortDirection::Input : PortDirection::Output;
+      while (true) {
+        const std::string name = next();
+        const PortId port = design.add_port(name, dir);
+        design.connect_port(port, net_of(name));
+        const std::string& sep = next();
+        if (sep == ";") break;
+        MGBA_CHECK(sep == ",");
+      }
+    } else if (kw == "wire") {
+      while (true) {
+        net_of(next());
+        const std::string& sep = next();
+        if (sep == ";") break;
+        MGBA_CHECK(sep == ",");
+      }
+    } else if (kw == "assign") {
+      // assign <output port> = <net>;
+      const std::string lhs = next();
+      expect("=");
+      const std::string rhs = next();
+      expect(";");
+      const auto port = design.find_port(lhs);
+      MGBA_CHECK(port.has_value() && "assign LHS must be an output port");
+      MGBA_CHECK(design.port(*port).direction == PortDirection::Output);
+      // Re-home the port from its declaration placeholder net onto the
+      // assigned signal.
+      design.disconnect_port(*port);
+      design.connect_port(*port, net_of(rhs));
+    } else {
+      // Instance: <cell> <name> ( .PIN(net), ... );
+      const auto cell_id = library.find_cell(kw);
+      MGBA_CHECK(cell_id.has_value() && "unknown cell type");
+      const LibCell& cell = library.cell(*cell_id);
+      const InstanceId inst = design.add_instance(next(), *cell_id);
+      expect("(");
+      while (true) {
+        expect(".");
+        const std::string pin_name = next();
+        const auto pin = cell.find_pin(pin_name);
+        MGBA_CHECK(pin.has_value() && "unknown pin");
+        expect("(");
+        const std::string net_name = next();
+        expect(")");
+        design.connect_pin(inst, static_cast<std::uint32_t>(*pin),
+                           net_of(net_name));
+        const std::string& sep = next();
+        if (sep == ")") break;
+        MGBA_CHECK(sep == ",");
+      }
+      expect(";");
+    }
+  }
+  design.validate();
+  return design;
+}
+
+Design verilog_from_string(const Library& library, const std::string& text) {
+  std::istringstream in(text);
+  return read_verilog(library, in);
+}
+
+void scatter_placement(Design& design, std::uint64_t seed, double pitch_um) {
+  Rng rng(seed);
+  const double die =
+      std::sqrt(static_cast<double>(design.num_instances())) * pitch_um;
+  for (std::size_t i = 0; i < design.num_instances(); ++i) {
+    design.set_location(static_cast<InstanceId>(i),
+                        {rng.uniform(0.0, die), rng.uniform(0.0, die)});
+  }
+}
+
+}  // namespace mgba

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// Post-route timing-closure optimization framework (paper Fig. 5, left
+/// side): repeatedly pick the worst violating endpoints, apply sizing /
+/// buffering transforms with incremental timing evaluation, and iterate
+/// until closure (or until no transform helps). The slack source is the
+/// Timer — plain GBA, or mGBA when the embedded fit is enabled — which is
+/// the single variable the Table 2 / Table 5 experiments compare.
+
+#include "aocv/derate_table.hpp"
+#include "mgba/framework.hpp"
+#include "netlist/design.hpp"
+#include "opt/qor.hpp"
+#include "sta/timer.hpp"
+
+namespace mgba {
+
+struct OptimizerOptions {
+  std::size_t max_passes = 40;
+  /// Worst violating endpoints attacked per pass.
+  std::size_t endpoints_per_pass = 24;
+  /// Stop when at most this many endpoints still violate (the paper notes
+  /// "usually no more than 100 violated endpoints is acceptable" at this
+  /// stage).
+  std::size_t acceptable_violations = 0;
+  /// Minimum TNS improvement for a transform to be kept.
+  double min_improvement_ps = 0.05;
+  /// A net arc on the worst path whose delay exceeds this is a buffer
+  /// candidate.
+  double buffer_wire_threshold_ps = 15.0;
+  std::size_t max_buffers_per_pass = 4;
+  bool enable_sizing = true;
+  bool enable_buffering = true;
+  bool enable_area_recovery = true;
+  /// Endpoint slack margin required before a gate may be downsized.
+  double recovery_margin_ps = 40.0;
+
+  /// Embedded mGBA: refresh the weighting factors every N passes.
+  bool use_mgba = false;
+  std::size_t mgba_refresh_passes = 4;
+  MgbaFlowOptions mgba_options;
+};
+
+struct OptimizerReport {
+  QorMetrics initial;
+  QorMetrics final_qor;
+  std::size_t passes = 0;
+  std::size_t upsizes = 0;
+  std::size_t downsizes = 0;
+  std::size_t buffers_inserted = 0;
+  std::size_t buffers_reverted = 0;
+  std::size_t transforms_attempted = 0;
+  double seconds = 0.0;       ///< total flow wall-clock
+  double mgba_seconds = 0.0;  ///< time spent inside mGBA fits (Table 5)
+};
+
+class TimingCloser {
+ public:
+  /// \p design and \p timer must reference the same design object and
+  /// outlive the closer. \p table is used to refresh AOCV derates after
+  /// structural edits and to drive the embedded mGBA fit.
+  TimingCloser(Design& design, Timer& timer, const DerateTable& table,
+               OptimizerOptions options);
+
+  /// Runs the closure loop and (optionally) area recovery.
+  OptimizerReport run();
+
+ private:
+  bool is_sizable(InstanceId inst) const;
+  bool optimize_endpoint(NodeId endpoint, OptimizerReport& report);
+  bool try_upsize(InstanceId inst, OptimizerReport& report);
+  bool try_insert_buffer(ArcId net_arc, OptimizerReport& report);
+  void area_recovery(OptimizerReport& report);
+  void refresh_derates();
+  double current_tns();
+
+  Design* design_;
+  Timer* timer_;
+  const DerateTable* table_;
+  OptimizerOptions options_;
+  std::size_t buffer_counter_ = 0;
+};
+
+/// Picks a clock period such that the design's golden (PBA) critical delay
+/// uses the given fraction of the cycle: period = worst_arrival /
+/// utilization. utilization slightly above 1.0 leaves a few true
+/// violations; slightly below 1.0 leaves only GBA-pessimism violations.
+double choose_clock_period(Timer& timer, const DerateTable& table,
+                           double utilization);
+
+}  // namespace mgba

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file qor.hpp
+/// Quality-of-result metrics for the timing-closure comparison of paper
+/// Table 2: WNS, TNS, chip area, leakage power, and buffer count.
+
+#include <cstddef>
+#include <string>
+
+#include "aocv/derate_table.hpp"
+#include "netlist/design.hpp"
+#include "sta/timer.hpp"
+
+namespace mgba {
+
+struct QorMetrics {
+  double wns_ps = 0.0;
+  double tns_ps = 0.0;
+  std::size_t violations = 0;
+  double area_um2 = 0.0;
+  double leakage_nw = 0.0;
+  std::size_t buffer_count = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// QoR as seen by the timer's current (GBA or mGBA) slacks.
+QorMetrics measure_qor(const Timer& timer);
+
+/// Sign-off QoR: WNS/TNS measured with golden PBA slacks (the worst PBA
+/// slack per endpoint over its \p paths_per_endpoint GBA-worst paths).
+/// Weights currently applied to the timer are ignored for the golden
+/// numbers (PBA re-derates from base delays), making the figure comparable
+/// across GBA- and mGBA-driven flows.
+QorMetrics measure_golden_qor(Timer& timer, const DerateTable& table,
+                              std::size_t paths_per_endpoint = 8);
+
+/// Total number of buffer-kind instances in a design.
+std::size_t count_buffers(const Design& design);
+
+}  // namespace mgba

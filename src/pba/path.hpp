@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file path.hpp
+/// A concrete timing path through the data network: the object PBA reasons
+/// about and the row unit of the mGBA system matrix.
+
+#include <optional>
+#include <vector>
+
+#include "sta/timing_types.hpp"
+
+namespace mgba {
+
+struct TimingPath {
+  /// Data nodes from the launch point (flip-flop Q pin or input port) to
+  /// the endpoint (flip-flop D pin or output port), inclusive.
+  std::vector<NodeId> nodes;
+  /// Arcs between consecutive nodes; arcs.size() == nodes.size() - 1.
+  std::vector<ArcId> arcs;
+  /// Check index of the launching flip-flop (nullopt when launched from an
+  /// input port); used for exact per-path CRPR.
+  std::optional<std::size_t> launch_check;
+  /// Late arrival at the endpoint along exactly this path under the
+  /// current GBA (derated, weighted) delays.
+  double gba_arrival_ps = 0.0;
+
+  [[nodiscard]] NodeId endpoint() const { return nodes.back(); }
+  [[nodiscard]] NodeId launch() const { return nodes.front(); }
+};
+
+}  // namespace mgba

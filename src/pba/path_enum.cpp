@@ -1,0 +1,107 @@
+#include "pba/path_enum.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mgba {
+
+PathEnumerator::PathEnumerator(const Timer& timer, std::size_t k, Mode mode)
+    : timer_(&timer), k_(k), mode_(mode) {
+  MGBA_CHECK(k_ > 0);
+  const TimingGraph& graph = timer.graph();
+  const Design& design = graph.design();
+  candidates_.assign(graph.num_nodes(), {});
+
+  check_of_instance_.assign(design.num_instances(), -1);
+  const auto& checks = graph.checks();
+  for (std::size_t c = 0; c < checks.size(); ++c) {
+    check_of_instance_[checks[c].inst] = static_cast<std::int32_t>(c);
+  }
+
+  // Launch nodes seed one candidate each: the timer's late arrival (clock
+  // insertion + CK->Q for flops, the input delay for ports).
+  std::vector<bool> is_launch(graph.num_nodes(), false);
+  for (const NodeId launch : graph.launch_nodes()) {
+    is_launch[launch] = true;
+    candidates_[launch].push_back(
+        {timer.arrival(launch, mode_), kInvalidArc, 0});
+  }
+
+  // K-best DP in topological order over data nodes. "Best" is the
+  // mode-critical direction: largest arrivals for Late, smallest for Early.
+  const bool late = mode_ == Mode::Late;
+  const auto more_critical = [late](const Candidate& x, const Candidate& y) {
+    return late ? x.arrival > y.arrival : x.arrival < y.arrival;
+  };
+  std::vector<Candidate> merged;
+  for (const NodeId u : graph.topo_order()) {
+    if (graph.node(u).is_clock_network || is_launch[u]) continue;
+    merged.clear();
+    for (const ArcId a : graph.fanin(u)) {
+      const TimingArc& arc = graph.arc(a);
+      if (graph.node(arc.from).is_clock_network) continue;  // CK->Q handled
+      const double delay = timer.arc_delay(a, mode_);
+      const auto& preds = candidates_[arc.from];
+      for (std::uint32_t r = 0; r < preds.size(); ++r) {
+        merged.push_back({preds[r].arrival + delay, a, r});
+      }
+    }
+    if (merged.empty()) continue;
+    const std::size_t keep = std::min(k_, merged.size());
+    std::partial_sort(merged.begin(),
+                      merged.begin() + static_cast<std::ptrdiff_t>(keep),
+                      merged.end(), more_critical);
+    candidates_[u].assign(merged.begin(),
+                          merged.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+}
+
+TimingPath PathEnumerator::backtrack(NodeId endpoint, std::size_t rank) const {
+  const TimingGraph& graph = timer_->graph();
+  TimingPath path;
+  path.gba_arrival_ps = candidates_[endpoint][rank].arrival;
+
+  NodeId node = endpoint;
+  std::size_t r = rank;
+  while (true) {
+    path.nodes.push_back(node);
+    const Candidate& cand = candidates_[node][r];
+    if (cand.via_arc == kInvalidArc) break;
+    path.arcs.push_back(cand.via_arc);
+    const TimingArc& arc = graph.arc(cand.via_arc);
+    node = arc.from;
+    r = cand.via_rank;
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.arcs.begin(), path.arcs.end());
+
+  // Identify the launching flip-flop (if any) for exact CRPR.
+  const TimingNode& launch = graph.node(path.nodes.front());
+  if (launch.terminal.kind == Terminal::Kind::InstancePin) {
+    const std::int32_t check = check_of_instance_[launch.terminal.id];
+    if (check >= 0) path.launch_check = static_cast<std::size_t>(check);
+  }
+  return path;
+}
+
+std::vector<TimingPath> PathEnumerator::paths_to(NodeId endpoint) const {
+  std::vector<TimingPath> paths;
+  const auto& cands = candidates_[endpoint];
+  paths.reserve(cands.size());
+  for (std::size_t r = 0; r < cands.size(); ++r) {
+    paths.push_back(backtrack(endpoint, r));
+  }
+  return paths;
+}
+
+std::vector<TimingPath> PathEnumerator::all_paths() const {
+  std::vector<TimingPath> paths;
+  for (const NodeId e : timer_->graph().endpoints()) {
+    auto endpoint_paths = paths_to(e);
+    for (auto& p : endpoint_paths) paths.push_back(std::move(p));
+  }
+  return paths;
+}
+
+}  // namespace mgba

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file path_enum.hpp
+/// K-worst path enumeration per endpoint. Implemented as a k-best dynamic
+/// program over the data portion of the timing graph: every node keeps its
+/// k largest late-arrival candidates, each remembering (fanin arc, fanin
+/// candidate) so distinct candidates correspond to distinct simple paths.
+/// Backtracking an endpoint's candidates yields its k worst paths under
+/// the current GBA delays.
+///
+/// This is the machinery behind both the paper's per-endpoint critical
+/// path selection scheme (Sec. 3.2, k' paths per endpoint) and the golden
+/// PBA slack computation (candidates are re-scored path-by-path by the
+/// PathEvaluator).
+
+#include <vector>
+
+#include "pba/path.hpp"
+#include "sta/timer.hpp"
+
+namespace mgba {
+
+class PathEnumerator {
+ public:
+  /// Runs the k-best DP once over the whole data graph. The timer must be
+  /// up to date; results snapshot the timer's current arc delays. Late
+  /// mode keeps the k *largest* arrivals (setup-critical paths); Early
+  /// mode keeps the k *smallest* (hold-critical paths).
+  PathEnumerator(const Timer& timer, std::size_t k, Mode mode = Mode::Late);
+
+  /// The up-to-k worst paths ending at \p endpoint, sorted worst-first
+  /// (descending arrival for Late, ascending for Early).
+  [[nodiscard]] std::vector<TimingPath> paths_to(NodeId endpoint) const;
+
+  /// Enumerates for all endpoints of the graph (concatenated).
+  [[nodiscard]] std::vector<TimingPath> all_paths() const;
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  struct Candidate {
+    double arrival = -kInfPs;
+    ArcId via_arc = kInvalidArc;      ///< kInvalidArc at launch nodes
+    std::uint32_t via_rank = 0;       ///< candidate index at the fanin node
+  };
+
+  TimingPath backtrack(NodeId endpoint, std::size_t rank) const;
+
+  const Timer* timer_;
+  std::size_t k_;
+  Mode mode_ = Mode::Late;
+  /// candidates_[node]: up to k candidates sorted by descending arrival.
+  std::vector<std::vector<Candidate>> candidates_;
+  std::vector<std::int32_t> check_of_instance_;
+};
+
+}  // namespace mgba

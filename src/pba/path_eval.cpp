@@ -1,0 +1,152 @@
+#include "pba/path_eval.hpp"
+
+#include "aocv/depth_analysis.hpp"
+#include "util/check.hpp"
+
+namespace mgba {
+
+PathEvaluator::PathEvaluator(const Timer& timer, const DerateTable& table,
+                             PathEvalOptions options)
+    : timer_(&timer), table_(&table), options_(options) {}
+
+double PathEvaluator::gba_path_slack(const TimingPath& path) const {
+  return timer_->required(path.endpoint(), Mode::Late) - path.gba_arrival_ps;
+}
+
+double PathEvaluator::gba_path_hold_slack(const TimingPath& path) const {
+  return path.gba_arrival_ps - timer_->required(path.endpoint(), Mode::Early);
+}
+
+PathTiming PathEvaluator::evaluate(const TimingPath& path) const {
+  const Timer& timer = *timer_;
+  const TimingGraph& graph = timer.graph();
+
+  PathTiming out;
+  out.gba_arrival_ps = path.gba_arrival_ps;
+  out.gba_slack_ps = gba_path_slack(path);
+  out.depth = DepthAnalysis::path_depth(graph, path.nodes);
+  out.distance_um = DepthAnalysis::path_distance_um(graph, path.nodes);
+  out.derate_pba =
+      table_->late(static_cast<double>(out.depth), out.distance_um);
+
+  // --- PBA arrival: walk the path, re-derating (and optionally re-slewing)
+  // every stage. The launch value (clock insertion + CK->Q, or the input
+  // delay) is taken from the timer.
+  double arrival = timer.arrival(path.nodes.front(), Mode::Late);
+  double slew = timer.slew(path.nodes.front(), Mode::Late);
+  for (const ArcId a : path.arcs) {
+    const TimingArc& arc = graph.arc(a);
+    double base;
+    if (options_.recompute_path_slews) {
+      const ArcTiming t = timer.delay_calc().evaluate(graph, a, slew);
+      base = t.delay_ps;
+      slew = t.slew_ps;
+    } else {
+      base = timer.arc_delay_base(a, Mode::Late);
+      slew = timer.slew(arc.to, Mode::Late);
+    }
+    double factor = 1.0;
+    if (arc.kind == TimingArc::Kind::Cell) {
+      // Combinational data cells take the path derate; any other cell arc
+      // (e.g. a flip-flop CK->Q inside the launch) keeps its GBA factor.
+      factor = timer.is_weighted(a) ? out.derate_pba
+                                    : timer.instance_derate(arc.inst).late;
+    }
+    arrival += base * factor;
+  }
+  out.pba_arrival_ps = arrival;
+
+  // --- PBA required time at the endpoint.
+  const NodeId endpoint = path.endpoint();
+  double required;
+  const auto check_idx = graph.check_at(endpoint);
+  if (check_idx.has_value()) {
+    const TimingCheck& check = graph.checks()[*check_idx];
+    const double capture_early = timer.arrival(check.clock_node, Mode::Early);
+    const double clk_slew = timer.slew(check.clock_node, Mode::Early);
+    const double data_slew =
+        options_.recompute_path_slews ? slew
+                                      : timer.slew(endpoint, Mode::Late);
+    const double setup =
+        timer.delay_calc().setup_time(check, clk_slew, data_slew);
+    double credit;
+    if (options_.exact_crpr) {
+      credit = timer.crpr_credit_exact(path.launch_check, *check_idx);
+    } else {
+      credit = timer.check_timing(*check_idx).crpr_credit_ps;
+    }
+    required =
+        timer.constraints().clock_period_ps + capture_early - setup + credit;
+  } else {
+    // Output port: the external requirement is mode-independent.
+    required = timer.required(endpoint, Mode::Late);
+  }
+  out.pba_slack_ps = required - out.pba_arrival_ps;
+  return out;
+}
+
+PathTiming PathEvaluator::evaluate_hold(const TimingPath& path) const {
+  const Timer& timer = *timer_;
+  const TimingGraph& graph = timer.graph();
+
+  PathTiming out;
+  out.gba_arrival_ps = path.gba_arrival_ps;
+  out.gba_slack_ps = gba_path_hold_slack(path);
+  out.depth = DepthAnalysis::path_depth(graph, path.nodes);
+  out.distance_um = DepthAnalysis::path_distance_um(graph, path.nodes);
+  // PBA early derate for the path's exact geometry (closer to 1 than the
+  // GBA worst-case factor, so the PBA early arrival is larger).
+  out.derate_pba =
+      table_->early(static_cast<double>(out.depth), out.distance_um);
+
+  double arrival = timer.arrival(path.nodes.front(), Mode::Early);
+  double slew = timer.slew(path.nodes.front(), Mode::Early);
+  for (const ArcId a : path.arcs) {
+    const TimingArc& arc = graph.arc(a);
+    double base;
+    if (options_.recompute_path_slews) {
+      const ArcTiming t = timer.delay_calc().evaluate(graph, a, slew);
+      base = t.delay_ps;
+      slew = t.slew_ps;
+    } else {
+      base = timer.arc_delay_base(a, Mode::Early);
+      slew = timer.slew(arc.to, Mode::Early);
+    }
+    double factor = 1.0;
+    if (arc.kind == TimingArc::Kind::Cell) {
+      factor = timer.is_weighted(a) ? out.derate_pba
+                                    : timer.instance_derate(arc.inst).early;
+    }
+    arrival += base * factor;
+  }
+  out.pba_arrival_ps = arrival;
+
+  const NodeId endpoint = path.endpoint();
+  const auto check_idx = graph.check_at(endpoint);
+  if (check_idx.has_value()) {
+    const TimingCheck& check = graph.checks()[*check_idx];
+    const double capture_late = timer.arrival(check.clock_node, Mode::Late);
+    const double clk_slew = timer.slew(check.clock_node, Mode::Late);
+    const double data_slew =
+        options_.recompute_path_slews ? slew
+                                      : timer.slew(endpoint, Mode::Early);
+    const double hold =
+        timer.delay_calc().hold_time(check, clk_slew, data_slew);
+    double credit;
+    if (options_.exact_crpr) {
+      credit = timer.crpr_credit_exact(path.launch_check, *check_idx);
+    } else {
+      credit = timer.check_timing(*check_idx).crpr_credit_ps;
+    }
+    const double required = capture_late + hold - credit +
+                            timer.constraints().clock_uncertainty_ps;
+    out.pba_slack_ps = out.pba_arrival_ps - required;
+  } else {
+    // Output ports carry no hold check in this constraint model.
+    out.pba_slack_ps = kInfPs;
+    out.gba_slack_ps = kInfPs;
+  }
+  return out;
+}
+
+}  // namespace mgba

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file path_eval.hpp
+/// Path-based (PBA) re-evaluation of enumerated paths — the golden
+/// reference of the paper. For a concrete path, PBA removes the three GBA
+/// pessimism sources this library models:
+///
+///   1. AOCV re-derating with the path's exact cell depth and exact
+///      endpoint distance (vs. GBA's worst depth / worst distance),
+///   2. path-specific slew propagation (vs. GBA's worst-slew merge), which
+///      also sharpens the endpoint setup requirement,
+///   3. exact launch/capture CRPR credit (vs. GBA's conservative minimum
+///      over all possible launches).
+
+#include "aocv/derate_table.hpp"
+#include "pba/path.hpp"
+#include "sta/timer.hpp"
+
+namespace mgba {
+
+struct PathEvalOptions {
+  /// Re-propagate slews along the path (pessimism source 2). When false,
+  /// PBA reuses the GBA worst-slew base delays and only re-derates.
+  bool recompute_path_slews = true;
+  /// Use exact per-pair CRPR (pessimism source 3). When false, PBA keeps
+  /// the GBA endpoint credit.
+  bool exact_crpr = true;
+};
+
+/// Everything measured about one path.
+struct PathTiming {
+  double gba_slack_ps = 0.0;   ///< slack of this path under current GBA/mGBA
+  double pba_slack_ps = 0.0;   ///< golden path-based slack
+  double gba_arrival_ps = 0.0;
+  double pba_arrival_ps = 0.0;
+  std::size_t depth = 0;       ///< exact PBA cell depth
+  double distance_um = 0.0;    ///< exact PBA endpoint distance
+  double derate_pba = 1.0;     ///< path derate factor applied by PBA
+};
+
+class PathEvaluator {
+ public:
+  /// The timer must outlive the evaluator and be up to date.
+  PathEvaluator(const Timer& timer, const DerateTable& table,
+                PathEvalOptions options = {});
+
+  /// Full GBA + PBA timing of one path.
+  [[nodiscard]] PathTiming evaluate(const TimingPath& path) const;
+
+  /// Slack of the path under the timer's current effective delays (fast:
+  /// required(endpoint) - recorded path arrival). With mGBA weights active
+  /// this is the modified-GBA path slack s_gba'(x).
+  [[nodiscard]] double gba_path_slack(const TimingPath& path) const;
+
+  /// Hold-side timing of one path. The path must have been enumerated in
+  /// Mode::Early (gba_arrival_ps is the early arrival); the slack fields
+  /// of the result are hold slacks. GBA hold pessimism mirrors setup:
+  /// early derates are conservatively small, slews are min-merged, and
+  /// CRPR is the worst-launch credit — PBA undoes all three exactly.
+  [[nodiscard]] PathTiming evaluate_hold(const TimingPath& path) const;
+
+  /// Hold slack of the path under current effective early delays.
+  [[nodiscard]] double gba_path_hold_slack(const TimingPath& path) const;
+
+ private:
+  const Timer* timer_;
+  const DerateTable* table_;
+  PathEvalOptions options_;
+};
+
+}  // namespace mgba

@@ -1,0 +1,60 @@
+#include "sta/delay_calc.hpp"
+
+#include "util/check.hpp"
+
+namespace mgba {
+
+DelayCalculator::DelayCalculator(const Design& design, WireModel wire)
+    : design_(&design), wire_(wire) {}
+
+double DelayCalculator::net_load_ff(NetId net) const {
+  return design_->net_load_ff(net, wire_.cap_per_um);
+}
+
+ArcTiming DelayCalculator::evaluate(const TimingGraph& graph, ArcId arc_id,
+                                    double input_slew) const {
+  const TimingArc& arc = graph.arc(arc_id);
+  ArcTiming out;
+  if (arc.kind == TimingArc::Kind::Cell) {
+    const Instance& inst = design_->instance(arc.inst);
+    const LibCell& cell = design_->library().cell(inst.cell);
+    const LibTimingArc& lib_arc = cell.arcs[arc.lib_arc];
+    const NetId out_net = inst.pin_nets[lib_arc.to_pin];
+    MGBA_DCHECK(out_net != kInvalidId);
+    const double load = net_load_ff(out_net);
+    out.delay_ps = lib_arc.delay.lookup(input_slew, load);
+    out.slew_ps = lib_arc.output_slew.lookup(input_slew, load);
+  } else {
+    const Net& net = design_->net(arc.net);
+    MGBA_DCHECK(net.driver.has_value());
+    const Point driver_loc = design_->terminal_location(*net.driver);
+    const Terminal& sink = graph.node(arc.to).terminal;
+    const double dist = manhattan(driver_loc, design_->terminal_location(sink));
+    double sink_cap = 0.0;
+    if (sink.kind == Terminal::Kind::InstancePin) {
+      sink_cap = design_->cell_of(sink.id).pins[sink.pin].capacitance_ff;
+    }
+    // Elmore star: the branch resistance sees half its own wire cap plus
+    // the sink pin cap.
+    const double wire_res = wire_.res_per_um * dist;
+    const double wire_cap = wire_.cap_per_um * dist;
+    out.delay_ps = wire_res * (wire_cap * 0.5 + sink_cap);
+    out.slew_ps = input_slew + wire_.slew_degradation * out.delay_ps;
+  }
+  return out;
+}
+
+double DelayCalculator::setup_time(const TimingCheck& check, double clock_slew,
+                                   double data_slew) const {
+  const LibCell& cell = design_->cell_of(check.inst);
+  return cell.constraints[check.constraint].setup.lookup(clock_slew,
+                                                         data_slew);
+}
+
+double DelayCalculator::hold_time(const TimingCheck& check, double clock_slew,
+                                  double data_slew) const {
+  const LibCell& cell = design_->cell_of(check.inst);
+  return cell.constraints[check.constraint].hold.lookup(clock_slew, data_slew);
+}
+
+}  // namespace mgba

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file delay_calc.hpp
+/// Arc delay/slew calculation: NLDM table lookups for cell arcs driven by
+/// the net load, and an Elmore-style star model for net arcs. Derating and
+/// mGBA weighting are deliberately NOT applied here — this layer produces
+/// *base* delays; the Timer composes base delay x derate x weight so that
+/// PBA can re-derate the same base values per path.
+
+#include "netlist/design.hpp"
+#include "sta/timing_graph.hpp"
+#include "sta/timing_types.hpp"
+
+namespace mgba {
+
+/// Interconnect electrical model. Defaults approximate an intermediate
+/// metal layer at a generic planar node.
+struct WireModel {
+  /// Unit resistance expressed directly in delay terms: ps of Elmore delay
+  /// per um of wire per fF of downstream capacitance.
+  double res_per_um = 0.006;
+  double cap_per_um = 0.15;   ///< fF per um: unit capacitance
+  /// Slew degradation along a wire as a fraction of wire delay.
+  double slew_degradation = 0.6;
+};
+
+/// Result of evaluating one timing arc.
+struct ArcTiming {
+  double delay_ps = 0.0;
+  double slew_ps = 0.0;  ///< transition at the arc's destination
+};
+
+class DelayCalculator {
+ public:
+  DelayCalculator(const Design& design, WireModel wire);
+
+  [[nodiscard]] const WireModel& wire_model() const { return wire_; }
+
+  /// Base (underated) timing of \p arc for input transition \p input_slew.
+  /// Cell arcs read the NLDM tables at the driver's current net load; net
+  /// arcs use the Elmore star model from driver to that sink.
+  [[nodiscard]] ArcTiming evaluate(const TimingGraph& graph, ArcId arc,
+                                   double input_slew) const;
+
+  /// Total capacitive load on the driver of \p net: sink pin caps plus
+  /// wire capacitance for the driver->sink Manhattan lengths.
+  [[nodiscard]] double net_load_ff(NetId net) const;
+
+  /// Setup / hold constraint values for a check given clock/data slews.
+  [[nodiscard]] double setup_time(const TimingCheck& check, double clock_slew,
+                                  double data_slew) const;
+  [[nodiscard]] double hold_time(const TimingCheck& check, double clock_slew,
+                                 double data_slew) const;
+
+ private:
+  const Design* design_;
+  WireModel wire_;
+};
+
+}  // namespace mgba

@@ -1,0 +1,90 @@
+#include "sta/drc.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace mgba {
+
+std::size_t DrcReport::count(DrcViolation::Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(violations.begin(), violations.end(),
+                    [&](const DrcViolation& v) { return v.kind == kind; }));
+}
+
+std::string DrcReport::to_string(const Design& design,
+                                 std::size_t max_lines) const {
+  std::string out =
+      str_format("DRC: %zu max-load, %zu max-slew violations\n",
+                 count(DrcViolation::Kind::MaxLoad),
+                 count(DrcViolation::Kind::MaxSlew));
+  std::size_t lines = 0;
+  for (const DrcViolation& v : violations) {
+    if (lines++ >= max_lines) {
+      out += "  ...\n";
+      break;
+    }
+    const char* kind =
+        v.kind == DrcViolation::Kind::MaxLoad ? "max-load" : "max-slew";
+    const char* unit = v.kind == DrcViolation::Kind::MaxLoad ? "fF" : "ps";
+    out += str_format("  %-8s net %-24s %8.2f%s > %8.2f%s", kind,
+                      design.net(v.net).name.c_str(), v.value, unit, v.limit,
+                      unit);
+    if (v.driver != kInvalidId) {
+      out += str_format("  (driver %s)", design.instance(v.driver).name.c_str());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+DrcReport check_electrical_rules(const Timer& timer, double max_slew_ps) {
+  const Design& design = timer.graph().design();
+  DrcReport report;
+
+  // Max load: every instance-driven net against the driver pin limit.
+  for (std::size_t n = 0; n < design.num_nets(); ++n) {
+    const NetId net_id = static_cast<NetId>(n);
+    const Net& net = design.net(net_id);
+    if (!net.driver || net.driver->kind != Terminal::Kind::InstancePin) {
+      continue;
+    }
+    const LibCell& cell = design.cell_of(net.driver->id);
+    const double limit = cell.pins[net.driver->pin].max_load_ff;
+    if (limit <= 0.0) continue;
+    const double load = timer.delay_calc().net_load_ff(net_id);
+    if (load > limit) {
+      report.violations.push_back({DrcViolation::Kind::MaxLoad, net_id,
+                                   net.driver->id, load, limit});
+    }
+  }
+
+  // Max transition: slew at every sink node of every net.
+  if (max_slew_ps > 0.0) {
+    const TimingGraph& graph = timer.graph();
+    for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+      const double slew = timer.slew(node, Mode::Late);
+      if (slew <= max_slew_ps) continue;
+      // Attribute the violation to the net feeding this node, if any.
+      NetId net = kInvalidId;
+      InstanceId driver = kInvalidId;
+      for (const ArcId a : graph.fanin(node)) {
+        const TimingArc& arc = graph.arc(a);
+        if (arc.kind == TimingArc::Kind::Net) {
+          net = arc.net;
+          const Net& n = graph.design().net(net);
+          if (n.driver && n.driver->kind == Terminal::Kind::InstancePin) {
+            driver = n.driver->id;
+          }
+          break;
+        }
+      }
+      if (net == kInvalidId) continue;  // cell-internal node
+      report.violations.push_back(
+          {DrcViolation::Kind::MaxSlew, net, driver, slew, max_slew_ps});
+    }
+  }
+  return report;
+}
+
+}  // namespace mgba

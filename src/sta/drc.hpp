@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file drc.hpp
+/// Electrical design-rule checks: max capacitance per driver (from the
+/// library's per-pin drive limits) and an optional global max transition.
+/// Post-route optimizers fix these before timing; here they diagnose
+/// overloaded nets that sizing/buffering should target.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sta/timer.hpp"
+
+namespace mgba {
+
+struct DrcViolation {
+  enum class Kind : std::uint8_t { MaxLoad, MaxSlew };
+  Kind kind = Kind::MaxLoad;
+  /// Offending net (MaxLoad) or the net whose sink sees the slew (MaxSlew).
+  NetId net = kInvalidId;
+  /// Driving instance (kInvalidId when driven by a port).
+  InstanceId driver = kInvalidId;
+  double value = 0.0;  ///< measured load (fF) or slew (ps)
+  double limit = 0.0;
+};
+
+struct DrcReport {
+  std::vector<DrcViolation> violations;
+
+  [[nodiscard]] std::size_t count(DrcViolation::Kind kind) const;
+  [[nodiscard]] std::string to_string(const Design& design,
+                                      std::size_t max_lines = 20) const;
+};
+
+/// Runs the checks. \p max_slew_ps of 0 disables the transition check;
+/// load limits come from LibPin::max_load_ff (0 = unlimited).
+DrcReport check_electrical_rules(const Timer& timer, double max_slew_ps = 0.0);
+
+}  // namespace mgba

@@ -1,0 +1,67 @@
+#include "sta/report.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/histogram.hpp"
+#include "util/strings.hpp"
+
+namespace mgba {
+
+std::string report_summary(const Timer& timer, Mode mode) {
+  const char* label = mode == Mode::Late ? "setup" : "hold";
+  return str_format("%s: WNS=%.2fps TNS=%.2fps violations=%zu/%zu", label,
+                    timer.wns(mode), timer.tns(mode),
+                    timer.num_violations(mode),
+                    timer.graph().endpoints().size());
+}
+
+std::string report_endpoints(const Timer& timer, std::size_t count) {
+  std::vector<std::pair<double, NodeId>> slacks;
+  for (const NodeId e : timer.graph().endpoints()) {
+    slacks.emplace_back(timer.slack(e, Mode::Late), e);
+  }
+  std::sort(slacks.begin(), slacks.end());
+  std::string out = "endpoint                          setup slack (ps)\n";
+  for (std::size_t i = 0; i < std::min(count, slacks.size()); ++i) {
+    out += str_format("%-32s  %10.2f\n",
+                      timer.graph().node_name(slacks[i].second).c_str(),
+                      slacks[i].first);
+  }
+  return out;
+}
+
+std::string report_worst_path(const Timer& timer, NodeId endpoint) {
+  const std::vector<NodeId> path = timer.worst_path(endpoint);
+  std::string out = str_format("worst path to %s (slack %.2fps)\n",
+                               timer.graph().node_name(endpoint).c_str(),
+                               timer.slack(endpoint, Mode::Late));
+  double prev_arrival = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const double arr = timer.arrival(path[i], Mode::Late);
+    out += str_format("  %-32s arrival=%9.2f  +%8.2f\n",
+                      timer.graph().node_name(path[i]).c_str(), arr,
+                      i == 0 ? 0.0 : arr - prev_arrival);
+    prev_arrival = arr;
+  }
+  return out;
+}
+
+std::string report_slack_histogram(const Timer& timer, std::size_t num_bins) {
+  std::vector<double> slacks;
+  for (const NodeId e : timer.graph().endpoints()) {
+    const double s = timer.slack(e, Mode::Late);
+    if (s != kInfPs) slacks.push_back(s);  // skip false-path endpoints
+  }
+  if (slacks.empty()) return "no constrained endpoints\n";
+  const auto [lo_it, hi_it] = std::minmax_element(slacks.begin(), slacks.end());
+  double lo = *lo_it, hi = *hi_it;
+  if (hi <= lo) hi = lo + 1.0;
+  Histogram hist(lo, hi, num_bins);
+  hist.add_all(slacks);
+  return str_format("endpoint setup slack histogram (%zu endpoints)\n",
+                    slacks.size()) +
+         hist.to_text(48);
+}
+
+}  // namespace mgba

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file report.hpp
+/// Human-readable timing reports: endpoint slack summary and worst-path
+/// traces, in the style of a sign-off timer's report_timing output.
+
+#include <string>
+
+#include "sta/timer.hpp"
+
+namespace mgba {
+
+/// Summary line: WNS / TNS / violation count for a mode.
+std::string report_summary(const Timer& timer, Mode mode);
+
+/// Table of the \p count worst endpoints by slack (late mode).
+std::string report_endpoints(const Timer& timer, std::size_t count = 10);
+
+/// Full trace of the worst path into \p endpoint: per-node arrival and the
+/// arc delays along the path.
+std::string report_worst_path(const Timer& timer, NodeId endpoint);
+
+/// Text histogram of endpoint setup slacks (the classic closure progress
+/// view): \p num_bins bins spanning [wns, best positive slack].
+std::string report_slack_histogram(const Timer& timer,
+                                   std::size_t num_bins = 12);
+
+}  // namespace mgba

@@ -1,0 +1,524 @@
+#include "sta/timer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace mgba {
+
+namespace {
+constexpr double kEpsPs = 1e-9;
+/// Weight factors are clamped so a pathological solver iterate can never
+/// drive an effective delay negative.
+constexpr double kMinWeightFactor = 0.05;
+}  // namespace
+
+Timer::Timer(const Design& design, TimingConstraints constraints,
+             WireModel wire)
+    : design_(&design),
+      constraints_(std::move(constraints)),
+      delay_(design, wire) {
+  rebuild_graph();
+}
+
+void Timer::set_instance_derates(std::vector<DeratePair> derates) {
+  derates_ = std::move(derates);
+  dirty_full_ = true;
+}
+
+void Timer::set_instance_weights(std::vector<double> weights) {
+  weights_ = std::move(weights);
+  dirty_full_ = true;
+}
+
+void Timer::set_instance_weights_early(std::vector<double> weights) {
+  weights_early_ = std::move(weights);
+  dirty_full_ = true;
+}
+
+void Timer::invalidate_instance(InstanceId inst) {
+  // CRPR credits are cached across incremental updates on the assumption
+  // that clock-network delays do not change; a mutation touching a clock
+  // cell breaks that, so fall back to a full update (which recomputes the
+  // credits).
+  for (const ArcId a : instance_arcs_[inst]) {
+    if (graph_->node(graph_->arc(a).to).is_clock_network) {
+      dirty_full_ = true;
+      return;
+    }
+  }
+  dirty_instances_.push_back(inst);
+}
+
+void Timer::rebuild_graph() {
+  graph_.emplace(*design_, constraints_.clock_port);
+  allocate_storage();
+  compute_instance_arcs();
+  compute_launch_sets();
+
+  // Resolve per-port external delays once per structure.
+  port_input_delay_.assign(design_->num_ports(), constraints_.input_delay_ps);
+  port_output_delay_.assign(design_->num_ports(),
+                            constraints_.output_delay_ps);
+  for (std::size_t p = 0; p < design_->num_ports(); ++p) {
+    const std::string& name = design_->port(static_cast<PortId>(p)).name;
+    if (const auto it = constraints_.input_delay_overrides.find(name);
+        it != constraints_.input_delay_overrides.end()) {
+      port_input_delay_[p] = it->second;
+    }
+    if (const auto it = constraints_.output_delay_overrides.find(name);
+        it != constraints_.output_delay_overrides.end()) {
+      port_output_delay_[p] = it->second;
+    }
+  }
+
+  // Resolve endpoint-scoped timing exceptions by name.
+  endpoint_false_.assign(graph_->num_nodes(), false);
+  endpoint_multicycle_.assign(graph_->num_nodes(), 1);
+  if (!constraints_.false_path_endpoints.empty() ||
+      !constraints_.multicycle_endpoints.empty()) {
+    for (const NodeId e : graph_->endpoints()) {
+      const std::string name = graph_->node_name(e);
+      if (constraints_.false_path_endpoints.count(name) > 0) {
+        endpoint_false_[e] = true;
+      }
+      if (const auto it = constraints_.multicycle_endpoints.find(name);
+          it != constraints_.multicycle_endpoints.end()) {
+        MGBA_CHECK(it->second >= 1);
+        endpoint_multicycle_[e] = it->second;
+      }
+    }
+  }
+
+  dirty_full_ = true;
+  dirty_instances_.clear();
+}
+
+void Timer::allocate_storage() {
+  const std::size_t n = graph_->num_nodes();
+  const std::size_t a = graph_->num_arcs();
+  for (int m = 0; m < kNumModes; ++m) {
+    arrival_[m].assign(n, 0.0);
+    slew_[m].assign(n, constraints_.input_slew_ps);
+    required_[m].assign(n, m == idx(Mode::Late) ? kInfPs : -kInfPs);
+    arc_delay_[m].assign(a, 0.0);
+    arc_delay_base_[m].assign(a, 0.0);
+  }
+  check_timing_.assign(graph_->checks().size(), {});
+}
+
+void Timer::compute_instance_arcs() {
+  instance_arcs_.assign(design_->num_instances(), {});
+  for (ArcId a = 0; a < graph_->num_arcs(); ++a) {
+    const TimingArc& arc = graph_->arc(a);
+    if (arc.kind == TimingArc::Kind::Cell) instance_arcs_[arc.inst].push_back(a);
+  }
+  check_of_ff_.assign(design_->num_instances(), -1);
+  const auto& checks = graph_->checks();
+  for (std::size_t c = 0; c < checks.size(); ++c) {
+    check_of_ff_[checks[c].inst] = static_cast<std::int32_t>(c);
+  }
+}
+
+void Timer::compute_launch_sets() {
+  const std::size_t n = graph_->num_nodes();
+  const std::size_t num_checks = graph_->checks().size();
+  launch_words_ = (num_checks + 63) / 64;
+  launch_sets_.assign(n, std::vector<std::uint64_t>(launch_words_, 0));
+  port_launched_.assign(n, false);
+
+  for (const NodeId u : graph_->topo_order()) {
+    const TimingNode& node = graph_->node(u);
+    // Seed: data input ports carry the "no clock path" marker; FF Q pins
+    // carry their own flip-flop's launch bit.
+    if (node.terminal.kind == Terminal::Kind::Port) {
+      const Port& port = design_->port(node.terminal.id);
+      if (port.direction == PortDirection::Input && u != graph_->clock_source()) {
+        port_launched_[u] = true;
+      }
+    } else {
+      const Instance& inst = design_->instance(node.terminal.id);
+      const LibCell& cell = design_->library().cell(inst.cell);
+      if (cell.kind == CellKind::FlipFlop &&
+          node.terminal.pin == cell.output_pin()) {
+        const std::int32_t check = check_of_ff_[node.terminal.id];
+        if (check >= 0) {
+          launch_sets_[u][static_cast<std::size_t>(check) / 64] |=
+              std::uint64_t{1} << (static_cast<std::size_t>(check) % 64);
+        }
+      }
+    }
+    // Merge into fanout. Clock-network internal edges never carry launch
+    // bits (clock nodes have empty sets until the CK->Q boundary).
+    for (const ArcId a : graph_->fanout(u)) {
+      const NodeId v = graph_->arc(a).to;
+      if (port_launched_[u]) port_launched_[v] = true;
+      auto& dst = launch_sets_[v];
+      const auto& src = launch_sets_[u];
+      for (std::size_t w = 0; w < launch_words_; ++w) dst[w] |= src[w];
+    }
+  }
+}
+
+bool Timer::is_weighted_arc(const TimingArc& arc) const {
+  if (arc.kind != TimingArc::Kind::Cell) return false;
+  if (graph_->node(arc.to).is_clock_network) return false;
+  return design_->cell_of(arc.inst).kind != CellKind::FlipFlop;
+}
+
+double Timer::derate_for(const TimingArc& arc, Mode mode) const {
+  if (arc.kind != TimingArc::Kind::Cell) return 1.0;
+  if (arc.inst >= derates_.size()) return 1.0;
+  const DeratePair& d = derates_[arc.inst];
+  return mode == Mode::Late ? d.late : d.early;
+}
+
+bool Timer::recompute_node(NodeId node) {
+  const auto& fanin = graph_->fanin(node);
+  bool changed = false;
+
+  if (fanin.empty()) {
+    // Source node: clock origin or input port boundary condition.
+    const Terminal& terminal = graph_->node(node).terminal;
+    for (int m = 0; m < kNumModes; ++m) {
+      double arr = 0.0;
+      if (node != graph_->clock_source() &&
+          terminal.kind == Terminal::Kind::Port) {
+        arr = port_input_delay_[terminal.id];
+      }
+      const double sl = constraints_.input_slew_ps;
+      changed = changed || std::abs(arrival_[m][node] - arr) > kEpsPs ||
+                std::abs(slew_[m][node] - sl) > kEpsPs;
+      arrival_[m][node] = arr;
+      slew_[m][node] = sl;
+    }
+    return changed;
+  }
+
+  for (int m = 0; m < kNumModes; ++m) {
+    const Mode mode = static_cast<Mode>(m);
+    const bool late = mode == Mode::Late;
+    double best_arr = late ? -kInfPs : kInfPs;
+    double best_slew = late ? -kInfPs : kInfPs;
+    for (const ArcId a : fanin) {
+      const TimingArc& arc = graph_->arc(a);
+      const ArcTiming timing =
+          delay_.evaluate(*graph_, a, slew_[m][arc.from]);
+      double eff = timing.delay_ps * derate_for(arc, mode);
+      if (late && is_weighted_arc(arc) && arc.inst < weights_.size()) {
+        eff *= std::max(kMinWeightFactor, 1.0 + weights_[arc.inst]);
+      } else if (!late && is_weighted_arc(arc) &&
+                 arc.inst < weights_early_.size()) {
+        eff *= std::max(kMinWeightFactor, 1.0 + weights_early_[arc.inst]);
+      }
+      arc_delay_base_[m][a] = timing.delay_ps;
+      arc_delay_[m][a] = eff;
+      const double cand = arrival_[m][arc.from] + eff;
+      if (late) {
+        best_arr = std::max(best_arr, cand);
+        best_slew = std::max(best_slew, timing.slew_ps);
+      } else {
+        best_arr = std::min(best_arr, cand);
+        best_slew = std::min(best_slew, timing.slew_ps);
+      }
+    }
+    changed = changed || std::abs(arrival_[m][node] - best_arr) > kEpsPs ||
+              std::abs(slew_[m][node] - best_slew) > kEpsPs;
+    arrival_[m][node] = best_arr;
+    slew_[m][node] = best_slew;
+  }
+  return changed;
+}
+
+void Timer::full_forward() {
+  for (const NodeId u : graph_->topo_order()) recompute_node(u);
+}
+
+void Timer::incremental_forward() {
+  // Seed the frontier: every pin node of each dirty instance, plus the
+  // output node of each driver feeding it (that driver's load changed, so
+  // its cell-arc delay and output slew must be re-evaluated), plus the
+  // sibling sinks of those nets (their input slew may change).
+  std::vector<NodeId> seeds;
+  const auto add_seed = [&](NodeId n) {
+    if (n != kInvalidNode) seeds.push_back(n);
+  };
+  for (const InstanceId inst_id : dirty_instances_) {
+    const Instance& inst = design_->instance(inst_id);
+    const LibCell& cell = design_->library().cell(inst.cell);
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const NetId net_id = inst.pin_nets[p];
+      if (net_id == kInvalidId) continue;
+      add_seed(graph_->node_of_pin(inst_id, static_cast<std::uint32_t>(p)));
+      if (cell.pins[p].direction == PinDirection::Input) {
+        const Net& net = design_->net(net_id);
+        if (net.driver && net.driver->kind == Terminal::Kind::InstancePin) {
+          add_seed(graph_->node_of_pin(net.driver->id, net.driver->pin));
+        }
+        for (const Terminal& sink : net.sinks) {
+          if (sink.kind == Terminal::Kind::InstancePin) {
+            add_seed(graph_->node_of_pin(sink.id, sink.pin));
+          }
+        }
+      }
+    }
+  }
+
+  // Level-ordered worklist propagation.
+  using Entry = std::pair<std::uint32_t, NodeId>;  // (level, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  std::vector<bool> queued(graph_->num_nodes(), false);
+  const auto push = [&](NodeId n) {
+    if (!queued[n]) {
+      queued[n] = true;
+      queue.push({graph_->node(n).level, n});
+    }
+  };
+  for (const NodeId s : seeds) push(s);
+
+  while (!queue.empty()) {
+    const NodeId u = queue.top().second;
+    queue.pop();
+    queued[u] = false;
+    if (recompute_node(u)) {
+      for (const ArcId a : graph_->fanout(u)) push(graph_->arc(a).to);
+    }
+  }
+}
+
+void Timer::compute_crpr_credits() {
+  const auto& checks = graph_->checks();
+  for (std::size_t c = 0; c < checks.size(); ++c) {
+    double credit = 0.0;
+    if (constraints_.enable_crpr) {
+      const NodeId data = checks[c].data_node;
+      if (port_launched_[data]) {
+        credit = 0.0;  // some launch has no clock path: no safe credit
+      } else {
+        credit = kInfPs;
+        const auto& set = launch_sets_[data];
+        for (std::size_t w = 0; w < launch_words_; ++w) {
+          std::uint64_t bits = set[w];
+          while (bits != 0) {
+            const int b = std::countr_zero(bits);
+            bits &= bits - 1;
+            const std::size_t launch = w * 64 + static_cast<std::size_t>(b);
+            credit = std::min(credit, common_path_credit(launch, c));
+          }
+        }
+        if (credit == kInfPs) credit = 0.0;  // endpoint unreachable from FFs
+      }
+    }
+    check_timing_[c].crpr_credit_ps = credit;
+  }
+}
+
+double Timer::common_path_credit(std::size_t check_a,
+                                 std::size_t check_b) const {
+  const auto& path_a = graph_->clock_path(check_a);
+  const auto& path_b = graph_->clock_path(check_b);
+  const std::size_t len = std::min(path_a.size(), path_b.size());
+  double credit = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (path_a[i] != path_b[i]) break;
+    for (const ArcId a : instance_arcs_[path_a[i]]) {
+      credit += arc_delay_[idx(Mode::Late)][a] -
+                arc_delay_[idx(Mode::Early)][a];
+    }
+  }
+  return credit;
+}
+
+double Timer::crpr_credit_exact(std::optional<std::size_t> launch_check,
+                                std::size_t capture_check) const {
+  if (!constraints_.enable_crpr || !launch_check.has_value()) return 0.0;
+  return common_path_credit(*launch_check, capture_check);
+}
+
+void Timer::backward_required() {
+  const int late = idx(Mode::Late);
+  const int early = idx(Mode::Early);
+  std::fill(required_[late].begin(), required_[late].end(), kInfPs);
+  std::fill(required_[early].begin(), required_[early].end(), -kInfPs);
+
+  const double period = constraints_.clock_period_ps;
+
+  // Endpoint boundary conditions.
+  const auto& checks = graph_->checks();
+  for (std::size_t c = 0; c < checks.size(); ++c) {
+    const TimingCheck& check = checks[c];
+    CheckTiming& ct = check_timing_[c];
+    // Check values use the conservative slew pairing: both setup and hold
+    // margins grow with slew, so the worst (max = late) data slew bounds
+    // them; PBA's per-path slew can then only shrink the requirement.
+    const double data_slew_late = slew_[late][check.data_node];
+    ct.setup_ps = delay_.setup_time(check, slew_[early][check.clock_node],
+                                    data_slew_late);
+    ct.hold_ps = delay_.hold_time(check, slew_[late][check.clock_node],
+                                  data_slew_late);
+
+    if (endpoint_false_[check.data_node]) continue;  // set_false_path
+    // set_multicycle_path moves the setup capture edge out by N periods;
+    // hold stays at the launch edge (the -setup multicycle default).
+    const double capture_edge =
+        period * static_cast<double>(endpoint_multicycle_[check.data_node]);
+    const double req_late = capture_edge +
+                            arrival_[early][check.clock_node] -
+                            ct.setup_ps + ct.crpr_credit_ps -
+                            constraints_.clock_uncertainty_ps;
+    const double req_early = arrival_[late][check.clock_node] + ct.hold_ps -
+                             ct.crpr_credit_ps +
+                             constraints_.clock_uncertainty_ps;
+    required_[late][check.data_node] =
+        std::min(required_[late][check.data_node], req_late);
+    required_[early][check.data_node] =
+        std::max(required_[early][check.data_node], req_early);
+  }
+  for (std::size_t p = 0; p < design_->num_ports(); ++p) {
+    const Port& port = design_->port(static_cast<PortId>(p));
+    if (port.direction != PortDirection::Output) continue;
+    const NodeId node = graph_->node_of_port(static_cast<PortId>(p));
+    if (node == kInvalidNode) continue;
+    if (endpoint_false_[node]) continue;
+    const double capture_edge =
+        period * static_cast<double>(endpoint_multicycle_[node]);
+    required_[late][node] =
+        std::min(required_[late][node], capture_edge - port_output_delay_[p]);
+  }
+
+  // Backward min/max propagation in reverse topological order.
+  const auto& topo = graph_->topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId u = *it;
+    for (const ArcId a : graph_->fanout(u)) {
+      const NodeId v = graph_->arc(a).to;
+      if (required_[late][v] != kInfPs) {
+        required_[late][u] = std::min(required_[late][u],
+                                      required_[late][v] - arc_delay_[late][a]);
+      }
+      if (required_[early][v] != -kInfPs) {
+        required_[early][u] =
+            std::max(required_[early][u],
+                     required_[early][v] - arc_delay_[early][a]);
+      }
+    }
+  }
+
+  // Cache endpoint slacks on the check records.
+  for (std::size_t c = 0; c < checks.size(); ++c) {
+    const NodeId d = checks[c].data_node;
+    check_timing_[c].setup_slack_ps =
+        required_[late][d] - arrival_[late][d];
+    check_timing_[c].hold_slack_ps =
+        arrival_[early][d] - required_[early][d];
+  }
+}
+
+void Timer::update_timing() {
+  if (!incremental_enabled_ && !dirty_instances_.empty()) dirty_full_ = true;
+  if (dirty_full_) {
+    full_forward();
+    compute_crpr_credits();
+    backward_required();
+    dirty_full_ = false;
+    dirty_instances_.clear();
+    ++full_updates_;
+    return;
+  }
+  if (dirty_instances_.empty()) return;
+  incremental_forward();
+  backward_required();  // cheap relative to forward; credits unchanged
+  dirty_instances_.clear();
+  ++incremental_updates_;
+}
+
+double Timer::arrival(NodeId node, Mode mode) const {
+  return arrival_[idx(mode)][node];
+}
+
+double Timer::slew(NodeId node, Mode mode) const {
+  return slew_[idx(mode)][node];
+}
+
+double Timer::required(NodeId node, Mode mode) const {
+  return required_[idx(mode)][node];
+}
+
+double Timer::slack(NodeId node, Mode mode) const {
+  if (mode == Mode::Late) return required(node, mode) - arrival(node, mode);
+  return arrival(node, mode) - required(node, mode);
+}
+
+double Timer::arc_delay(ArcId arc, Mode mode) const {
+  return arc_delay_[idx(mode)][arc];
+}
+
+double Timer::arc_delay_base(ArcId arc, Mode mode) const {
+  return arc_delay_base_[idx(mode)][arc];
+}
+
+const CheckTiming& Timer::check_timing(std::size_t i) const {
+  MGBA_CHECK(i < check_timing_.size());
+  return check_timing_[i];
+}
+
+DeratePair Timer::instance_derate(InstanceId inst) const {
+  if (inst >= derates_.size()) return {};
+  return derates_[inst];
+}
+
+double Timer::wns(Mode mode) const {
+  double worst = 0.0;
+  for (const NodeId e : graph_->endpoints()) {
+    worst = std::min(worst, slack(e, mode));
+  }
+  return worst;
+}
+
+double Timer::tns(Mode mode) const {
+  double total = 0.0;
+  for (const NodeId e : graph_->endpoints()) {
+    const double s = slack(e, mode);
+    if (s < 0.0) total += s;
+  }
+  return total;
+}
+
+std::size_t Timer::num_violations(Mode mode) const {
+  std::size_t count = 0;
+  for (const NodeId e : graph_->endpoints()) {
+    if (slack(e, mode) < 0.0) ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> Timer::worst_path(NodeId endpoint) const {
+  const int late = idx(Mode::Late);
+  std::vector<NodeId> path{endpoint};
+  NodeId cur = endpoint;
+  while (!graph_->fanin(cur).empty()) {
+    NodeId best_from = kInvalidNode;
+    double best_gap = kInfPs;
+    for (const ArcId a : graph_->fanin(cur)) {
+      const TimingArc& arc = graph_->arc(a);
+      const double gap = std::abs(arrival_[late][cur] -
+                                  (arrival_[late][arc.from] +
+                                   arc_delay_[late][a]));
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_from = arc.from;
+      }
+    }
+    MGBA_CHECK(best_from != kInvalidNode);
+    path.push_back(best_from);
+    cur = best_from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace mgba

@@ -1,0 +1,212 @@
+#pragma once
+
+/// \file timer.hpp
+/// The graph-based timing engine (GBA). Implements the semantics whose
+/// pessimism the paper's mGBA removes:
+///
+///   * Eq. (4) max/min arrival merging at every node,
+///   * worst-slew propagation (late mode keeps the max fanin slew),
+///   * per-instance AOCV derating (worst cell depth, supplied by the aocv
+///     module as plain DeratePair factors),
+///   * clock reconvergence pessimism removal (CRPR) at setup/hold checks,
+///   * per-instance mGBA weighting factors on data cells: effective late
+///     data-cell delay = base x derate_late x (1 + x_j).
+///
+/// The Timer supports incremental update after gate resizing (value-only
+/// change) and full rebuild after structural edits (buffer insertion), the
+/// two transforms the timing-closure optimizer applies.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "sta/constraints.hpp"
+#include "sta/delay_calc.hpp"
+#include "sta/timing_graph.hpp"
+#include "sta/timing_types.hpp"
+
+namespace mgba {
+
+/// Cached timing of a setup/hold check site after update_timing().
+struct CheckTiming {
+  double setup_ps = 0.0;        ///< setup requirement from the library
+  double hold_ps = 0.0;         ///< hold requirement from the library
+  double crpr_credit_ps = 0.0;  ///< GBA-conservative credit applied
+  double setup_slack_ps = 0.0;
+  double hold_slack_ps = 0.0;
+};
+
+class Timer {
+ public:
+  /// The design and the constraint object must outlive the Timer. The
+  /// design may be mutated through its own interface; the caller must then
+  /// notify the Timer (invalidate_instance / rebuild_graph).
+  Timer(const Design& design, TimingConstraints constraints,
+        WireModel wire = {});
+
+  [[nodiscard]] const TimingGraph& graph() const { return *graph_; }
+  [[nodiscard]] const DelayCalculator& delay_calc() const { return delay_; }
+  [[nodiscard]] const TimingConstraints& constraints() const {
+    return constraints_;
+  }
+
+  // --- configuration -------------------------------------------------------
+
+  /// Per-instance AOCV derate factors (index = InstanceId); missing entries
+  /// default to identity. Triggers a full re-propagation.
+  void set_instance_derates(std::vector<DeratePair> derates);
+
+  /// Per-instance mGBA weighting deviations x_j (index = InstanceId);
+  /// effective late delay of a *data* combinational cell becomes
+  /// base * derate_late * (1 + x_j). Clock cells and flip-flops are never
+  /// weighted. Triggers a full re-propagation.
+  void set_instance_weights(std::vector<double> weights);
+  [[nodiscard]] const std::vector<double>& instance_weights() const {
+    return weights_;
+  }
+
+  /// Hold-side analogue: effective early delay of a data combinational
+  /// cell becomes base * derate_early * (1 + y_j). Positive y_j raises the
+  /// early arrival toward the PBA value, recovering hold pessimism.
+  void set_instance_weights_early(std::vector<double> weights);
+  [[nodiscard]] const std::vector<double>& instance_weights_early() const {
+    return weights_early_;
+  }
+
+  // --- invalidation --------------------------------------------------------
+
+  /// Marks an instance (and the drivers of its input nets, whose loads
+  /// changed) for incremental re-propagation. Use after resize_instance.
+  void invalidate_instance(InstanceId inst);
+
+  /// Rebuilds the timing graph from the (mutated) design. Use after
+  /// structural edits such as buffer insertion.
+  void rebuild_graph();
+
+  /// Brings all timing quantities up to date (incremental when possible).
+  void update_timing();
+
+  /// Disables the incremental path: every update re-propagates the whole
+  /// graph. For the ablation measuring what incremental updates [18] buy
+  /// the optimization loop; leave enabled in real use.
+  void set_incremental_enabled(bool enabled) { incremental_enabled_ = enabled; }
+
+  /// Number of full and incremental propagations performed (for the
+  /// runtime accounting of Table 5).
+  [[nodiscard]] std::size_t full_updates() const { return full_updates_; }
+  [[nodiscard]] std::size_t incremental_updates() const {
+    return incremental_updates_;
+  }
+
+  // --- queries (valid after update_timing) ---------------------------------
+
+  [[nodiscard]] double arrival(NodeId node, Mode mode) const;
+  [[nodiscard]] double slew(NodeId node, Mode mode) const;
+  [[nodiscard]] double required(NodeId node, Mode mode) const;
+  /// Endpoint slack: late = setup, early = hold.
+  [[nodiscard]] double slack(NodeId node, Mode mode) const;
+
+  /// Effective (derated & weighted) delay of an arc in a mode.
+  [[nodiscard]] double arc_delay(ArcId arc, Mode mode) const;
+  /// Base NLDM/Elmore delay of an arc in a mode (before derate/weight).
+  [[nodiscard]] double arc_delay_base(ArcId arc, Mode mode) const;
+
+  /// Timing of check \p idx (index into graph().checks()).
+  [[nodiscard]] const CheckTiming& check_timing(std::size_t idx) const;
+
+  /// AOCV derate factors currently applied to an instance.
+  [[nodiscard]] DeratePair instance_derate(InstanceId inst) const;
+
+  /// True if the arc is a data-path combinational cell arc, i.e. one that
+  /// receives an mGBA weighting factor and contributes a column to the
+  /// system matrix A (Eq. 9).
+  [[nodiscard]] bool is_weighted(ArcId arc) const {
+    return is_weighted_arc(graph_->arc(arc));
+  }
+
+  /// Exact CRPR credit for a specific launch/capture check pair, from the
+  /// shared clock-path prefix. This is what PBA uses per path. A launch
+  /// from a primary input has no clock path: pass std::nullopt -> 0 credit.
+  [[nodiscard]] double crpr_credit_exact(
+      std::optional<std::size_t> launch_check, std::size_t capture_check) const;
+
+  /// Worst negative slack over all endpoints (0 when none negative).
+  [[nodiscard]] double wns(Mode mode) const;
+  /// Total negative slack over all endpoints (sum of negatives, <= 0).
+  [[nodiscard]] double tns(Mode mode) const;
+  /// Number of endpoints with negative slack.
+  [[nodiscard]] std::size_t num_violations(Mode mode) const;
+
+  /// Worst-slack path to \p endpoint traced back through worst fanins
+  /// (node ids from launch to endpoint). Late mode only.
+  [[nodiscard]] std::vector<NodeId> worst_path(NodeId endpoint) const;
+
+ private:
+  int idx(Mode m) const { return static_cast<int>(m); }
+
+  void allocate_storage();
+  void compute_instance_arcs();
+  void compute_launch_sets();
+  bool is_weighted_arc(const TimingArc& arc) const;
+  double derate_for(const TimingArc& arc, Mode mode) const;
+
+  /// Recomputes arrival + slew of one node from its fanin; returns true if
+  /// any value moved more than epsilon. Also refreshes stored arc timings
+  /// of the fanin arcs.
+  bool recompute_node(NodeId node);
+
+  void full_forward();
+  void incremental_forward();
+  void compute_crpr_credits();
+  void backward_required();
+
+  /// Clock-cell delay difference (late - early) summed over the common
+  /// clock-path prefix of two checks.
+  double common_path_credit(std::size_t check_a, std::size_t check_b) const;
+
+  const Design* design_;
+  TimingConstraints constraints_;
+  DelayCalculator delay_;
+  std::optional<TimingGraph> graph_;
+
+  std::vector<DeratePair> derates_;
+  std::vector<double> weights_;
+  std::vector<double> weights_early_;
+  // Per-port external delays resolved from the constraint overrides at
+  // rebuild time (index = PortId).
+  std::vector<double> port_input_delay_;
+  std::vector<double> port_output_delay_;
+  // Timing exceptions resolved per node at rebuild time.
+  std::vector<bool> endpoint_false_;
+  std::vector<int> endpoint_multicycle_;
+
+  // Per-node quantities, indexed [mode][node].
+  std::vector<double> arrival_[kNumModes];
+  std::vector<double> slew_[kNumModes];
+  std::vector<double> required_[kNumModes];
+  // Per-arc effective and base delays, indexed [mode][arc].
+  std::vector<double> arc_delay_[kNumModes];
+  std::vector<double> arc_delay_base_[kNumModes];
+
+  std::vector<CheckTiming> check_timing_;
+
+  // Per-instance list of its cell ArcIds (clock-cell credit lookup).
+  std::vector<std::vector<ArcId>> instance_arcs_;
+
+  // Launch-set DP for GBA CRPR: for each node, the set of launch checks
+  // (flip-flops) whose Q reaches it, as a bitset; plus a flag for paths
+  // launched at input ports (which carry zero credit).
+  std::vector<std::vector<std::uint64_t>> launch_sets_;
+  std::vector<bool> port_launched_;
+  std::size_t launch_words_ = 0;
+  std::vector<std::int32_t> check_of_ff_;  // InstanceId -> check idx or -1
+
+  bool dirty_full_ = true;
+  bool incremental_enabled_ = true;
+  std::vector<InstanceId> dirty_instances_;
+  std::size_t full_updates_ = 0;
+  std::size_t incremental_updates_ = 0;
+};
+
+}  // namespace mgba

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file timing_graph.hpp
+/// Pin-level timing graph built from a Design. Nodes are connected instance
+/// pins and ports; arcs are cell timing arcs (input pin -> output pin of
+/// one instance) and net arcs (driver -> each sink). The graph is a DAG:
+/// flip-flops cut combinational cycles because the D pin has no outgoing
+/// arc (the only arc through a flop is CK -> Q).
+///
+/// The graph also classifies the clock network (nodes reachable from the
+/// clock source up to flip-flop CK pins) and records, for every flip-flop,
+/// its unique clock path from the source — the input to clock reconvergence
+/// pessimism removal (CRPR).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "sta/timing_types.hpp"
+
+namespace mgba {
+
+/// Graph node: one connected pin (instance pin or port).
+struct TimingNode {
+  Terminal terminal;
+  bool is_clock_network = false;
+  std::uint32_t level = 0;  ///< topological level (0 = source)
+};
+
+/// Graph arc.
+struct TimingArc {
+  enum class Kind : std::uint8_t { Cell, Net } kind = Kind::Cell;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  // Cell arcs:
+  InstanceId inst = kInvalidId;
+  std::uint32_t lib_arc = 0;  ///< index into LibCell::arcs
+  // Net arcs:
+  NetId net = kInvalidId;
+};
+
+/// A setup/hold check site: a flip-flop D pin with its clock pin.
+struct TimingCheck {
+  InstanceId inst = kInvalidId;
+  NodeId data_node = kInvalidNode;
+  NodeId clock_node = kInvalidNode;
+  std::uint32_t constraint = 0;  ///< index into LibCell::constraints
+};
+
+class TimingGraph {
+ public:
+  /// Builds the graph for \p design using \p clock_port_name as the single
+  /// clock source. The design must be acyclic through flip-flops.
+  TimingGraph(const Design& design, const std::string& clock_port_name);
+
+  [[nodiscard]] const Design& design() const { return *design_; }
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_arcs() const { return arcs_.size(); }
+  [[nodiscard]] const TimingNode& node(NodeId id) const { return nodes_[id]; }
+  [[nodiscard]] const TimingArc& arc(ArcId id) const { return arcs_[id]; }
+
+  /// Node of an instance pin / port, or kInvalidNode when unconnected.
+  [[nodiscard]] NodeId node_of_pin(InstanceId inst, std::uint32_t pin) const;
+  [[nodiscard]] NodeId node_of_port(PortId port) const;
+
+  [[nodiscard]] const std::vector<ArcId>& fanin(NodeId id) const {
+    return fanin_[id];
+  }
+  [[nodiscard]] const std::vector<ArcId>& fanout(NodeId id) const {
+    return fanout_[id];
+  }
+
+  /// Nodes in topological order (every arc goes forward in this order).
+  [[nodiscard]] const std::vector<NodeId>& topo_order() const {
+    return topo_order_;
+  }
+
+  /// Setup/hold check sites (one per flip-flop data pin).
+  [[nodiscard]] const std::vector<TimingCheck>& checks() const {
+    return checks_;
+  }
+  /// Check at a data node, if any.
+  [[nodiscard]] std::optional<std::size_t> check_at(NodeId data_node) const;
+
+  /// Data-path endpoints: FF data pins and output-port nodes.
+  [[nodiscard]] const std::vector<NodeId>& endpoints() const {
+    return endpoints_;
+  }
+  /// Data-path launch nodes: FF Q output pins and input-port nodes
+  /// (excluding the clock port).
+  [[nodiscard]] const std::vector<NodeId>& launch_nodes() const {
+    return launch_nodes_;
+  }
+
+  [[nodiscard]] NodeId clock_source() const { return clock_source_; }
+
+  /// Clock path of a flip-flop (by check index): instance ids of the clock
+  /// cells from the source to (excluding) the flop itself, in order. Used
+  /// for CRPR common-prefix computation.
+  [[nodiscard]] const std::vector<InstanceId>& clock_path(
+      std::size_t check_idx) const {
+    return clock_paths_[check_idx];
+  }
+
+  /// Human-readable name of a node ("inst/PIN" or "port").
+  [[nodiscard]] std::string node_name(NodeId id) const;
+
+ private:
+  void build_nodes();
+  void build_arcs();
+  void mark_clock_network(const std::string& clock_port_name);
+  void levelize();
+  void collect_checks_and_endpoints();
+  void trace_clock_paths();
+
+  const Design* design_;
+  std::vector<TimingNode> nodes_;
+  std::vector<TimingArc> arcs_;
+  std::vector<std::vector<ArcId>> fanin_;
+  std::vector<std::vector<ArcId>> fanout_;
+  std::vector<NodeId> topo_order_;
+
+  // pin -> node maps
+  std::vector<std::vector<NodeId>> inst_pin_nodes_;
+  std::vector<NodeId> port_nodes_;
+
+  std::vector<TimingCheck> checks_;
+  std::vector<std::int32_t> check_of_node_;  // -1 when none
+  std::vector<NodeId> endpoints_;
+  std::vector<NodeId> launch_nodes_;
+  NodeId clock_source_ = kInvalidNode;
+  std::vector<std::vector<InstanceId>> clock_paths_;
+};
+
+}  // namespace mgba

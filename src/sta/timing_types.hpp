@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file timing_types.hpp
+/// Shared primitive types for the static timing analysis engine.
+
+#include <cstdint>
+#include <limits>
+
+namespace mgba {
+
+using NodeId = std::uint32_t;
+using ArcId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+inline constexpr ArcId kInvalidArc = 0xffffffffu;
+
+/// Analysis corner of a value: Early = min (hold-relevant), Late = max
+/// (setup-relevant). Arrays indexed by static_cast<int>(Mode).
+enum class Mode : std::uint8_t { Early = 0, Late = 1 };
+inline constexpr int kNumModes = 2;
+
+inline constexpr double kInfPs = std::numeric_limits<double>::infinity();
+
+/// Per-instance AOCV derating factors. Late factors are >= 1 (slow-down
+/// penalty), early factors <= 1 (speed-up penalty); identity (1, 1) means
+/// no derating. Produced by the aocv module, consumed by the Timer.
+struct DeratePair {
+  double late = 1.0;
+  double early = 1.0;
+};
+
+}  // namespace mgba

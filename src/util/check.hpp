@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file check.hpp
+/// Internal invariant checking. MGBA_CHECK is always on (the cost is
+/// negligible next to graph traversals and linear algebra) and aborts with a
+/// source location on failure; MGBA_DCHECK compiles out in release builds
+/// and guards hot-path invariants.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mgba::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "MGBA_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace mgba::detail
+
+#define MGBA_CHECK(expr)                                      \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::mgba::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define MGBA_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define MGBA_DCHECK(expr) MGBA_CHECK(expr)
+#endif

@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mgba {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace mgba

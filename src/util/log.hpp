@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logging to stderr. Quiet by default (Warn) so test and
+/// benchmark output stays clean; flows raise it to Info for progress lines.
+
+#include <string>
+
+namespace mgba {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging at a given level.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace mgba
+
+#define MGBA_LOG_DEBUG(...) ::mgba::log_message(::mgba::LogLevel::Debug, __VA_ARGS__)
+#define MGBA_LOG_INFO(...) ::mgba::log_message(::mgba::LogLevel::Info, __VA_ARGS__)
+#define MGBA_LOG_WARN(...) ::mgba::log_message(::mgba::LogLevel::Warn, __VA_ARGS__)
+#define MGBA_LOG_ERROR(...) ::mgba::log_message(::mgba::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Wall-clock stopwatch used by the benchmark harnesses to report solver and
+/// flow runtimes (Tables 4 and 5).
+
+#include <chrono>
+
+namespace mgba {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mgba

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string utilities shared by the netlist text format and the report
+/// writers. Nothing here allocates beyond the returned values.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgba {
+
+/// Splits on any run of characters in \p delims; empty tokens are dropped.
+std::vector<std::string_view> split(std::string_view text,
+                                    std::string_view delims = " \t");
+
+/// Strips leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if \p text begins with \p prefix.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mgba

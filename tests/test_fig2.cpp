@@ -1,0 +1,194 @@
+/// Exact reproduction of the paper's Fig. 2 worked example: a 6-gate data
+/// path FF1 -> G1..G6 -> FF4 whose gates also sit on shorter side paths,
+/// with Table 1 derates and 100 ps unit gates. The paper computes
+///
+///   d_pba = 100ps x 1.15 x 6                                   = 690 ps
+///   d_gba = 100ps x (1.20 + 1.20 + 1.20 + 1.30 + 1.25 + 1.25)  = 740 ps
+///
+/// i.e. GBA cell depths {5, 5, 5, 3, 4, 4} for G1..G6 versus the exact
+/// path depth 6, and a 50 ps pessimism gap.
+
+#include <gtest/gtest.h>
+
+#include "aocv/aocv_model.hpp"
+#include "aocv/depth_analysis.hpp"
+#include "aocv/derate_table.hpp"
+#include "liberty/default_library.hpp"
+#include "pba/path_enum.hpp"
+#include "pba/path_eval.hpp"
+#include "sta/timer.hpp"
+
+namespace mgba {
+namespace {
+
+class Fig2Circuit : public ::testing::Test {
+ protected:
+  Fig2Circuit() : lib_(make_unit_delay_library(100.0)), design_(lib_, "fig2") {
+    const auto inv = lib_.cell_id("INV_X1");
+    const auto nand = lib_.cell_id("NAND2_X1");
+    const auto dff = lib_.cell_id("DFF_X1");
+
+    // Clock: one net straight to every flop (no buffers: CRPR-neutral).
+    const auto clk = design_.add_port("CLK", PortDirection::Input);
+    const NetId clk_net = design_.add_net("clk");
+    design_.connect_port(clk, clk_net);
+
+    const auto add_ff = [&](const char* name) {
+      const InstanceId ff = design_.add_instance(name, dff, {0, 0});
+      design_.connect_pin(ff, 1, clk_net);
+      return ff;
+    };
+    ff1_ = add_ff("ff1");
+    ff2_ = add_ff("ff2");
+    ff3_ = add_ff("ff3");
+    ff4_ = add_ff("ff4");
+    ff5_ = add_ff("ff5");
+
+    const auto wire = [&](const std::string& name) {
+      return design_.add_net(name);
+    };
+    const auto q = [&](InstanceId ff, const char* name) {
+      const NetId net = wire(name);
+      design_.connect_pin(ff, 2, net);
+      return net;
+    };
+    const NetId q1 = q(ff1_, "q1");
+    const NetId q2 = q(ff2_, "q2");
+
+    // Main chain G1..G6 (G4 is a NAND2 with a side input from M1).
+    const auto add_inv = [&](const char* name, NetId in) {
+      const InstanceId g = design_.add_instance(name, inv, {0, 0});
+      design_.connect_pin(g, 0, in);
+      const NetId out = wire(std::string("n_") + name);
+      design_.connect_pin(g, 1, out);
+      return std::pair{g, out};
+    };
+    auto [g1, n1] = add_inv("g1", q1);
+    auto [g2, n2] = add_inv("g2", n1);
+    auto [g3, n3] = add_inv("g3", n2);
+
+    const InstanceId m1 = design_.add_instance("m1", inv, {0, 0});
+    design_.connect_pin(m1, 0, q2);
+    const NetId nm1 = wire("n_m1");
+    design_.connect_pin(m1, 1, nm1);
+
+    const InstanceId g4 = design_.add_instance("g4", nand, {0, 0});
+    design_.connect_pin(g4, 0, n3);
+    design_.connect_pin(g4, 1, nm1);
+    const NetId n4 = wire("n_g4");
+    design_.connect_pin(g4, 2, n4);
+
+    auto [g5, n5] = add_inv("g5", n4);
+    auto [g6, n6] = add_inv("g6", n5);
+
+    // Side branch to FF3: G3 -> H1 -> H2 -> FF3.D (5-gate path from FF1).
+    auto [h1, nh1] = add_inv("h1", n3);
+    auto [h2, nh2] = add_inv("h2", nh1);
+    (void)h1;
+    (void)h2;
+
+    // Side exit from G4: N1 -> FF5.D (3-gate path from FF2 through G4).
+    auto [x1, nx1] = add_inv("x1", n4);
+    (void)x1;
+
+    design_.connect_pin(ff3_, 0, nh2);
+    design_.connect_pin(ff4_, 0, n6);
+    design_.connect_pin(ff5_, 0, nx1);
+
+    g_ = {g1, g2, g3, g4, g5, g6};
+
+    // Boundary ties so nothing floats.
+    const auto tie_in = [&](InstanceId ff, const char* name) {
+      const auto port = design_.add_port(name, PortDirection::Input);
+      const NetId net = wire(std::string("ni_") + name);
+      design_.connect_port(port, net);
+      design_.connect_pin(ff, 0, net);
+    };
+    tie_in(ff1_, "d1");
+    tie_in(ff2_, "d2");
+    const auto tie_out = [&](InstanceId ff, const char* name) {
+      const auto port = design_.add_port(name, PortDirection::Output);
+      const NetId net = wire(std::string("no_") + name);
+      design_.connect_pin(ff, 2, net);
+      design_.connect_port(port, net);
+    };
+    tie_out(ff3_, "o3");
+    tie_out(ff4_, "o4");
+    tie_out(ff5_, "o5");
+    design_.validate();
+  }
+
+  Library lib_;
+  Design design_;
+  InstanceId ff1_ = 0, ff2_ = 0, ff3_ = 0, ff4_ = 0, ff5_ = 0;
+  std::vector<InstanceId> g_;
+};
+
+TEST_F(Fig2Circuit, GbaCellDepthsMatchPaper) {
+  const TimingGraph graph(design_, "CLK");
+  const DepthAnalysis analysis(graph);
+  const double expected_depth[6] = {5, 5, 5, 3, 4, 4};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(analysis.info(g_[i]).depth, expected_depth[i])
+        << "G" << (i + 1);
+  }
+}
+
+TEST_F(Fig2Circuit, PbaPathDepthIsSix) {
+  TimingConstraints constraints;
+  constraints.clock_period_ps = 10000.0;
+  Timer timer(design_, constraints);
+  timer.update_timing();
+  const PathEnumerator enumerator(timer, 4);
+  const NodeId d4 = timer.graph().node_of_pin(ff4_, 0);
+  const auto paths = enumerator.paths_to(d4);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(DepthAnalysis::path_depth(timer.graph(), paths[0].nodes), 6u);
+}
+
+TEST_F(Fig2Circuit, GbaDelay740PbaDelay690) {
+  const DerateTable table = paper_table1();
+  TimingConstraints constraints;
+  constraints.clock_period_ps = 10000.0;
+  constraints.input_slew_ps = 0.0;
+  Timer timer(design_, constraints);
+  timer.set_instance_derates(compute_gba_derates(timer.graph(), table));
+  timer.update_timing();
+
+  // GBA arrival at FF4.D: Eq. (3) of the paper.
+  const NodeId d4 = timer.graph().node_of_pin(ff4_, 0);
+  EXPECT_NEAR(timer.arrival(d4, Mode::Late), 740.0, 1e-9);
+
+  // PBA re-evaluation of the worst path: Eq. (2).
+  const PathEnumerator enumerator(timer, 4);
+  const auto paths = enumerator.paths_to(d4);
+  ASSERT_FALSE(paths.empty());
+  const PathEvaluator evaluator(timer, table);
+  const PathTiming pt = evaluator.evaluate(paths[0]);
+  EXPECT_NEAR(pt.pba_arrival_ps, 690.0, 1e-9);
+  EXPECT_NEAR(pt.gba_arrival_ps, 740.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pt.derate_pba, 1.15);
+
+  // The 50 ps pessimism gap carries to the slacks.
+  EXPECT_NEAR(pt.pba_slack_ps - pt.gba_slack_ps, 50.0, 1e-9);
+}
+
+TEST_F(Fig2Circuit, MgbaWeightsCloseTheGap) {
+  // With a weighting factor of 690/740 - 1 applied uniformly to the six
+  // chain gates, the mGBA arrival equals the PBA arrival exactly.
+  const DerateTable table = paper_table1();
+  TimingConstraints constraints;
+  constraints.clock_period_ps = 10000.0;
+  constraints.input_slew_ps = 0.0;
+  Timer timer(design_, constraints);
+  timer.set_instance_derates(compute_gba_derates(timer.graph(), table));
+  std::vector<double> weights(design_.num_instances(), 0.0);
+  for (const InstanceId g : g_) weights[g] = 690.0 / 740.0 - 1.0;
+  timer.set_instance_weights(weights);
+  timer.update_timing();
+  const NodeId d4 = timer.graph().node_of_pin(ff4_, 0);
+  EXPECT_NEAR(timer.arrival(d4, Mode::Late), 690.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mgba

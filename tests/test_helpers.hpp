@@ -1,0 +1,156 @@
+#pragma once
+
+/// Shared fixtures for the STA / AOCV / PBA / mGBA tests: small hand-built
+/// circuits with exactly known timing, plus a convenience wrapper that
+/// assembles the generated-design + timer + derates stack.
+
+#include <memory>
+#include <string>
+
+#include "aocv/aocv_model.hpp"
+#include "aocv/derate_table.hpp"
+#include "liberty/default_library.hpp"
+#include "netlist/design.hpp"
+#include "netlist/generator.hpp"
+#include "sta/timer.hpp"
+
+namespace mgba::testing_helpers {
+
+/// in -> INV u1 -> INV u2 -> ... (n stages) -> out, unit-delay library,
+/// everything at the origin (zero wire delay).
+struct ChainCircuit {
+  Library library;
+  std::unique_ptr<Design> design;
+  ChainCircuit(std::size_t stages, double delay_ps = 100.0)
+      : library(make_unit_delay_library(delay_ps)) {
+    design = std::make_unique<Design>(library, "chain");
+    const auto inv = library.cell_id("INV_X1");
+    const auto in = design->add_port("in", PortDirection::Input);
+    const auto clk = design->add_port("CLK", PortDirection::Input);
+    const auto out = design->add_port("out", PortDirection::Output);
+    (void)clk;
+    NetId prev = design->add_net("n_in");
+    design->connect_port(in, prev);
+    for (std::size_t i = 0; i < stages; ++i) {
+      const auto u =
+          design->add_instance("u" + std::to_string(i), inv, {0.0, 0.0});
+      design->connect_pin(u, 0, prev);
+      prev = design->add_net("n" + std::to_string(i));
+      design->connect_pin(u, 1, prev);
+    }
+    design->connect_port(out, prev);
+    // The CLK port must drive something for the graph's clock source; use
+    // a dedicated flop so the design has a clock network.
+    const auto dff = library.cell_id("DFF_X1");
+    const auto ff = design->add_instance("ff_anchor", dff, {0.0, 0.0});
+    const auto clk_net = design->add_net("clk_net");
+    design->connect_port(*design->find_port("CLK"), clk_net);
+    design->connect_pin(ff, 1, clk_net);  // CK
+    design->connect_pin(ff, 0, prev);     // D observes the chain
+    const auto q_net = design->add_net("q_net");
+    design->connect_pin(ff, 2, q_net);
+    const auto qout = design->add_port("qout", PortDirection::Output);
+    design->connect_port(qout, q_net);
+    design->validate();
+  }
+};
+
+/// Two flip-flops with a buffered clock tree and a logic cloud between
+/// them; unit-delay library. Layout of the clock network:
+///   CLK -> ckroot(BUF) -> cka(BUF) -> FF1.CK
+///                      -> ckb(BUF) -> FF2.CK
+/// Data: FF1.Q -> u0 -> u1 -> ... (n stages) -> FF2.D.
+struct FlopPairCircuit {
+  Library library;
+  std::unique_ptr<Design> design;
+  InstanceId ff1 = 0, ff2 = 0, ckroot = 0, cka = 0, ckb = 0;
+
+  explicit FlopPairCircuit(std::size_t stages, double delay_ps = 100.0)
+      : library(make_unit_delay_library(delay_ps)) {
+    design = std::make_unique<Design>(library, "flop_pair");
+    const auto inv = library.cell_id("INV_X1");
+    const auto buf = library.cell_id("BUF_X1");
+    const auto dff = library.cell_id("DFF_X1");
+
+    const auto clk = design->add_port("CLK", PortDirection::Input);
+    const auto clk_net = design->add_net("clk");
+    design->connect_port(clk, clk_net);
+
+    ckroot = design->add_instance("ckroot", buf, {0.0, 0.0});
+    design->connect_pin(ckroot, 0, clk_net);
+    const auto trunk = design->add_net("trunk");
+    design->connect_pin(ckroot, 1, trunk);
+
+    cka = design->add_instance("cka", buf, {0.0, 0.0});
+    ckb = design->add_instance("ckb", buf, {0.0, 0.0});
+    design->connect_pin(cka, 0, trunk);
+    design->connect_pin(ckb, 0, trunk);
+    const auto neta = design->add_net("cknet_a");
+    const auto netb = design->add_net("cknet_b");
+    design->connect_pin(cka, 1, neta);
+    design->connect_pin(ckb, 1, netb);
+
+    ff1 = design->add_instance("ff1", dff, {0.0, 0.0});
+    ff2 = design->add_instance("ff2", dff, {0.0, 0.0});
+    design->connect_pin(ff1, 1, neta);
+    design->connect_pin(ff2, 1, netb);
+
+    NetId prev = design->add_net("q1");
+    design->connect_pin(ff1, 2, prev);
+    for (std::size_t i = 0; i < stages; ++i) {
+      const auto u =
+          design->add_instance("u" + std::to_string(i), inv, {0.0, 0.0});
+      design->connect_pin(u, 0, prev);
+      prev = design->add_net("n" + std::to_string(i));
+      design->connect_pin(u, 1, prev);
+    }
+    design->connect_pin(ff2, 0, prev);
+
+    // Tie off FF2.Q and FF1.D so nothing floats.
+    const auto q2 = design->add_net("q2");
+    design->connect_pin(ff2, 2, q2);
+    const auto q2out = design->add_port("q2out", PortDirection::Output);
+    design->connect_port(q2out, q2);
+    const auto din = design->add_port("din", PortDirection::Input);
+    const auto din_net = design->add_net("din_net");
+    design->connect_port(din, din_net);
+    design->connect_pin(ff1, 0, din_net);
+    design->validate();
+  }
+};
+
+/// Generated design + timer + AOCV derates in one object.
+struct GeneratedStack {
+  Library library;
+  GeneratedDesign generated;
+  DerateTable table;
+  std::unique_ptr<Timer> timer;
+
+  explicit GeneratedStack(GeneratorOptions options,
+                          double clock_period_ps = 4000.0)
+      : library(make_default_library()),
+        generated(generate_design(library, options)),
+        table(default_aocv_table()) {
+    TimingConstraints constraints;
+    constraints.clock_port = generated.clock_port;
+    constraints.clock_period_ps = clock_period_ps;
+    timer = std::make_unique<Timer>(generated.design, constraints);
+    timer->set_instance_derates(compute_gba_derates(timer->graph(), table));
+    timer->update_timing();
+  }
+
+  Design& design() { return generated.design; }
+};
+
+inline GeneratorOptions small_options(std::uint64_t seed = 42) {
+  GeneratorOptions opt;
+  opt.seed = seed;
+  opt.num_gates = 300;
+  opt.num_flops = 32;
+  opt.num_inputs = 8;
+  opt.num_outputs = 8;
+  opt.target_depth = 24;
+  return opt;
+}
+
+}  // namespace mgba::testing_helpers

@@ -1,0 +1,102 @@
+/// End-to-end integration tests: the full pipeline (generate -> derate ->
+/// GBA -> PBA -> mGBA fit -> optimize) on a benchmark-preset design, plus
+/// whole-pipeline determinism.
+
+#include <gtest/gtest.h>
+
+#include "aocv/aocv_model.hpp"
+#include "mgba/framework.hpp"
+#include "mgba/metrics.hpp"
+#include "netlist/generator.hpp"
+#include "opt/optimizer.hpp"
+#include "pba/path_enum.hpp"
+#include "test_helpers.hpp"
+
+namespace mgba {
+namespace {
+
+struct PipelineResult {
+  double gba_wns = 0.0;
+  double mse_before = 0.0, mse_after = 0.0;
+  double pass_before = 0.0, pass_after = 0.0;
+  double final_tns = 0.0;
+  double final_area = 0.0;
+};
+
+PipelineResult run_pipeline(int design_idx) {
+  const Library library = make_default_library();
+  GeneratorOptions gen = benchmark_design_options(design_idx);
+  gen.num_gates = std::min<std::size_t>(gen.num_gates, 700);
+  gen.num_flops = std::min<std::size_t>(gen.num_flops, 64);
+  GeneratedDesign generated = generate_design(library, gen);
+  const DerateTable table = default_aocv_table();
+
+  TimingConstraints constraints;
+  constraints.clock_port = generated.clock_port;
+  constraints.clock_period_ps = 1e9;
+  Timer probe(generated.design, constraints);
+  probe.set_instance_derates(compute_gba_derates(probe.graph(), table));
+  probe.update_timing();
+  constraints.clock_period_ps = choose_clock_period(probe, table, 1.02);
+
+  Timer timer(generated.design, constraints);
+  timer.set_instance_derates(compute_gba_derates(timer.graph(), table));
+  timer.update_timing();
+
+  PipelineResult result;
+  result.gba_wns = timer.wns(Mode::Late);
+
+  MgbaFlowOptions mgba_opts;
+  mgba_opts.candidate_paths_per_endpoint = 10;
+  mgba_opts.paths_per_endpoint = 10;
+  const MgbaFlowResult fit = run_mgba_flow(timer, table, mgba_opts);
+  result.mse_before = fit.mse_before;
+  result.mse_after = fit.mse_after;
+  result.pass_before = fit.pass_ratio_before;
+  result.pass_after = fit.pass_ratio_after;
+
+  OptimizerOptions opt;
+  opt.max_passes = 4;
+  opt.endpoints_per_pass = 8;
+  opt.use_mgba = true;
+  opt.mgba_refresh_passes = 4;
+  opt.mgba_options = mgba_opts;
+  TimingCloser closer(generated.design, timer, table, opt);
+  const OptimizerReport report = closer.run();
+  result.final_tns = report.final_qor.tns_ps;
+  result.final_area = report.final_qor.area_um2;
+  generated.design.validate();
+  return result;
+}
+
+class PipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineTest, FullFlowBehavesAsPaperPredicts) {
+  const PipelineResult r = run_pipeline(GetParam());
+  EXPECT_LT(r.gba_wns, 0.0) << "test period should violate under GBA";
+  EXPECT_LE(r.mse_after, r.mse_before);
+  EXPECT_GE(r.pass_after, r.pass_before);
+  EXPECT_GT(r.final_area, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, PipelineTest, ::testing::Values(1, 4, 5));
+
+TEST(Integration, PipelineIsDeterministic) {
+  const PipelineResult a = run_pipeline(1);
+  const PipelineResult b = run_pipeline(1);
+  EXPECT_DOUBLE_EQ(a.gba_wns, b.gba_wns);
+  EXPECT_DOUBLE_EQ(a.mse_after, b.mse_after);
+  EXPECT_DOUBLE_EQ(a.pass_after, b.pass_after);
+  EXPECT_DOUBLE_EQ(a.final_tns, b.final_tns);
+  EXPECT_DOUBLE_EQ(a.final_area, b.final_area);
+}
+
+TEST(Integration, MgbaRecoversMostOfTheGbaPessimism) {
+  // On a mid-size design the fit should recover a large share of the
+  // modeling error (mse drops by at least 2x).
+  const PipelineResult r = run_pipeline(5);
+  EXPECT_LT(r.mse_after, 0.5 * r.mse_before + 1e-12);
+}
+
+}  // namespace
+}  // namespace mgba

@@ -1,0 +1,212 @@
+/// Tests for the interchange features: SDC constraint parsing, structural
+/// Verilog round trips, electrical DRC, and design statistics.
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist_io.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/verilog_io.hpp"
+#include "sta/drc.hpp"
+#include "sta/sdc.hpp"
+#include "test_helpers.hpp"
+
+namespace mgba {
+namespace {
+
+using testing_helpers::GeneratedStack;
+using testing_helpers::small_options;
+
+TEST(Sdc, ParsesCoreCommands) {
+  const TimingConstraints c = sdc_from_string(
+      "# comment\n"
+      "create_clock -name core -period 1250 [get_ports CK]\n"
+      "set_clock_uncertainty 35\n"
+      "set_input_transition 25\n"
+      "set_input_delay 80\n"
+      "set_input_delay 120 [get_ports in_0]\n"
+      "set_output_delay 150 [get_ports out_3]\n");
+  EXPECT_EQ(c.clock_port, "CK");
+  EXPECT_DOUBLE_EQ(c.clock_period_ps, 1250.0);
+  EXPECT_DOUBLE_EQ(c.clock_uncertainty_ps, 35.0);
+  EXPECT_DOUBLE_EQ(c.input_slew_ps, 25.0);
+  EXPECT_DOUBLE_EQ(c.input_delay_ps, 80.0);
+  EXPECT_DOUBLE_EQ(c.input_delay_overrides.at("in_0"), 120.0);
+  EXPECT_DOUBLE_EQ(c.output_delay_overrides.at("out_3"), 150.0);
+}
+
+TEST(Sdc, LineContinuation) {
+  const TimingConstraints c = sdc_from_string(
+      "create_clock -period 900 \\\n  [get_ports CLK]\n");
+  EXPECT_DOUBLE_EQ(c.clock_period_ps, 900.0);
+  EXPECT_EQ(c.clock_port, "CLK");
+}
+
+TEST(Sdc, BasePreserved) {
+  TimingConstraints base;
+  base.input_slew_ps = 33.0;
+  const TimingConstraints c =
+      sdc_from_string("set_clock_uncertainty 5\n", base);
+  EXPECT_DOUBLE_EQ(c.input_slew_ps, 33.0);
+  EXPECT_DOUBLE_EQ(c.clock_uncertainty_ps, 5.0);
+}
+
+TEST(Sdc, RoundTrip) {
+  TimingConstraints original;
+  original.clock_port = "CLK";
+  original.clock_period_ps = 777.0;
+  original.clock_uncertainty_ps = 12.0;
+  original.input_delay_overrides["a"] = 10.0;
+  original.output_delay_overrides["b"] = 20.0;
+  const TimingConstraints reloaded =
+      sdc_from_string(sdc_to_string(original));
+  EXPECT_DOUBLE_EQ(reloaded.clock_period_ps, 777.0);
+  EXPECT_DOUBLE_EQ(reloaded.clock_uncertainty_ps, 12.0);
+  EXPECT_DOUBLE_EQ(reloaded.input_delay_overrides.at("a"), 10.0);
+  EXPECT_DOUBLE_EQ(reloaded.output_delay_overrides.at("b"), 20.0);
+}
+
+TEST(VerilogIo, RoundTripPreservesStructure) {
+  GeneratedStack stack(small_options(101));
+  const Design& original = stack.design();
+  const std::string verilog = verilog_to_string(original);
+  Design reloaded = verilog_from_string(original.library(), verilog);
+  reloaded.validate();
+
+  // Same connected-instance count and port count; net count may differ by
+  // empty placeholder nets from assign re-homing.
+  const DesignStats a = compute_design_stats(original);
+  const DesignStats b = compute_design_stats(reloaded);
+  EXPECT_EQ(a.instances, b.instances);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(b.ports, original.num_ports());
+  EXPECT_EQ(a.by_footprint, b.by_footprint);
+
+  // Emitting the reloaded design again is a fixed point.
+  EXPECT_EQ(verilog_to_string(reloaded), verilog);
+}
+
+TEST(VerilogIo, ParsesHandWrittenModule) {
+  const Library lib = make_default_library();
+  const Design d = verilog_from_string(lib,
+      "// a tiny module\n"
+      "module t (CLK, a, y);\n"
+      "  input CLK;\n"
+      "  input a;\n"
+      "  output y;\n"
+      "  wire n1;\n"
+      "  INV_X2 u1 (.A(a), .ZN(n1));\n"
+      "  DFF_X1 f1 (.D(n1), .CK(CLK), .Q(y));\n"
+      "endmodule\n");
+  EXPECT_EQ(d.num_instances(), 2u);
+  EXPECT_EQ(d.num_ports(), 3u);
+  EXPECT_TRUE(d.find_instance("u1").has_value());
+  EXPECT_EQ(d.cell_of(*d.find_instance("f1")).kind, CellKind::FlipFlop);
+}
+
+TEST(VerilogIo, BlockCommentsAndAssign) {
+  const Library lib = make_default_library();
+  const Design d = verilog_from_string(lib,
+      "module t (a, y, z);\n"
+      "  input a; output y; output z;\n"
+      "  /* both outputs observe\n     the same inverter */\n"
+      "  INV_X1 u1 (.A(a), .ZN(y));\n"
+      "  assign z = y;\n"
+      "endmodule\n");
+  const Net& net = d.net(d.port(*d.find_port("y")).net);
+  EXPECT_EQ(net.sinks.size(), 2u);  // both output ports
+}
+
+TEST(VerilogIo, ScatterPlacementAssignsDistinctLocations) {
+  const Library lib = make_default_library();
+  Design d = verilog_from_string(lib,
+      "module t (a, y);\n"
+      "  input a; output y;\n"
+      "  wire n1;\n"
+      "  INV_X1 u1 (.A(a), .ZN(n1));\n"
+      "  INV_X1 u2 (.A(n1), .ZN(y));\n"
+      "endmodule\n");
+  scatter_placement(d, 7);
+  const Point p1 = d.instance(0).location;
+  const Point p2 = d.instance(1).location;
+  EXPECT_TRUE(p1.x != p2.x || p1.y != p2.y);
+}
+
+TEST(Stats, CountsMatchDesign) {
+  GeneratedStack stack(small_options(102));
+  const DesignStats stats = compute_design_stats(stack.design());
+  EXPECT_EQ(stats.instances, stats.combinational + stats.flops);
+  EXPECT_EQ(stats.flops, 32u);
+  EXPECT_GT(stats.buffers, 0u);
+  EXPECT_DOUBLE_EQ(stats.area_um2, stack.design().total_area());
+  std::size_t by_fp = 0;
+  for (const auto& [name, count] : stats.by_footprint) by_fp += count;
+  EXPECT_EQ(by_fp, stats.instances);
+  EXPECT_GT(stats.avg_fanout, 0.5);
+  EXPECT_GE(stats.max_fanout, 2u);
+  EXPECT_NE(stats.to_string().find("instances="), std::string::npos);
+}
+
+TEST(Drc, DetectsOverloadedDriver) {
+  const Library lib = make_default_library();
+  Design design(lib, "drc");
+  // One weak inverter driving many large loads far away.
+  const auto drv = design.add_instance("drv", lib.cell_id("INV_X1"), {0, 0});
+  const auto in = design.add_port("in", PortDirection::Input, {0, 0});
+  const auto clk = design.add_port("CLK", PortDirection::Input, {0, 0});
+  const auto in_net = design.add_net("in_net");
+  design.connect_port(in, in_net);
+  design.connect_pin(drv, 0, in_net);
+  const auto out_net = design.add_net("out_net");
+  design.connect_pin(drv, 1, out_net);
+  for (int i = 0; i < 24; ++i) {
+    const auto sink = design.add_instance("s" + std::to_string(i),
+                                          lib.cell_id("INV_X8"), {400, 400});
+    design.connect_pin(sink, 0, out_net);
+    const auto n = design.add_net("sn" + std::to_string(i));
+    design.connect_pin(sink, 1, n);
+    const auto po = design.add_port("po" + std::to_string(i),
+                                    PortDirection::Output, {420, 420});
+    design.connect_port(po, n);
+  }
+  // A flop so the clock network exists.
+  const auto ff = design.add_instance("ff", lib.cell_id("DFF_X1"), {1, 1});
+  const auto clk_net = design.add_net("clk_net");
+  design.connect_port(clk, clk_net);
+  design.connect_pin(ff, 1, clk_net);
+  design.connect_pin(ff, 0, in_net);
+  const auto q_net = design.add_net("q_net");
+  design.connect_pin(ff, 2, q_net);
+  const auto qo = design.add_port("qo", PortDirection::Output, {2, 2});
+  design.connect_port(qo, q_net);
+  design.validate();
+
+  TimingConstraints constraints;
+  Timer timer(design, constraints);
+  timer.update_timing();
+
+  const DrcReport report = check_electrical_rules(timer, /*max_slew=*/200.0);
+  EXPECT_GE(report.count(DrcViolation::Kind::MaxLoad), 1u);
+  EXPECT_GE(report.count(DrcViolation::Kind::MaxSlew), 1u);
+  bool found = false;
+  for (const DrcViolation& v : report.violations) {
+    if (v.kind == DrcViolation::Kind::MaxLoad && v.driver == drv) {
+      found = true;
+      EXPECT_GT(v.value, v.limit);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(report.to_string(design).find("max-load"), std::string::npos);
+}
+
+TEST(Drc, CleanDesignHasNoLoadViolations) {
+  GeneratedStack stack(small_options(103));
+  const DrcReport report = check_electrical_rules(*stack.timer);
+  // The generator does not legalize loads, so a small population of
+  // overloaded drivers is expected (and is what buffering fixes); the
+  // check guards against an epidemic.
+  EXPECT_LT(report.count(DrcViolation::Kind::MaxLoad),
+            stack.design().num_nets() / 10);
+}
+
+}  // namespace
+}  // namespace mgba

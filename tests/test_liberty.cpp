@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "liberty/default_library.hpp"
+#include "liberty/liberty_io.hpp"
+#include "liberty/library.hpp"
+#include "liberty/lookup_table.hpp"
+
+namespace mgba {
+namespace {
+
+TEST(LookupTable, ExactGridPoints) {
+  const LookupTable2D t({1.0, 2.0}, {10.0, 20.0}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 20.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.lookup(2.0, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.lookup(2.0, 20.0), 4.0);
+}
+
+TEST(LookupTable, BilinearInterior) {
+  const LookupTable2D t({0.0, 1.0}, {0.0, 1.0}, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(t.lookup(0.5, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(t.lookup(0.25, 0.75), 0.5 + 0.75);
+}
+
+TEST(LookupTable, ClampsOutsideRange) {
+  const LookupTable2D t({1.0, 2.0}, {10.0, 20.0}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(t.lookup(-5.0, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.lookup(100.0, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 100.0), 2.0);
+}
+
+TEST(LookupTable, SinglePointTableIsConstant) {
+  const LookupTable2D t({0.0}, {0.0}, {42.0});
+  EXPECT_DOUBLE_EQ(t.lookup(-1.0, 5.0), 42.0);
+  EXPECT_DOUBLE_EQ(t.lookup(99.0, -3.0), 42.0);
+}
+
+TEST(LookupTable, FromFunction) {
+  const auto t = LookupTable2D::from_function(
+      {0.0, 1.0}, {0.0, 2.0}, [](double s, double l) { return s + 10 * l; });
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 2.0), 21.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0.5, 1.0), 10.5);
+}
+
+TEST(Library, CellLookupByName) {
+  const Library lib = make_default_library();
+  EXPECT_TRUE(lib.find_cell("NAND2_X1").has_value());
+  EXPECT_TRUE(lib.find_cell("DFF_X4").has_value());
+  EXPECT_FALSE(lib.find_cell("NO_SUCH").has_value());
+  const LibCell& cell = lib.cell(lib.cell_id("INV_X2"));
+  EXPECT_EQ(cell.footprint, "INV");
+  EXPECT_EQ(cell.kind, CellKind::Inverter);
+}
+
+TEST(Library, FootprintFamilySortedByArea) {
+  const Library lib = make_default_library();
+  const auto family = lib.footprint_family("NAND2");
+  ASSERT_EQ(family.size(), 4u);
+  for (std::size_t i = 0; i + 1 < family.size(); ++i) {
+    EXPECT_LT(lib.cell(family[i]).area_um2, lib.cell(family[i + 1]).area_um2);
+  }
+}
+
+TEST(Library, SmallestBuffer) {
+  const Library lib = make_default_library();
+  const auto buf = lib.smallest_buffer();
+  ASSERT_TRUE(buf.has_value());
+  EXPECT_EQ(lib.cell(*buf).kind, CellKind::Buffer);
+  EXPECT_EQ(lib.cell(*buf).name, "BUF_X1");
+}
+
+TEST(Library, PinQueries) {
+  const Library lib = make_default_library();
+  const LibCell& nand = lib.cell(lib.cell_id("NAND2_X1"));
+  EXPECT_EQ(nand.num_inputs(), 2u);
+  EXPECT_EQ(nand.num_outputs(), 1u);
+  EXPECT_EQ(nand.pins[nand.output_pin()].name, "Z");
+  EXPECT_EQ(nand.pin_index("B"), 1u);
+  EXPECT_FALSE(nand.find_pin("Q").has_value());
+
+  const LibCell& dff = lib.cell(lib.cell_id("DFF_X1"));
+  EXPECT_TRUE(dff.pins[dff.clock_pin()].is_clock);
+  ASSERT_EQ(dff.constraints.size(), 1u);
+}
+
+TEST(Library, DriveStrengthScaling) {
+  const Library lib = make_default_library();
+  const LibCell& x1 = lib.cell(lib.cell_id("NAND2_X1"));
+  const LibCell& x4 = lib.cell(lib.cell_id("NAND2_X4"));
+  // Stronger drive: more area/leakage/input cap, less delay at high load.
+  EXPECT_GT(x4.area_um2, x1.area_um2);
+  EXPECT_GT(x4.leakage_nw, x1.leakage_nw);
+  EXPECT_GT(x4.pins[0].capacitance_ff, x1.pins[0].capacitance_ff);
+  const double d1 = x1.arcs[0].delay.lookup(20.0, 30.0);
+  const double d4 = x4.arcs[0].delay.lookup(20.0, 30.0);
+  EXPECT_GT(d1, d4);
+}
+
+TEST(Library, DelayMonotoneInLoadAndSlew) {
+  const Library lib = make_default_library();
+  const LibCell& cell = lib.cell(lib.cell_id("AND2_X2"));
+  const auto& delay = cell.arcs[0].delay;
+  double prev = -1.0;
+  for (const double load : {0.5, 2.0, 8.0, 24.0, 64.0}) {
+    const double d = delay.lookup(20.0, load);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  EXPECT_GT(delay.lookup(150.0, 8.0), delay.lookup(5.0, 8.0));
+}
+
+TEST(Library, UnitDelayLibraryConstantDelay) {
+  const Library lib = make_unit_delay_library(100.0);
+  const LibCell& nand = lib.cell(lib.cell_id("NAND2_X1"));
+  EXPECT_DOUBLE_EQ(nand.arcs[0].delay.lookup(0.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(nand.arcs[0].delay.lookup(500.0, 90.0), 100.0);
+  EXPECT_DOUBLE_EQ(nand.pins[0].capacitance_ff, 0.0);
+
+  const LibCell& dff = lib.cell(lib.cell_id("DFF_X1"));
+  EXPECT_DOUBLE_EQ(dff.arcs[0].delay.lookup(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dff.constraints[0].setup.lookup(0.0, 0.0), 0.0);
+}
+
+TEST(Library, AllDefaultFootprintsPresent) {
+  const Library lib = make_default_library();
+  for (const char* fp :
+       {"INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "AOI21",
+        "MUX2", "DFF"}) {
+    EXPECT_EQ(lib.footprint_family(fp).size(), 4u) << fp;
+  }
+}
+
+TEST(LibertyIo, RoundTripPreservesTimingAndAttributes) {
+  const Library original = make_default_library();
+  const Library reloaded = library_from_string(library_to_string(original));
+  ASSERT_EQ(reloaded.num_cells(), original.num_cells());
+  for (std::size_t c = 0; c < original.num_cells(); ++c) {
+    const LibCell& a = original.cell(c);
+    const LibCell& b = reloaded.cell(c);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.footprint, b.footprint);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_NEAR(a.area_um2, b.area_um2, 1e-9);
+    EXPECT_NEAR(a.leakage_nw, b.leakage_nw, 1e-9);
+    ASSERT_EQ(a.pins.size(), b.pins.size());
+    ASSERT_EQ(a.arcs.size(), b.arcs.size());
+    ASSERT_EQ(a.constraints.size(), b.constraints.size());
+    for (std::size_t p = 0; p < a.pins.size(); ++p) {
+      EXPECT_EQ(a.pins[p].name, b.pins[p].name);
+      EXPECT_EQ(a.pins[p].is_clock, b.pins[p].is_clock);
+      EXPECT_NEAR(a.pins[p].capacitance_ff, b.pins[p].capacitance_ff, 1e-9);
+    }
+    // Spot-check the timing tables at interior points.
+    for (std::size_t arc = 0; arc < a.arcs.size(); ++arc) {
+      for (const double slew : {7.0, 35.0, 200.0}) {
+        for (const double load : {1.0, 10.0, 40.0}) {
+          EXPECT_NEAR(a.arcs[arc].delay.lookup(slew, load),
+                      b.arcs[arc].delay.lookup(slew, load), 1e-6);
+          EXPECT_NEAR(a.arcs[arc].output_slew.lookup(slew, load),
+                      b.arcs[arc].output_slew.lookup(slew, load), 1e-6);
+        }
+      }
+    }
+  }
+}
+
+TEST(LibertyIo, ParsesHandWrittenCell) {
+  const Library lib = library_from_string(
+      "library tiny\n"
+      "# a one-cell library\n"
+      "cell MYBUF_X1 footprint MYBUF kind buf area 2.0 leakage 3.0\n"
+      "  pin A input cap 1.5\n"
+      "  pin Z output max_load 30\n"
+      "  arc A Z\n"
+      "    slew_axis 10 50\n"
+      "    load_axis 1 9\n"
+      "    delay 20 40 25 50\n"
+      "    slew 15 30 18 36\n");
+  ASSERT_EQ(lib.num_cells(), 1u);
+  const LibCell& cell = lib.cell(0);
+  EXPECT_EQ(cell.kind, CellKind::Buffer);
+  EXPECT_DOUBLE_EQ(cell.pins[0].capacitance_ff, 1.5);
+  EXPECT_DOUBLE_EQ(cell.arcs[0].delay.lookup(10, 1), 20.0);
+  EXPECT_DOUBLE_EQ(cell.arcs[0].delay.lookup(50, 9), 50.0);
+  EXPECT_DOUBLE_EQ(cell.arcs[0].delay.lookup(30, 5), 33.75);
+}
+
+TEST(Library, CustomDriveStrengths) {
+  DefaultLibraryOptions opt;
+  opt.drive_strengths = {1, 16};
+  const Library lib = make_default_library(opt);
+  EXPECT_EQ(lib.footprint_family("INV").size(), 2u);
+  EXPECT_TRUE(lib.find_cell("INV_X16").has_value());
+}
+
+}  // namespace
+}  // namespace mgba

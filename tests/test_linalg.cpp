@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+#include "linalg/sampling.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace mgba {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  // [ 4 5 6 ]
+  CsrMatrix m(3);
+  {
+    const std::size_t c[] = {0, 2};
+    const double v[] = {1, 2};
+    m.append_row(c, v);
+  }
+  {
+    const std::size_t c[] = {1};
+    const double v[] = {3};
+    m.append_row(c, v);
+  }
+  {
+    const std::size_t c[] = {0, 1, 2};
+    const double v[] = {4, 5, 6};
+    m.append_row(c, v);
+  }
+  return m;
+}
+
+TEST(CsrMatrix, Shape) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.num_rows(), 3u);
+  EXPECT_EQ(m.num_cols(), 3u);
+  EXPECT_EQ(m.nnz(), 6u);
+}
+
+TEST(CsrMatrix, RowView) {
+  const CsrMatrix m = small_matrix();
+  const SparseRowView r = m.row(0);
+  ASSERT_EQ(r.nnz(), 2u);
+  EXPECT_EQ(r.cols[0], 0u);
+  EXPECT_EQ(r.cols[1], 2u);
+  EXPECT_DOUBLE_EQ(r.values[1], 2.0);
+}
+
+TEST(CsrMatrix, Multiply) {
+  const CsrMatrix m = small_matrix();
+  const std::vector<double> x{1, 2, 3};
+  std::vector<double> y(3);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 32.0);
+}
+
+TEST(CsrMatrix, MultiplyTranspose) {
+  const CsrMatrix m = small_matrix();
+  const std::vector<double> x{1, 2, 3};
+  std::vector<double> y(3);
+  m.multiply_transpose(x, y);
+  // A^T x = [1*1+4*3, 3*2+5*3, 2*1+6*3]
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 21.0);
+  EXPECT_DOUBLE_EQ(y[2], 20.0);
+}
+
+TEST(CsrMatrix, RowDotAndScaledRow) {
+  const CsrMatrix m = small_matrix();
+  const std::vector<double> x{1, 1, 1};
+  EXPECT_DOUBLE_EQ(m.row_dot(2, x), 15.0);
+  std::vector<double> y(3, 0.0);
+  m.add_scaled_row(0, 2.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+}
+
+TEST(CsrMatrix, RowNorms) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_DOUBLE_EQ(m.row_norm_sq(0), 5.0);
+  const auto norms = m.row_norms_sq();
+  ASSERT_EQ(norms.size(), 3u);
+  EXPECT_DOUBLE_EQ(norms[2], 16.0 + 25.0 + 36.0);
+}
+
+TEST(CsrMatrix, SelectRows) {
+  const CsrMatrix m = small_matrix();
+  const std::size_t rows[] = {2, 0};
+  const CsrMatrix sub = m.select_rows(rows);
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.num_cols(), 3u);
+  EXPECT_DOUBLE_EQ(sub.row(0).values[0], 4.0);
+  EXPECT_DOUBLE_EQ(sub.row(1).values[0], 1.0);
+}
+
+TEST(CsrMatrix, NonemptyCols) {
+  CsrMatrix m(5);
+  const std::size_t c[] = {1, 3};
+  const double v[] = {1.0, 1.0};
+  m.append_row(c, v);
+  EXPECT_EQ(m.num_nonempty_cols(), 2u);
+}
+
+TEST(CsrMatrix, EmptyRowAllowed) {
+  CsrMatrix m(3);
+  m.append_row({}, {});
+  EXPECT_EQ(m.num_rows(), 1u);
+  EXPECT_EQ(m.row(0).nnz(), 0u);
+  const std::vector<double> x{1, 2, 3};
+  EXPECT_DOUBLE_EQ(m.row_dot(0, x), 0.0);
+}
+
+TEST(VectorOps, Norms) {
+  const std::vector<double> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm2_sq(v), 25.0);
+}
+
+TEST(VectorOps, DotAxpyScale) {
+  const std::vector<double> a{1, 2, 3};
+  std::vector<double> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  scale(b, 0.5);
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+}
+
+TEST(VectorOps, RelativeChange) {
+  const std::vector<double> a{1.1, 2.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_NEAR(relative_change(a, b), 0.1 / std::sqrt(5.0), 1e-12);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_NEAR(relative_change(a, zero), norm2(a), 1e-12);
+}
+
+TEST(VectorOps, RelativeErrorSq) {
+  const std::vector<double> model{1.0, 2.0};
+  const std::vector<double> golden{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(relative_error_sq(model, golden), 1.0 / 2.0);
+}
+
+TEST(Sampling, UniformRowsRespectsRatio) {
+  Rng rng(5);
+  const auto rows = sample_rows_uniform(1000, 0.1, rng);
+  EXPECT_EQ(rows.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+}
+
+TEST(Sampling, UniformRowsMinimumOne) {
+  Rng rng(5);
+  EXPECT_EQ(sample_rows_uniform(1000, 1e-9, rng).size(), 1u);
+  EXPECT_EQ(sample_rows_uniform(10, 2.0, rng).size(), 10u);
+  EXPECT_TRUE(sample_rows_uniform(0, 0.5, rng).empty());
+}
+
+TEST(AliasTable, MatchesWeights) {
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  const AliasTable table(weights);
+  Rng rng(9);
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[table.draw(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(AliasTable, UniformWeights) {
+  const std::vector<double> weights(8, 2.0);
+  const AliasTable table(weights);
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 16000; ++i) ++counts[table.draw(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(AliasTable, DrawMany) {
+  const std::vector<double> weights{1.0, 1.0};
+  const AliasTable table(weights);
+  Rng rng(13);
+  const auto draws = table.draw_many(100, rng);
+  EXPECT_EQ(draws.size(), 100u);
+  for (const std::size_t d : draws) EXPECT_LT(d, 2u);
+}
+
+}  // namespace
+}  // namespace mgba

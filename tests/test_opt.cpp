@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "opt/optimizer.hpp"
+#include "opt/qor.hpp"
+#include "test_helpers.hpp"
+
+namespace mgba {
+namespace {
+
+using testing_helpers::GeneratedStack;
+using testing_helpers::small_options;
+
+TEST(Qor, MeasureMatchesTimer) {
+  GeneratedStack stack(small_options(81), 1500.0);
+  const QorMetrics qor = measure_qor(*stack.timer);
+  EXPECT_DOUBLE_EQ(qor.wns_ps, stack.timer->wns(Mode::Late));
+  EXPECT_DOUBLE_EQ(qor.tns_ps, stack.timer->tns(Mode::Late));
+  EXPECT_DOUBLE_EQ(qor.area_um2, stack.design().total_area());
+  EXPECT_GT(qor.buffer_count, 0u);  // clock tree + generated buffers
+  EXPECT_NE(qor.to_string().find("WNS="), std::string::npos);
+}
+
+TEST(Qor, GoldenQorLessPessimisticThanGba) {
+  GeneratedStack stack(small_options(82), 1500.0);
+  const QorMetrics gba = measure_qor(*stack.timer);
+  const QorMetrics golden = measure_golden_qor(*stack.timer, stack.table);
+  EXPECT_GE(golden.wns_ps, gba.wns_ps - 1e-6);
+  EXPECT_GE(golden.tns_ps, gba.tns_ps - 1e-6);
+  EXPECT_LE(golden.violations, gba.violations);
+}
+
+TEST(Optimizer, ImprovesTnsOnViolatedDesign) {
+  GeneratedStack stack(small_options(83), 1500.0);
+  OptimizerOptions options;
+  options.max_passes = 6;
+  options.endpoints_per_pass = 8;
+  options.enable_area_recovery = false;
+  TimingCloser closer(stack.design(), *stack.timer, stack.table, options);
+  const OptimizerReport report = closer.run();
+  EXPECT_LT(report.initial.tns_ps, 0.0);
+  EXPECT_GE(report.final_qor.tns_ps, report.initial.tns_ps);
+  EXPECT_GT(report.upsizes + report.buffers_inserted, 0u);
+  stack.design().validate();
+}
+
+TEST(Optimizer, AreaRecoveryIsTimingNeutral) {
+  GeneratedStack stack(small_options(84), 2200.0);
+  OptimizerOptions options;
+  options.max_passes = 2;
+  options.enable_area_recovery = true;
+  TimingCloser closer(stack.design(), *stack.timer, stack.table, options);
+  const OptimizerReport report = closer.run();
+  // Recovery must not create new violations beyond tolerance.
+  EXPECT_GE(report.final_qor.tns_ps,
+            report.initial.tns_ps - 1.0 * static_cast<double>(
+                report.downsizes + 1));
+  if (report.downsizes > 0) {
+    EXPECT_LT(report.final_qor.area_um2, report.initial.area_um2 + 1e-9);
+  }
+  stack.design().validate();
+}
+
+TEST(Optimizer, SizingDisabledMeansNoResizes) {
+  GeneratedStack stack(small_options(85), 1500.0);
+  OptimizerOptions options;
+  options.max_passes = 3;
+  options.enable_sizing = false;
+  options.enable_area_recovery = false;
+  TimingCloser closer(stack.design(), *stack.timer, stack.table, options);
+  const OptimizerReport report = closer.run();
+  EXPECT_EQ(report.upsizes, 0u);
+  EXPECT_EQ(report.downsizes, 0u);
+}
+
+TEST(Optimizer, MgbaFlowRunsEmbedded) {
+  GeneratedStack stack(small_options(86), 1500.0);
+  OptimizerOptions options;
+  options.max_passes = 4;
+  options.endpoints_per_pass = 8;
+  options.use_mgba = true;
+  options.mgba_refresh_passes = 2;
+  options.mgba_options.candidate_paths_per_endpoint = 8;
+  options.mgba_options.paths_per_endpoint = 8;
+  TimingCloser closer(stack.design(), *stack.timer, stack.table, options);
+  const OptimizerReport report = closer.run();
+  EXPECT_GT(report.mgba_seconds, 0.0);
+  stack.design().validate();
+}
+
+TEST(Optimizer, MgbaFlowEndsWithNoMoreAreaThanGbaFlow) {
+  // The paper's Table 2 direction: the less-pessimistic slack source
+  // never requires *more* fixing effort on the same design.
+  const auto run_flow = [](bool use_mgba) {
+    GeneratedStack stack(small_options(87), 1500.0);
+    OptimizerOptions options;
+    options.max_passes = 6;
+    options.endpoints_per_pass = 8;
+    options.use_mgba = use_mgba;
+    options.mgba_options.candidate_paths_per_endpoint = 8;
+    options.mgba_options.paths_per_endpoint = 8;
+    options.enable_area_recovery = false;
+    TimingCloser closer(stack.design(), *stack.timer, stack.table, options);
+    return closer.run();
+  };
+  const OptimizerReport gba = run_flow(false);
+  const OptimizerReport mgba = run_flow(true);
+  EXPECT_LE(mgba.final_qor.area_um2, gba.final_qor.area_um2 * 1.01);
+}
+
+TEST(Optimizer, ChooseClockPeriodScalesWithUtilization) {
+  GeneratedStack stack(small_options(88), 1e9);
+  const double loose = choose_clock_period(*stack.timer, stack.table, 0.5);
+  const double tight = choose_clock_period(*stack.timer, stack.table, 1.2);
+  EXPECT_GT(loose, tight);
+  EXPECT_GT(tight, 0.0);
+}
+
+TEST(Optimizer, BufferRevertKeepsDesignValid) {
+  GeneratedStack stack(small_options(89), 1500.0);
+  OptimizerOptions options;
+  options.max_passes = 5;
+  options.enable_sizing = false;  // force the buffering path
+  options.buffer_wire_threshold_ps = 0.5;
+  options.enable_area_recovery = false;
+  TimingCloser closer(stack.design(), *stack.timer, stack.table, options);
+  const OptimizerReport report = closer.run();
+  (void)report;
+  stack.design().validate();
+}
+
+}  // namespace
+}  // namespace mgba

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file arg_parse.hpp
+/// Minimal command-line option parsing for the mgba_timer tool: long
+/// options with values (--key value), flags (--key), and positional
+/// arguments, with typed accessors and defaulting.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mgba::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          options_[key] = argv[++i];
+        } else {
+          options_[key] = "";  // boolean flag
+        }
+      } else {
+        positional_.push_back(token);
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options_.count(key) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mgba::tools

@@ -1,0 +1,331 @@
+/// \file mgba_timer.cpp
+/// Command-line driver for the library — the shape of tool a downstream
+/// user runs without writing C++:
+///
+///   mgba_timer generate --design 3 --out d3.net
+///   mgba_timer generate --gates 5000 --flops 400 --seed 7 --out my.net
+///   mgba_timer stats    --netlist d3.net
+///   mgba_timer report   --netlist d3.net --utilization 1.1 [--top 10]
+///   mgba_timer fit      --netlist d3.net --utilization 1.1 [--hold]
+///   mgba_timer optimize --netlist d3.net --utilization 1.1 [--mgba]
+///
+/// All subcommands accept --derates <file> to replace the built-in AOCV
+/// table (format: see src/aocv/derate_io.hpp) and --period <ps> to fix the
+/// clock instead of deriving it from --utilization.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "aocv/aocv_model.hpp"
+#include "aocv/derate_io.hpp"
+#include "arg_parse.hpp"
+#include "liberty/default_library.hpp"
+#include "liberty/liberty_io.hpp"
+#include "mgba/framework.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/netlist_io.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/verilog_io.hpp"
+#include "opt/optimizer.hpp"
+#include "pba/path_enum.hpp"
+#include "pba/path_report.hpp"
+#include "sta/drc.hpp"
+#include "sta/report.hpp"
+#include "sta/sdc.hpp"
+#include "sta/timer.hpp"
+
+namespace {
+
+using namespace mgba;
+using mgba::tools::Args;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mgba_timer "
+               "<generate|stats|report|fit|optimize|dump-library> [options]\n"
+               "  common: --library FILE (liberty-lite cell library)\n"
+               "  generate --design 1..10 | --gates N --flops N [--seed S]\n"
+               "           [--depth D] [--blocks B] --out FILE\n"
+               "  stats    --netlist FILE\n"
+               "  report   --netlist FILE [--utilization U | --period PS]\n"
+               "           [--derates FILE] [--top N]\n"
+               "  fit      --netlist FILE [--utilization U | --period PS]\n"
+               "           [--derates FILE] [--hold] [--solver gd|scg|rs]\n"
+               "  optimize --netlist FILE [--utilization U | --period PS]\n"
+               "           [--derates FILE] [--mgba]\n");
+  return 2;
+}
+
+DerateTable load_table(const Args& args) {
+  const std::string path = args.get("derates");
+  if (path.empty()) return default_aocv_table();
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open derate table %s\n", path.c_str());
+    std::exit(2);
+  }
+  return read_derate_table(in);
+}
+
+Library load_library(const Args& args) {
+  const std::string path = args.get("library");
+  if (path.empty()) return make_default_library();
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open library %s\n", path.c_str());
+    std::exit(2);
+  }
+  return read_library(in);
+}
+
+/// Loaded netlist plus the timer configured from the common options.
+struct Session {
+  Library library;
+  std::unique_ptr<Design> design;
+  DerateTable table;
+  TimingConstraints constraints;
+  std::unique_ptr<Timer> timer;
+
+  explicit Session(const Args& args)
+      : library(load_library(args)), table(default_aocv_table()) {}
+};
+
+std::unique_ptr<Session> open_session(const Args& args) {
+  const std::string path = args.get("netlist");
+  if (path.empty()) {
+    std::fprintf(stderr, "--netlist is required\n");
+    std::exit(2);
+  }
+  auto session = std::make_unique<Session>(args);
+  session->table = load_table(args);
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open netlist %s\n", path.c_str());
+    std::exit(2);
+  }
+  const bool is_verilog =
+      path.size() > 2 && path.substr(path.size() - 2) == ".v";
+  if (is_verilog) {
+    session->design =
+        std::make_unique<Design>(read_verilog(session->library, in));
+    // Verilog carries no placement; synthesize one so wire delays exist.
+    scatter_placement(*session->design,
+                      static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  } else {
+    session->design =
+        std::make_unique<Design>(read_netlist(session->library, in));
+  }
+
+  if (args.has("sdc")) {
+    std::ifstream sdc_in(args.get("sdc"));
+    if (!sdc_in) {
+      std::fprintf(stderr, "cannot open SDC %s\n", args.get("sdc").c_str());
+      std::exit(2);
+    }
+    session->constraints = read_sdc(sdc_in, session->constraints);
+  }
+  session->constraints.clock_port =
+      args.get("clock", session->constraints.clock_port);
+  if (args.has("period")) {
+    session->constraints.clock_period_ps = args.get_double("period", 1000.0);
+  } else if (args.has("sdc")) {
+    // Period came from the SDC's create_clock.
+  } else {
+    // Derive the period from the golden critical path.
+    session->constraints.clock_period_ps = 1e9;
+    Timer probe(*session->design, session->constraints);
+    probe.set_instance_derates(
+        compute_gba_derates(probe.graph(), session->table));
+    probe.update_timing();
+    session->constraints.clock_period_ps = choose_clock_period(
+        probe, session->table, args.get_double("utilization", 1.0));
+  }
+  session->constraints.clock_uncertainty_ps =
+      args.get_double("uncertainty", 0.0);
+
+  session->timer =
+      std::make_unique<Timer>(*session->design, session->constraints);
+  session->timer->set_instance_derates(
+      compute_gba_derates(session->timer->graph(), session->table));
+  session->timer->update_timing();
+  return session;
+}
+
+int cmd_generate(const Args& args) {
+  GeneratorOptions options;
+  if (args.has("design")) {
+    options = benchmark_design_options(
+        static_cast<int>(args.get_int("design", 1)));
+  }
+  if (args.has("gates")) {
+    options.num_gates = static_cast<std::size_t>(args.get_int("gates", 2000));
+  }
+  if (args.has("flops")) {
+    options.num_flops = static_cast<std::size_t>(args.get_int("flops", 160));
+  }
+  if (args.has("seed")) {
+    options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  }
+  if (args.has("depth")) {
+    options.target_depth =
+        static_cast<std::size_t>(args.get_int("depth", 48));
+  }
+  if (args.has("blocks")) {
+    options.num_blocks =
+        static_cast<std::size_t>(args.get_int("blocks", 1));
+  }
+  const std::string out_path = args.get("out");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 2;
+  }
+
+  const Library library = load_library(args);
+  const GeneratedDesign generated = generate_design(library, options);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  if (out_path.size() > 2 && out_path.substr(out_path.size() - 2) == ".v") {
+    write_verilog(generated.design, out);
+  } else {
+    write_netlist(generated.design, out);
+  }
+  std::printf("wrote %s: %s", out_path.c_str(),
+              compute_design_stats(generated.design).to_string().c_str());
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  auto session = open_session(args);
+  std::printf("%s", compute_design_stats(*session->design).to_string().c_str());
+  std::printf("clock period: %.0f ps\n",
+              session->constraints.clock_period_ps);
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  auto session = open_session(args);
+  Timer& timer = *session->timer;
+  std::printf("clock period: %.0f ps\n", session->constraints.clock_period_ps);
+  std::printf("%s\n", report_summary(timer, Mode::Late).c_str());
+  std::printf("%s\n", report_summary(timer, Mode::Early).c_str());
+  const auto top = static_cast<std::size_t>(args.get_int("top", 10));
+  std::printf("%s", report_endpoints(timer, top).c_str());
+  // Worst path trace.
+  NodeId worst = kInvalidNode;
+  double worst_slack = kInfPs;
+  for (const NodeId e : timer.graph().endpoints()) {
+    if (timer.slack(e, Mode::Late) < worst_slack) {
+      worst_slack = timer.slack(e, Mode::Late);
+      worst = e;
+    }
+  }
+  if (worst != kInvalidNode) {
+    std::printf("\n%s", report_worst_path(timer, worst).c_str());
+  }
+  if (args.has("histogram")) {
+    std::printf("\n%s", report_slack_histogram(timer).c_str());
+  }
+  if (args.has("compare-path") && worst != kInvalidNode) {
+    const PathEnumerator enumerator(timer, 1);
+    const auto paths = enumerator.paths_to(worst);
+    if (!paths.empty()) {
+      std::printf("\n%s", report_path_comparison(timer, session->table,
+                                                 paths[0])
+                              .c_str());
+    }
+  }
+  if (args.has("drc")) {
+    const DrcReport drc = check_electrical_rules(
+        timer, args.get_double("max-slew", 0.0));
+    std::printf("\n%s", drc.to_string(*session->design).c_str());
+  }
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  auto session = open_session(args);
+  MgbaFlowOptions options;
+  options.only_violated = !args.has("all-paths");
+  if (args.has("hold")) options.check_kind = CheckKind::Hold;
+  const std::string solver = args.get("solver", "rs");
+  options.solver = solver == "gd"   ? MgbaSolverKind::GradientDescent
+                   : solver == "scg" ? MgbaSolverKind::Scg
+                                     : MgbaSolverKind::ScgWithRowSampling;
+
+  const MgbaFlowResult fit =
+      run_mgba_flow(*session->timer, session->table, options);
+  std::printf("fit (%s): %zu candidates, %zu violated, %zu rows x %zu vars\n",
+              args.has("hold") ? "hold" : "setup", fit.candidate_paths,
+              fit.violated_paths, fit.fitted_paths, fit.variables);
+  std::printf("  mse        %.6g -> %.6g\n", fit.mse_before, fit.mse_after);
+  std::printf("  pass ratio %.2f%% -> %.2f%%\n",
+              100.0 * fit.pass_ratio_before, 100.0 * fit.pass_ratio_after);
+  std::printf("  solve %.3fs (%zu iterations)\n", fit.solve_seconds,
+              fit.solver_iterations);
+  std::printf("after fit: %s\n",
+              report_summary(*session->timer,
+                             args.has("hold") ? Mode::Early : Mode::Late)
+                  .c_str());
+  return 0;
+}
+
+int cmd_optimize(const Args& args) {
+  auto session = open_session(args);
+  OptimizerOptions options;
+  options.use_mgba = args.has("mgba");
+  options.max_passes =
+      static_cast<std::size_t>(args.get_int("passes", 25));
+  TimingCloser closer(*session->design, *session->timer, session->table,
+                      options);
+  const OptimizerReport report = closer.run();
+  std::printf("flow done in %.2fs (%zu passes, fit %.2fs)\n", report.seconds,
+              report.passes, report.mgba_seconds);
+  std::printf("  transforms: %zu upsizes, %zu buffers (+%zu reverted), "
+              "%zu downsizes\n",
+              report.upsizes, report.buffers_inserted,
+              report.buffers_reverted, report.downsizes);
+  std::printf("  initial %s\n", report.initial.to_string().c_str());
+  std::printf("  final   %s\n", report.final_qor.to_string().c_str());
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    write_netlist(*session->design, out);
+    std::printf("wrote optimized netlist to %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_dump_library(const Args& args) {
+  const std::string out_path = args.get("out");
+  const Library library = load_library(args);
+  if (out_path.empty()) {
+    write_library(library, std::cout);
+  } else {
+    std::ofstream out(out_path);
+    write_library(library, out);
+    std::printf("wrote %zu cells to %s\n", library.num_cells(),
+                out_path.c_str());
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc - 1, argv + 1);
+  if (command == "generate") return cmd_generate(args);
+  if (command == "stats") return cmd_stats(args);
+  if (command == "report") return cmd_report(args);
+  if (command == "fit") return cmd_fit(args);
+  if (command == "optimize") return cmd_optimize(args);
+  if (command == "dump-library") return cmd_dump_library(args);
+  return usage();
+}
