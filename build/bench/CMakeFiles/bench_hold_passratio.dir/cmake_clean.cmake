@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hold_passratio.dir/bench_hold_passratio.cpp.o"
+  "CMakeFiles/bench_hold_passratio.dir/bench_hold_passratio.cpp.o.d"
+  "bench_hold_passratio"
+  "bench_hold_passratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hold_passratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

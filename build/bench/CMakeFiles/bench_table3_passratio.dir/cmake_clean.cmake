@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_passratio.dir/bench_table3_passratio.cpp.o"
+  "CMakeFiles/bench_table3_passratio.dir/bench_table3_passratio.cpp.o.d"
+  "bench_table3_passratio"
+  "bench_table3_passratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_passratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

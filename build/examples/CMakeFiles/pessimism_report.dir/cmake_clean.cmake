@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pessimism_report.dir/pessimism_report.cpp.o"
+  "CMakeFiles/pessimism_report.dir/pessimism_report.cpp.o.d"
+  "pessimism_report"
+  "pessimism_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pessimism_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aocv/aocv_model.cpp" "src/aocv/CMakeFiles/mgba_aocv.dir/aocv_model.cpp.o" "gcc" "src/aocv/CMakeFiles/mgba_aocv.dir/aocv_model.cpp.o.d"
+  "/root/repo/src/aocv/depth_analysis.cpp" "src/aocv/CMakeFiles/mgba_aocv.dir/depth_analysis.cpp.o" "gcc" "src/aocv/CMakeFiles/mgba_aocv.dir/depth_analysis.cpp.o.d"
+  "/root/repo/src/aocv/derate_io.cpp" "src/aocv/CMakeFiles/mgba_aocv.dir/derate_io.cpp.o" "gcc" "src/aocv/CMakeFiles/mgba_aocv.dir/derate_io.cpp.o.d"
+  "/root/repo/src/aocv/derate_table.cpp" "src/aocv/CMakeFiles/mgba_aocv.dir/derate_table.cpp.o" "gcc" "src/aocv/CMakeFiles/mgba_aocv.dir/derate_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/mgba_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mgba_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgba_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/mgba_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mgba_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_aocv.dir/aocv_model.cpp.o"
+  "CMakeFiles/mgba_aocv.dir/aocv_model.cpp.o.d"
+  "CMakeFiles/mgba_aocv.dir/depth_analysis.cpp.o"
+  "CMakeFiles/mgba_aocv.dir/depth_analysis.cpp.o.d"
+  "CMakeFiles/mgba_aocv.dir/derate_io.cpp.o"
+  "CMakeFiles/mgba_aocv.dir/derate_io.cpp.o.d"
+  "CMakeFiles/mgba_aocv.dir/derate_table.cpp.o"
+  "CMakeFiles/mgba_aocv.dir/derate_table.cpp.o.d"
+  "libmgba_aocv.a"
+  "libmgba_aocv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_aocv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

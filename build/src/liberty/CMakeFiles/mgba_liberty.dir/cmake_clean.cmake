@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_liberty.dir/default_library.cpp.o"
+  "CMakeFiles/mgba_liberty.dir/default_library.cpp.o.d"
+  "CMakeFiles/mgba_liberty.dir/liberty_io.cpp.o"
+  "CMakeFiles/mgba_liberty.dir/liberty_io.cpp.o.d"
+  "CMakeFiles/mgba_liberty.dir/library.cpp.o"
+  "CMakeFiles/mgba_liberty.dir/library.cpp.o.d"
+  "CMakeFiles/mgba_liberty.dir/lookup_table.cpp.o"
+  "CMakeFiles/mgba_liberty.dir/lookup_table.cpp.o.d"
+  "libmgba_liberty.a"
+  "libmgba_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_linalg.dir/csr_matrix.cpp.o"
+  "CMakeFiles/mgba_linalg.dir/csr_matrix.cpp.o.d"
+  "CMakeFiles/mgba_linalg.dir/histogram.cpp.o"
+  "CMakeFiles/mgba_linalg.dir/histogram.cpp.o.d"
+  "CMakeFiles/mgba_linalg.dir/sampling.cpp.o"
+  "CMakeFiles/mgba_linalg.dir/sampling.cpp.o.d"
+  "CMakeFiles/mgba_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/mgba_linalg.dir/vector_ops.cpp.o.d"
+  "libmgba_linalg.a"
+  "libmgba_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

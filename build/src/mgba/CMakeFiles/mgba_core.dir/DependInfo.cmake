@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mgba/framework.cpp" "src/mgba/CMakeFiles/mgba_core.dir/framework.cpp.o" "gcc" "src/mgba/CMakeFiles/mgba_core.dir/framework.cpp.o.d"
+  "/root/repo/src/mgba/metrics.cpp" "src/mgba/CMakeFiles/mgba_core.dir/metrics.cpp.o" "gcc" "src/mgba/CMakeFiles/mgba_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/mgba/path_selection.cpp" "src/mgba/CMakeFiles/mgba_core.dir/path_selection.cpp.o" "gcc" "src/mgba/CMakeFiles/mgba_core.dir/path_selection.cpp.o.d"
+  "/root/repo/src/mgba/problem.cpp" "src/mgba/CMakeFiles/mgba_core.dir/problem.cpp.o" "gcc" "src/mgba/CMakeFiles/mgba_core.dir/problem.cpp.o.d"
+  "/root/repo/src/mgba/solvers.cpp" "src/mgba/CMakeFiles/mgba_core.dir/solvers.cpp.o" "gcc" "src/mgba/CMakeFiles/mgba_core.dir/solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pba/CMakeFiles/mgba_pba.dir/DependInfo.cmake"
+  "/root/repo/build/src/aocv/CMakeFiles/mgba_aocv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/mgba_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mgba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgba_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mgba_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/mgba_liberty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_core.dir/framework.cpp.o"
+  "CMakeFiles/mgba_core.dir/framework.cpp.o.d"
+  "CMakeFiles/mgba_core.dir/metrics.cpp.o"
+  "CMakeFiles/mgba_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/mgba_core.dir/path_selection.cpp.o"
+  "CMakeFiles/mgba_core.dir/path_selection.cpp.o.d"
+  "CMakeFiles/mgba_core.dir/problem.cpp.o"
+  "CMakeFiles/mgba_core.dir/problem.cpp.o.d"
+  "CMakeFiles/mgba_core.dir/solvers.cpp.o"
+  "CMakeFiles/mgba_core.dir/solvers.cpp.o.d"
+  "libmgba_core.a"
+  "libmgba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/design.cpp" "src/netlist/CMakeFiles/mgba_netlist.dir/design.cpp.o" "gcc" "src/netlist/CMakeFiles/mgba_netlist.dir/design.cpp.o.d"
+  "/root/repo/src/netlist/generator.cpp" "src/netlist/CMakeFiles/mgba_netlist.dir/generator.cpp.o" "gcc" "src/netlist/CMakeFiles/mgba_netlist.dir/generator.cpp.o.d"
+  "/root/repo/src/netlist/netlist_io.cpp" "src/netlist/CMakeFiles/mgba_netlist.dir/netlist_io.cpp.o" "gcc" "src/netlist/CMakeFiles/mgba_netlist.dir/netlist_io.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/netlist/CMakeFiles/mgba_netlist.dir/stats.cpp.o" "gcc" "src/netlist/CMakeFiles/mgba_netlist.dir/stats.cpp.o.d"
+  "/root/repo/src/netlist/verilog_io.cpp" "src/netlist/CMakeFiles/mgba_netlist.dir/verilog_io.cpp.o" "gcc" "src/netlist/CMakeFiles/mgba_netlist.dir/verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/liberty/CMakeFiles/mgba_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

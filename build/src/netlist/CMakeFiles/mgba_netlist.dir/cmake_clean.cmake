@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_netlist.dir/design.cpp.o"
+  "CMakeFiles/mgba_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/mgba_netlist.dir/generator.cpp.o"
+  "CMakeFiles/mgba_netlist.dir/generator.cpp.o.d"
+  "CMakeFiles/mgba_netlist.dir/netlist_io.cpp.o"
+  "CMakeFiles/mgba_netlist.dir/netlist_io.cpp.o.d"
+  "CMakeFiles/mgba_netlist.dir/stats.cpp.o"
+  "CMakeFiles/mgba_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/mgba_netlist.dir/verilog_io.cpp.o"
+  "CMakeFiles/mgba_netlist.dir/verilog_io.cpp.o.d"
+  "libmgba_netlist.a"
+  "libmgba_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

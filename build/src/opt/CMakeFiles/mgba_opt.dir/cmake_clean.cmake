@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_opt.dir/optimizer.cpp.o"
+  "CMakeFiles/mgba_opt.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mgba_opt.dir/qor.cpp.o"
+  "CMakeFiles/mgba_opt.dir/qor.cpp.o.d"
+  "libmgba_opt.a"
+  "libmgba_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pba/path_enum.cpp" "src/pba/CMakeFiles/mgba_pba.dir/path_enum.cpp.o" "gcc" "src/pba/CMakeFiles/mgba_pba.dir/path_enum.cpp.o.d"
+  "/root/repo/src/pba/path_eval.cpp" "src/pba/CMakeFiles/mgba_pba.dir/path_eval.cpp.o" "gcc" "src/pba/CMakeFiles/mgba_pba.dir/path_eval.cpp.o.d"
+  "/root/repo/src/pba/path_report.cpp" "src/pba/CMakeFiles/mgba_pba.dir/path_report.cpp.o" "gcc" "src/pba/CMakeFiles/mgba_pba.dir/path_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/mgba_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/aocv/CMakeFiles/mgba_aocv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgba_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mgba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mgba_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/mgba_liberty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

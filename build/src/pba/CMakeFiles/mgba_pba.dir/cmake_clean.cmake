@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_pba.dir/path_enum.cpp.o"
+  "CMakeFiles/mgba_pba.dir/path_enum.cpp.o.d"
+  "CMakeFiles/mgba_pba.dir/path_eval.cpp.o"
+  "CMakeFiles/mgba_pba.dir/path_eval.cpp.o.d"
+  "CMakeFiles/mgba_pba.dir/path_report.cpp.o"
+  "CMakeFiles/mgba_pba.dir/path_report.cpp.o.d"
+  "libmgba_pba.a"
+  "libmgba_pba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_pba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

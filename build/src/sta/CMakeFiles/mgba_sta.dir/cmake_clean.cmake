@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_sta.dir/delay_calc.cpp.o"
+  "CMakeFiles/mgba_sta.dir/delay_calc.cpp.o.d"
+  "CMakeFiles/mgba_sta.dir/drc.cpp.o"
+  "CMakeFiles/mgba_sta.dir/drc.cpp.o.d"
+  "CMakeFiles/mgba_sta.dir/report.cpp.o"
+  "CMakeFiles/mgba_sta.dir/report.cpp.o.d"
+  "CMakeFiles/mgba_sta.dir/sdc.cpp.o"
+  "CMakeFiles/mgba_sta.dir/sdc.cpp.o.d"
+  "CMakeFiles/mgba_sta.dir/timer.cpp.o"
+  "CMakeFiles/mgba_sta.dir/timer.cpp.o.d"
+  "CMakeFiles/mgba_sta.dir/timing_graph.cpp.o"
+  "CMakeFiles/mgba_sta.dir/timing_graph.cpp.o.d"
+  "libmgba_sta.a"
+  "libmgba_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmgba_sta.a"
+)

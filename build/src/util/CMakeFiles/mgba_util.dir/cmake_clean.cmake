@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_util.dir/log.cpp.o"
+  "CMakeFiles/mgba_util.dir/log.cpp.o.d"
+  "CMakeFiles/mgba_util.dir/rng.cpp.o"
+  "CMakeFiles/mgba_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mgba_util.dir/strings.cpp.o"
+  "CMakeFiles/mgba_util.dir/strings.cpp.o.d"
+  "libmgba_util.a"
+  "libmgba_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

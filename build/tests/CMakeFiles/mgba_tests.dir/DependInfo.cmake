@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aocv.cpp" "tests/CMakeFiles/mgba_tests.dir/test_aocv.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_aocv.cpp.o.d"
+  "/root/repo/tests/test_fig2.cpp" "tests/CMakeFiles/mgba_tests.dir/test_fig2.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_fig2.cpp.o.d"
+  "/root/repo/tests/test_hold.cpp" "tests/CMakeFiles/mgba_tests.dir/test_hold.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_hold.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mgba_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io_features.cpp" "tests/CMakeFiles/mgba_tests.dir/test_io_features.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_io_features.cpp.o.d"
+  "/root/repo/tests/test_liberty.cpp" "tests/CMakeFiles/mgba_tests.dir/test_liberty.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_liberty.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/mgba_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_mgba.cpp" "tests/CMakeFiles/mgba_tests.dir/test_mgba.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_mgba.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/mgba_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/mgba_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_pba.cpp" "tests/CMakeFiles/mgba_tests.dir/test_pba.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_pba.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/mgba_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sta.cpp" "tests/CMakeFiles/mgba_tests.dir/test_sta.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_sta.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/mgba_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/mgba_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/mgba_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgba/CMakeFiles/mgba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pba/CMakeFiles/mgba_pba.dir/DependInfo.cmake"
+  "/root/repo/build/src/aocv/CMakeFiles/mgba_aocv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/mgba_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mgba_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/mgba_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mgba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_tests.dir/test_aocv.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_aocv.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_fig2.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_fig2.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_hold.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_hold.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_io_features.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_io_features.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_liberty.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_liberty.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_linalg.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_linalg.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_mgba.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_mgba.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_netlist.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_netlist.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_opt.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_opt.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_pba.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_pba.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_sta.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_sta.cpp.o.d"
+  "CMakeFiles/mgba_tests.dir/test_util.cpp.o"
+  "CMakeFiles/mgba_tests.dir/test_util.cpp.o.d"
+  "mgba_tests"
+  "mgba_tests.pdb"
+  "mgba_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

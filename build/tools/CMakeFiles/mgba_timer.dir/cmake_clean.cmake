@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgba_timer.dir/mgba_timer.cpp.o"
+  "CMakeFiles/mgba_timer.dir/mgba_timer.cpp.o.d"
+  "mgba_timer"
+  "mgba_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgba_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
