@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md): standard build + the full ctest
+# suite, then the parallel timing engine's determinism tests again under
+# ThreadSanitizer with a multi-threaded pool, so data races in the
+# level-synchronous sweeps fail the gate rather than shipping latent.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+cmake -B build-tsan -S . -DMGBA_SANITIZE=thread
+cmake --build build-tsan -j --target mgba_tests
+MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*'
+echo "tier-1 OK (ctest + TSan parallel suite)"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mgba {
 
@@ -38,7 +39,11 @@ void CsrMatrix::multiply(std::span<const double> x,
                          std::span<double> y) const {
   MGBA_CHECK(x.size() == num_cols_);
   MGBA_CHECK(y.size() == num_rows());
-  for (std::size_t i = 0; i < num_rows(); ++i) y[i] = row_dot(i, x);
+  // Each row writes its own output slot: trivially parallel, bit-identical
+  // at any thread count.
+  parallel_for(num_rows(), 256, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) y[i] = row_dot(i, x);
+  });
 }
 
 void CsrMatrix::multiply_transpose(std::span<const double> x,
@@ -71,19 +76,34 @@ double CsrMatrix::row_norm_sq(std::size_t i) const {
 
 std::vector<double> CsrMatrix::row_norms_sq() const {
   std::vector<double> norms(num_rows());
-  for (std::size_t i = 0; i < num_rows(); ++i) norms[i] = row_norm_sq(i);
+  parallel_for(num_rows(), 256, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) norms[i] = row_norm_sq(i);
+  });
   return norms;
 }
 
 CsrMatrix CsrMatrix::select_rows(std::span<const std::size_t> rows) const {
   CsrMatrix sub(num_cols_);
-  std::size_t nnz = 0;
-  for (const std::size_t i : rows) nnz += row(i).nnz();
-  sub.reserve(rows.size(), nnz);
-  for (const std::size_t i : rows) {
-    const SparseRowView r = row(i);
-    sub.append_row(r.cols, r.values);
+  // Two-phase extraction: a serial prefix scan fixes every output row's
+  // placement, then rows copy into disjoint slices in parallel.
+  sub.row_ptr_.resize(rows.size() + 1);
+  sub.row_ptr_[0] = 0;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    sub.row_ptr_[k + 1] = sub.row_ptr_[k] + row(rows[k]).nnz();
   }
+  sub.col_idx_.resize(sub.row_ptr_.back());
+  sub.values_.resize(sub.row_ptr_.back());
+  parallel_for(rows.size(), 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e; ++k) {
+      const SparseRowView r = row(rows[k]);
+      std::copy(r.cols.begin(), r.cols.end(),
+                sub.col_idx_.begin() +
+                    static_cast<std::ptrdiff_t>(sub.row_ptr_[k]));
+      std::copy(r.values.begin(), r.values.end(),
+                sub.values_.begin() +
+                    static_cast<std::ptrdiff_t>(sub.row_ptr_[k]));
+    }
+  });
   return sub;
 }
 

@@ -4,8 +4,15 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mgba {
+
+namespace {
+/// Below this many rows the per-block partial buffers cost more than the
+/// sweep; the stochastic SCG batches typically land under it.
+constexpr std::size_t kParallelRowThreshold = 128;
+}  // namespace
 
 MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
                          const std::vector<TimingPath>& paths, double epsilon,
@@ -42,12 +49,25 @@ MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
   s_gba0_.reserve(paths.size());
 
   const Mode mode = hold ? Mode::Early : Mode::Late;
+
+  // Golden PBA re-evaluation is the expensive part of the build (per-path
+  // derate/slew/CRPR recomputation) and is independent per path: sweep it
+  // in parallel into a per-path slot, then assemble rows serially in path
+  // order so row indices are unchanged.
+  std::vector<PathTiming> timings(paths.size());
+  parallel_for(paths.size(), 16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      timings[i] = hold ? evaluator.evaluate_hold(paths[i])
+                        : evaluator.evaluate(paths[i]);
+    }
+  });
+
   std::vector<std::pair<std::size_t, double>> entries;
   std::vector<std::size_t> cols;
   std::vector<double> values;
-  for (const TimingPath& path : paths) {
-    const PathTiming pt =
-        hold ? evaluator.evaluate_hold(path) : evaluator.evaluate(path);
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const TimingPath& path = paths[p];
+    const PathTiming& pt = timings[p];
     if (pt.pba_slack_ps == kInfPs) continue;  // unconstrained hold endpoint
 
     entries.clear();
@@ -88,6 +108,9 @@ MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
       bound_.push_back(b - tol);  // a.x must stay >= bound
     }
   }
+
+  all_rows_.resize(matrix_.num_rows());
+  for (std::size_t i = 0; i < all_rows_.size(); ++i) all_rows_[i] = i;
 }
 
 std::vector<double> MgbaProblem::to_instance_weights(
@@ -106,30 +129,41 @@ bool MgbaProblem::violates(std::size_t row, double ax) const {
 
 double MgbaProblem::objective(std::span<const double> x,
                               double penalty_weight) const {
+  return objective_rows(all_rows_, x, penalty_weight);
+}
+
+double MgbaProblem::objective_rows(std::span<const std::size_t> rows,
+                                   std::span<const double> x,
+                                   double penalty_weight) const {
   MGBA_CHECK(x.size() == num_cols());
-  double f = 0.0;
-  for (std::size_t i = 0; i < num_rows(); ++i) {
-    const double ax = matrix_.row_dot(i, x);
-    const double r = ax - b_[i];
-    f += r * r;
-    if (violates(i, ax)) {
-      const double v = ax - bound_[i];
-      f += penalty_weight * v * v;
+  const auto sweep = [&](std::size_t begin, std::size_t end) {
+    double f = 0.0;
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = rows[k];
+      const double ax = matrix_.row_dot(i, x);
+      const double r = ax - b_[i];
+      f += r * r;
+      if (violates(i, ax)) {
+        const double v = ax - bound_[i];
+        f += penalty_weight * v * v;
+      }
     }
-  }
+    return f;
+  };
+  if (rows.size() < kParallelRowThreshold) return sweep(0, rows.size());
+  std::vector<double> partial(reduction_blocks(rows.size()), 0.0);
+  parallel_blocks(rows.size(),
+                  [&](std::size_t blk, std::size_t begin, std::size_t end) {
+                    partial[blk] = sweep(begin, end);
+                  });
+  double f = 0.0;
+  for (const double p : partial) f += p;
   return f;
 }
 
 void MgbaProblem::gradient(std::span<const double> x, double penalty_weight,
                            std::span<double> g) const {
-  MGBA_CHECK(g.size() == num_cols());
-  std::fill(g.begin(), g.end(), 0.0);
-  for (std::size_t i = 0; i < num_rows(); ++i) {
-    const double ax = matrix_.row_dot(i, x);
-    double coeff = 2.0 * (ax - b_[i]);
-    if (violates(i, ax)) coeff += 2.0 * penalty_weight * (ax - bound_[i]);
-    matrix_.add_scaled_row(i, coeff, g);
-  }
+  gradient_rows(all_rows_, x, penalty_weight, g);
 }
 
 void MgbaProblem::gradient_rows(std::span<const std::size_t> rows,
@@ -137,12 +171,32 @@ void MgbaProblem::gradient_rows(std::span<const std::size_t> rows,
                                 double penalty_weight,
                                 std::span<double> g) const {
   MGBA_CHECK(g.size() == num_cols());
+  const auto sweep = [&](std::size_t begin, std::size_t end,
+                         std::span<double> out) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = rows[k];
+      const double ax = matrix_.row_dot(i, x);
+      double coeff = 2.0 * (ax - b_[i]);
+      if (violates(i, ax)) coeff += 2.0 * penalty_weight * (ax - bound_[i]);
+      matrix_.add_scaled_row(i, coeff, out);
+    }
+  };
   std::fill(g.begin(), g.end(), 0.0);
-  for (const std::size_t i : rows) {
-    const double ax = matrix_.row_dot(i, x);
-    double coeff = 2.0 * (ax - b_[i]);
-    if (violates(i, ax)) coeff += 2.0 * penalty_weight * (ax - bound_[i]);
-    matrix_.add_scaled_row(i, coeff, g);
+  const std::size_t blocks = reduction_blocks(rows.size());
+  if (rows.size() < kParallelRowThreshold || blocks <= 1 || g.empty()) {
+    sweep(0, rows.size(), g);
+    return;
+  }
+  std::vector<double> partial(blocks * g.size(), 0.0);
+  parallel_blocks(rows.size(),
+                  [&](std::size_t blk, std::size_t begin, std::size_t end) {
+                    sweep(begin, end,
+                          std::span<double>(partial).subspan(blk * g.size(),
+                                                             g.size()));
+                  });
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const double* p = partial.data() + blk * g.size();
+    for (std::size_t j = 0; j < g.size(); ++j) g[j] += p[j];
   }
 }
 

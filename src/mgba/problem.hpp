@@ -56,6 +56,12 @@ class MgbaProblem {
   [[nodiscard]] std::size_t num_rows() const { return matrix_.num_rows(); }
   [[nodiscard]] std::size_t num_cols() const { return matrix_.num_cols(); }
 
+  /// The identity row set {0, 1, ..., num_rows()-1}, cached at build time
+  /// so "empty span = all rows" call sites never materialize it per solve.
+  [[nodiscard]] std::span<const std::size_t> all_rows() const {
+    return all_rows_;
+  }
+
   [[nodiscard]] const CsrMatrix& matrix() const { return matrix_; }
   [[nodiscard]] std::span<const double> rhs() const { return b_; }
   /// The penalty boundary per row: a lower bound on a_i.x for Setup, an
@@ -85,12 +91,21 @@ class MgbaProblem {
   [[nodiscard]] double objective(std::span<const double> x,
                                  double penalty_weight) const;
 
+  /// Objective restricted to the given rows. Parallel over row blocks with
+  /// per-block partial sums combined in block order: deterministic for a
+  /// fixed thread count, identical to the serial sum with one thread.
+  [[nodiscard]] double objective_rows(std::span<const std::size_t> rows,
+                                      std::span<const double> x,
+                                      double penalty_weight) const;
+
   /// Full gradient; \p g must have size num_cols().
   void gradient(std::span<const double> x, double penalty_weight,
                 std::span<double> g) const;
 
   /// Gradient restricted to the given rows (the stochastic estimator of
-  /// Algorithm 2); \p g must have size num_cols().
+  /// Algorithm 2); \p g must have size num_cols(). Large row sets are
+  /// swept in parallel with per-block partial gradients reduced in block
+  /// order (same determinism guarantee as objective_rows).
   void gradient_rows(std::span<const std::size_t> rows,
                      std::span<const double> x, double penalty_weight,
                      std::span<double> g) const;
@@ -112,6 +127,7 @@ class MgbaProblem {
   std::vector<double> s_gba0_;
   std::vector<InstanceId> column_instance_;
   std::vector<std::int32_t> instance_column_;
+  std::vector<std::size_t> all_rows_;
   std::size_t design_instances_ = 0;
 };
 

@@ -9,40 +9,26 @@
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mgba {
 
 namespace {
 
-/// Materializes the active row set (identity when \p rows is empty).
-std::vector<std::size_t> resolve_rows(const MgbaProblem& problem,
-                                      std::span<const std::size_t> rows) {
-  if (!rows.empty()) return {rows.begin(), rows.end()};
-  std::vector<std::size_t> all(problem.num_rows());
-  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-  return all;
+/// The active row set: the caller's subset, or the problem's cached
+/// identity set when the subset is empty. A view — nothing is copied.
+std::span<const std::size_t> resolve_rows(const MgbaProblem& problem,
+                                          std::span<const std::size_t> rows) {
+  return rows.empty() ? problem.all_rows() : rows;
 }
 
 /// Objective restricted to a row subset (penalty side follows the
 /// problem's check kind: a lower bound for setup, an upper bound for hold).
+/// Delegates to the problem's deterministic parallel row sweep.
 double objective_rows(const MgbaProblem& problem,
                       std::span<const std::size_t> rows,
                       std::span<const double> x, double penalty) {
-  const CsrMatrix& matrix = problem.matrix();
-  const auto b = problem.rhs();
-  const auto bound = problem.lower_bounds();
-  const bool hold = problem.kind() == CheckKind::Hold;
-  double f = 0.0;
-  for (const std::size_t i : rows) {
-    const double ax = matrix.row_dot(i, x);
-    const double r = ax - b[i];
-    f += r * r;
-    if (hold ? ax > bound[i] : ax < bound[i]) {
-      const double v = ax - bound[i];
-      f += penalty * v * v;
-    }
-  }
-  return f;
+  return problem.objective_rows(rows, x, penalty);
 }
 
 std::vector<double> initial_x(const MgbaProblem& problem,
@@ -59,7 +45,7 @@ SolveResult solve_gradient_descent(const MgbaProblem& problem,
                                    const SolverOptions& options,
                                    std::span<const double> x0) {
   const Stopwatch watch;
-  const std::vector<std::size_t> rows = resolve_rows(problem, rows_in);
+  const std::span<const std::size_t> rows = resolve_rows(problem, rows_in);
   std::vector<double> x = initial_x(problem, x0);
   std::vector<double> g(problem.num_cols(), 0.0);
   std::vector<double> x_prev = x;
@@ -102,7 +88,7 @@ SolveResult solve_scg(const MgbaProblem& problem,
                       const SolverOptions& options,
                       std::span<const double> x0) {
   const Stopwatch watch;
-  const std::vector<std::size_t> rows = resolve_rows(problem, rows_in);
+  const std::span<const std::size_t> rows = resolve_rows(problem, rows_in);
   const std::size_t n = problem.num_cols();
   Rng rng(options.seed);
 
@@ -110,11 +96,13 @@ SolveResult solve_scg(const MgbaProblem& problem,
   // zero norm (paths containing no weighted gate) are never informative;
   // give them a tiny floor so the alias table stays valid.
   std::vector<double> weights(rows.size());
+  parallel_for(rows.size(), 256, [&](std::size_t b, std::size_t e) {
+    for (std::size_t r = b; r < e; ++r) {
+      weights[r] = problem.matrix().row_norm_sq(rows[r]);
+    }
+  });
   double max_norm = 0.0;
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    weights[r] = problem.matrix().row_norm_sq(rows[r]);
-    max_norm = std::max(max_norm, weights[r]);
-  }
+  for (const double w : weights) max_norm = std::max(max_norm, w);
   if (max_norm == 0.0) {
     // Degenerate problem: nothing to fit.
     SolveResult result;
@@ -211,7 +199,7 @@ SolveResult solve_scg_with_row_sampling(const MgbaProblem& problem,
                                         const SolverOptions& options,
                                         const SamplingOptions& sampling) {
   const Stopwatch watch;
-  const std::vector<std::size_t> rows = resolve_rows(problem, rows_in);
+  const std::span<const std::size_t> rows = resolve_rows(problem, rows_in);
   Rng rng(sampling.seed);
 
   SolveResult result;

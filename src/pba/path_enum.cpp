@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mgba {
 
@@ -28,32 +29,45 @@ PathEnumerator::PathEnumerator(const Timer& timer, std::size_t k, Mode mode)
         {timer.arrival(launch, mode_), kInvalidArc, 0});
   }
 
-  // K-best DP in topological order over data nodes. "Best" is the
+  // K-best DP, level-synchronous over data nodes. "Best" is the
   // mode-critical direction: largest arrivals for Late, smallest for Early.
+  // A node's merge reads only fanin candidates (strictly lower levels) and
+  // writes only its own candidate list, so nodes within one level merge in
+  // parallel. The per-node merge itself is unchanged — candidates are
+  // gathered in fanin order and partial_sort is deterministic on that
+  // sequence — so the enumerated path set is identical at any thread count.
   const bool late = mode_ == Mode::Late;
   const auto more_critical = [late](const Candidate& x, const Candidate& y) {
     return late ? x.arrival > y.arrival : x.arrival < y.arrival;
   };
-  std::vector<Candidate> merged;
-  for (const NodeId u : graph.topo_order()) {
-    if (graph.node(u).is_clock_network || is_launch[u]) continue;
+  const auto merge_node = [&](NodeId u, std::vector<Candidate>& merged) {
     merged.clear();
     for (const ArcId a : graph.fanin(u)) {
       const TimingArc& arc = graph.arc(a);
       if (graph.node(arc.from).is_clock_network) continue;  // CK->Q handled
-      const double delay = timer.arc_delay(a, mode_);
+      const double delay = timer_->arc_delay(a, mode_);
       const auto& preds = candidates_[arc.from];
       for (std::uint32_t r = 0; r < preds.size(); ++r) {
         merged.push_back({preds[r].arrival + delay, a, r});
       }
     }
-    if (merged.empty()) continue;
+    if (merged.empty()) return;
     const std::size_t keep = std::min(k_, merged.size());
     std::partial_sort(merged.begin(),
                       merged.begin() + static_cast<std::ptrdiff_t>(keep),
                       merged.end(), more_critical);
     candidates_[u].assign(merged.begin(),
                           merged.begin() + static_cast<std::ptrdiff_t>(keep));
+  };
+  for (const auto& bucket : graph.level_nodes()) {
+    parallel_for(bucket.size(), 16, [&](std::size_t b, std::size_t e) {
+      std::vector<Candidate> merged;  // per-chunk scratch
+      for (std::size_t i = b; i < e; ++i) {
+        const NodeId u = bucket[i];
+        if (graph.node(u).is_clock_network || is_launch[u]) continue;
+        merge_node(u, merged);
+      }
+    });
   }
 }
 
@@ -96,9 +110,18 @@ std::vector<TimingPath> PathEnumerator::paths_to(NodeId endpoint) const {
 }
 
 std::vector<TimingPath> PathEnumerator::all_paths() const {
+  // Backtracking is independent per endpoint; collect per-endpoint lists
+  // in parallel and flatten in endpoint order so the result is identical
+  // to the serial concatenation.
+  const auto& endpoints = timer_->graph().endpoints();
+  std::vector<std::vector<TimingPath>> per_endpoint(endpoints.size());
+  parallel_for(endpoints.size(), 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      per_endpoint[i] = paths_to(endpoints[i]);
+    }
+  });
   std::vector<TimingPath> paths;
-  for (const NodeId e : timer_->graph().endpoints()) {
-    auto endpoint_paths = paths_to(e);
+  for (auto& endpoint_paths : per_endpoint) {
     for (auto& p : endpoint_paths) paths.push_back(std::move(p));
   }
   return paths;

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mgba {
 
@@ -235,7 +236,17 @@ bool Timer::recompute_node(NodeId node) {
 }
 
 void Timer::full_forward() {
-  for (const NodeId u : graph_->topo_order()) recompute_node(u);
+  // Level-synchronous parallel propagation: nodes within one level have no
+  // mutual dependencies (every arc crosses levels), and recompute_node
+  // writes only its own node's arrival/slew plus its own fanin arcs'
+  // delays, so a level can be swept with no atomics. Per-node fanin
+  // iteration order is unchanged, so results are bit-identical to the
+  // serial sweep at any thread count.
+  for (const auto& bucket : graph_->level_nodes()) {
+    parallel_for(bucket.size(), 32, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) recompute_node(bucket[i]);
+    });
+  }
 }
 
 void Timer::incremental_forward() {
@@ -292,7 +303,10 @@ void Timer::incremental_forward() {
 
 void Timer::compute_crpr_credits() {
   const auto& checks = graph_->checks();
-  for (std::size_t c = 0; c < checks.size(); ++c) {
+  // Each check derives its credit independently from the (now stable)
+  // launch sets and arc delays, and writes only its own record.
+  parallel_for(checks.size(), 8, [&](std::size_t cb, std::size_t ce) {
+  for (std::size_t c = cb; c < ce; ++c) {
     double credit = 0.0;
     if (constraints_.enable_crpr) {
       const NodeId data = checks[c].data_node;
@@ -315,6 +329,7 @@ void Timer::compute_crpr_credits() {
     }
     check_timing_[c].crpr_credit_ps = credit;
   }
+  });
 }
 
 double Timer::common_path_credit(std::size_t check_a,
@@ -390,22 +405,32 @@ void Timer::backward_required() {
         std::min(required_[late][node], capture_edge - port_output_delay_[p]);
   }
 
-  // Backward min/max propagation in reverse topological order.
-  const auto& topo = graph_->topo_order();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const NodeId u = *it;
-    for (const ArcId a : graph_->fanout(u)) {
-      const NodeId v = graph_->arc(a).to;
-      if (required_[late][v] != kInfPs) {
-        required_[late][u] = std::min(required_[late][u],
-                                      required_[late][v] - arc_delay_[late][a]);
+  // Backward min/max propagation, level-synchronous from the deepest
+  // level up. A node pulls from its fanout targets, which all live on
+  // strictly higher (already finished) levels, and writes only its own
+  // required times — the mirror image of the forward sweep, equally
+  // atomics-free and bit-identical to serial order.
+  const auto& levels = graph_->level_nodes();
+  for (std::size_t l = levels.size(); l-- > 0;) {
+    const auto& bucket = levels[l];
+    parallel_for(bucket.size(), 32, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        const NodeId u = bucket[i];
+        for (const ArcId a : graph_->fanout(u)) {
+          const NodeId v = graph_->arc(a).to;
+          if (required_[late][v] != kInfPs) {
+            required_[late][u] =
+                std::min(required_[late][u],
+                         required_[late][v] - arc_delay_[late][a]);
+          }
+          if (required_[early][v] != -kInfPs) {
+            required_[early][u] =
+                std::max(required_[early][u],
+                         required_[early][v] - arc_delay_[early][a]);
+          }
+        }
       }
-      if (required_[early][v] != -kInfPs) {
-        required_[early][u] =
-            std::max(required_[early][u],
-                     required_[early][v] - arc_delay_[early][a]);
-      }
-    }
+    });
   }
 
   // Cache endpoint slacks on the check records.

@@ -152,6 +152,13 @@ void TimingGraph::levelize() {
   }
   MGBA_CHECK(topo_order_.size() == nodes_.size() &&
              "timing graph has a combinational cycle");
+
+  std::uint32_t max_level = 0;
+  for (const TimingNode& node : nodes_) {
+    max_level = std::max(max_level, node.level);
+  }
+  level_nodes_.assign(nodes_.empty() ? 0 : max_level + 1, {});
+  for (const NodeId u : topo_order_) level_nodes_[nodes_[u].level].push_back(u);
 }
 
 void TimingGraph::collect_checks_and_endpoints() {

@@ -77,6 +77,16 @@ class TimingGraph {
     return topo_order_;
   }
 
+  /// Nodes bucketed by topological level (level_nodes()[l] lists every
+  /// node with level l, in topological order). Every arc crosses from a
+  /// strictly lower to a strictly higher level, so nodes within one bucket
+  /// have no mutual dependencies — the invariant the level-synchronous
+  /// parallel propagation in Timer and PathEnumerator relies on.
+  [[nodiscard]] const std::vector<std::vector<NodeId>>& level_nodes() const {
+    return level_nodes_;
+  }
+  [[nodiscard]] std::size_t num_levels() const { return level_nodes_.size(); }
+
   /// Setup/hold check sites (one per flip-flop data pin).
   [[nodiscard]] const std::vector<TimingCheck>& checks() const {
     return checks_;
@@ -121,6 +131,7 @@ class TimingGraph {
   std::vector<std::vector<ArcId>> fanin_;
   std::vector<std::vector<ArcId>> fanout_;
   std::vector<NodeId> topo_order_;
+  std::vector<std::vector<NodeId>> level_nodes_;
 
   // pin -> node maps
   std::vector<std::vector<NodeId>> inst_pin_nodes_;

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// The level-synchronous parallel execution layer. One process-wide
+/// fixed-size pool backs every parallel region in the engine (STA
+/// propagation, PBA K-best merges, solver row sweeps); callers express
+/// data parallelism through two primitives:
+///
+///   * parallel_for(n, grain, fn) — fn(begin, end) over disjoint chunks of
+///     [0, n). Chunks are claimed dynamically, so the caller's writes must
+///     go to per-index storage (they always do in this codebase: a node's
+///     arrival, a row's residual slot). Because every index is processed by
+///     exactly the same per-index code regardless of which thread runs it,
+///     results are bit-identical across thread counts.
+///
+///   * parallel_blocks(n, fn) — fn(block, begin, end) over exactly
+///     reduction_blocks(n) contiguous blocks whose boundaries depend only
+///     on n and the configured thread count, never on scheduling. Callers
+///     accumulate floating-point partials per block and combine them in
+///     block order, which makes reductions deterministic: identical
+///     run-to-run for a fixed thread count, and identical to the serial
+///     sum when the pool runs with one thread.
+///
+/// Thread count resolution: set_num_threads() wins, else the MGBA_THREADS
+/// environment variable, else std::thread::hardware_concurrency(). With
+/// one thread both primitives run inline on the caller's stack — no pool
+/// hand-off, no atomics — so serial behavior is exactly the pre-pool code
+/// path. Parallel regions must not nest; a nested call runs inline.
+
+#include <cstddef>
+#include <functional>
+
+namespace mgba {
+
+/// Threads the global pool is configured with (>= 1).
+[[nodiscard]] std::size_t num_threads();
+
+/// Reconfigures the global pool. n == 0 restores the default (MGBA_THREADS
+/// env var, else hardware_concurrency). Must not be called concurrently
+/// with a running parallel region.
+void set_num_threads(std::size_t n);
+
+/// Runs fn(begin, end) over disjoint chunks covering [0, n). \p grain is
+/// the minimum chunk size (amortizes per-chunk dispatch for cheap bodies).
+/// Runs inline when n is small or the pool has one thread.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Number of blocks parallel_blocks(n, ...) will use: min(num_threads(), n)
+/// and at least 1 (0 when n == 0). Callers size their partial-sum storage
+/// with this before launching the reduction.
+[[nodiscard]] std::size_t reduction_blocks(std::size_t n);
+
+/// Runs fn(block, begin, end) for each of the reduction_blocks(n)
+/// contiguous blocks partitioning [0, n). Block boundaries are a pure
+/// function of (n, num_threads()); combine per-block partials in block
+/// order for a deterministic reduction.
+void parallel_blocks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+}  // namespace mgba

@@ -1,0 +1,276 @@
+/// Determinism tests for the level-synchronous parallel engine: the
+/// parallel sweeps must reproduce the serial engine bit-for-bit for
+/// arrivals/required/slews/slacks and path sets (see DESIGN.md "Threading
+/// model"), and the deterministic block reductions must be stable
+/// run-to-run at a fixed thread count. The tier-1 script re-runs this
+/// file under -fsanitize=thread with MGBA_THREADS=4.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+#include "mgba/problem.hpp"
+#include "mgba/solvers.hpp"
+#include "pba/path_enum.hpp"
+#include "pba/path_eval.hpp"
+#include "test_helpers.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mgba {
+namespace {
+
+using testing_helpers::GeneratedStack;
+using testing_helpers::small_options;
+
+/// Restores the ambient thread count on scope exit so test order doesn't
+/// leak configuration across suites.
+struct ThreadGuard {
+  std::size_t saved = num_threads();
+  ~ThreadGuard() { set_num_threads(saved); }
+};
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  // Degenerate sizes.
+  int calls = 0;
+  parallel_for(0, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, BlocksPartitionIsDeterministic) {
+  ThreadGuard guard;
+  set_num_threads(3);
+  constexpr std::size_t kN = 100;
+  ASSERT_EQ(reduction_blocks(kN), 3u);
+  std::vector<std::pair<std::size_t, std::size_t>> bounds(3);
+  parallel_blocks(kN, [&](std::size_t blk, std::size_t b, std::size_t e) {
+    bounds[blk] = {b, e};
+  });
+  // Contiguous, complete, near-equal partition, independent of scheduling.
+  EXPECT_EQ(bounds[0].first, 0u);
+  EXPECT_EQ(bounds[2].second, kN);
+  EXPECT_EQ(bounds[0].second, bounds[1].first);
+  EXPECT_EQ(bounds[1].second, bounds[2].first);
+  for (const auto& [b, e] : bounds) EXPECT_GE(e - b, kN / 3);
+  EXPECT_EQ(reduction_blocks(0), 0u);
+  EXPECT_EQ(reduction_blocks(2), 2u);
+}
+
+TEST(ThreadPool, SetNumThreadsRoundTrips) {
+  ThreadGuard guard;
+  set_num_threads(2);
+  EXPECT_EQ(num_threads(), 2u);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1u);
+}
+
+/// Snapshot of every per-node / per-check timing quantity of a timer.
+struct TimingSnapshot {
+  std::vector<double> arrival, slew, required, slack;
+  std::vector<double> crpr, setup_slack, hold_slack;
+
+  static TimingSnapshot capture(const Timer& timer) {
+    TimingSnapshot s;
+    const TimingGraph& graph = timer.graph();
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      for (const Mode mode : {Mode::Late, Mode::Early}) {
+        s.arrival.push_back(timer.arrival(u, mode));
+        s.slew.push_back(timer.slew(u, mode));
+        s.required.push_back(timer.required(u, mode));
+        s.slack.push_back(timer.slack(u, mode));
+      }
+    }
+    for (std::size_t c = 0; c < graph.checks().size(); ++c) {
+      s.crpr.push_back(timer.check_timing(c).crpr_credit_ps);
+      s.setup_slack.push_back(timer.check_timing(c).setup_slack_ps);
+      s.hold_slack.push_back(timer.check_timing(c).hold_slack_ps);
+    }
+    return s;
+  }
+};
+
+void expect_bit_identical(const TimingSnapshot& a, const TimingSnapshot& b) {
+  ASSERT_EQ(a.arrival.size(), b.arrival.size());
+  for (std::size_t i = 0; i < a.arrival.size(); ++i) {
+    EXPECT_EQ(a.arrival[i], b.arrival[i]) << "arrival " << i;
+    EXPECT_EQ(a.slew[i], b.slew[i]) << "slew " << i;
+    EXPECT_EQ(a.required[i], b.required[i]) << "required " << i;
+    EXPECT_EQ(a.slack[i], b.slack[i]) << "slack " << i;
+  }
+  ASSERT_EQ(a.crpr.size(), b.crpr.size());
+  for (std::size_t c = 0; c < a.crpr.size(); ++c) {
+    EXPECT_EQ(a.crpr[c], b.crpr[c]) << "crpr " << c;
+    EXPECT_EQ(a.setup_slack[c], b.setup_slack[c]) << "setup slack " << c;
+    EXPECT_EQ(a.hold_slack[c], b.hold_slack[c]) << "hold slack " << c;
+  }
+}
+
+TEST(Parallel, FullUpdateBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  set_num_threads(1);
+  GeneratedStack serial(small_options(), 3000.0);
+  const TimingSnapshot want = TimingSnapshot::capture(*serial.timer);
+
+  set_num_threads(4);
+  GeneratedStack parallel(small_options(), 3000.0);
+  expect_bit_identical(want, TimingSnapshot::capture(*parallel.timer));
+}
+
+TEST(Parallel, IncrementalUpdateBitIdenticalAcrossThreadCounts) {
+  // Incremental updates run the serial worklist, but the trailing
+  // backward_required() sweep is parallel; the combination must still
+  // match the 1-thread engine exactly.
+  const auto mutate = [](GeneratedStack& stack) {
+    const Design& d = stack.design();
+    std::size_t resized = 0;
+    for (InstanceId i = 0; i < d.num_instances() && resized < 12; ++i) {
+      const LibCell& cell = d.library().cell(d.instance(i).cell);
+      if (cell.kind != CellKind::Combinational) continue;
+      const auto& family = d.library().footprint_family(cell.footprint);
+      if (family.size() < 2) continue;
+      const std::size_t swap =
+          family[cell.name == d.library().cell(family[0]).name ? 1 : 0];
+      stack.design().resize_instance(i, swap);
+      stack.timer->invalidate_instance(i);
+      ++resized;
+    }
+    EXPECT_GT(resized, 0u);
+    stack.timer->update_timing();
+  };
+
+  ThreadGuard guard;
+  set_num_threads(1);
+  GeneratedStack serial(small_options(), 3000.0);
+  mutate(serial);
+  EXPECT_GE(serial.timer->incremental_updates(), 1u);
+  const TimingSnapshot want = TimingSnapshot::capture(*serial.timer);
+
+  set_num_threads(4);
+  GeneratedStack parallel(small_options(), 3000.0);
+  mutate(parallel);
+  expect_bit_identical(want, TimingSnapshot::capture(*parallel.timer));
+}
+
+TEST(Parallel, EnumeratedPathSetsIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kK = 6;
+  ThreadGuard guard;
+  set_num_threads(1);
+  GeneratedStack serial(small_options(), 3000.0);
+  const auto want = PathEnumerator(*serial.timer, kK).all_paths();
+  const auto want_early =
+      PathEnumerator(*serial.timer, kK, Mode::Early).all_paths();
+
+  set_num_threads(4);
+  GeneratedStack parallel(small_options(), 3000.0);
+  const auto got = PathEnumerator(*parallel.timer, kK).all_paths();
+  const auto got_early =
+      PathEnumerator(*parallel.timer, kK, Mode::Early).all_paths();
+
+  const auto expect_same = [](const std::vector<TimingPath>& a,
+                              const std::vector<TimingPath>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_GT(a.size(), 0u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].gba_arrival_ps, b[i].gba_arrival_ps) << i;
+      EXPECT_EQ(a[i].nodes, b[i].nodes) << i;
+      EXPECT_EQ(a[i].arcs, b[i].arcs) << i;
+      EXPECT_EQ(a[i].launch_check, b[i].launch_check) << i;
+    }
+  };
+  expect_same(want, got);
+  expect_same(want_early, got_early);
+}
+
+TEST(Parallel, SolverDeterministicAtFixedThreadCount) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  GeneratedStack stack(small_options(), 2600.0);
+  const PathEnumerator enumerator(*stack.timer, 4);
+  const auto paths = enumerator.all_paths();
+  ASSERT_GT(paths.size(), 0u);
+  const PathEvaluator evaluator(*stack.timer, stack.table);
+  const MgbaProblem problem(*stack.timer, evaluator, paths, 0.02);
+  ASSERT_GT(problem.num_rows(), 0u);
+  ASSERT_GT(problem.num_cols(), 0u);
+  EXPECT_EQ(problem.all_rows().size(), problem.num_rows());
+
+  SolverOptions options;
+  options.max_iterations = 400;
+  const SolveResult a = solve_scg(problem, {}, options);
+  const SolveResult b = solve_scg(problem, {}, options);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t j = 0; j < a.x.size(); ++j) EXPECT_EQ(a.x[j], b.x[j]) << j;
+  EXPECT_EQ(a.final_objective, b.final_objective);
+  EXPECT_EQ(a.iterations, b.iterations);
+
+  // Objective/gradient parallel reductions agree with the 1-thread sweep
+  // to rounding (FP reassociation across block boundaries only).
+  std::vector<double> g4(problem.num_cols());
+  problem.gradient(a.x, options.penalty_weight, g4);
+  const double f4 = problem.objective(a.x, options.penalty_weight);
+  set_num_threads(1);
+  std::vector<double> g1(problem.num_cols());
+  problem.gradient(a.x, options.penalty_weight, g1);
+  const double f1 = problem.objective(a.x, options.penalty_weight);
+  EXPECT_NEAR(f4, f1, 1e-9 * std::max(1.0, std::abs(f1)));
+  for (std::size_t j = 0; j < g1.size(); ++j) {
+    EXPECT_NEAR(g4[j], g1[j], 1e-9 * std::max(1.0, std::abs(g1[j]))) << j;
+  }
+}
+
+TEST(Parallel, CsrKernelsMatchSerial) {
+  ThreadGuard guard;
+  CsrMatrix m(5);
+  for (std::size_t i = 0; i < 700; ++i) {
+    const std::size_t c0 = i % 4;
+    const std::vector<std::size_t> cols{c0, c0 + 1};
+    const std::vector<double> vals{1.0 + static_cast<double>(i % 7),
+                                   0.5 * static_cast<double>(i % 3)};
+    m.append_row(cols, vals);
+  }
+  const std::vector<double> x{1.0, -2.0, 3.0, 0.25, -1.5};
+  std::vector<std::size_t> subset;
+  for (std::size_t i = 0; i < m.num_rows(); i += 3) subset.push_back(i);
+
+  set_num_threads(1);
+  std::vector<double> y1(m.num_rows());
+  m.multiply(x, y1);
+  const auto norms1 = m.row_norms_sq();
+  const CsrMatrix sub1 = m.select_rows(subset);
+
+  set_num_threads(4);
+  std::vector<double> y4(m.num_rows());
+  m.multiply(x, y4);
+  const auto norms4 = m.row_norms_sq();
+  const CsrMatrix sub4 = m.select_rows(subset);
+
+  EXPECT_EQ(y1, y4);
+  EXPECT_EQ(norms1, norms4);
+  ASSERT_EQ(sub1.num_rows(), sub4.num_rows());
+  ASSERT_EQ(sub1.nnz(), sub4.nnz());
+  for (std::size_t i = 0; i < sub1.num_rows(); ++i) {
+    const SparseRowView a = sub1.row(i);
+    const SparseRowView b = sub4.row(i);
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (std::size_t k = 0; k < a.nnz(); ++k) {
+      EXPECT_EQ(a.cols[k], b.cols[k]);
+      EXPECT_EQ(a.values[k], b.values[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgba

@@ -36,6 +36,7 @@
 #include "sta/report.hpp"
 #include "sta/sdc.hpp"
 #include "sta/timer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -47,6 +48,8 @@ int usage() {
                "usage: mgba_timer "
                "<generate|stats|report|fit|optimize|dump-library> [options]\n"
                "  common: --library FILE (liberty-lite cell library)\n"
+               "          --threads N (parallel STA/PBA/solver threads;\n"
+               "                       default MGBA_THREADS env or all cores)\n"
                "  generate --design 1..10 | --gates N --flops N [--seed S]\n"
                "           [--depth D] [--blocks B] --out FILE\n"
                "  stats    --netlist FILE\n"
@@ -321,6 +324,14 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args(argc - 1, argv + 1);
+  if (args.has("threads")) {
+    const long n = args.get_int("threads", 0);
+    if (n < 1) {
+      std::fprintf(stderr, "--threads must be >= 1\n");
+      return 2;
+    }
+    set_num_threads(static_cast<std::size_t>(n));
+  }
   if (command == "generate") return cmd_generate(args);
   if (command == "stats") return cmd_stats(args);
   if (command == "report") return cmd_report(args);
