@@ -3,6 +3,9 @@
 # suite, then the parallel timing engine's determinism tests again under
 # ThreadSanitizer with a multi-threaded pool, so data races in the
 # level-synchronous sweeps fail the gate rather than shipping latent.
+# Finally the multi-corner (MCMM) tests run under ASan+UBSan, so an
+# off-by-one in the corner-major SoA arena indexing faults loudly instead
+# of silently reading a neighboring corner's lane.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,4 +16,8 @@ cmake --build build -j
 cmake -B build-tsan -S . -DMGBA_SANITIZE=thread
 cmake --build build-tsan -j --target mgba_tests
 MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*'
-echo "tier-1 OK (ctest + TSan parallel suite)"
+
+cmake -B build-asan -S . -DMGBA_SANITIZE=address
+cmake --build build-asan -j --target mgba_tests
+MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*'
+echo "tier-1 OK (ctest + TSan parallel suite + ASan MCMM suite)"

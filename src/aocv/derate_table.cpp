@@ -93,6 +93,19 @@ double DerateTable::early(double depth, double distance_um) const {
   return interpolate(early_, depth, distance_um);
 }
 
+DerateTable DerateTable::scaled_margin(double k) const {
+  MGBA_CHECK(k >= 0.0);
+  std::vector<double> late = late_;
+  std::vector<double> early = early_;
+  for (double& v : late) v = 1.0 + (v - 1.0) * k;
+  // Early factors must stay in (0, 1]; clamp the lower end so a large
+  // margin cannot push a factor to zero (monotonicity survives clamping
+  // because the checks are non-strict).
+  for (double& v : early) v = std::max(0.05, 1.0 - (1.0 - v) * k);
+  return DerateTable(depth_axis_, distance_axis_, std::move(late),
+                     std::move(early));
+}
+
 DerateTable paper_table1() {
   // Rows = distance {0.5, 1.0, 1.5} um; columns = depth {3, 4, 5, 6}.
   return DerateTable({3, 4, 5, 6}, {0.5, 1.0, 1.5},

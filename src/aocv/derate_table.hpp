@@ -35,6 +35,13 @@ class DerateTable {
   /// Early (speed-up) factor.
   [[nodiscard]] double early(double depth, double distance_um) const;
 
+  /// A copy of this table with every margin scaled by \p k >= 0: late
+  /// factors become 1 + (late - 1) * k and early factors 1 - (1 - early) * k
+  /// (clamped to stay valid). This is how a corner spec derives its own
+  /// AOCV table from the base table — slow corners widen the variation
+  /// margin (k > 1), typical corners shrink it (k < 1), k = 1 is a copy.
+  [[nodiscard]] DerateTable scaled_margin(double k) const;
+
   [[nodiscard]] std::span<const double> depth_axis() const {
     return depth_axis_;
   }

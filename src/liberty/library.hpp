@@ -26,6 +26,23 @@ enum class CellKind : std::uint8_t {
 /// Direction of a library pin.
 enum class PinDirection : std::uint8_t { Input, Output };
 
+/// Per-corner scaling applied to every timing quantity the library
+/// produces — the PVT proxy of a multi-corner flow. A slow corner scales
+/// delays (and usually slews) above 1; a fast corner below 1. Constraint
+/// scaling covers setup/hold table values, which track the same silicon.
+/// The identity scaling reproduces the unscaled library bit-for-bit
+/// (multiplication by 1.0 is exact in IEEE arithmetic), which is what
+/// keeps single-corner results byte-identical to the pre-corner engine.
+struct LibraryScaling {
+  double delay = 1.0;       ///< cell-arc and wire delays
+  double slew = 1.0;        ///< output transitions and boundary slews
+  double constraint = 1.0;  ///< setup/hold requirement values
+
+  [[nodiscard]] bool is_identity() const {
+    return delay == 1.0 && slew == 1.0 && constraint == 1.0;
+  }
+};
+
 /// A pin on a library cell.
 struct LibPin {
   std::string name;

@@ -19,13 +19,16 @@ MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
   MgbaFlowResult result;
   const bool hold = options.check_kind == CheckKind::Hold;
   const Mode mode = hold ? Mode::Early : Mode::Late;
+  const CornerId corner = options.corner;
+  MGBA_CHECK(corner < timer.num_corners());
+  result.corner = corner;
 
   // The fit is defined against plain GBA: clear any stale weights on the
-  // side being fitted.
+  // side being fitted, at the corner being fitted.
   if (hold) {
-    timer.set_instance_weights_early({});
+    timer.set_instance_weights_early(corner, {});
   } else {
-    timer.set_instance_weights({});
+    timer.set_instance_weights(corner, {});
   }
   timer.update_timing();
 
@@ -34,12 +37,12 @@ MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
   // what keeps the fit overhead a small fraction of the closure flow
   // (paper Table 5: mGBA column ~2% of the flow runtime).
   const PathEnumerator enumerator(timer, options.candidate_paths_per_endpoint,
-                                  mode);
+                                  mode, corner);
   std::vector<TimingPath> paths;
   {
     std::vector<NodeId> endpoints;
     for (const NodeId e : timer.graph().endpoints()) {
-      if (!options.only_violated || timer.slack(e, mode) < 0.0) {
+      if (!options.only_violated || timer.slack(e, mode, corner) < 0.0) {
         endpoints.push_back(e);
       }
     }
@@ -57,7 +60,7 @@ MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
   if (paths.empty()) return result;
 
   // Full problem over all candidates (also the measurement set).
-  const PathEvaluator evaluator(timer, table, options.eval_options);
+  const PathEvaluator evaluator(timer, table, options.eval_options, corner);
   const MgbaProblem problem(timer, evaluator, paths, options.epsilon,
                             options.check_kind);
   result.variables = problem.num_cols();
@@ -107,21 +110,34 @@ MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
   // timing graph").
   result.instance_weights = problem.to_instance_weights(solved.x);
   if (hold) {
-    timer.set_instance_weights_early(result.instance_weights);
+    timer.set_instance_weights_early(corner, result.instance_weights);
   } else {
-    timer.set_instance_weights(result.instance_weights);
+    timer.set_instance_weights(corner, result.instance_weights);
   }
   timer.update_timing();
 
   result.total_seconds = total_watch.seconds();
   MGBA_LOG_INFO(
-      "mGBA flow: %zu candidates, %zu violated, fit %zu rows x %zu vars, "
-      "mse %.4g -> %.4g, pass %.3f -> %.3f, solve %.2fs",
-      result.candidate_paths, result.violated_paths, result.fitted_paths,
-      result.variables, result.mse_before, result.mse_after,
-      result.pass_ratio_before, result.pass_ratio_after,
-      result.solve_seconds);
+      "mGBA flow [%s]: %zu candidates, %zu violated, fit %zu rows x %zu "
+      "vars, mse %.4g -> %.4g, pass %.3f -> %.3f, solve %.2fs",
+      timer.corner(corner).name.c_str(), result.candidate_paths,
+      result.violated_paths, result.fitted_paths, result.variables,
+      result.mse_before, result.mse_after, result.pass_ratio_before,
+      result.pass_ratio_after, result.solve_seconds);
   return result;
+}
+
+std::vector<MgbaFlowResult> run_mgba_flow_all_corners(
+    Timer& timer, std::span<const CornerSetup> setups,
+    MgbaFlowOptions options) {
+  MGBA_CHECK(setups.size() == timer.num_corners());
+  std::vector<MgbaFlowResult> results;
+  results.reserve(setups.size());
+  for (std::size_t c = 0; c < setups.size(); ++c) {
+    options.corner = static_cast<CornerId>(c);
+    results.push_back(run_mgba_flow(timer, setups[c].table, options));
+  }
+  return results;
 }
 
 }  // namespace mgba

@@ -7,8 +7,10 @@
 /// push the resulting weighting factors back into the timing graph so
 /// every subsequent (incremental) timing query sees mGBA slacks.
 
+#include <span>
 #include <vector>
 
+#include "aocv/corner_io.hpp"
 #include "aocv/derate_table.hpp"
 #include "mgba/problem.hpp"
 #include "mgba/solvers.hpp"
@@ -44,12 +46,19 @@ struct MgbaFlowOptions {
   SamplingOptions sampling_options;
   /// PBA golden evaluation options.
   PathEvalOptions eval_options;
+  /// The corner the fit runs at: paths are enumerated under this corner's
+  /// delays, golden PBA evaluates at it, and the resulting weight vector is
+  /// installed on it. run_mgba_flow_all_corners loops this over the set.
+  CornerId corner = kDefaultCorner;
 };
 
 struct MgbaFlowResult {
   /// Per-instance weight deviation x (index = InstanceId) applied to the
   /// timer; empty when no paths were available to fit.
   std::vector<double> instance_weights;
+
+  /// The corner this fit ran at (mirrors the option for reporting).
+  CornerId corner = kDefaultCorner;
 
   // Problem shape.
   std::size_t candidate_paths = 0;
@@ -69,10 +78,20 @@ struct MgbaFlowResult {
   std::size_t solver_iterations = 0;
 };
 
-/// Runs one mGBA fit on \p timer and leaves the weighting factors applied
-/// (Timer::set_instance_weights + update_timing). Clears any previously
-/// applied weights first so the fit is against plain GBA.
+/// Runs one mGBA fit on \p timer at options.corner and leaves the
+/// weighting factors applied (Timer::set_instance_weights + update_timing).
+/// Clears any previously applied weights on that corner first so the fit
+/// is against plain GBA. \p table must be the derate table of that corner.
 MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
                              const MgbaFlowOptions& options = {});
+
+/// Fits every corner of \p setups independently (the MCMM flow): corner c
+/// gets its own path enumeration, golden PBA against its own derate table,
+/// and its own weight vector x_c. The timer must already have the corner
+/// set installed (apply_corner_setups). Returns one result per corner, in
+/// corner order.
+std::vector<MgbaFlowResult> run_mgba_flow_all_corners(
+    Timer& timer, std::span<const CornerSetup> setups,
+    MgbaFlowOptions options = {});
 
 }  // namespace mgba

@@ -63,6 +63,25 @@ double gate_coverage(const MgbaProblem& problem,
          static_cast<double>(problem.num_cols());
 }
 
+PassRatioResult endpoint_pass_ratio(const Timer& timer, Mode mode,
+                                    CornerId corner) {
+  PassRatioResult result;
+  for (const NodeId e : timer.graph().endpoints()) {
+    ++result.total;
+    if (timer.slack(e, mode, corner) >= 0.0) ++result.good;
+  }
+  return result;
+}
+
+PassRatioResult endpoint_pass_ratio_merged(const Timer& timer, Mode mode) {
+  PassRatioResult result;
+  for (const NodeId e : timer.graph().endpoints()) {
+    ++result.total;
+    if (timer.slack_merged(e, mode) >= 0.0) ++result.good;
+  }
+  return result;
+}
+
 double max_optimism_violation(const MgbaProblem& problem,
                               std::span<const double> x) {
   const auto bound = problem.lower_bounds();

@@ -37,6 +37,16 @@ PassRatioResult pass_ratio(const MgbaProblem& problem,
                            std::span<const double> x, double rel_tol = 0.05,
                            double abs_tol_ps = 5.0);
 
+/// MCMM endpoint pass ratio: fraction of endpoints with non-negative slack
+/// at one corner (the per-corner row of the multi-corner report).
+PassRatioResult endpoint_pass_ratio(const Timer& timer, Mode mode,
+                                    CornerId corner = kDefaultCorner);
+
+/// Merged worst-corner endpoint pass ratio: an endpoint passes only when
+/// it meets timing at *every* corner (min-slack merge). This is the
+/// signoff number the optimizer closes against.
+PassRatioResult endpoint_pass_ratio_merged(const Timer& timer, Mode mode);
+
 /// Fraction of problem columns (gates) with at least one entry in the
 /// selected rows — the coverage statistic of the Sec. 3.2 experiment.
 double gate_coverage(const MgbaProblem& problem,

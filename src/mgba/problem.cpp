@@ -49,6 +49,9 @@ MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
   s_gba0_.reserve(paths.size());
 
   const Mode mode = hold ? Mode::Early : Mode::Late;
+  // The whole system is built at the evaluator's corner: its delays define
+  // a_ij and its GBA/PBA slacks define b. Each corner fits independently.
+  const CornerId corner = evaluator.corner();
 
   // Golden PBA re-evaluation is the expensive part of the build (per-path
   // derate/slew/CRPR recomputation) and is independent per path: sweep it
@@ -74,8 +77,8 @@ MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
     for (const ArcId a : path.arcs) {
       if (!timer.is_weighted(a)) continue;
       const InstanceId inst = graph.arc(a).inst;
-      const DeratePair derate = timer.instance_derate(inst);
-      const double contribution = timer.arc_delay_base(a, mode) *
+      const DeratePair derate = timer.instance_derate(inst, corner);
+      const double contribution = timer.arc_delay_base(a, mode, corner) *
                                   (hold ? derate.early : derate.late);
       entries.emplace_back(
           static_cast<std::size_t>(instance_column_[inst]), contribution);

@@ -46,6 +46,9 @@ class MgbaProblem {
   /// inactive (all-zero deviation) so s_gba(0) is the plain GBA slack.
   /// Columns are the weighted (data-path combinational) instances that
   /// appear on at least one path. \p epsilon is the constraint tolerance.
+  /// The system is built at the evaluator's corner (delays, derates, and
+  /// golden slacks all read that corner); multi-corner flows build one
+  /// problem per corner.
   /// For CheckKind::Hold, \p paths must have been enumerated in
   /// Mode::Early; paths without a hold check (port endpoints) are skipped.
   MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,

@@ -20,14 +20,29 @@ TimingCloser::TimingCloser(Design& design, Timer& timer,
       table_(&table),
       options_(std::move(options)) {}
 
+void TimingCloser::set_corner_setups(std::vector<CornerSetup> setups) {
+  MGBA_CHECK(setups.size() == timer_->num_corners());
+  corner_setups_ = std::move(setups);
+}
+
 double TimingCloser::current_tns() {
   timer_->update_timing();
-  return timer_->tns(Mode::Late);
+  return timer_->tns_merged(Mode::Late);
 }
 
 void TimingCloser::refresh_derates() {
-  timer_->set_instance_derates(
-      compute_gba_derates(timer_->graph(), *table_));
+  if (corner_setups_.empty()) {
+    timer_->set_instance_derates(
+        compute_gba_derates(timer_->graph(), *table_));
+    return;
+  }
+  // Structural edits renumber instances: rebuild each corner's derate
+  // vector from that corner's own table.
+  for (std::size_t c = 0; c < corner_setups_.size(); ++c) {
+    timer_->set_corner_derates(
+        static_cast<CornerId>(c),
+        compute_gba_derates(timer_->graph(), corner_setups_[c].table));
+  }
 }
 
 bool TimingCloser::is_sizable(InstanceId inst) const {
@@ -109,11 +124,16 @@ bool TimingCloser::try_insert_buffer(ArcId net_arc, OptimizerReport& report) {
 bool TimingCloser::optimize_endpoint(NodeId endpoint,
                                      OptimizerReport& report) {
   timer_->update_timing();
-  if (timer_->slack(endpoint, Mode::Late) >= 0.0) return false;
+  if (timer_->slack_merged(endpoint, Mode::Late) >= 0.0) return false;
 
   // The endpoint may have been renumbered by a rebuild between selection
   // and optimization; callers pass fresh ids, so this is the live path.
-  const std::vector<NodeId> path = timer_->worst_path(endpoint);
+  // Attack the path of the corner realizing the merged worst slack — that
+  // is the corner blocking signoff at this endpoint.
+  const CornerId worst_corner =
+      timer_->worst_slack_corner(endpoint, Mode::Late);
+  const std::vector<NodeId> path =
+      timer_->worst_path(endpoint, worst_corner);
 
   // Collect per-stage delays along the path: cell arcs are sizing
   // candidates, net arcs are buffering candidates.
@@ -130,7 +150,7 @@ bool TimingCloser::optimize_endpoint(NodeId endpoint,
       if (timer_->graph().arc(a).from != from) continue;
       Stage stage;
       stage.arc = a;
-      stage.delay = timer_->arc_delay(a, Mode::Late);
+      stage.delay = timer_->arc_delay(a, Mode::Late, worst_corner);
       stage.is_net = timer_->graph().arc(a).kind == TimingArc::Kind::Net;
       stages.push_back(stage);
       break;
@@ -181,7 +201,8 @@ void TimingCloser::area_recovery(OptimizerReport& report) {
       if (it == family.begin()) continue;  // already smallest
       const NodeId out = timer_->graph().node_of_pin(
           inst, static_cast<std::uint32_t>(cell.output_pin()));
-      if (timer_->slack(out, Mode::Late) < options_.recovery_margin_ps) {
+      if (timer_->slack_merged(out, Mode::Late) <
+          options_.recovery_margin_ps) {
         continue;
       }
       ++report.transforms_attempted;
@@ -197,8 +218,9 @@ void TimingCloser::area_recovery(OptimizerReport& report) {
     while (current_tns() < tns_target) {
       bool any_revert = false;
       for (const NodeId e : timer_->graph().endpoints()) {
-        if (timer_->slack(e, Mode::Late) >= 0.0) continue;
-        for (const NodeId node : timer_->worst_path(e)) {
+        if (timer_->slack_merged(e, Mode::Late) >= 0.0) continue;
+        for (const NodeId node :
+             timer_->worst_path(e, timer_->worst_slack_corner(e, Mode::Late))) {
           const Terminal& t = timer_->graph().node(node).terminal;
           if (t.kind != Terminal::Kind::InstancePin) continue;
           for (auto& [inst, old_cell] : downsized) {
@@ -241,11 +263,16 @@ OptimizerReport TimingCloser::run() {
 
     if (options_.use_mgba && pass % options_.mgba_refresh_passes == 0) {
       const Stopwatch mgba_watch;
-      run_mgba_flow(*timer_, *table_, options_.mgba_options);
+      if (corner_setups_.empty()) {
+        run_mgba_flow(*timer_, *table_, options_.mgba_options);
+      } else {
+        run_mgba_flow_all_corners(*timer_, corner_setups_,
+                                  options_.mgba_options);
+      }
       report.mgba_seconds += mgba_watch.seconds();
     }
     timer_->update_timing();
-    if (timer_->num_violations(Mode::Late) <=
+    if (timer_->num_violations_merged(Mode::Late) <=
         options_.acceptable_violations) {
       break;
     }
@@ -265,7 +292,7 @@ OptimizerReport TimingCloser::run() {
       NodeId target = kInvalidNode;
       double worst = 0.0;
       for (const NodeId e : timer_->graph().endpoints()) {
-        const double s = timer_->slack(e, Mode::Late);
+        const double s = timer_->slack_merged(e, Mode::Late);
         if (s < worst && !was_tried(endpoint_key(e))) {
           worst = s;
           target = e;
@@ -282,6 +309,7 @@ OptimizerReport TimingCloser::run() {
 
   timer_->update_timing();
   report.final_qor = measure_qor(*timer_);
+  report.final_per_corner = measure_qor_per_corner(*timer_);
   report.seconds = watch.seconds();
   MGBA_LOG_INFO("closure done: passes=%zu upsizes=%zu buffers=%zu "
                 "downsizes=%zu  %s",

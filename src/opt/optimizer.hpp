@@ -7,6 +7,12 @@
 /// until closure (or until no transform helps). The slack source is the
 /// Timer — plain GBA, or mGBA when the embedded fit is enabled — which is
 /// the single variable the Table 2 / Table 5 experiments compare.
+///
+/// Multi-corner closure: every accept/reject decision reads the *merged*
+/// worst-corner slack view (tns_merged / slack_merged), so a transform is
+/// kept only if it helps signoff across all corners; the report carries
+/// per-corner QoR alongside. Single-corner behavior is unchanged (the
+/// merge of one corner is that corner).
 
 #include "aocv/derate_table.hpp"
 #include "mgba/framework.hpp"
@@ -43,8 +49,10 @@ struct OptimizerOptions {
 };
 
 struct OptimizerReport {
-  QorMetrics initial;
-  QorMetrics final_qor;
+  QorMetrics initial;   ///< merged worst-corner view
+  QorMetrics final_qor; ///< merged worst-corner view
+  /// Final QoR of each corner (one entry per timer corner).
+  std::vector<QorMetrics> final_per_corner;
   std::size_t passes = 0;
   std::size_t upsizes = 0;
   std::size_t downsizes = 0;
@@ -63,6 +71,12 @@ class TimingCloser {
   TimingCloser(Design& design, Timer& timer, const DerateTable& table,
                OptimizerOptions options);
 
+  /// Multi-corner closure: each corner refreshes derates from its own
+  /// table and gets its own embedded mGBA fit; accept/reject decisions use
+  /// the merged view. The setups must match the timer's corner set
+  /// (apply_corner_setups) and are copied.
+  void set_corner_setups(std::vector<CornerSetup> setups);
+
   /// Runs the closure loop and (optionally) area recovery.
   OptimizerReport run();
 
@@ -79,6 +93,8 @@ class TimingCloser {
   Timer* timer_;
   const DerateTable* table_;
   OptimizerOptions options_;
+  /// Empty = single-corner legacy mode (derates and mGBA from *table_).
+  std::vector<CornerSetup> corner_setups_;
   std::size_t buffer_counter_ = 0;
 };
 
@@ -86,6 +102,8 @@ class TimingCloser {
 /// uses the given fraction of the cycle: period = worst_arrival /
 /// utilization. utilization slightly above 1.0 leaves a few true
 /// violations; slightly below 1.0 leaves only GBA-pessimism violations.
+/// Evaluates at the default corner (the period is a design constraint, not
+/// a per-corner quantity; size the period before installing extra corners).
 double choose_clock_period(Timer& timer, const DerateTable& table,
                            double utilization);
 

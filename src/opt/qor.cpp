@@ -24,16 +24,42 @@ std::size_t count_buffers(const Design& design) {
   return count;
 }
 
-QorMetrics measure_qor(const Timer& timer) {
-  QorMetrics qor;
-  qor.wns_ps = timer.wns(Mode::Late);
-  qor.tns_ps = timer.tns(Mode::Late);
-  qor.violations = timer.num_violations(Mode::Late);
+namespace {
+
+void fill_design_metrics(const Timer& timer, QorMetrics& qor) {
   const Design& design = timer.graph().design();
   qor.area_um2 = design.total_area();
   qor.leakage_nw = design.total_leakage();
   qor.buffer_count = count_buffers(design);
+}
+
+}  // namespace
+
+QorMetrics measure_qor(const Timer& timer) {
+  QorMetrics qor;
+  qor.wns_ps = timer.wns_merged(Mode::Late);
+  qor.tns_ps = timer.tns_merged(Mode::Late);
+  qor.violations = timer.num_violations_merged(Mode::Late);
+  fill_design_metrics(timer, qor);
   return qor;
+}
+
+QorMetrics measure_qor(const Timer& timer, CornerId corner) {
+  QorMetrics qor;
+  qor.wns_ps = timer.wns(Mode::Late, corner);
+  qor.tns_ps = timer.tns(Mode::Late, corner);
+  qor.violations = timer.num_violations(Mode::Late, corner);
+  fill_design_metrics(timer, qor);
+  return qor;
+}
+
+std::vector<QorMetrics> measure_qor_per_corner(const Timer& timer) {
+  std::vector<QorMetrics> per_corner;
+  per_corner.reserve(timer.num_corners());
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    per_corner.push_back(measure_qor(timer, c));
+  }
+  return per_corner;
 }
 
 QorMetrics measure_golden_qor(Timer& timer, const DerateTable& table,

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "aocv/derate_table.hpp"
 #include "netlist/design.hpp"
@@ -24,8 +25,19 @@ struct QorMetrics {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// QoR as seen by the timer's current (GBA or mGBA) slacks.
+/// QoR as seen by the timer's current (GBA or mGBA) slacks, merged across
+/// corners: per-endpoint worst-corner slack feeds WNS/TNS/violations. With
+/// a single corner this is exactly that corner's QoR (and bit-identical to
+/// the pre-MCMM metric).
 QorMetrics measure_qor(const Timer& timer);
+
+/// QoR of one specific corner.
+QorMetrics measure_qor(const Timer& timer, CornerId corner);
+
+/// One QorMetrics per corner, in corner order (the per-corner rows of the
+/// multi-corner Table 2 view; area/leakage/buffers repeat per row since
+/// they are corner-independent).
+std::vector<QorMetrics> measure_qor_per_corner(const Timer& timer);
 
 /// Sign-off QoR: WNS/TNS measured with golden PBA slacks (the worst PBA
 /// slack per endpoint over its \p paths_per_endpoint GBA-worst paths).

@@ -7,8 +7,9 @@
 
 namespace mgba {
 
-PathEnumerator::PathEnumerator(const Timer& timer, std::size_t k, Mode mode)
-    : timer_(&timer), k_(k), mode_(mode) {
+PathEnumerator::PathEnumerator(const Timer& timer, std::size_t k, Mode mode,
+                               CornerId corner)
+    : timer_(&timer), k_(k), mode_(mode), corner_(corner) {
   MGBA_CHECK(k_ > 0);
   const TimingGraph& graph = timer.graph();
   const Design& design = graph.design();
@@ -26,7 +27,7 @@ PathEnumerator::PathEnumerator(const Timer& timer, std::size_t k, Mode mode)
   for (const NodeId launch : graph.launch_nodes()) {
     is_launch[launch] = true;
     candidates_[launch].push_back(
-        {timer.arrival(launch, mode_), kInvalidArc, 0});
+        {timer.arrival(launch, mode_, corner_), kInvalidArc, 0});
   }
 
   // K-best DP, level-synchronous over data nodes. "Best" is the
@@ -45,7 +46,7 @@ PathEnumerator::PathEnumerator(const Timer& timer, std::size_t k, Mode mode)
     for (const ArcId a : graph.fanin(u)) {
       const TimingArc& arc = graph.arc(a);
       if (graph.node(arc.from).is_clock_network) continue;  // CK->Q handled
-      const double delay = timer_->arc_delay(a, mode_);
+      const double delay = timer_->arc_delay(a, mode_, corner_);
       const auto& preds = candidates_[arc.from];
       for (std::uint32_t r = 0; r < preds.size(); ++r) {
         merged.push_back({preds[r].arrival + delay, a, r});

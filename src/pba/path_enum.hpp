@@ -23,10 +23,15 @@ namespace mgba {
 class PathEnumerator {
  public:
   /// Runs the k-best DP once over the whole data graph. The timer must be
-  /// up to date; results snapshot the timer's current arc delays. Late
-  /// mode keeps the k *largest* arrivals (setup-critical paths); Early
-  /// mode keeps the k *smallest* (hold-critical paths).
-  PathEnumerator(const Timer& timer, std::size_t k, Mode mode = Mode::Late);
+  /// up to date; results snapshot the timer's current arc delays at
+  /// \p corner. Late mode keeps the k *largest* arrivals (setup-critical
+  /// paths); Early mode keeps the k *smallest* (hold-critical paths).
+  /// Multi-corner flows run one enumerator per corner: the golden path set
+  /// of a corner is defined by that corner's delays.
+  PathEnumerator(const Timer& timer, std::size_t k, Mode mode = Mode::Late,
+                 CornerId corner = kDefaultCorner);
+
+  [[nodiscard]] CornerId corner() const { return corner_; }
 
   /// The up-to-k worst paths ending at \p endpoint, sorted worst-first
   /// (descending arrival for Late, ascending for Early).
@@ -49,6 +54,7 @@ class PathEnumerator {
   const Timer* timer_;
   std::size_t k_;
   Mode mode_ = Mode::Late;
+  CornerId corner_ = kDefaultCorner;
   /// candidates_[node]: up to k candidates sorted by descending arrival.
   std::vector<std::vector<Candidate>> candidates_;
   std::vector<std::int32_t> check_of_instance_;

@@ -6,15 +6,17 @@
 namespace mgba {
 
 PathEvaluator::PathEvaluator(const Timer& timer, const DerateTable& table,
-                             PathEvalOptions options)
-    : timer_(&timer), table_(&table), options_(options) {}
+                             PathEvalOptions options, CornerId corner)
+    : timer_(&timer), table_(&table), options_(options), corner_(corner) {}
 
 double PathEvaluator::gba_path_slack(const TimingPath& path) const {
-  return timer_->required(path.endpoint(), Mode::Late) - path.gba_arrival_ps;
+  return timer_->required(path.endpoint(), Mode::Late, corner_) -
+         path.gba_arrival_ps;
 }
 
 double PathEvaluator::gba_path_hold_slack(const TimingPath& path) const {
-  return path.gba_arrival_ps - timer_->required(path.endpoint(), Mode::Early);
+  return path.gba_arrival_ps -
+         timer_->required(path.endpoint(), Mode::Early, corner_);
 }
 
 PathTiming PathEvaluator::evaluate(const TimingPath& path) const {
@@ -32,25 +34,27 @@ PathTiming PathEvaluator::evaluate(const TimingPath& path) const {
   // --- PBA arrival: walk the path, re-derating (and optionally re-slewing)
   // every stage. The launch value (clock insertion + CK->Q, or the input
   // delay) is taken from the timer.
-  double arrival = timer.arrival(path.nodes.front(), Mode::Late);
-  double slew = timer.slew(path.nodes.front(), Mode::Late);
+  const LibraryScaling& scaling = timer.corner_scaling(corner_);
+  double arrival = timer.arrival(path.nodes.front(), Mode::Late, corner_);
+  double slew = timer.slew(path.nodes.front(), Mode::Late, corner_);
   for (const ArcId a : path.arcs) {
     const TimingArc& arc = graph.arc(a);
     double base;
     if (options_.recompute_path_slews) {
-      const ArcTiming t = timer.delay_calc().evaluate(graph, a, slew);
+      const ArcTiming t = timer.delay_calc().evaluate(graph, a, slew, scaling);
       base = t.delay_ps;
       slew = t.slew_ps;
     } else {
-      base = timer.arc_delay_base(a, Mode::Late);
-      slew = timer.slew(arc.to, Mode::Late);
+      base = timer.arc_delay_base(a, Mode::Late, corner_);
+      slew = timer.slew(arc.to, Mode::Late, corner_);
     }
     double factor = 1.0;
     if (arc.kind == TimingArc::Kind::Cell) {
       // Combinational data cells take the path derate; any other cell arc
       // (e.g. a flip-flop CK->Q inside the launch) keeps its GBA factor.
-      factor = timer.is_weighted(a) ? out.derate_pba
-                                    : timer.instance_derate(arc.inst).late;
+      factor = timer.is_weighted(a)
+                   ? out.derate_pba
+                   : timer.instance_derate(arc.inst, corner_).late;
     }
     arrival += base * factor;
   }
@@ -62,24 +66,26 @@ PathTiming PathEvaluator::evaluate(const TimingPath& path) const {
   const auto check_idx = graph.check_at(endpoint);
   if (check_idx.has_value()) {
     const TimingCheck& check = graph.checks()[*check_idx];
-    const double capture_early = timer.arrival(check.clock_node, Mode::Early);
-    const double clk_slew = timer.slew(check.clock_node, Mode::Early);
+    const double capture_early =
+        timer.arrival(check.clock_node, Mode::Early, corner_);
+    const double clk_slew = timer.slew(check.clock_node, Mode::Early, corner_);
     const double data_slew =
         options_.recompute_path_slews ? slew
-                                      : timer.slew(endpoint, Mode::Late);
+                                      : timer.slew(endpoint, Mode::Late,
+                                                   corner_);
     const double setup =
-        timer.delay_calc().setup_time(check, clk_slew, data_slew);
+        timer.delay_calc().setup_time(check, clk_slew, data_slew, scaling);
     double credit;
     if (options_.exact_crpr) {
-      credit = timer.crpr_credit_exact(path.launch_check, *check_idx);
+      credit = timer.crpr_credit_exact(path.launch_check, *check_idx, corner_);
     } else {
-      credit = timer.check_timing(*check_idx).crpr_credit_ps;
+      credit = timer.check_timing(*check_idx, corner_).crpr_credit_ps;
     }
     required =
         timer.constraints().clock_period_ps + capture_early - setup + credit;
   } else {
     // Output port: the external requirement is mode-independent.
-    required = timer.required(endpoint, Mode::Late);
+    required = timer.required(endpoint, Mode::Late, corner_);
   }
   out.pba_slack_ps = required - out.pba_arrival_ps;
   return out;
@@ -99,23 +105,25 @@ PathTiming PathEvaluator::evaluate_hold(const TimingPath& path) const {
   out.derate_pba =
       table_->early(static_cast<double>(out.depth), out.distance_um);
 
-  double arrival = timer.arrival(path.nodes.front(), Mode::Early);
-  double slew = timer.slew(path.nodes.front(), Mode::Early);
+  const LibraryScaling& scaling = timer.corner_scaling(corner_);
+  double arrival = timer.arrival(path.nodes.front(), Mode::Early, corner_);
+  double slew = timer.slew(path.nodes.front(), Mode::Early, corner_);
   for (const ArcId a : path.arcs) {
     const TimingArc& arc = graph.arc(a);
     double base;
     if (options_.recompute_path_slews) {
-      const ArcTiming t = timer.delay_calc().evaluate(graph, a, slew);
+      const ArcTiming t = timer.delay_calc().evaluate(graph, a, slew, scaling);
       base = t.delay_ps;
       slew = t.slew_ps;
     } else {
-      base = timer.arc_delay_base(a, Mode::Early);
-      slew = timer.slew(arc.to, Mode::Early);
+      base = timer.arc_delay_base(a, Mode::Early, corner_);
+      slew = timer.slew(arc.to, Mode::Early, corner_);
     }
     double factor = 1.0;
     if (arc.kind == TimingArc::Kind::Cell) {
-      factor = timer.is_weighted(a) ? out.derate_pba
-                                    : timer.instance_derate(arc.inst).early;
+      factor = timer.is_weighted(a)
+                   ? out.derate_pba
+                   : timer.instance_derate(arc.inst, corner_).early;
     }
     arrival += base * factor;
   }
@@ -125,18 +133,20 @@ PathTiming PathEvaluator::evaluate_hold(const TimingPath& path) const {
   const auto check_idx = graph.check_at(endpoint);
   if (check_idx.has_value()) {
     const TimingCheck& check = graph.checks()[*check_idx];
-    const double capture_late = timer.arrival(check.clock_node, Mode::Late);
-    const double clk_slew = timer.slew(check.clock_node, Mode::Late);
+    const double capture_late =
+        timer.arrival(check.clock_node, Mode::Late, corner_);
+    const double clk_slew = timer.slew(check.clock_node, Mode::Late, corner_);
     const double data_slew =
         options_.recompute_path_slews ? slew
-                                      : timer.slew(endpoint, Mode::Early);
+                                      : timer.slew(endpoint, Mode::Early,
+                                                   corner_);
     const double hold =
-        timer.delay_calc().hold_time(check, clk_slew, data_slew);
+        timer.delay_calc().hold_time(check, clk_slew, data_slew, scaling);
     double credit;
     if (options_.exact_crpr) {
-      credit = timer.crpr_credit_exact(path.launch_check, *check_idx);
+      credit = timer.crpr_credit_exact(path.launch_check, *check_idx, corner_);
     } else {
-      credit = timer.check_timing(*check_idx).crpr_credit_ps;
+      credit = timer.check_timing(*check_idx, corner_).crpr_credit_ps;
     }
     const double required = capture_late + hold - credit +
                             timer.constraints().clock_uncertainty_ps;

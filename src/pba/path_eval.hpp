@@ -40,9 +40,13 @@ struct PathTiming {
 
 class PathEvaluator {
  public:
-  /// The timer must outlive the evaluator and be up to date.
+  /// The timer must outlive the evaluator and be up to date. All GBA reads
+  /// and PBA re-evaluation (library scaling included) happen at \p corner;
+  /// pass the corner's own derate table alongside it in multi-corner flows.
   PathEvaluator(const Timer& timer, const DerateTable& table,
-                PathEvalOptions options = {});
+                PathEvalOptions options = {}, CornerId corner = kDefaultCorner);
+
+  [[nodiscard]] CornerId corner() const { return corner_; }
 
   /// Full GBA + PBA timing of one path.
   [[nodiscard]] PathTiming evaluate(const TimingPath& path) const;
@@ -66,6 +70,7 @@ class PathEvaluator {
   const Timer* timer_;
   const DerateTable* table_;
   PathEvalOptions options_;
+  CornerId corner_ = kDefaultCorner;
 };
 
 }  // namespace mgba

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file corner.hpp
+/// First-class analysis corners. Signoff is never single-corner: delays,
+/// slews, constraint values, and AOCV derates all vary per PVT corner, and
+/// closure must hold the *worst slack across corners*. An AnalysisCorner
+/// names one such view and carries the library scaling that realizes it;
+/// the per-corner AOCV derate table travels alongside it at the aocv layer
+/// (see aocv/corner_io.hpp), which keeps this header free of upward
+/// dependencies.
+///
+/// The Timer stores every timing quantity corner-indexed (see
+/// timing_data.hpp) and computes all corners in one levelized sweep;
+/// CornerId selects the view at query time, with merged worst-across-
+/// corners variants for the optimizer.
+
+#include <cstdint>
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace mgba {
+
+using CornerId = std::uint32_t;
+
+/// Corner 0: the view that legacy (corner-less) queries read, and the only
+/// corner of a default-constructed Timer. Identical to the pre-corner
+/// engine when its scaling is the identity.
+inline constexpr CornerId kDefaultCorner = 0;
+
+/// One analysis view: a name plus the delay/slew/constraint scale factors
+/// applied to the library at that corner. The matching AOCV derate table
+/// is selected per corner by the aocv layer.
+struct AnalysisCorner {
+  std::string name = "default";
+  LibraryScaling scaling;
+};
+
+}  // namespace mgba

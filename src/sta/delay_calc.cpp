@@ -12,7 +12,8 @@ double DelayCalculator::net_load_ff(NetId net) const {
 }
 
 ArcTiming DelayCalculator::evaluate(const TimingGraph& graph, ArcId arc_id,
-                                    double input_slew) const {
+                                    double input_slew,
+                                    const LibraryScaling& scaling) const {
   const TimingArc& arc = graph.arc(arc_id);
   ArcTiming out;
   if (arc.kind == TimingArc::Kind::Cell) {
@@ -22,8 +23,9 @@ ArcTiming DelayCalculator::evaluate(const TimingGraph& graph, ArcId arc_id,
     const NetId out_net = inst.pin_nets[lib_arc.to_pin];
     MGBA_DCHECK(out_net != kInvalidId);
     const double load = net_load_ff(out_net);
-    out.delay_ps = lib_arc.delay.lookup(input_slew, load);
-    out.slew_ps = lib_arc.output_slew.lookup(input_slew, load);
+    out.delay_ps = lib_arc.delay.lookup(input_slew, load) * scaling.delay;
+    out.slew_ps =
+        lib_arc.output_slew.lookup(input_slew, load) * scaling.slew;
   } else {
     const Net& net = design_->net(arc.net);
     MGBA_DCHECK(net.driver.has_value());
@@ -35,26 +37,32 @@ ArcTiming DelayCalculator::evaluate(const TimingGraph& graph, ArcId arc_id,
       sink_cap = design_->cell_of(sink.id).pins[sink.pin].capacitance_ff;
     }
     // Elmore star: the branch resistance sees half its own wire cap plus
-    // the sink pin cap.
+    // the sink pin cap. Interconnect tracks the corner's delay factor (an
+    // RC-corner proxy); the degradation term then scales with it.
     const double wire_res = wire_.res_per_um * dist;
     const double wire_cap = wire_.cap_per_um * dist;
-    out.delay_ps = wire_res * (wire_cap * 0.5 + sink_cap);
+    out.delay_ps = wire_res * (wire_cap * 0.5 + sink_cap) * scaling.delay;
     out.slew_ps = input_slew + wire_.slew_degradation * out.delay_ps;
   }
   return out;
 }
 
 double DelayCalculator::setup_time(const TimingCheck& check, double clock_slew,
-                                   double data_slew) const {
+                                   double data_slew,
+                                   const LibraryScaling& scaling) const {
   const LibCell& cell = design_->cell_of(check.inst);
   return cell.constraints[check.constraint].setup.lookup(clock_slew,
-                                                         data_slew);
+                                                         data_slew) *
+         scaling.constraint;
 }
 
 double DelayCalculator::hold_time(const TimingCheck& check, double clock_slew,
-                                  double data_slew) const {
+                                  double data_slew,
+                                  const LibraryScaling& scaling) const {
   const LibCell& cell = design_->cell_of(check.inst);
-  return cell.constraints[check.constraint].hold.lookup(clock_slew, data_slew);
+  return cell.constraints[check.constraint].hold.lookup(clock_slew,
+                                                        data_slew) *
+         scaling.constraint;
 }
 
 }  // namespace mgba

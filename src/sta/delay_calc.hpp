@@ -7,6 +7,7 @@
 /// *base* delays; the Timer composes base delay x derate x weight so that
 /// PBA can re-derate the same base values per path.
 
+#include "liberty/library.hpp"
 #include "netlist/design.hpp"
 #include "sta/timing_graph.hpp"
 #include "sta/timing_types.hpp"
@@ -36,21 +37,28 @@ class DelayCalculator {
 
   [[nodiscard]] const WireModel& wire_model() const { return wire_; }
 
-  /// Base (underated) timing of \p arc for input transition \p input_slew.
-  /// Cell arcs read the NLDM tables at the driver's current net load; net
-  /// arcs use the Elmore star model from driver to that sink.
+  /// Base (underated) timing of \p arc for input transition \p input_slew,
+  /// under a corner's library scaling (identity = the unscaled library,
+  /// bit-for-bit). Cell arcs read the NLDM tables at the driver's current
+  /// net load and scale delay/slew; net arcs use the Elmore star model
+  /// from driver to that sink, with the wire delay (and hence the slew
+  /// degradation it induces) scaled.
   [[nodiscard]] ArcTiming evaluate(const TimingGraph& graph, ArcId arc,
-                                   double input_slew) const;
+                                   double input_slew,
+                                   const LibraryScaling& scaling = {}) const;
 
   /// Total capacitive load on the driver of \p net: sink pin caps plus
   /// wire capacitance for the driver->sink Manhattan lengths.
   [[nodiscard]] double net_load_ff(NetId net) const;
 
-  /// Setup / hold constraint values for a check given clock/data slews.
+  /// Setup / hold constraint values for a check given clock/data slews,
+  /// scaled by the corner's constraint factor.
   [[nodiscard]] double setup_time(const TimingCheck& check, double clock_slew,
-                                  double data_slew) const;
+                                  double data_slew,
+                                  const LibraryScaling& scaling = {}) const;
   [[nodiscard]] double hold_time(const TimingCheck& check, double clock_slew,
-                                 double data_slew) const;
+                                 double data_slew,
+                                 const LibraryScaling& scaling = {}) const;
 
  private:
   const Design* design_;

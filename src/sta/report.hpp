@@ -2,7 +2,10 @@
 
 /// \file report.hpp
 /// Human-readable timing reports: endpoint slack summary and worst-path
-/// traces, in the style of a sign-off timer's report_timing output.
+/// traces, in the style of a sign-off timer's report_timing output. Every
+/// report is labeled with the analysis corner it reads (or "merged worst"
+/// for the across-corners min-slack view), so multi-corner output is never
+/// ambiguous.
 
 #include <string>
 
@@ -10,19 +13,35 @@
 
 namespace mgba {
 
-/// Summary line: WNS / TNS / violation count for a mode.
-std::string report_summary(const Timer& timer, Mode mode);
+/// The label reports print for a corner: its name, e.g. "corner 'slow'".
+std::string corner_label(const Timer& timer, CornerId corner);
 
-/// Table of the \p count worst endpoints by slack (late mode).
-std::string report_endpoints(const Timer& timer, std::size_t count = 10);
+/// Summary line: WNS / TNS / violation count for a mode at one corner.
+std::string report_summary(const Timer& timer, Mode mode,
+                           CornerId corner = kDefaultCorner);
 
-/// Full trace of the worst path into \p endpoint: per-node arrival and the
-/// arc delays along the path.
-std::string report_worst_path(const Timer& timer, NodeId endpoint);
+/// Summary line of the merged worst-corner view.
+std::string report_summary_merged(const Timer& timer, Mode mode);
+
+/// Table of the \p count worst endpoints by slack (late mode) at a corner.
+std::string report_endpoints(const Timer& timer, std::size_t count = 10,
+                             CornerId corner = kDefaultCorner);
+
+/// Full trace of the worst path into \p endpoint at a corner: per-node
+/// arrival and the arc delays along the path.
+std::string report_worst_path(const Timer& timer, NodeId endpoint,
+                              CornerId corner = kDefaultCorner);
 
 /// Text histogram of endpoint setup slacks (the classic closure progress
-/// view): \p num_bins bins spanning [wns, best positive slack].
+/// view) at one corner: \p num_bins bins spanning [wns, best positive
+/// slack]. The header names the corner.
 std::string report_slack_histogram(const Timer& timer,
-                                   std::size_t num_bins = 12);
+                                   std::size_t num_bins = 12,
+                                   CornerId corner = kDefaultCorner);
+
+/// Histogram of the merged worst-corner endpoint slacks; the header reads
+/// "merged worst".
+std::string report_slack_histogram_merged(const Timer& timer,
+                                          std::size_t num_bins = 12);
 
 }  // namespace mgba

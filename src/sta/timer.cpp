@@ -23,21 +23,69 @@ Timer::Timer(const Design& design, TimingConstraints constraints,
     : design_(&design),
       constraints_(std::move(constraints)),
       delay_(design, wire) {
+  derates_.resize(corners_.size());
+  weights_.resize(corners_.size());
+  weights_early_.resize(corners_.size());
   rebuild_graph();
 }
 
+void Timer::set_corners(std::vector<AnalysisCorner> corners) {
+  MGBA_CHECK(!corners.empty());
+  // Corner 0's configuration seeds every corner of the new set; callers
+  // refine per corner afterwards (per-corner derate tables, fits).
+  const std::vector<DeratePair> seed_derates =
+      derates_.empty() ? std::vector<DeratePair>{} : derates_[0];
+  const std::vector<double> seed_weights =
+      weights_.empty() ? std::vector<double>{} : weights_[0];
+  const std::vector<double> seed_weights_early =
+      weights_early_.empty() ? std::vector<double>{} : weights_early_[0];
+  corners_ = std::move(corners);
+  derates_.assign(corners_.size(), seed_derates);
+  weights_.assign(corners_.size(), seed_weights);
+  weights_early_.assign(corners_.size(), seed_weights_early);
+  allocate_storage();
+  dirty_full_ = true;
+  dirty_instances_.clear();
+}
+
+std::optional<CornerId> Timer::find_corner(std::string_view name) const {
+  for (std::size_t c = 0; c < corners_.size(); ++c) {
+    if (corners_[c].name == name) return static_cast<CornerId>(c);
+  }
+  return std::nullopt;
+}
+
 void Timer::set_instance_derates(std::vector<DeratePair> derates) {
-  derates_ = std::move(derates);
+  for (auto& per_corner : derates_) per_corner = derates;
+  dirty_full_ = true;
+}
+
+void Timer::set_corner_derates(CornerId corner,
+                               std::vector<DeratePair> derates) {
+  MGBA_CHECK(corner < derates_.size());
+  derates_[corner] = std::move(derates);
   dirty_full_ = true;
 }
 
 void Timer::set_instance_weights(std::vector<double> weights) {
-  weights_ = std::move(weights);
+  set_instance_weights(kDefaultCorner, std::move(weights));
+}
+
+void Timer::set_instance_weights(CornerId corner,
+                                 std::vector<double> weights) {
+  MGBA_CHECK(corner < weights_.size());
+  weights_[corner] = std::move(weights);
   dirty_full_ = true;
 }
 
 void Timer::set_instance_weights_early(std::vector<double> weights) {
-  weights_early_ = std::move(weights);
+  set_instance_weights_early(kDefaultCorner, std::move(weights));
+}
+
+void Timer::set_instance_weights_early(CornerId corner,
+                                       std::vector<double> weights) {
+  MGBA_CHECK(corner < weights_early_.size());
+  weights_early_[corner] = std::move(weights);
   dirty_full_ = true;
 }
 
@@ -102,14 +150,19 @@ void Timer::rebuild_graph() {
 void Timer::allocate_storage() {
   const std::size_t n = graph_->num_nodes();
   const std::size_t a = graph_->num_arcs();
-  for (int m = 0; m < kNumModes; ++m) {
-    arrival_[m].assign(n, 0.0);
-    slew_[m].assign(n, constraints_.input_slew_ps);
-    required_[m].assign(n, m == idx(Mode::Late) ? kInfPs : -kInfPs);
-    arc_delay_[m].assign(a, 0.0);
-    arc_delay_base_[m].assign(a, 0.0);
+  data_.resize(corners_.size(), n, a, graph_->checks().size());
+  for (std::size_t c = 0; c < corners_.size(); ++c) {
+    const double boundary_slew =
+        constraints_.input_slew_ps * corners_[c].scaling.slew;
+    for (int m = 0; m < kNumModes; ++m) {
+      const std::size_t base = data_.node_index(c, m, 0);
+      const double req_init = m == idx(Mode::Late) ? kInfPs : -kInfPs;
+      for (std::size_t u = 0; u < n; ++u) {
+        data_.slew[base + u] = boundary_slew;
+        data_.required[base + u] = req_init;
+      }
+    }
   }
-  check_timing_.assign(graph_->checks().size(), {});
 }
 
 void Timer::compute_instance_arcs() {
@@ -171,15 +224,18 @@ bool Timer::is_weighted_arc(const TimingArc& arc) const {
   return design_->cell_of(arc.inst).kind != CellKind::FlipFlop;
 }
 
-double Timer::derate_for(const TimingArc& arc, Mode mode) const {
+double Timer::derate_for(const TimingArc& arc, Mode mode,
+                         CornerId corner) const {
   if (arc.kind != TimingArc::Kind::Cell) return 1.0;
-  if (arc.inst >= derates_.size()) return 1.0;
-  const DeratePair& d = derates_[arc.inst];
+  const auto& derates = derates_[corner];
+  if (arc.inst >= derates.size()) return 1.0;
+  const DeratePair& d = derates[arc.inst];
   return mode == Mode::Late ? d.late : d.early;
 }
 
-bool Timer::recompute_node(NodeId node) {
+bool Timer::recompute_node(NodeId node, CornerId corner) {
   const auto& fanin = graph_->fanin(node);
+  const LibraryScaling& scaling = corners_[corner].scaling;
   bool changed = false;
 
   if (fanin.empty()) {
@@ -191,34 +247,40 @@ bool Timer::recompute_node(NodeId node) {
           terminal.kind == Terminal::Kind::Port) {
         arr = port_input_delay_[terminal.id];
       }
-      const double sl = constraints_.input_slew_ps;
-      changed = changed || std::abs(arrival_[m][node] - arr) > kEpsPs ||
-                std::abs(slew_[m][node] - sl) > kEpsPs;
-      arrival_[m][node] = arr;
-      slew_[m][node] = sl;
+      const double sl = constraints_.input_slew_ps * scaling.slew;
+      const std::size_t at = data_.node_index(corner, m, node);
+      changed = changed || std::abs(data_.arrival[at] - arr) > kEpsPs ||
+                std::abs(data_.slew[at] - sl) > kEpsPs;
+      data_.arrival[at] = arr;
+      data_.slew[at] = sl;
     }
     return changed;
   }
 
+  const auto& weights = weights_[corner];
+  const auto& weights_early = weights_early_[corner];
   for (int m = 0; m < kNumModes; ++m) {
     const Mode mode = static_cast<Mode>(m);
     const bool late = mode == Mode::Late;
+    const std::size_t node_base = data_.node_index(corner, m, 0);
+    const std::size_t arc_base = data_.arc_index(corner, m, 0);
     double best_arr = late ? -kInfPs : kInfPs;
     double best_slew = late ? -kInfPs : kInfPs;
     for (const ArcId a : fanin) {
       const TimingArc& arc = graph_->arc(a);
       const ArcTiming timing =
-          delay_.evaluate(*graph_, a, slew_[m][arc.from]);
-      double eff = timing.delay_ps * derate_for(arc, mode);
-      if (late && is_weighted_arc(arc) && arc.inst < weights_.size()) {
-        eff *= std::max(kMinWeightFactor, 1.0 + weights_[arc.inst]);
+          delay_.evaluate(*graph_, a, data_.slew[node_base + arc.from],
+                          scaling);
+      double eff = timing.delay_ps * derate_for(arc, mode, corner);
+      if (late && is_weighted_arc(arc) && arc.inst < weights.size()) {
+        eff *= std::max(kMinWeightFactor, 1.0 + weights[arc.inst]);
       } else if (!late && is_weighted_arc(arc) &&
-                 arc.inst < weights_early_.size()) {
-        eff *= std::max(kMinWeightFactor, 1.0 + weights_early_[arc.inst]);
+                 arc.inst < weights_early.size()) {
+        eff *= std::max(kMinWeightFactor, 1.0 + weights_early[arc.inst]);
       }
-      arc_delay_base_[m][a] = timing.delay_ps;
-      arc_delay_[m][a] = eff;
-      const double cand = arrival_[m][arc.from] + eff;
+      data_.arc_delay_base[arc_base + a] = timing.delay_ps;
+      data_.arc_delay[arc_base + a] = eff;
+      const double cand = data_.arrival[node_base + arc.from] + eff;
       if (late) {
         best_arr = std::max(best_arr, cand);
         best_slew = std::max(best_slew, timing.slew_ps);
@@ -227,10 +289,11 @@ bool Timer::recompute_node(NodeId node) {
         best_slew = std::min(best_slew, timing.slew_ps);
       }
     }
-    changed = changed || std::abs(arrival_[m][node] - best_arr) > kEpsPs ||
-              std::abs(slew_[m][node] - best_slew) > kEpsPs;
-    arrival_[m][node] = best_arr;
-    slew_[m][node] = best_slew;
+    const std::size_t at = node_base + node;
+    changed = changed || std::abs(data_.arrival[at] - best_arr) > kEpsPs ||
+              std::abs(data_.slew[at] - best_slew) > kEpsPs;
+    data_.arrival[at] = best_arr;
+    data_.slew[at] = best_slew;
   }
   return changed;
 }
@@ -239,12 +302,19 @@ void Timer::full_forward() {
   // Level-synchronous parallel propagation: nodes within one level have no
   // mutual dependencies (every arc crosses levels), and recompute_node
   // writes only its own node's arrival/slew plus its own fanin arcs'
-  // delays, so a level can be swept with no atomics. Per-node fanin
-  // iteration order is unchanged, so results are bit-identical to the
-  // serial sweep at any thread count.
+  // delays — all in corner-private lanes of the arena — so every
+  // (corner, node) pair of a level sweeps with no atomics. The flattened
+  // corners x nodes index space feeds one parallel_for, reusing the thread
+  // pool across corners. Per-node fanin iteration order is unchanged, so
+  // results are bit-identical to the serial sweep at any thread count.
+  const std::size_t num_corners = corners_.size();
   for (const auto& bucket : graph_->level_nodes()) {
-    parallel_for(bucket.size(), 32, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) recompute_node(bucket[i]);
+    parallel_for(bucket.size() * num_corners, 32,
+                 [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        const CornerId c = static_cast<CornerId>(i / bucket.size());
+        recompute_node(bucket[i % bucket.size()], c);
+      }
     });
   }
 }
@@ -279,34 +349,43 @@ void Timer::incremental_forward() {
     }
   }
 
-  // Level-ordered worklist propagation.
+  // Level-ordered worklist propagation, one worklist per corner: a corner
+  // re-propagates only while its own values keep moving, so a change that
+  // converges early at one corner does not drag the others along.
   using Entry = std::pair<std::uint32_t, NodeId>;  // (level, node)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-  std::vector<bool> queued(graph_->num_nodes(), false);
-  const auto push = [&](NodeId n) {
-    if (!queued[n]) {
-      queued[n] = true;
-      queue.push({graph_->node(n).level, n});
-    }
-  };
-  for (const NodeId s : seeds) push(s);
+  for (CornerId c = 0; c < corners_.size(); ++c) {
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    std::vector<bool> queued(graph_->num_nodes(), false);
+    const auto push = [&](NodeId n) {
+      if (!queued[n]) {
+        queued[n] = true;
+        queue.push({graph_->node(n).level, n});
+      }
+    };
+    for (const NodeId s : seeds) push(s);
 
-  while (!queue.empty()) {
-    const NodeId u = queue.top().second;
-    queue.pop();
-    queued[u] = false;
-    if (recompute_node(u)) {
-      for (const ArcId a : graph_->fanout(u)) push(graph_->arc(a).to);
+    while (!queue.empty()) {
+      const NodeId u = queue.top().second;
+      queue.pop();
+      queued[u] = false;
+      if (recompute_node(u, c)) {
+        for (const ArcId a : graph_->fanout(u)) push(graph_->arc(a).to);
+      }
     }
   }
 }
 
 void Timer::compute_crpr_credits() {
   const auto& checks = graph_->checks();
-  // Each check derives its credit independently from the (now stable)
-  // launch sets and arc delays, and writes only its own record.
-  parallel_for(checks.size(), 8, [&](std::size_t cb, std::size_t ce) {
-  for (std::size_t c = cb; c < ce; ++c) {
+  const std::size_t num_corners = corners_.size();
+  // Each (corner, check) pair derives its credit independently from the
+  // (now stable) launch sets and that corner's arc delays, and writes only
+  // its own record.
+  parallel_for(checks.size() * num_corners, 8,
+               [&](std::size_t cb, std::size_t ce) {
+  for (std::size_t i = cb; i < ce; ++i) {
+    const CornerId corner = static_cast<CornerId>(i / checks.size());
+    const std::size_t c = i % checks.size();
     double credit = 0.0;
     if (constraints_.enable_crpr) {
       const NodeId data = checks[c].data_node;
@@ -321,112 +400,142 @@ void Timer::compute_crpr_credits() {
             const int b = std::countr_zero(bits);
             bits &= bits - 1;
             const std::size_t launch = w * 64 + static_cast<std::size_t>(b);
-            credit = std::min(credit, common_path_credit(launch, c));
+            credit = std::min(credit,
+                              common_path_credit(launch, c, corner));
           }
         }
         if (credit == kInfPs) credit = 0.0;  // endpoint unreachable from FFs
       }
     }
-    check_timing_[c].crpr_credit_ps = credit;
+    data_.check[data_.check_index(corner, c)].crpr_credit_ps = credit;
   }
   });
 }
 
-double Timer::common_path_credit(std::size_t check_a,
-                                 std::size_t check_b) const {
+double Timer::common_path_credit(std::size_t check_a, std::size_t check_b,
+                                 CornerId corner) const {
   const auto& path_a = graph_->clock_path(check_a);
   const auto& path_b = graph_->clock_path(check_b);
   const std::size_t len = std::min(path_a.size(), path_b.size());
+  const std::size_t late_base = data_.arc_index(corner, idx(Mode::Late), 0);
+  const std::size_t early_base = data_.arc_index(corner, idx(Mode::Early), 0);
   double credit = 0.0;
   for (std::size_t i = 0; i < len; ++i) {
     if (path_a[i] != path_b[i]) break;
     for (const ArcId a : instance_arcs_[path_a[i]]) {
-      credit += arc_delay_[idx(Mode::Late)][a] -
-                arc_delay_[idx(Mode::Early)][a];
+      credit += data_.arc_delay[late_base + a] -
+                data_.arc_delay[early_base + a];
     }
   }
   return credit;
 }
 
 double Timer::crpr_credit_exact(std::optional<std::size_t> launch_check,
-                                std::size_t capture_check) const {
+                                std::size_t capture_check,
+                                CornerId corner) const {
   if (!constraints_.enable_crpr || !launch_check.has_value()) return 0.0;
-  return common_path_credit(*launch_check, capture_check);
+  return common_path_credit(*launch_check, capture_check, corner);
 }
 
 void Timer::backward_required() {
   const int late = idx(Mode::Late);
   const int early = idx(Mode::Early);
-  std::fill(required_[late].begin(), required_[late].end(), kInfPs);
-  std::fill(required_[early].begin(), required_[early].end(), -kInfPs);
-
+  const std::size_t n = graph_->num_nodes();
   const double period = constraints_.clock_period_ps;
-
-  // Endpoint boundary conditions.
   const auto& checks = graph_->checks();
-  for (std::size_t c = 0; c < checks.size(); ++c) {
-    const TimingCheck& check = checks[c];
-    CheckTiming& ct = check_timing_[c];
-    // Check values use the conservative slew pairing: both setup and hold
-    // margins grow with slew, so the worst (max = late) data slew bounds
-    // them; PBA's per-path slew can then only shrink the requirement.
-    const double data_slew_late = slew_[late][check.data_node];
-    ct.setup_ps = delay_.setup_time(check, slew_[early][check.clock_node],
-                                    data_slew_late);
-    ct.hold_ps = delay_.hold_time(check, slew_[late][check.clock_node],
-                                  data_slew_late);
+  const std::size_t num_corners = corners_.size();
 
-    if (endpoint_false_[check.data_node]) continue;  // set_false_path
-    // set_multicycle_path moves the setup capture edge out by N periods;
-    // hold stays at the launch edge (the -setup multicycle default).
-    const double capture_edge =
-        period * static_cast<double>(endpoint_multicycle_[check.data_node]);
-    const double req_late = capture_edge +
-                            arrival_[early][check.clock_node] -
-                            ct.setup_ps + ct.crpr_credit_ps -
-                            constraints_.clock_uncertainty_ps;
-    const double req_early = arrival_[late][check.clock_node] + ct.hold_ps -
-                             ct.crpr_credit_ps +
-                             constraints_.clock_uncertainty_ps;
-    required_[late][check.data_node] =
-        std::min(required_[late][check.data_node], req_late);
-    required_[early][check.data_node] =
-        std::max(required_[early][check.data_node], req_early);
-  }
-  for (std::size_t p = 0; p < design_->num_ports(); ++p) {
-    const Port& port = design_->port(static_cast<PortId>(p));
-    if (port.direction != PortDirection::Output) continue;
-    const NodeId node = graph_->node_of_port(static_cast<PortId>(p));
-    if (node == kInvalidNode) continue;
-    if (endpoint_false_[node]) continue;
-    const double capture_edge =
-        period * static_cast<double>(endpoint_multicycle_[node]);
-    required_[late][node] =
-        std::min(required_[late][node], capture_edge - port_output_delay_[p]);
+  for (CornerId corner = 0; corner < num_corners; ++corner) {
+    const LibraryScaling& scaling = corners_[corner].scaling;
+    const std::size_t late_base = data_.node_index(corner, late, 0);
+    const std::size_t early_base = data_.node_index(corner, early, 0);
+    std::fill(data_.required.begin() + static_cast<std::ptrdiff_t>(late_base),
+              data_.required.begin() +
+                  static_cast<std::ptrdiff_t>(late_base + n),
+              kInfPs);
+    std::fill(data_.required.begin() + static_cast<std::ptrdiff_t>(early_base),
+              data_.required.begin() +
+                  static_cast<std::ptrdiff_t>(early_base + n),
+              -kInfPs);
+
+    // Endpoint boundary conditions.
+    for (std::size_t c = 0; c < checks.size(); ++c) {
+      const TimingCheck& check = checks[c];
+      CheckTiming& ct = data_.check[data_.check_index(corner, c)];
+      // Check values use the conservative slew pairing: both setup and hold
+      // margins grow with slew, so the worst (max = late) data slew bounds
+      // them; PBA's per-path slew can then only shrink the requirement.
+      const double data_slew_late =
+          data_.slew[late_base + check.data_node];
+      ct.setup_ps = delay_.setup_time(
+          check, data_.slew[early_base + check.clock_node], data_slew_late,
+          scaling);
+      ct.hold_ps = delay_.hold_time(
+          check, data_.slew[late_base + check.clock_node], data_slew_late,
+          scaling);
+
+      if (endpoint_false_[check.data_node]) continue;  // set_false_path
+      // set_multicycle_path moves the setup capture edge out by N periods;
+      // hold stays at the launch edge (the -setup multicycle default).
+      const double capture_edge =
+          period * static_cast<double>(endpoint_multicycle_[check.data_node]);
+      const double req_late = capture_edge +
+                              data_.arrival[early_base + check.clock_node] -
+                              ct.setup_ps + ct.crpr_credit_ps -
+                              constraints_.clock_uncertainty_ps;
+      const double req_early = data_.arrival[late_base + check.clock_node] +
+                               ct.hold_ps - ct.crpr_credit_ps +
+                               constraints_.clock_uncertainty_ps;
+      data_.required[late_base + check.data_node] =
+          std::min(data_.required[late_base + check.data_node], req_late);
+      data_.required[early_base + check.data_node] =
+          std::max(data_.required[early_base + check.data_node], req_early);
+    }
+    for (std::size_t p = 0; p < design_->num_ports(); ++p) {
+      const Port& port = design_->port(static_cast<PortId>(p));
+      if (port.direction != PortDirection::Output) continue;
+      const NodeId node = graph_->node_of_port(static_cast<PortId>(p));
+      if (node == kInvalidNode) continue;
+      if (endpoint_false_[node]) continue;
+      const double capture_edge =
+          period * static_cast<double>(endpoint_multicycle_[node]);
+      data_.required[late_base + node] =
+          std::min(data_.required[late_base + node],
+                   capture_edge - port_output_delay_[p]);
+    }
   }
 
   // Backward min/max propagation, level-synchronous from the deepest
   // level up. A node pulls from its fanout targets, which all live on
   // strictly higher (already finished) levels, and writes only its own
   // required times — the mirror image of the forward sweep, equally
-  // atomics-free and bit-identical to serial order.
+  // atomics-free, bit-identical to serial order, and parallel across
+  // corners x nodes.
   const auto& levels = graph_->level_nodes();
   for (std::size_t l = levels.size(); l-- > 0;) {
     const auto& bucket = levels[l];
-    parallel_for(bucket.size(), 32, [&](std::size_t b, std::size_t e) {
+    parallel_for(bucket.size() * num_corners, 32,
+                 [&](std::size_t b, std::size_t e) {
       for (std::size_t i = b; i < e; ++i) {
-        const NodeId u = bucket[i];
+        const CornerId corner = static_cast<CornerId>(i / bucket.size());
+        const NodeId u = bucket[i % bucket.size()];
+        const std::size_t late_node = data_.node_index(corner, late, 0);
+        const std::size_t early_node = data_.node_index(corner, early, 0);
+        const std::size_t late_arc = data_.arc_index(corner, late, 0);
+        const std::size_t early_arc = data_.arc_index(corner, early, 0);
         for (const ArcId a : graph_->fanout(u)) {
           const NodeId v = graph_->arc(a).to;
-          if (required_[late][v] != kInfPs) {
-            required_[late][u] =
-                std::min(required_[late][u],
-                         required_[late][v] - arc_delay_[late][a]);
+          if (data_.required[late_node + v] != kInfPs) {
+            data_.required[late_node + u] =
+                std::min(data_.required[late_node + u],
+                         data_.required[late_node + v] -
+                             data_.arc_delay[late_arc + a]);
           }
-          if (required_[early][v] != -kInfPs) {
-            required_[early][u] =
-                std::max(required_[early][u],
-                         required_[early][v] - arc_delay_[early][a]);
+          if (data_.required[early_node + v] != -kInfPs) {
+            data_.required[early_node + u] =
+                std::max(data_.required[early_node + u],
+                         data_.required[early_node + v] -
+                             data_.arc_delay[early_arc + a]);
           }
         }
       }
@@ -434,12 +543,17 @@ void Timer::backward_required() {
   }
 
   // Cache endpoint slacks on the check records.
-  for (std::size_t c = 0; c < checks.size(); ++c) {
-    const NodeId d = checks[c].data_node;
-    check_timing_[c].setup_slack_ps =
-        required_[late][d] - arrival_[late][d];
-    check_timing_[c].hold_slack_ps =
-        arrival_[early][d] - required_[early][d];
+  for (CornerId corner = 0; corner < num_corners; ++corner) {
+    const std::size_t late_base = data_.node_index(corner, late, 0);
+    const std::size_t early_base = data_.node_index(corner, early, 0);
+    for (std::size_t c = 0; c < checks.size(); ++c) {
+      const NodeId d = checks[c].data_node;
+      CheckTiming& ct = data_.check[data_.check_index(corner, c)];
+      ct.setup_slack_ps =
+          data_.required[late_base + d] - data_.arrival[late_base + d];
+      ct.hold_slack_ps =
+          data_.arrival[early_base + d] - data_.required[early_base + d];
+    }
   }
 }
 
@@ -461,68 +575,119 @@ void Timer::update_timing() {
   ++incremental_updates_;
 }
 
-double Timer::arrival(NodeId node, Mode mode) const {
-  return arrival_[idx(mode)][node];
+double Timer::arrival(NodeId node, Mode mode, CornerId corner) const {
+  return data_.arrival[data_.node_index(corner, idx(mode), node)];
 }
 
-double Timer::slew(NodeId node, Mode mode) const {
-  return slew_[idx(mode)][node];
+double Timer::slew(NodeId node, Mode mode, CornerId corner) const {
+  return data_.slew[data_.node_index(corner, idx(mode), node)];
 }
 
-double Timer::required(NodeId node, Mode mode) const {
-  return required_[idx(mode)][node];
+double Timer::required(NodeId node, Mode mode, CornerId corner) const {
+  return data_.required[data_.node_index(corner, idx(mode), node)];
 }
 
-double Timer::slack(NodeId node, Mode mode) const {
-  if (mode == Mode::Late) return required(node, mode) - arrival(node, mode);
-  return arrival(node, mode) - required(node, mode);
+double Timer::slack(NodeId node, Mode mode, CornerId corner) const {
+  if (mode == Mode::Late) {
+    return required(node, mode, corner) - arrival(node, mode, corner);
+  }
+  return arrival(node, mode, corner) - required(node, mode, corner);
 }
 
-double Timer::arc_delay(ArcId arc, Mode mode) const {
-  return arc_delay_[idx(mode)][arc];
-}
-
-double Timer::arc_delay_base(ArcId arc, Mode mode) const {
-  return arc_delay_base_[idx(mode)][arc];
-}
-
-const CheckTiming& Timer::check_timing(std::size_t i) const {
-  MGBA_CHECK(i < check_timing_.size());
-  return check_timing_[i];
-}
-
-DeratePair Timer::instance_derate(InstanceId inst) const {
-  if (inst >= derates_.size()) return {};
-  return derates_[inst];
-}
-
-double Timer::wns(Mode mode) const {
-  double worst = 0.0;
-  for (const NodeId e : graph_->endpoints()) {
-    worst = std::min(worst, slack(e, mode));
+double Timer::slack_merged(NodeId node, Mode mode) const {
+  double worst = kInfPs;
+  for (CornerId c = 0; c < corners_.size(); ++c) {
+    worst = std::min(worst, slack(node, mode, c));
   }
   return worst;
 }
 
-double Timer::tns(Mode mode) const {
+CornerId Timer::worst_slack_corner(NodeId node, Mode mode) const {
+  CornerId worst_corner = kDefaultCorner;
+  double worst = kInfPs;
+  for (CornerId c = 0; c < corners_.size(); ++c) {
+    const double s = slack(node, mode, c);
+    if (s < worst) {
+      worst = s;
+      worst_corner = c;
+    }
+  }
+  return worst_corner;
+}
+
+double Timer::arc_delay(ArcId arc, Mode mode, CornerId corner) const {
+  return data_.arc_delay[data_.arc_index(corner, idx(mode), arc)];
+}
+
+double Timer::arc_delay_base(ArcId arc, Mode mode, CornerId corner) const {
+  return data_.arc_delay_base[data_.arc_index(corner, idx(mode), arc)];
+}
+
+const CheckTiming& Timer::check_timing(std::size_t i, CornerId corner) const {
+  MGBA_CHECK(i < data_.num_checks && corner < corners_.size());
+  return data_.check[data_.check_index(corner, i)];
+}
+
+DeratePair Timer::instance_derate(InstanceId inst, CornerId corner) const {
+  const auto& derates = derates_[corner];
+  if (inst >= derates.size()) return {};
+  return derates[inst];
+}
+
+double Timer::wns(Mode mode, CornerId corner) const {
+  double worst = 0.0;
+  for (const NodeId e : graph_->endpoints()) {
+    worst = std::min(worst, slack(e, mode, corner));
+  }
+  return worst;
+}
+
+double Timer::tns(Mode mode, CornerId corner) const {
   double total = 0.0;
   for (const NodeId e : graph_->endpoints()) {
-    const double s = slack(e, mode);
+    const double s = slack(e, mode, corner);
     if (s < 0.0) total += s;
   }
   return total;
 }
 
-std::size_t Timer::num_violations(Mode mode) const {
+std::size_t Timer::num_violations(Mode mode, CornerId corner) const {
   std::size_t count = 0;
   for (const NodeId e : graph_->endpoints()) {
-    if (slack(e, mode) < 0.0) ++count;
+    if (slack(e, mode, corner) < 0.0) ++count;
   }
   return count;
 }
 
-std::vector<NodeId> Timer::worst_path(NodeId endpoint) const {
+double Timer::wns_merged(Mode mode) const {
+  double worst = 0.0;
+  for (const NodeId e : graph_->endpoints()) {
+    worst = std::min(worst, slack_merged(e, mode));
+  }
+  return worst;
+}
+
+double Timer::tns_merged(Mode mode) const {
+  double total = 0.0;
+  for (const NodeId e : graph_->endpoints()) {
+    const double s = slack_merged(e, mode);
+    if (s < 0.0) total += s;
+  }
+  return total;
+}
+
+std::size_t Timer::num_violations_merged(Mode mode) const {
+  std::size_t count = 0;
+  for (const NodeId e : graph_->endpoints()) {
+    if (slack_merged(e, mode) < 0.0) ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> Timer::worst_path(NodeId endpoint, CornerId corner) const {
   const int late = idx(Mode::Late);
+  const std::size_t node_base = data_.node_index(corner, late, 0);
+  const std::size_t arc_base = data_.arc_index(corner, late, 0);
   std::vector<NodeId> path{endpoint};
   NodeId cur = endpoint;
   while (!graph_->fanin(cur).empty()) {
@@ -530,9 +695,9 @@ std::vector<NodeId> Timer::worst_path(NodeId endpoint) const {
     double best_gap = kInfPs;
     for (const ArcId a : graph_->fanin(cur)) {
       const TimingArc& arc = graph_->arc(a);
-      const double gap = std::abs(arrival_[late][cur] -
-                                  (arrival_[late][arc.from] +
-                                   arc_delay_[late][a]));
+      const double gap = std::abs(data_.arrival[node_base + cur] -
+                                  (data_.arrival[node_base + arc.from] +
+                                   data_.arc_delay[arc_base + a]));
       if (gap < best_gap) {
         best_gap = gap;
         best_from = arc.from;

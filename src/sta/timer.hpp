@@ -12,36 +12,43 @@
 ///   * per-instance mGBA weighting factors on data cells: effective late
 ///     data-cell delay = base x derate_late x (1 + x_j).
 ///
+/// Multi-corner analysis (MCMM): the engine is corner-indexed throughout.
+/// Every AnalysisCorner carries its own library scaling, AOCV derates, and
+/// mGBA weight vector; a single level-synchronous sweep fills all corners'
+/// lanes of the corner-major TimingData arena per level (parallel across
+/// corners x nodes). Queries take a CornerId — the legacy two-argument
+/// forms read kDefaultCorner — and *_merged variants return the worst
+/// value across corners, which is what the optimizer closes against. With
+/// one identity corner the engine is bit-identical to the pre-corner
+/// implementation at any thread count.
+///
 /// The Timer supports incremental update after gate resizing (value-only
 /// change) and full rebuild after structural edits (buffer insertion), the
-/// two transforms the timing-closure optimizer applies.
+/// two transforms the timing-closure optimizer applies. Incremental
+/// invalidation stays per-corner: each corner's worklist stops where that
+/// corner's values converge.
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netlist/design.hpp"
 #include "sta/constraints.hpp"
+#include "sta/corner.hpp"
 #include "sta/delay_calc.hpp"
+#include "sta/timing_data.hpp"
 #include "sta/timing_graph.hpp"
 #include "sta/timing_types.hpp"
 
 namespace mgba {
 
-/// Cached timing of a setup/hold check site after update_timing().
-struct CheckTiming {
-  double setup_ps = 0.0;        ///< setup requirement from the library
-  double hold_ps = 0.0;         ///< hold requirement from the library
-  double crpr_credit_ps = 0.0;  ///< GBA-conservative credit applied
-  double setup_slack_ps = 0.0;
-  double hold_slack_ps = 0.0;
-};
-
 class Timer {
  public:
   /// The design and the constraint object must outlive the Timer. The
   /// design may be mutated through its own interface; the caller must then
-  /// notify the Timer (invalidate_instance / rebuild_graph).
+  /// notify the Timer (invalidate_instance / rebuild_graph). Starts with a
+  /// single identity "default" corner.
   Timer(const Design& design, TimingConstraints constraints,
         WireModel wire = {});
 
@@ -51,27 +58,65 @@ class Timer {
     return constraints_;
   }
 
+  // --- corner configuration -------------------------------------------------
+
+  /// Replaces the corner set (must be non-empty). Corner 0's derates and
+  /// weights are carried over and copied to every new corner as the
+  /// starting point; callers refine them per corner (set_corner_derates /
+  /// per-corner weights). Triggers a full re-propagation.
+  void set_corners(std::vector<AnalysisCorner> corners);
+
+  [[nodiscard]] std::size_t num_corners() const { return corners_.size(); }
+  [[nodiscard]] const AnalysisCorner& corner(CornerId c) const {
+    return corners_[c];
+  }
+  [[nodiscard]] const LibraryScaling& corner_scaling(CornerId c) const {
+    return corners_[c].scaling;
+  }
+  /// Corner id by name, or nullopt.
+  [[nodiscard]] std::optional<CornerId> find_corner(
+      std::string_view name) const;
+
+  /// Bytes held by the corner-indexed timing arena (bench_mcmm's memory
+  /// column).
+  [[nodiscard]] std::size_t timing_storage_bytes() const {
+    return data_.bytes();
+  }
+
   // --- configuration -------------------------------------------------------
 
-  /// Per-instance AOCV derate factors (index = InstanceId); missing entries
-  /// default to identity. Triggers a full re-propagation.
+  /// Per-instance AOCV derate factors (index = InstanceId) applied to
+  /// *every* corner; missing entries default to identity. Multi-corner
+  /// flows override per corner with set_corner_derates. Triggers a full
+  /// re-propagation.
   void set_instance_derates(std::vector<DeratePair> derates);
+
+  /// Per-instance AOCV derate factors for one corner (from that corner's
+  /// derate table). Triggers a full re-propagation.
+  void set_corner_derates(CornerId corner, std::vector<DeratePair> derates);
 
   /// Per-instance mGBA weighting deviations x_j (index = InstanceId);
   /// effective late delay of a *data* combinational cell becomes
   /// base * derate_late * (1 + x_j). Clock cells and flip-flops are never
-  /// weighted. Triggers a full re-propagation.
+  /// weighted. Each corner fits and holds an independent weight vector;
+  /// the CornerId-less forms address kDefaultCorner. Triggers a full
+  /// re-propagation.
   void set_instance_weights(std::vector<double> weights);
-  [[nodiscard]] const std::vector<double>& instance_weights() const {
-    return weights_;
+  void set_instance_weights(CornerId corner, std::vector<double> weights);
+  [[nodiscard]] const std::vector<double>& instance_weights(
+      CornerId corner = kDefaultCorner) const {
+    return weights_[corner];
   }
 
   /// Hold-side analogue: effective early delay of a data combinational
   /// cell becomes base * derate_early * (1 + y_j). Positive y_j raises the
   /// early arrival toward the PBA value, recovering hold pessimism.
   void set_instance_weights_early(std::vector<double> weights);
-  [[nodiscard]] const std::vector<double>& instance_weights_early() const {
-    return weights_early_;
+  void set_instance_weights_early(CornerId corner,
+                                  std::vector<double> weights);
+  [[nodiscard]] const std::vector<double>& instance_weights_early(
+      CornerId corner = kDefaultCorner) const {
+    return weights_early_[corner];
   }
 
   // --- invalidation --------------------------------------------------------
@@ -81,7 +126,7 @@ class Timer {
   void invalidate_instance(InstanceId inst);
 
   /// Rebuilds the timing graph from the (mutated) design. Use after
-  /// structural edits such as buffer insertion.
+  /// structural edits such as buffer insertion. The corner set survives.
   void rebuild_graph();
 
   /// Brings all timing quantities up to date (incremental when possible).
@@ -101,22 +146,36 @@ class Timer {
 
   // --- queries (valid after update_timing) ---------------------------------
 
-  [[nodiscard]] double arrival(NodeId node, Mode mode) const;
-  [[nodiscard]] double slew(NodeId node, Mode mode) const;
-  [[nodiscard]] double required(NodeId node, Mode mode) const;
+  [[nodiscard]] double arrival(NodeId node, Mode mode,
+                               CornerId corner = kDefaultCorner) const;
+  [[nodiscard]] double slew(NodeId node, Mode mode,
+                            CornerId corner = kDefaultCorner) const;
+  [[nodiscard]] double required(NodeId node, Mode mode,
+                                CornerId corner = kDefaultCorner) const;
   /// Endpoint slack: late = setup, early = hold.
-  [[nodiscard]] double slack(NodeId node, Mode mode) const;
+  [[nodiscard]] double slack(NodeId node, Mode mode,
+                             CornerId corner = kDefaultCorner) const;
+  /// Worst (smallest) slack across all corners — the signoff view the
+  /// optimizer closes against. Equals slack(node, mode) for one corner.
+  [[nodiscard]] double slack_merged(NodeId node, Mode mode) const;
+  /// The corner realizing slack_merged at this node.
+  [[nodiscard]] CornerId worst_slack_corner(NodeId node, Mode mode) const;
 
   /// Effective (derated & weighted) delay of an arc in a mode.
-  [[nodiscard]] double arc_delay(ArcId arc, Mode mode) const;
-  /// Base NLDM/Elmore delay of an arc in a mode (before derate/weight).
-  [[nodiscard]] double arc_delay_base(ArcId arc, Mode mode) const;
+  [[nodiscard]] double arc_delay(ArcId arc, Mode mode,
+                                 CornerId corner = kDefaultCorner) const;
+  /// Base NLDM/Elmore delay of an arc in a mode (before derate/weight;
+  /// after the corner's library scaling).
+  [[nodiscard]] double arc_delay_base(ArcId arc, Mode mode,
+                                      CornerId corner = kDefaultCorner) const;
 
   /// Timing of check \p idx (index into graph().checks()).
-  [[nodiscard]] const CheckTiming& check_timing(std::size_t idx) const;
+  [[nodiscard]] const CheckTiming& check_timing(
+      std::size_t idx, CornerId corner = kDefaultCorner) const;
 
-  /// AOCV derate factors currently applied to an instance.
-  [[nodiscard]] DeratePair instance_derate(InstanceId inst) const;
+  /// AOCV derate factors currently applied to an instance at a corner.
+  [[nodiscard]] DeratePair instance_derate(
+      InstanceId inst, CornerId corner = kDefaultCorner) const;
 
   /// True if the arc is a data-path combinational cell arc, i.e. one that
   /// receives an mGBA weighting factor and contributes a column to the
@@ -129,18 +188,27 @@ class Timer {
   /// shared clock-path prefix. This is what PBA uses per path. A launch
   /// from a primary input has no clock path: pass std::nullopt -> 0 credit.
   [[nodiscard]] double crpr_credit_exact(
-      std::optional<std::size_t> launch_check, std::size_t capture_check) const;
+      std::optional<std::size_t> launch_check, std::size_t capture_check,
+      CornerId corner = kDefaultCorner) const;
 
   /// Worst negative slack over all endpoints (0 when none negative).
-  [[nodiscard]] double wns(Mode mode) const;
+  [[nodiscard]] double wns(Mode mode, CornerId corner = kDefaultCorner) const;
   /// Total negative slack over all endpoints (sum of negatives, <= 0).
-  [[nodiscard]] double tns(Mode mode) const;
+  [[nodiscard]] double tns(Mode mode, CornerId corner = kDefaultCorner) const;
   /// Number of endpoints with negative slack.
-  [[nodiscard]] std::size_t num_violations(Mode mode) const;
+  [[nodiscard]] std::size_t num_violations(
+      Mode mode, CornerId corner = kDefaultCorner) const;
+
+  /// Merged worst-corner variants: per endpoint the slack is the minimum
+  /// across corners, then WNS/TNS/violations aggregate those minima.
+  [[nodiscard]] double wns_merged(Mode mode) const;
+  [[nodiscard]] double tns_merged(Mode mode) const;
+  [[nodiscard]] std::size_t num_violations_merged(Mode mode) const;
 
   /// Worst-slack path to \p endpoint traced back through worst fanins
   /// (node ids from launch to endpoint). Late mode only.
-  [[nodiscard]] std::vector<NodeId> worst_path(NodeId endpoint) const;
+  [[nodiscard]] std::vector<NodeId> worst_path(
+      NodeId endpoint, CornerId corner = kDefaultCorner) const;
 
  private:
   int idx(Mode m) const { return static_cast<int>(m); }
@@ -149,12 +217,12 @@ class Timer {
   void compute_instance_arcs();
   void compute_launch_sets();
   bool is_weighted_arc(const TimingArc& arc) const;
-  double derate_for(const TimingArc& arc, Mode mode) const;
+  double derate_for(const TimingArc& arc, Mode mode, CornerId corner) const;
 
-  /// Recomputes arrival + slew of one node from its fanin; returns true if
-  /// any value moved more than epsilon. Also refreshes stored arc timings
-  /// of the fanin arcs.
-  bool recompute_node(NodeId node);
+  /// Recomputes arrival + slew of one node at one corner from its fanin;
+  /// returns true if any value moved more than epsilon. Also refreshes
+  /// stored arc timings of the fanin arcs at that corner.
+  bool recompute_node(NodeId node, CornerId corner);
 
   void full_forward();
   void incremental_forward();
@@ -162,17 +230,22 @@ class Timer {
   void backward_required();
 
   /// Clock-cell delay difference (late - early) summed over the common
-  /// clock-path prefix of two checks.
-  double common_path_credit(std::size_t check_a, std::size_t check_b) const;
+  /// clock-path prefix of two checks, at one corner.
+  double common_path_credit(std::size_t check_a, std::size_t check_b,
+                            CornerId corner) const;
 
   const Design* design_;
   TimingConstraints constraints_;
   DelayCalculator delay_;
   std::optional<TimingGraph> graph_;
 
-  std::vector<DeratePair> derates_;
-  std::vector<double> weights_;
-  std::vector<double> weights_early_;
+  /// At least one corner at all times; corner 0 is the default view.
+  std::vector<AnalysisCorner> corners_{AnalysisCorner{}};
+  /// Per-corner per-instance derates / mGBA weights (outer index =
+  /// CornerId; empty inner vector = identity everywhere).
+  std::vector<std::vector<DeratePair>> derates_;
+  std::vector<std::vector<double>> weights_;
+  std::vector<std::vector<double>> weights_early_;
   // Per-port external delays resolved from the constraint overrides at
   // rebuild time (index = PortId).
   std::vector<double> port_input_delay_;
@@ -181,22 +254,17 @@ class Timer {
   std::vector<bool> endpoint_false_;
   std::vector<int> endpoint_multicycle_;
 
-  // Per-node quantities, indexed [mode][node].
-  std::vector<double> arrival_[kNumModes];
-  std::vector<double> slew_[kNumModes];
-  std::vector<double> required_[kNumModes];
-  // Per-arc effective and base delays, indexed [mode][arc].
-  std::vector<double> arc_delay_[kNumModes];
-  std::vector<double> arc_delay_base_[kNumModes];
-
-  std::vector<CheckTiming> check_timing_;
+  /// Corner-major SoA arena holding every per-node/per-arc/per-check
+  /// timing quantity for all corners.
+  TimingData data_;
 
   // Per-instance list of its cell ArcIds (clock-cell credit lookup).
   std::vector<std::vector<ArcId>> instance_arcs_;
 
   // Launch-set DP for GBA CRPR: for each node, the set of launch checks
   // (flip-flops) whose Q reaches it, as a bitset; plus a flag for paths
-  // launched at input ports (which carry zero credit).
+  // launched at input ports (which carry zero credit). Corner-independent
+  // (clock topology does not change across corners).
   std::vector<std::vector<std::uint64_t>> launch_sets_;
   std::vector<bool> port_launched_;
   std::size_t launch_words_ = 0;

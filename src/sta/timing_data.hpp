@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file timing_data.hpp
+/// Corner-major structure-of-arrays storage for the timing engine. All
+/// per-node and per-arc quantities live in flat arenas indexed by
+/// "lane" = corner * kNumModes + mode, so
+///
+///     value(corner, mode, node) = arena[(corner * 2 + mode) * n + node].
+///
+/// One corner's one mode is a contiguous block — the same memory walked by
+/// the pre-corner engine — so the level-synchronous sweeps stay cache-
+/// friendly, and with a single corner the layout (and therefore every
+/// result) is bit-identical to the old per-mode vectors. The arena is
+/// sized once per (graph structure, corner count) and refilled in place by
+/// full or incremental propagation.
+
+#include <cstddef>
+#include <vector>
+
+#include "sta/timing_types.hpp"
+
+namespace mgba {
+
+/// Cached timing of a setup/hold check site after update_timing().
+struct CheckTiming {
+  double setup_ps = 0.0;        ///< setup requirement from the library
+  double hold_ps = 0.0;         ///< hold requirement from the library
+  double crpr_credit_ps = 0.0;  ///< GBA-conservative credit applied
+  double setup_slack_ps = 0.0;
+  double hold_slack_ps = 0.0;
+};
+
+struct TimingData {
+  std::size_t num_corners = 0;
+  std::size_t num_nodes = 0;
+  std::size_t num_arcs = 0;
+  std::size_t num_checks = 0;
+
+  // Per-node, lane-major: [lane * num_nodes + node].
+  std::vector<double> arrival;
+  std::vector<double> slew;
+  std::vector<double> required;
+  // Per-arc effective and base delays, lane-major: [lane * num_arcs + arc].
+  std::vector<double> arc_delay;
+  std::vector<double> arc_delay_base;
+  // Per-check records, corner-major: [corner * num_checks + check].
+  std::vector<CheckTiming> check;
+
+  void resize(std::size_t corners, std::size_t nodes, std::size_t arcs,
+              std::size_t checks) {
+    num_corners = corners;
+    num_nodes = nodes;
+    num_arcs = arcs;
+    num_checks = checks;
+    const std::size_t lanes = corners * kNumModes;
+    arrival.assign(lanes * nodes, 0.0);
+    slew.assign(lanes * nodes, 0.0);
+    required.assign(lanes * nodes, 0.0);
+    arc_delay.assign(lanes * arcs, 0.0);
+    arc_delay_base.assign(lanes * arcs, 0.0);
+    check.assign(corners * checks, {});
+  }
+
+  [[nodiscard]] static std::size_t lane(std::size_t corner, int mode) {
+    return corner * static_cast<std::size_t>(kNumModes) +
+           static_cast<std::size_t>(mode);
+  }
+  [[nodiscard]] std::size_t node_index(std::size_t corner, int mode,
+                                       NodeId node) const {
+    return lane(corner, mode) * num_nodes + node;
+  }
+  [[nodiscard]] std::size_t arc_index(std::size_t corner, int mode,
+                                      ArcId arc) const {
+    return lane(corner, mode) * num_arcs + arc;
+  }
+  [[nodiscard]] std::size_t check_index(std::size_t corner,
+                                        std::size_t idx) const {
+    return corner * num_checks + idx;
+  }
+
+  /// Arena footprint in bytes (the multi-corner memory cost reported by
+  /// bench_mcmm).
+  [[nodiscard]] std::size_t bytes() const {
+    return sizeof(double) * (arrival.size() + slew.size() + required.size() +
+                             arc_delay.size() + arc_delay_base.size()) +
+           sizeof(CheckTiming) * check.size();
+  }
+};
+
+}  // namespace mgba

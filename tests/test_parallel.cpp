@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "aocv/corner_io.hpp"
 #include "linalg/csr_matrix.hpp"
 #include "mgba/problem.hpp"
 #include "mgba/solvers.hpp"
@@ -162,6 +163,53 @@ TEST(Parallel, IncrementalUpdateBitIdenticalAcrossThreadCounts) {
   GeneratedStack parallel(small_options(), 3000.0);
   mutate(parallel);
   expect_bit_identical(want, TimingSnapshot::capture(*parallel.timer));
+}
+
+TEST(Parallel, MultiCornerUpdateBitIdenticalAcrossThreadCounts) {
+  // The multi-corner sweep flattens corners x nodes into one parallel_for
+  // per level; every corner lane must come out bit-identical regardless of
+  // how the index space is carved into thread blocks.
+  const auto build = [](std::size_t threads) {
+    set_num_threads(threads);
+    auto stack = std::make_unique<GeneratedStack>(small_options(), 3000.0);
+    const auto setups = corners_from_string(
+        "corner slow delay 1.15 slew 1.05 derate_margin 1.25\n"
+        "corner typ\n"
+        "corner fast delay 0.85 slew 0.95 derate_margin 0.75\n",
+        stack->table);
+    apply_corner_setups(*stack->timer, setups);
+    stack->timer->update_timing();
+    return stack;
+  };
+  const auto capture_all = [](const Timer& timer) {
+    std::vector<double> values;
+    for (CornerId c = 0; c < timer.num_corners(); ++c) {
+      for (NodeId u = 0; u < timer.graph().num_nodes(); ++u) {
+        for (const Mode mode : {Mode::Late, Mode::Early}) {
+          values.push_back(timer.arrival(u, mode, c));
+          values.push_back(timer.slew(u, mode, c));
+          values.push_back(timer.required(u, mode, c));
+          values.push_back(timer.slack(u, mode, c));
+        }
+      }
+      for (std::size_t k = 0; k < timer.graph().checks().size(); ++k) {
+        values.push_back(timer.check_timing(k, c).crpr_credit_ps);
+        values.push_back(timer.check_timing(k, c).setup_slack_ps);
+        values.push_back(timer.check_timing(k, c).hold_slack_ps);
+      }
+    }
+    return values;
+  };
+
+  ThreadGuard guard;
+  const auto serial = build(1);
+  const std::vector<double> want = capture_all(*serial->timer);
+  const auto parallel = build(4);
+  const std::vector<double> got = capture_all(*parallel->timer);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i]) << "flattened index " << i;
+  }
 }
 
 TEST(Parallel, EnumeratedPathSetsIdenticalAcrossThreadCounts) {

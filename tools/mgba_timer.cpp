@@ -11,7 +11,11 @@
 ///
 /// All subcommands accept --derates <file> to replace the built-in AOCV
 /// table (format: see src/aocv/derate_io.hpp) and --period <ps> to fix the
-/// clock instead of deriving it from --utilization.
+/// clock instead of deriving it from --utilization. Multi-corner analysis:
+/// --corners <file> loads an MCMM corner spec (format: see
+/// src/aocv/corner_io.hpp); report/fit/optimize then print per-corner
+/// results plus the merged worst-corner view, and the optimizer closes
+/// timing against the merge.
 
 #include <cstdio>
 #include <fstream>
@@ -20,6 +24,7 @@
 #include <string>
 
 #include "aocv/aocv_model.hpp"
+#include "aocv/corner_io.hpp"
 #include "aocv/derate_io.hpp"
 #include "arg_parse.hpp"
 #include "liberty/default_library.hpp"
@@ -50,6 +55,8 @@ int usage() {
                "  common: --library FILE (liberty-lite cell library)\n"
                "          --threads N (parallel STA/PBA/solver threads;\n"
                "                       default MGBA_THREADS env or all cores)\n"
+               "          --corners FILE (MCMM corner spec; per-corner +\n"
+               "                          merged worst-corner analysis)\n"
                "  generate --design 1..10 | --gates N --flops N [--seed S]\n"
                "           [--depth D] [--blocks B] --out FILE\n"
                "  stats    --netlist FILE\n"
@@ -91,9 +98,13 @@ struct Session {
   DerateTable table;
   TimingConstraints constraints;
   std::unique_ptr<Timer> timer;
+  /// The corner set (one identity entry without --corners).
+  std::vector<CornerSetup> setups;
 
   explicit Session(const Args& args)
       : library(load_library(args)), table(default_aocv_table()) {}
+
+  [[nodiscard]] bool multi_corner() const { return setups.size() > 1; }
 };
 
 std::unique_ptr<Session> open_session(const Args& args) {
@@ -152,8 +163,20 @@ std::unique_ptr<Session> open_session(const Args& args) {
 
   session->timer =
       std::make_unique<Timer>(*session->design, session->constraints);
-  session->timer->set_instance_derates(
-      compute_gba_derates(session->timer->graph(), session->table));
+  if (args.has("corners")) {
+    std::ifstream corners_in(args.get("corners"));
+    if (!corners_in) {
+      std::fprintf(stderr, "cannot open corner spec %s\n",
+                   args.get("corners").c_str());
+      std::exit(2);
+    }
+    session->setups = read_corners(corners_in, session->table);
+    apply_corner_setups(*session->timer, session->setups);
+  } else {
+    session->setups = default_corner_setups(session->table);
+    session->timer->set_instance_derates(
+        compute_gba_derates(session->timer->graph(), session->table));
+  }
   session->timer->update_timing();
   return session;
 }
@@ -216,24 +239,39 @@ int cmd_report(const Args& args) {
   auto session = open_session(args);
   Timer& timer = *session->timer;
   std::printf("clock period: %.0f ps\n", session->constraints.clock_period_ps);
-  std::printf("%s\n", report_summary(timer, Mode::Late).c_str());
-  std::printf("%s\n", report_summary(timer, Mode::Early).c_str());
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    std::printf("%s\n", report_summary(timer, Mode::Late, c).c_str());
+    std::printf("%s\n", report_summary(timer, Mode::Early, c).c_str());
+  }
+  if (session->multi_corner()) {
+    std::printf("%s\n", report_summary_merged(timer, Mode::Late).c_str());
+    std::printf("%s\n", report_summary_merged(timer, Mode::Early).c_str());
+  }
   const auto top = static_cast<std::size_t>(args.get_int("top", 10));
   std::printf("%s", report_endpoints(timer, top).c_str());
-  // Worst path trace.
+  // Worst path trace: the merged-worst endpoint, traced at the corner that
+  // realizes it.
   NodeId worst = kInvalidNode;
   double worst_slack = kInfPs;
   for (const NodeId e : timer.graph().endpoints()) {
-    if (timer.slack(e, Mode::Late) < worst_slack) {
-      worst_slack = timer.slack(e, Mode::Late);
+    if (timer.slack_merged(e, Mode::Late) < worst_slack) {
+      worst_slack = timer.slack_merged(e, Mode::Late);
       worst = e;
     }
   }
   if (worst != kInvalidNode) {
-    std::printf("\n%s", report_worst_path(timer, worst).c_str());
+    std::printf("\n%s",
+                report_worst_path(timer, worst,
+                                  timer.worst_slack_corner(worst, Mode::Late))
+                    .c_str());
   }
   if (args.has("histogram")) {
-    std::printf("\n%s", report_slack_histogram(timer).c_str());
+    for (CornerId c = 0; c < timer.num_corners(); ++c) {
+      std::printf("\n%s", report_slack_histogram(timer, 12, c).c_str());
+    }
+    if (session->multi_corner()) {
+      std::printf("\n%s", report_slack_histogram_merged(timer).c_str());
+    }
   }
   if (args.has("compare-path") && worst != kInvalidNode) {
     const PathEnumerator enumerator(timer, 1);
@@ -262,20 +300,31 @@ int cmd_fit(const Args& args) {
                    : solver == "scg" ? MgbaSolverKind::Scg
                                      : MgbaSolverKind::ScgWithRowSampling;
 
-  const MgbaFlowResult fit =
-      run_mgba_flow(*session->timer, session->table, options);
-  std::printf("fit (%s): %zu candidates, %zu violated, %zu rows x %zu vars\n",
-              args.has("hold") ? "hold" : "setup", fit.candidate_paths,
-              fit.violated_paths, fit.fitted_paths, fit.variables);
-  std::printf("  mse        %.6g -> %.6g\n", fit.mse_before, fit.mse_after);
-  std::printf("  pass ratio %.2f%% -> %.2f%%\n",
-              100.0 * fit.pass_ratio_before, 100.0 * fit.pass_ratio_after);
-  std::printf("  solve %.3fs (%zu iterations)\n", fit.solve_seconds,
-              fit.solver_iterations);
-  std::printf("after fit: %s\n",
-              report_summary(*session->timer,
-                             args.has("hold") ? Mode::Early : Mode::Late)
-                  .c_str());
+  Timer& timer = *session->timer;
+  const std::vector<MgbaFlowResult> fits =
+      session->multi_corner()
+          ? run_mgba_flow_all_corners(timer, session->setups, options)
+          : std::vector<MgbaFlowResult>{
+                run_mgba_flow(timer, session->table, options)};
+  for (const MgbaFlowResult& fit : fits) {
+    std::printf(
+        "fit (%s, %s): %zu candidates, %zu violated, %zu rows x %zu vars\n",
+        args.has("hold") ? "hold" : "setup",
+        corner_label(timer, fit.corner).c_str(), fit.candidate_paths,
+        fit.violated_paths, fit.fitted_paths, fit.variables);
+    std::printf("  mse        %.6g -> %.6g\n", fit.mse_before, fit.mse_after);
+    std::printf("  pass ratio %.2f%% -> %.2f%%\n",
+                100.0 * fit.pass_ratio_before, 100.0 * fit.pass_ratio_after);
+    std::printf("  solve %.3fs (%zu iterations)\n", fit.solve_seconds,
+                fit.solver_iterations);
+  }
+  const Mode mode = args.has("hold") ? Mode::Early : Mode::Late;
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    std::printf("after fit: %s\n", report_summary(timer, mode, c).c_str());
+  }
+  if (session->multi_corner()) {
+    std::printf("after fit: %s\n", report_summary_merged(timer, mode).c_str());
+  }
   return 0;
 }
 
@@ -287,6 +336,7 @@ int cmd_optimize(const Args& args) {
       static_cast<std::size_t>(args.get_int("passes", 25));
   TimingCloser closer(*session->design, *session->timer, session->table,
                       options);
+  if (session->multi_corner()) closer.set_corner_setups(session->setups);
   const OptimizerReport report = closer.run();
   std::printf("flow done in %.2fs (%zu passes, fit %.2fs)\n", report.seconds,
               report.passes, report.mgba_seconds);
@@ -296,6 +346,13 @@ int cmd_optimize(const Args& args) {
               report.buffers_reverted, report.downsizes);
   std::printf("  initial %s\n", report.initial.to_string().c_str());
   std::printf("  final   %s\n", report.final_qor.to_string().c_str());
+  if (session->multi_corner()) {
+    for (CornerId c = 0; c < report.final_per_corner.size(); ++c) {
+      std::printf("  final   [%s] %s\n",
+                  corner_label(*session->timer, c).c_str(),
+                  report.final_per_corner[c].to_string().c_str());
+    }
+  }
   if (args.has("out")) {
     std::ofstream out(args.get("out"));
     write_netlist(*session->design, out);
