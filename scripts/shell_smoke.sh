@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Golden-transcript smoke test for the timing shell: runs a .mgbash script
+# through `mgba_timer --script` in a scratch directory and diffs the
+# transcript against the committed golden. The transcript must be
+# byte-identical at any --threads count (the shell prints no wall-clock
+# figures and the timing engine is bit-deterministic across thread counts).
+#
+# Usage: shell_smoke.sh <mgba_timer> <script.mgbash> <golden> [threads]
+set -euo pipefail
+
+timer=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+script=$(cd "$(dirname "$2")" && pwd)/$(basename "$2")
+golden=$(cd "$(dirname "$3")" && pwd)/$(basename "$3")
+threads=${4:-1}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+"$timer" --threads "$threads" --script "$script" > transcript.out
+diff -u "$golden" transcript.out
+echo "shell smoke OK (threads=$threads)"

@@ -3,9 +3,12 @@
 # suite, then the parallel timing engine's determinism tests again under
 # ThreadSanitizer with a multi-threaded pool, so data races in the
 # level-synchronous sweeps fail the gate rather than shipping latent.
-# Finally the multi-corner (MCMM) tests run under ASan+UBSan, so an
-# off-by-one in the corner-major SoA arena indexing faults loudly instead
-# of silently reading a neighboring corner's lane.
+# The multi-corner (MCMM) and timing-shell tests run under ASan+UBSan, so
+# an off-by-one in the corner-major SoA arena indexing — or a stale
+# pointer across the shell's session resets — faults loudly instead of
+# silently reading freed or neighboring memory. Finally the shell's
+# golden-transcript smoke test runs at 1 and 4 threads: the transcript
+# (including full-precision replayed slacks) must be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,5 +22,10 @@ MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPoo
 
 cmake -B build-asan -S . -DMGBA_SANITIZE=address
 cmake --build build-asan -j --target mgba_tests
-MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*'
-echo "tier-1 OK (ctest + TSan parallel suite + ASan MCMM suite)"
+MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*'
+
+for threads in 1 4; do
+  ./scripts/shell_smoke.sh build/tools/mgba_timer \
+      examples/close_timing.mgbash examples/close_timing.golden "$threads"
+done
+echo "tier-1 OK (ctest + TSan parallel suite + ASan MCMM/shell suites + shell smoke)"

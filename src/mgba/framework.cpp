@@ -5,9 +5,11 @@
 #include "mgba/metrics.hpp"
 #include "mgba/path_selection.hpp"
 #include "pba/path_enum.hpp"
+#include "sta/report.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
+#include "util/strings.hpp"
 
 namespace mgba {
 
@@ -138,6 +140,21 @@ std::vector<MgbaFlowResult> run_mgba_flow_all_corners(
     results.push_back(run_mgba_flow(timer, setups[c].table, options));
   }
   return results;
+}
+
+std::string fit_result_summary(const Timer& timer, const MgbaFlowResult& fit,
+                               CheckKind check_kind) {
+  std::string out = str_format(
+      "fit (%s, %s): %zu candidates, %zu violated, %zu rows x %zu vars\n",
+      check_kind == CheckKind::Hold ? "hold" : "setup",
+      corner_label(timer, fit.corner).c_str(), fit.candidate_paths,
+      fit.violated_paths, fit.fitted_paths, fit.variables);
+  out += str_format("  mse        %.6g -> %.6g\n", fit.mse_before,
+                    fit.mse_after);
+  out += str_format("  pass ratio %.2f%% -> %.2f%% (%zu iterations)\n",
+                    100.0 * fit.pass_ratio_before,
+                    100.0 * fit.pass_ratio_after, fit.solver_iterations);
+  return out;
 }
 
 }  // namespace mgba

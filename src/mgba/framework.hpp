@@ -94,4 +94,12 @@ std::vector<MgbaFlowResult> run_mgba_flow_all_corners(
     Timer& timer, std::span<const CornerSetup> setups,
     MgbaFlowOptions options = {});
 
+/// Deterministic multi-line summary of one fit result: problem shape, MSE
+/// and pass-ratio movement, and the iteration count — everything except
+/// the wall-clock figures, so the timing shell can print it into
+/// golden-diffable transcripts that are stable across machines and thread
+/// counts.
+std::string fit_result_summary(const Timer& timer, const MgbaFlowResult& fit,
+                               CheckKind check_kind);
+
 }  // namespace mgba

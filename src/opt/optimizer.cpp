@@ -18,7 +18,8 @@ TimingCloser::TimingCloser(Design& design, Timer& timer,
     : design_(&design),
       timer_(&timer),
       table_(&table),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      buffer_counter_(options_.buffer_name_start) {}
 
 void TimingCloser::set_corner_setups(std::vector<CornerSetup> setups) {
   MGBA_CHECK(setups.size() == timer_->num_corners());
@@ -70,6 +71,7 @@ bool TimingCloser::try_upsize(InstanceId inst, OptimizerReport& report) {
   ++report.transforms_attempted;
   const double tns_before = current_tns();
   design_->resize_instance(inst, bigger);
+  if (listener_) listener_->on_resize(inst, original, bigger);
   timer_->invalidate_instance(inst);
   const double tns_after = current_tns();
   if (tns_after > tns_before + options_.min_improvement_ps) {
@@ -77,6 +79,7 @@ bool TimingCloser::try_upsize(InstanceId inst, OptimizerReport& report) {
     return true;
   }
   design_->resize_instance(inst, original);
+  if (listener_) listener_->on_resize(inst, bigger, original);
   timer_->invalidate_instance(inst);
   timer_->update_timing();
   return false;
@@ -104,8 +107,13 @@ bool TimingCloser::try_insert_buffer(ArcId net_arc, OptimizerReport& report) {
   ++report.transforms_attempted;
   const double tns_before = current_tns();
   const InstanceId buffer = design_->insert_buffer_for_sink(
-      net, sink, *buffer_cell, str_format("optbuf_%zu", buffer_counter_++),
+      net, sink, *buffer_cell,
+      str_format("%s_%zu", options_.buffer_name_prefix.c_str(),
+                 buffer_counter_++),
       midpoint);
+  if (listener_) {
+    listener_->on_buffer_inserted(buffer, net, sink, *buffer_cell, midpoint);
+  }
   timer_->rebuild_graph();
   refresh_derates();
   const double tns_after = current_tns();
@@ -114,6 +122,7 @@ bool TimingCloser::try_insert_buffer(ArcId net_arc, OptimizerReport& report) {
     return true;
   }
   design_->remove_buffer(buffer, net);
+  if (listener_) listener_->on_buffer_removed(buffer, net);
   timer_->rebuild_graph();
   refresh_derates();
   timer_->update_timing();
@@ -208,6 +217,8 @@ void TimingCloser::area_recovery(OptimizerReport& report) {
       ++report.transforms_attempted;
       downsized.emplace_back(inst, design_->instance(inst).cell);
       design_->resize_instance(inst, *(it - 1));
+      if (listener_) listener_->on_resize(inst, downsized.back().second,
+                                          *(it - 1));
       timer_->invalidate_instance(inst);
     }
     if (downsized.empty()) break;
@@ -226,7 +237,9 @@ void TimingCloser::area_recovery(OptimizerReport& report) {
           for (auto& [inst, old_cell] : downsized) {
             if (inst != t.id || old_cell == kInvalidId) continue;
             if (design_->instance(inst).cell == old_cell) continue;
+            const std::size_t small_cell = design_->instance(inst).cell;
             design_->resize_instance(inst, old_cell);
+            if (listener_) listener_->on_resize(inst, small_cell, old_cell);
             timer_->invalidate_instance(inst);
             old_cell = kInvalidId;  // mark as reverted
             any_revert = true;

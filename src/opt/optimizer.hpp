@@ -22,6 +22,25 @@
 
 namespace mgba {
 
+/// Observer of every design mutation the closer commits *or reverts*:
+/// resizes (upsizes, downsizes, and their rollbacks), buffer insertions,
+/// and buffer removals, in execution order. The timing shell's ECO journal
+/// implements this to capture an `optimize` run as a replayable
+/// transaction; rejected transforms are reported too because they still
+/// advance instance ids and name counters, which an exact replay must
+/// reproduce. Callbacks fire after the design mutation and before the
+/// next timing update.
+class TransformListener {
+ public:
+  virtual ~TransformListener() = default;
+  virtual void on_resize(InstanceId inst, std::size_t old_cell,
+                         std::size_t new_cell) = 0;
+  virtual void on_buffer_inserted(InstanceId buffer, NetId net,
+                                  const Terminal& sink, std::size_t cell,
+                                  Point location) = 0;
+  virtual void on_buffer_removed(InstanceId buffer, NetId net) = 0;
+};
+
 struct OptimizerOptions {
   std::size_t max_passes = 40;
   /// Worst violating endpoints attacked per pass.
@@ -46,6 +65,12 @@ struct OptimizerOptions {
   bool use_mgba = false;
   std::size_t mgba_refresh_passes = 4;
   MgbaFlowOptions mgba_options;
+
+  /// Inserted buffers are named "<prefix>_<k>" with k counting from
+  /// buffer_name_start. A driver that runs several closure invocations on
+  /// one design (the timing shell) bumps these so names stay unique.
+  std::string buffer_name_prefix = "optbuf";
+  std::size_t buffer_name_start = 0;
 };
 
 struct OptimizerReport {
@@ -77,6 +102,16 @@ class TimingCloser {
   /// (apply_corner_setups) and are copied.
   void set_corner_setups(std::vector<CornerSetup> setups);
 
+  /// Installs a mutation observer (nullptr to clear). Not owned; must
+  /// outlive run().
+  void set_transform_listener(TransformListener* listener) {
+    listener_ = listener;
+  }
+
+  /// Buffers created so far ("<prefix>_<k>" names); feed back into the
+  /// next invocation's buffer_name_start for unique names.
+  [[nodiscard]] std::size_t buffers_named() const { return buffer_counter_; }
+
   /// Runs the closure loop and (optionally) area recovery.
   OptimizerReport run();
 
@@ -95,6 +130,7 @@ class TimingCloser {
   OptimizerOptions options_;
   /// Empty = single-corner legacy mode (derates and mGBA from *table_).
   std::vector<CornerSetup> corner_setups_;
+  TransformListener* listener_ = nullptr;
   std::size_t buffer_counter_ = 0;
 };
 

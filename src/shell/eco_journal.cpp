@@ -1,0 +1,213 @@
+#include "shell/eco_journal.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace mgba::shell {
+
+namespace {
+
+/// %.17g: shortest form guaranteed to round-trip an IEEE double exactly.
+std::string fmt_double(double v) { return str_format("%.17g", v); }
+
+/// Quotes a name for the journal if it contains whitespace or a quote.
+/// Generated designs never produce such names, but a hand-written netlist
+/// could; the tokenizer-compatible quoting keeps read(write(x)) == x.
+std::string quote(const std::string& name) {
+  if (name.find_first_of(" \t\"#") == std::string::npos && !name.empty()) {
+    return name;
+  }
+  std::string out = "\"";
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+bool EcoJournal::begin() {
+  if (open_) return false;
+  current_ = EcoTransaction{};
+  open_ = true;
+  return true;
+}
+
+void EcoJournal::record(EcoRecord r) {
+  if (!open_) return;
+  current_.records.push_back(std::move(r));
+}
+
+bool EcoJournal::end() {
+  if (!open_) return false;
+  committed_.push_back(std::move(current_));
+  current_ = EcoTransaction{};
+  open_ = false;
+  return true;
+}
+
+EcoTransaction EcoJournal::pop_back() {
+  MGBA_CHECK(!committed_.empty());
+  EcoTransaction txn = std::move(committed_.back());
+  committed_.pop_back();
+  return txn;
+}
+
+void EcoJournal::write(std::ostream& out) const {
+  out << "# mgba ECO journal v1\n";
+  for (const EcoTransaction& txn : committed_) {
+    out << "begin_eco\n";
+    for (const EcoRecord& r : txn.records) {
+      switch (r.kind) {
+        case EcoRecord::Kind::Resize:
+          out << "resize " << quote(r.inst) << ' ' << quote(r.old_cell) << ' '
+              << quote(r.new_cell) << '\n';
+          break;
+        case EcoRecord::Kind::InsertBuffer:
+          out << "buffer " << quote(r.net) << ' ' << quote(r.sink) << ' '
+              << quote(r.new_cell) << ' ' << quote(r.inst) << ' '
+              << fmt_double(r.x) << ' ' << fmt_double(r.y) << '\n';
+          break;
+        case EcoRecord::Kind::RemoveBuffer:
+          out << "unbuffer " << quote(r.inst) << ' ' << quote(r.net) << '\n';
+          break;
+        case EcoRecord::Kind::Weights:
+          out << "weights " << quote(r.corner) << ' '
+              << (r.early ? "early" : "late") << ' ' << r.values.size();
+          for (const double v : r.values) out << ' ' << fmt_double(v);
+          out << '\n';
+          break;
+      }
+    }
+    out << "end_eco\n";
+  }
+}
+
+bool EcoJournal::read(std::istream& in, std::vector<EcoTransaction>& out,
+                      std::string& error) {
+  out.clear();
+  error.clear();
+  EcoTransaction current;
+  bool open = false;
+  std::string line;
+  std::size_t line_no = 0;
+
+  const auto fail = [&](const std::string& msg) {
+    error = str_format("line %zu: %s", line_no, msg.c_str());
+    return false;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // The journal uses the shell tokenizer's quoting rules, but records
+    // never need full quote handling beyond what quote() emits; reuse a
+    // simple whitespace split with quote support via manual scan.
+    std::vector<std::string> tok;
+    {
+      std::string cur;
+      bool in_tok = false, in_q = false;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_q) {
+          if (c == '\\' && i + 1 < line.size()) {
+            cur.push_back(line[++i]);
+          } else if (c == '"') {
+            in_q = false;
+          } else {
+            cur.push_back(c);
+          }
+        } else if (c == '"') {
+          in_q = true;
+          in_tok = true;
+        } else if (c == '#') {
+          break;
+        } else if (c == ' ' || c == '\t' || c == '\r') {
+          if (in_tok) tok.push_back(cur);
+          cur.clear();
+          in_tok = false;
+        } else {
+          in_tok = true;
+          cur.push_back(c);
+        }
+      }
+      if (in_q) return fail("unterminated quote");
+      if (in_tok) tok.push_back(cur);
+    }
+    if (tok.empty()) continue;
+    const std::string& kw = tok[0];
+
+    if (kw == "begin_eco") {
+      if (open) return fail("nested begin_eco");
+      if (tok.size() != 1) return fail("begin_eco takes no arguments");
+      current = EcoTransaction{};
+      open = true;
+    } else if (kw == "end_eco") {
+      if (!open) return fail("end_eco without begin_eco");
+      if (tok.size() != 1) return fail("end_eco takes no arguments");
+      out.push_back(std::move(current));
+      open = false;
+    } else if (kw == "resize") {
+      if (!open) return fail("record outside begin_eco/end_eco");
+      if (tok.size() != 4) return fail("resize expects 3 fields");
+      EcoRecord r;
+      r.kind = EcoRecord::Kind::Resize;
+      r.inst = tok[1];
+      r.old_cell = tok[2];
+      r.new_cell = tok[3];
+      current.records.push_back(std::move(r));
+    } else if (kw == "buffer") {
+      if (!open) return fail("record outside begin_eco/end_eco");
+      if (tok.size() != 7) return fail("buffer expects 6 fields");
+      EcoRecord r;
+      r.kind = EcoRecord::Kind::InsertBuffer;
+      r.net = tok[1];
+      r.sink = tok[2];
+      r.new_cell = tok[3];
+      r.inst = tok[4];
+      r.x = std::strtod(tok[5].c_str(), nullptr);
+      r.y = std::strtod(tok[6].c_str(), nullptr);
+      current.records.push_back(std::move(r));
+    } else if (kw == "unbuffer") {
+      if (!open) return fail("record outside begin_eco/end_eco");
+      if (tok.size() != 3) return fail("unbuffer expects 2 fields");
+      EcoRecord r;
+      r.kind = EcoRecord::Kind::RemoveBuffer;
+      r.inst = tok[1];
+      r.net = tok[2];
+      current.records.push_back(std::move(r));
+    } else if (kw == "weights") {
+      if (!open) return fail("record outside begin_eco/end_eco");
+      if (tok.size() < 4) return fail("weights expects a corner, mode, count");
+      EcoRecord r;
+      r.kind = EcoRecord::Kind::Weights;
+      r.corner = tok[1];
+      if (tok[2] == "early") {
+        r.early = true;
+      } else if (tok[2] == "late") {
+        r.early = false;
+      } else {
+        return fail("weights mode must be 'late' or 'early'");
+      }
+      const std::size_t n =
+          static_cast<std::size_t>(std::strtoul(tok[3].c_str(), nullptr, 10));
+      if (tok.size() != 4 + n) return fail("weights value count mismatch");
+      r.values.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        r.values.push_back(std::strtod(tok[4 + i].c_str(), nullptr));
+      }
+      current.records.push_back(std::move(r));
+    } else {
+      return fail("unknown record '" + kw + "'");
+    }
+  }
+  if (open) return fail("journal ends inside an open transaction");
+  return true;
+}
+
+}  // namespace mgba::shell

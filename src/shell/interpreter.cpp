@@ -1,0 +1,643 @@
+#include "shell/interpreter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "opt/qor.hpp"
+#include "shell/tokenizer.hpp"
+#include "sta/report.hpp"
+#include "util/strings.hpp"
+
+namespace mgba::shell {
+
+namespace {
+
+bool parse_size(const std::string& s, std::size_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+/// Reads an optional numeric option into \p out; the returned error names
+/// the option so the user sees which value failed to parse.
+std::string read_size_option(const ParsedCommand& p, const std::string& name,
+                             std::size_t& out) {
+  const std::string* v = p.value(name);
+  if (v == nullptr) return "";
+  if (!parse_size(*v, out)) return "option -" + name + ": not a count: " + *v;
+  return "";
+}
+
+std::string read_double_option(const ParsedCommand& p, const std::string& name,
+                               double& out) {
+  const std::string* v = p.value(name);
+  if (v == nullptr) return "";
+  if (!parse_double(*v, out)) {
+    return "option -" + name + ": not a number: " + *v;
+  }
+  return "";
+}
+
+}  // namespace
+
+ShellInterpreter::ShellInterpreter(std::ostream& out,
+                                   InterpreterOptions options)
+    : out_(out), options_(std::move(options)) {
+  register_commands();
+}
+
+bool ShellInterpreter::run_line(const std::string& line) {
+  TokenizeResult tok = tokenize_line(line);
+  if (!tok.ok()) {
+    out_ << "error: " << tok.error << "\n";
+    ++errors_;
+    return !options_.stop_on_error;
+  }
+  if (tok.tokens.empty()) return true;
+  bool stop = false;
+  const std::string err = dispatch(tok.tokens, stop);
+  if (!err.empty()) {
+    out_ << "error: " << err << "\n";
+    ++errors_;
+    if (options_.stop_on_error) return false;
+  }
+  return !stop;
+}
+
+void ShellInterpreter::run_stream(std::istream& in) {
+  std::string line;
+  while (true) {
+    if (options_.interactive) out_ << options_.prompt << std::flush;
+    if (!std::getline(in, line)) break;
+    if (options_.echo) out_ << options_.prompt << line << "\n";
+    if (!run_line(line)) break;
+  }
+}
+
+std::string ShellInterpreter::run_script(const std::string& path) {
+  if (source_depth_ >= 8) return "source nesting too deep (limit 8)";
+  std::ifstream in(path);
+  if (!in) return "cannot open script " + path;
+  ++source_depth_;
+  run_stream(in);
+  --source_depth_;
+  return "";
+}
+
+std::string ShellInterpreter::dispatch(const std::vector<std::string>& tokens,
+                                       bool& stop) {
+  const std::string& name = tokens[0];
+  if (name == "exit" || name == "quit") {
+    stop = true;
+    return "";
+  }
+  const auto it = commands_.find(name);
+  if (it == commands_.end()) {
+    return "unknown command '" + name + "' (try help)";
+  }
+  ParsedCommand parsed;
+  if (std::string err = parse_command(it->second, tokens, parsed);
+      !err.empty()) {
+    return err;
+  }
+  return it->second.handler(parsed);
+}
+
+std::string ShellInterpreter::parse_command(
+    const Command& cmd, const std::vector<std::string>& tokens,
+    ParsedCommand& out) const {
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    const bool is_option = t.size() > 1 && t[0] == '-' &&
+                           std::isdigit(static_cast<unsigned char>(t[1])) == 0;
+    if (!is_option) {
+      out.positional.push_back(t);
+      continue;
+    }
+    const std::string option = t.substr(1);
+    if (std::find(cmd.value_options.begin(), cmd.value_options.end(),
+                  option) != cmd.value_options.end()) {
+      if (i + 1 >= tokens.size()) {
+        return "option -" + option + " needs a value (usage: " + cmd.usage +
+               ")";
+      }
+      out.values[option] = tokens[++i];
+    } else if (std::find(cmd.flag_options.begin(), cmd.flag_options.end(),
+                         option) != cmd.flag_options.end()) {
+      out.flags.insert(option);
+    } else {
+      return "unknown option '-" + option + "' (usage: " + cmd.usage + ")";
+    }
+  }
+  if (out.positional.size() < cmd.min_args ||
+      out.positional.size() > cmd.max_args) {
+    return "usage: " + cmd.usage;
+  }
+  return "";
+}
+
+std::string ShellInterpreter::resolve_corner(
+    const ParsedCommand& p, std::optional<CornerId>& corner) const {
+  corner.reset();
+  const std::string* name = p.value("corner");
+  if (name == nullptr) return "";
+  if (!session_.loaded()) return "no design loaded (read_netlist first)";
+  const auto c = session_.timer().find_corner(*name);
+  if (!c.has_value()) return "no corner named '" + *name + "'";
+  corner = *c;
+  return "";
+}
+
+// --- handlers --------------------------------------------------------------
+
+std::string ShellInterpreter::cmd_help(const ParsedCommand& p) {
+  if (!p.positional.empty()) {
+    const auto it = commands_.find(p.positional[0]);
+    if (it == commands_.end()) {
+      return "unknown command '" + p.positional[0] + "'";
+    }
+    out_ << "usage: " << it->second.usage << "\n  " << it->second.help
+         << "\n";
+    for (const std::string& v : it->second.value_options) {
+      out_ << "  -" << v << " <value>\n";
+    }
+    for (const std::string& f : it->second.flag_options) {
+      out_ << "  -" << f << "\n";
+    }
+    return "";
+  }
+  out_ << "commands:\n";
+  for (const auto& [name, cmd] : commands_) {
+    out_ << str_format("  %-38s %s\n", cmd.usage.c_str(), cmd.help.c_str());
+  }
+  out_ << str_format("  %-38s %s\n", "exit | quit", "leave the shell");
+  return "";
+}
+
+std::string ShellInterpreter::cmd_read_netlist(const ParsedCommand& p) {
+  LoadRequest request;
+  if (!p.positional.empty()) request.netlist_path = p.positional[0];
+  std::size_t design = 0;
+  std::string err;
+  if ((err = read_size_option(p, "design", design)), !err.empty()) return err;
+  request.design = static_cast<int>(design);
+  if ((err = read_size_option(p, "gates", request.gates)), !err.empty()) {
+    return err;
+  }
+  if ((err = read_size_option(p, "flops", request.flops)), !err.empty()) {
+    return err;
+  }
+  std::size_t seed = 1;
+  if ((err = read_size_option(p, "seed", seed)), !err.empty()) return err;
+  request.seed = seed;
+  if ((err = read_size_option(p, "depth", request.depth)), !err.empty()) {
+    return err;
+  }
+  if (p.value("period") != nullptr) {
+    double period = 0.0;
+    if ((err = read_double_option(p, "period", period)), !err.empty()) {
+      return err;
+    }
+    request.period_ps = period;
+  }
+  if ((err = read_double_option(p, "utilization", request.utilization)),
+      !err.empty()) {
+    return err;
+  }
+  if ((err = read_double_option(p, "uncertainty", request.uncertainty_ps)),
+      !err.empty()) {
+    return err;
+  }
+  if (const std::string* clock = p.value("clock_port"); clock != nullptr) {
+    request.clock_port = *clock;
+  }
+
+  if ((err = session_.load(request)), !err.empty()) return err;
+  out_ << str_format(
+      "loaded %s: %zu instances, %zu nets, %zu endpoints, clock period "
+      "%.6g ps\n",
+      session_.design().name().c_str(), session_.design().num_instances(),
+      session_.design().num_nets(),
+      session_.timer().graph().endpoints().size(),
+      session_.clock_period_ps());
+  return "";
+}
+
+std::string ShellInterpreter::cmd_report_wns_tns(const ParsedCommand& p,
+                                                bool tns) {
+  if (!session_.loaded()) return "no design loaded (read_netlist first)";
+  const Timer& timer = session_.timer();
+  const Mode mode = p.has_flag("early") ? Mode::Early : Mode::Late;
+  const char* what = tns ? "tns" : "wns";
+  std::optional<CornerId> corner;
+  if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
+  const auto value = [&](CornerId c) {
+    return tns ? timer.tns(mode, c) : timer.wns(mode, c);
+  };
+  if (corner.has_value()) {
+    out_ << str_format("%s %s = %.6f ps\n", what,
+                       corner_label(timer, *corner).c_str(), value(*corner));
+    return "";
+  }
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    out_ << str_format("%s %s = %.6f ps\n", what,
+                       corner_label(timer, c).c_str(), value(c));
+  }
+  if (session_.multi_corner()) {
+    const double merged =
+        tns ? timer.tns_merged(mode) : timer.wns_merged(mode);
+    out_ << str_format("%s merged = %.6f ps\n", what, merged);
+  }
+  return "";
+}
+
+std::string ShellInterpreter::cmd_report_worst_slack(const ParsedCommand& p) {
+  if (!session_.loaded()) return "no design loaded (read_netlist first)";
+  const Timer& timer = session_.timer();
+  const Mode mode = p.has_flag("early") ? Mode::Early : Mode::Late;
+  std::optional<CornerId> corner;
+  if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
+  if (corner.has_value()) {
+    // Worst endpoint at one specific corner.
+    NodeId worst = kInvalidNode;
+    double worst_slack = 0.0;
+    for (const NodeId e : timer.graph().endpoints()) {
+      const double s = timer.slack(e, mode, *corner);
+      if (worst == kInvalidNode || s < worst_slack) {
+        worst = e;
+        worst_slack = s;
+      }
+    }
+    if (worst == kInvalidNode) return "design has no endpoints";
+    out_ << str_format("worst slack %s = %.6f ps at %s\n",
+                       corner_label(timer, *corner).c_str(), worst_slack,
+                       timer.graph().node_name(worst).c_str());
+    return "";
+  }
+  const NodeId worst = timer.worst_endpoint_merged(mode);
+  if (worst == kInvalidNode) return "design has no endpoints";
+  const CornerId at = timer.worst_slack_corner(worst, mode);
+  out_ << str_format("worst slack = %.6f ps at %s (%s)\n",
+                     timer.slack_merged(worst, mode),
+                     timer.graph().node_name(worst).c_str(),
+                     corner_label(timer, at).c_str());
+  return "";
+}
+
+std::string ShellInterpreter::cmd_get_slack(const ParsedCommand& p) {
+  if (!session_.loaded()) return "no design loaded (read_netlist first)";
+  const Timer& timer = session_.timer();
+  const std::string& name = p.positional[0];
+  const auto endpoint = timer.graph().find_endpoint(name);
+  if (!endpoint.has_value()) return "no endpoint named '" + name + "'";
+  const Mode mode = p.has_flag("early") ? Mode::Early : Mode::Late;
+  const char* mode_tag = p.has_flag("early") ? " early" : "";
+  std::optional<CornerId> corner;
+  if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
+  if (corner.has_value()) {
+    out_ << str_format("slack(%s)%s %s = %.17g ps\n", name.c_str(), mode_tag,
+                       corner_label(timer, *corner).c_str(),
+                       timer.slack(*endpoint, mode, *corner));
+    return "";
+  }
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    out_ << str_format("slack(%s)%s %s = %.17g ps\n", name.c_str(), mode_tag,
+                       corner_label(timer, c).c_str(),
+                       timer.slack(*endpoint, mode, c));
+  }
+  if (session_.multi_corner()) {
+    out_ << str_format("slack(%s)%s merged = %.17g ps\n", name.c_str(),
+                       mode_tag, timer.slack_merged(*endpoint, mode));
+  }
+  return "";
+}
+
+std::string ShellInterpreter::cmd_report_path(const ParsedCommand& p) {
+  if (!session_.loaded()) return "no design loaded (read_netlist first)";
+  const Timer& timer = session_.timer();
+  NodeId endpoint = kInvalidNode;
+  if (!p.positional.empty()) {
+    const auto found = timer.graph().find_endpoint(p.positional[0]);
+    if (!found.has_value()) {
+      return "no endpoint named '" + p.positional[0] + "'";
+    }
+    endpoint = *found;
+  } else {
+    endpoint = timer.worst_endpoint_merged(Mode::Late);
+    if (endpoint == kInvalidNode) return "design has no endpoints";
+  }
+  std::optional<CornerId> corner;
+  if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
+  const CornerId at =
+      corner.value_or(timer.worst_slack_corner(endpoint, Mode::Late));
+  out_ << report_worst_path(timer, endpoint, at);
+  return "";
+}
+
+std::string ShellInterpreter::cmd_report_qor(const ParsedCommand& /*p*/) {
+  if (!session_.loaded()) return "no design loaded (read_netlist first)";
+  const Timer& timer = session_.timer();
+  if (!session_.multi_corner()) {
+    out_ << "qor: " << measure_qor(timer).to_string() << "\n";
+    return "";
+  }
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    out_ << "qor " << corner_label(timer, c) << ": "
+         << measure_qor(timer, c).to_string() << "\n";
+  }
+  out_ << "qor merged: " << measure_qor(timer).to_string() << "\n";
+  return "";
+}
+
+std::string ShellInterpreter::cmd_fit_mgba(const ParsedCommand& p) {
+  MgbaFlowOptions options;
+  if (p.has_flag("hold")) options.check_kind = CheckKind::Hold;
+  std::string err;
+  if ((err = read_size_option(p, "paths", options.paths_per_endpoint)),
+      !err.empty()) {
+    return err;
+  }
+  options.candidate_paths_per_endpoint = std::max(
+      options.candidate_paths_per_endpoint, options.paths_per_endpoint);
+  std::vector<MgbaFlowResult> results;
+  if ((err = session_.fit(options, p.has_flag("all_corners"), results)),
+      !err.empty()) {
+    return err;
+  }
+  for (const MgbaFlowResult& fit : results) {
+    out_ << fit_result_summary(session_.timer(), fit, options.check_kind);
+  }
+  return "";
+}
+
+std::string ShellInterpreter::cmd_size_cell(const ParsedCommand& p) {
+  std::string old_cell;
+  if (session_.loaded()) {
+    if (const auto inst = session_.design().find_instance(p.positional[0]);
+        inst.has_value()) {
+      old_cell = session_.design().cell_of(*inst).name;
+    }
+  }
+  if (std::string err = session_.size_cell(p.positional[0], p.positional[1]);
+      !err.empty()) {
+    return err;
+  }
+  out_ << str_format("sized %s: %s -> %s\n", p.positional[0].c_str(),
+                     old_cell.c_str(), p.positional[1].c_str());
+  return "";
+}
+
+std::string ShellInterpreter::cmd_insert_buffer(const ParsedCommand& p) {
+  const std::string* cell = p.value("cell");
+  std::string buffer_name;
+  if (std::string err =
+          session_.insert_buffer(p.positional[0], p.positional[1],
+                                 cell != nullptr ? *cell : "", buffer_name);
+      !err.empty()) {
+    return err;
+  }
+  const auto inst = session_.design().find_instance(buffer_name);
+  out_ << str_format("inserted buffer %s (%s) before %s on net %s\n",
+                     buffer_name.c_str(),
+                     session_.design().cell_of(*inst).name.c_str(),
+                     p.positional[1].c_str(), p.positional[0].c_str());
+  return "";
+}
+
+std::string ShellInterpreter::cmd_optimize(const ParsedCommand& p) {
+  OptimizerOptions options;
+  std::string err;
+  if ((err = read_size_option(p, "passes", options.max_passes)),
+      !err.empty()) {
+    return err;
+  }
+  if ((err = read_size_option(p, "acceptable",
+                              options.acceptable_violations)),
+      !err.empty()) {
+    return err;
+  }
+  if (p.has_flag("mgba")) options.use_mgba = true;
+  OptimizerReport report;
+  if ((err = session_.optimize(options, report)), !err.empty()) return err;
+  out_ << str_format(
+      "optimize: %zu passes, %zu upsizes, %zu downsizes, %zu buffers "
+      "inserted (%zu reverted)\n",
+      report.passes, report.upsizes, report.downsizes,
+      report.buffers_inserted, report.buffers_reverted);
+  out_ << "  initial: " << report.initial.to_string() << "\n";
+  out_ << "  final:   " << report.final_qor.to_string() << "\n";
+  if (session_.multi_corner()) {
+    const Timer& timer = session_.timer();
+    for (CornerId c = 0; c < timer.num_corners(); ++c) {
+      out_ << "  final " << corner_label(timer, c) << ": "
+           << report.final_per_corner[c].to_string() << "\n";
+    }
+  }
+  return "";
+}
+
+void ShellInterpreter::register_commands() {
+  const auto add = [this](const std::string& name, Command cmd) {
+    commands_.emplace(name, std::move(cmd));
+  };
+
+  add("help", {"help [command]", "list commands or describe one", 0, 1, {},
+               {},
+               [this](const ParsedCommand& p) { return cmd_help(p); }});
+  add("echo", {"echo [words...]", "print its arguments", 0, SIZE_MAX, {}, {},
+               [this](const ParsedCommand& p) {
+                 for (std::size_t i = 0; i < p.positional.size(); ++i) {
+                   out_ << (i == 0 ? "" : " ") << p.positional[i];
+                 }
+                 out_ << "\n";
+                 return std::string();
+               }});
+  add("source", {"source <file>", "run a script file in this session", 1, 1,
+                 {},
+                 {},
+                 [this](const ParsedCommand& p) {
+                   return run_script(p.positional[0]);
+                 }});
+
+  // Loading.
+  add("read_library",
+      {"read_library <file>", "replace the cell library (resets the design)",
+       1, 1, {}, {}, [this](const ParsedCommand& p) {
+         if (std::string err = session_.load_library(p.positional[0]);
+             !err.empty()) {
+           return err;
+         }
+         out_ << str_format("library: %zu cells\n",
+                            session_.library().num_cells());
+         return std::string();
+       }});
+  add("read_derates",
+      {"read_derates <file>", "replace the base AOCV derate table", 1, 1, {},
+       {}, [this](const ParsedCommand& p) {
+         return session_.load_derates(p.positional[0]);
+       }});
+  add("read_netlist",
+      {"read_netlist [file] [-design N | -gates N]",
+       "load a netlist/Verilog file or generate a design", 0, 1,
+       {"design", "gates", "flops", "seed", "depth", "period", "utilization",
+        "uncertainty", "clock_port"},
+       {},
+       [this](const ParsedCommand& p) { return cmd_read_netlist(p); }});
+  add("read_corners",
+      {"read_corners <file>", "install an MCMM corner set from a spec file",
+       1, 1, {}, {}, [this](const ParsedCommand& p) {
+         if (std::string err = session_.load_corners(p.positional[0]);
+             !err.empty()) {
+           return err;
+         }
+         out_ << str_format("%zu corners:", session_.setups().size());
+         for (const CornerSetup& s : session_.setups()) {
+           out_ << " '" << s.corner.name << "'";
+         }
+         out_ << "\n";
+         return std::string();
+       }});
+
+  // Queries.
+  add("report_wns",
+      {"report_wns [-corner C] [-early]", "worst negative slack per corner",
+       0, 0, {"corner"}, {"early"}, [this](const ParsedCommand& p) {
+         return cmd_report_wns_tns(p, false);
+       }});
+  add("report_tns",
+      {"report_tns [-corner C] [-early]", "total negative slack per corner",
+       0, 0, {"corner"}, {"early"}, [this](const ParsedCommand& p) {
+         return cmd_report_wns_tns(p, true);
+       }});
+  add("report_worst_slack",
+      {"report_worst_slack [-corner C] [-early]",
+       "worst endpoint and its slack", 0, 0, {"corner"}, {"early"},
+       [this](const ParsedCommand& p) { return cmd_report_worst_slack(p); }});
+  add("get_slack",
+      {"get_slack <endpoint> [-corner C] [-early]",
+       "full-precision slack of one endpoint", 1, 1, {"corner"}, {"early"},
+       [this](const ParsedCommand& p) { return cmd_get_slack(p); }});
+  add("report_path",
+      {"report_path [endpoint] [-corner C]",
+       "worst-path trace (default: worst endpoint)", 0, 1, {"corner"}, {},
+       [this](const ParsedCommand& p) { return cmd_report_path(p); }});
+  add("report_endpoints",
+      {"report_endpoints [count] [-corner C]", "table of the worst endpoints",
+       0, 1, {"corner"}, {}, [this](const ParsedCommand& p) {
+         if (!session_.loaded()) {
+           return std::string("no design loaded (read_netlist first)");
+         }
+         std::size_t count = 10;
+         if (!p.positional.empty() && !parse_size(p.positional[0], count)) {
+           return "not a count: " + p.positional[0];
+         }
+         std::optional<CornerId> corner;
+         if (std::string err = resolve_corner(p, corner); !err.empty()) {
+           return err;
+         }
+         out_ << report_endpoints(session_.timer(), count,
+                                  corner.value_or(kDefaultCorner));
+         return std::string();
+       }});
+  add("report_qor",
+      {"report_qor", "WNS/TNS/area/leakage/buffer-count summary", 0, 0, {},
+       {},
+       [this](const ParsedCommand& p) { return cmd_report_qor(p); }});
+
+  // Fitting and transforms.
+  add("fit_mgba",
+      {"fit_mgba [-all_corners] [-hold] [-paths N]",
+       "fit and install mGBA weighting factors", 0, 0, {"paths"},
+       {"all_corners", "hold"},
+       [this](const ParsedCommand& p) { return cmd_fit_mgba(p); }});
+  add("size_cell",
+      {"size_cell <inst> <cell>", "swap an instance within its footprint",
+       2, 2, {}, {},
+       [this](const ParsedCommand& p) { return cmd_size_cell(p); }});
+  add("insert_buffer",
+      {"insert_buffer <net> <sink> [-cell C]",
+       "splice a buffer in front of one sink", 2, 2, {"cell"}, {},
+       [this](const ParsedCommand& p) { return cmd_insert_buffer(p); }});
+  add("optimize",
+      {"optimize [-passes N] [-acceptable N] [-mgba]",
+       "run the timing-closure flow", 0, 0, {"passes", "acceptable"},
+       {"mgba"},
+       [this](const ParsedCommand& p) { return cmd_optimize(p); }});
+
+  // ECO journal.
+  add("begin_eco", {"begin_eco", "open an ECO transaction", 0, 0, {}, {},
+                    [this](const ParsedCommand&) {
+                      if (std::string err = session_.begin_eco();
+                          !err.empty()) {
+                        return err;
+                      }
+                      out_ << "eco: transaction opened\n";
+                      return std::string();
+                    }});
+  add("end_eco", {"end_eco", "commit the open ECO transaction", 0, 0, {}, {},
+                  [this](const ParsedCommand&) {
+                    std::size_t records = 0;
+                    if (std::string err = session_.end_eco(records);
+                        !err.empty()) {
+                      return err;
+                    }
+                    out_ << str_format(
+                        "eco: committed transaction %zu (%zu records)\n",
+                        session_.journal().transactions().size(), records);
+                    return std::string();
+                  }});
+  add("undo_eco",
+      {"undo_eco", "roll back the most recent committed transaction", 0, 0,
+       {}, {}, [this](const ParsedCommand&) {
+         if (std::string err = session_.undo_eco(); !err.empty()) return err;
+         out_ << str_format("eco: undone (%zu committed remain)\n",
+                            session_.journal().transactions().size());
+         return std::string();
+       }});
+  add("write_eco",
+      {"write_eco <file>", "serialize the committed transactions", 1, 1, {},
+       {}, [this](const ParsedCommand& p) {
+         if (std::string err = session_.write_eco(p.positional[0]);
+             !err.empty()) {
+           return err;
+         }
+         out_ << str_format("eco: wrote %zu transactions to %s\n",
+                            session_.journal().transactions().size(),
+                            p.positional[0].c_str());
+         return std::string();
+       }});
+  add("replay_eco",
+      {"replay_eco <file>", "apply a journal file to this session", 1, 1, {},
+       {}, [this](const ParsedCommand& p) {
+         std::size_t transactions = 0;
+         std::size_t records = 0;
+         if (std::string err =
+                 session_.replay_eco(p.positional[0], transactions, records);
+             !err.empty()) {
+           return err;
+         }
+         out_ << str_format(
+             "eco: replayed %zu transactions (%zu records) from %s\n",
+             transactions, records, p.positional[0].c_str());
+         return std::string();
+       }});
+}
+
+}  // namespace mgba::shell

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file interpreter.hpp
+/// The timing-shell command interpreter: a registry of named commands with
+/// declared usage, arity, and options, executed against one ShellSession.
+/// Drives both `mgba_timer --script FILE` (echoed, golden-diffable
+/// transcripts) and `mgba_timer --shell` (interactive REPL on stdin).
+///
+/// Determinism contract: no command prints wall-clock times, pointers, or
+/// iteration-order-dependent text, so a script run twice — or at different
+/// --threads counts — produces byte-identical transcripts (the property
+/// the ctest smoke test diffs against examples/close_timing.golden).
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "shell/session.hpp"
+
+namespace mgba::shell {
+
+struct InterpreterOptions {
+  /// Echo every input line as "mgba> <line>" before executing it (script
+  /// transcripts read like an interactive session).
+  bool echo = false;
+  /// Print the prompt to the output stream before reading each line (the
+  /// interactive REPL; mutually sensible with echo = false).
+  bool interactive = false;
+  /// Abort run_stream at the first command error (scripts fail fast so a
+  /// broken transcript never silently diverges from its golden).
+  bool stop_on_error = false;
+  std::string prompt = "mgba> ";
+};
+
+/// A command line split into positionals, -name value options, and -flag
+/// switches, per the command's declaration.
+struct ParsedCommand {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> values;
+  std::set<std::string> flags;
+
+  [[nodiscard]] bool has_flag(const std::string& name) const {
+    return flags.count(name) > 0;
+  }
+  [[nodiscard]] const std::string* value(const std::string& name) const {
+    const auto it = values.find(name);
+    return it == values.end() ? nullptr : &it->second;
+  }
+};
+
+class ShellInterpreter {
+ public:
+  explicit ShellInterpreter(std::ostream& out, InterpreterOptions options = {});
+
+  [[nodiscard]] ShellSession& session() { return session_; }
+  [[nodiscard]] const ShellSession& session() const { return session_; }
+  /// Command errors seen so far (parse errors, unknown commands, and
+  /// non-empty handler results all count).
+  [[nodiscard]] std::size_t errors() const { return errors_; }
+
+  /// Tokenizes and executes one line. Returns false when the shell should
+  /// stop (exit/quit, or stop_on_error after a failed command).
+  bool run_line(const std::string& line);
+
+  /// Executes every line of \p in until EOF or a stop condition. Applies
+  /// the echo / interactive-prompt behavior from the options.
+  void run_stream(std::istream& in);
+
+  /// Opens \p path and run_stream()s it (the `source` command and the
+  /// --script driver). Returns "" or an error for an unopenable file.
+  std::string run_script(const std::string& path);
+
+ private:
+  struct Command {
+    std::string usage;  ///< "size_cell <inst> <cell>"
+    std::string help;   ///< one-line description for `help`
+    std::size_t min_args = 0;
+    std::size_t max_args = 0;
+    std::vector<std::string> value_options;  ///< options taking a value
+    std::vector<std::string> flag_options;   ///< boolean switches
+    std::function<std::string(const ParsedCommand&)> handler;  ///< "" = ok
+  };
+
+  void register_commands();
+  /// Splits tokens[1..] per \p cmd's declared options and checks arity.
+  std::string parse_command(const Command& cmd,
+                            const std::vector<std::string>& tokens,
+                            ParsedCommand& out) const;
+  /// Executes already-tokenized input; fills \p stop on exit/quit.
+  std::string dispatch(const std::vector<std::string>& tokens, bool& stop);
+
+  // Handlers grouped by theme (registered in register_commands).
+  std::string cmd_help(const ParsedCommand& p);
+  std::string cmd_read_netlist(const ParsedCommand& p);
+  std::string cmd_report_wns_tns(const ParsedCommand& p, bool tns);
+  std::string cmd_report_worst_slack(const ParsedCommand& p);
+  std::string cmd_get_slack(const ParsedCommand& p);
+  std::string cmd_report_path(const ParsedCommand& p);
+  std::string cmd_report_qor(const ParsedCommand& p);
+  std::string cmd_fit_mgba(const ParsedCommand& p);
+  std::string cmd_size_cell(const ParsedCommand& p);
+  std::string cmd_insert_buffer(const ParsedCommand& p);
+  std::string cmd_optimize(const ParsedCommand& p);
+
+  /// Resolves an optional "-corner NAME" to a CornerId; kDefaultCorner
+  /// when absent. Requires a loaded session.
+  std::string resolve_corner(const ParsedCommand& p,
+                             std::optional<CornerId>& corner) const;
+
+  std::ostream& out_;
+  InterpreterOptions options_;
+  ShellSession session_;
+  std::map<std::string, Command> commands_;
+  std::size_t errors_ = 0;
+  std::size_t source_depth_ = 0;
+};
+
+}  // namespace mgba::shell

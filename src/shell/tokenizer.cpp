@@ -1,0 +1,50 @@
+#include "shell/tokenizer.hpp"
+
+namespace mgba::shell {
+
+TokenizeResult tokenize_line(std::string_view line) {
+  TokenizeResult result;
+  std::string current;
+  bool in_token = false;
+  bool in_quote = false;
+
+  const auto flush = [&] {
+    if (in_token) result.tokens.push_back(current);
+    current.clear();
+    in_token = false;
+  };
+
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quote) {
+      if (c == '\\' && i + 1 < line.size()) {
+        current.push_back(line[++i]);
+      } else if (c == '"') {
+        in_quote = false;
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quote = true;
+      in_token = true;  // "" is a valid empty token
+    } else if (c == '#') {
+      break;  // comment to end of line
+    } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      flush();
+    } else {
+      in_token = true;
+      current.push_back(c);
+    }
+  }
+  if (in_quote) {
+    result.error = "unterminated quote";
+    result.tokens.clear();
+    return result;
+  }
+  flush();
+  return result;
+}
+
+}  // namespace mgba::shell

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file tokenizer.hpp
+/// Line tokenizer for the timing shell's command language. One command per
+/// line; words split on whitespace; double quotes group a word that
+/// contains spaces ("a b"); backslash escapes the next character inside
+/// quotes (\" and \\); '#' outside quotes starts a comment running to the
+/// end of the line. Blank and comment-only lines tokenize to nothing.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgba::shell {
+
+struct TokenizeResult {
+  std::vector<std::string> tokens;
+  /// Empty on success; otherwise a description ("unterminated quote").
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Tokenizes one command line per the rules above. Deterministic: the same
+/// line always yields the same tokens.
+TokenizeResult tokenize_line(std::string_view line);
+
+}  // namespace mgba::shell

@@ -711,4 +711,17 @@ std::vector<NodeId> Timer::worst_path(NodeId endpoint, CornerId corner) const {
   return path;
 }
 
+NodeId Timer::worst_endpoint_merged(Mode mode) const {
+  NodeId worst = kInvalidNode;
+  double worst_slack = kInfPs;
+  for (const NodeId e : graph_->endpoints()) {
+    const double s = slack_merged(e, mode);
+    if (s < worst_slack) {
+      worst_slack = s;
+      worst = e;
+    }
+  }
+  return worst;
+}
+
 }  // namespace mgba

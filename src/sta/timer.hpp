@@ -210,6 +210,11 @@ class Timer {
   [[nodiscard]] std::vector<NodeId> worst_path(
       NodeId endpoint, CornerId corner = kDefaultCorner) const;
 
+  /// Endpoint realizing the merged worst slack (ties break toward the
+  /// lowest node id, which is deterministic across thread counts), or
+  /// kInvalidNode when the design has no endpoints.
+  [[nodiscard]] NodeId worst_endpoint_merged(Mode mode) const;
+
  private:
   int idx(Mode m) const { return static_cast<int>(m); }
 

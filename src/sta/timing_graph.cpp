@@ -244,4 +244,12 @@ std::string TimingGraph::node_name(NodeId id) const {
   return inst.name + "/" + cell.pins[t.pin].name;
 }
 
+std::optional<NodeId> TimingGraph::find_endpoint(
+    const std::string& name) const {
+  for (const NodeId e : endpoints_) {
+    if (node_name(e) == name) return e;
+  }
+  return std::nullopt;
+}
+
 }  // namespace mgba

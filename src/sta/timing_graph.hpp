@@ -117,6 +117,12 @@ class TimingGraph {
   /// Human-readable name of a node ("inst/PIN" or "port").
   [[nodiscard]] std::string node_name(NodeId id) const;
 
+  /// Endpoint node whose node_name() matches, or nullopt. Linear in the
+  /// endpoint count — meant for interactive queries (the timing shell's
+  /// get_slack / report_path), not inner loops.
+  [[nodiscard]] std::optional<NodeId> find_endpoint(
+      const std::string& name) const;
+
  private:
   void build_nodes();
   void build_arcs();

@@ -2,8 +2,8 @@
 
 /// \file arg_parse.hpp
 /// Minimal command-line option parsing for the mgba_timer tool: long
-/// options with values (--key value), flags (--key), and positional
-/// arguments, with typed accessors and defaulting.
+/// options with values (--key value or --key=value), flags (--key), and
+/// positional arguments, with typed accessors and defaulting.
 
 #include <cstdlib>
 #include <map>
@@ -18,11 +18,17 @@ class Args {
     for (int i = 1; i < argc; ++i) {
       const std::string token = argv[i];
       if (token.rfind("--", 0) == 0) {
-        const std::string key = token.substr(2);
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-          options_[key] = argv[++i];
+        const std::string::size_type eq = token.find('=');
+        if (eq != std::string::npos) {
+          // --key=value ("--key=" gives an explicit empty value).
+          options_[token.substr(2, eq - 2)] = token.substr(eq + 1);
         } else {
-          options_[key] = "";  // boolean flag
+          const std::string key = token.substr(2);
+          if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            options_[key] = argv[++i];
+          } else {
+            options_[key] = "";  // boolean flag
+          }
         }
       } else {
         positional_.push_back(token);

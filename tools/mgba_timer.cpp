@@ -17,6 +17,7 @@
 /// results plus the merged worst-corner view, and the optimizer closes
 /// timing against the merge.
 
+#include <cstdarg>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -41,6 +42,7 @@
 #include "sta/report.hpp"
 #include "sta/sdc.hpp"
 #include "sta/timer.hpp"
+#include "shell/interpreter.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -48,10 +50,31 @@ namespace {
 using namespace mgba;
 using mgba::tools::Args;
 
+// Every fatal condition funnels through fail(): message on stderr, one of
+// two exit codes so callers can distinguish usage mistakes from unreadable
+// inputs.
+constexpr int kExitBadArgs = 2;  ///< bad command line
+constexpr int kExitBadFile = 3;  ///< missing/unwritable/unreadable file
+
+[[noreturn]] __attribute__((format(printf, 2, 3))) void fail(int code,
+                                                             const char* fmt,
+                                                             ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  std::exit(code);
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: mgba_timer "
                "<generate|stats|report|fit|optimize|dump-library> [options]\n"
+               "       mgba_timer --script FILE   (run a timing-shell "
+               "script)\n"
+               "       mgba_timer --shell         (interactive timing "
+               "shell on stdin)\n"
                "  common: --library FILE (liberty-lite cell library)\n"
                "          --threads N (parallel STA/PBA/solver threads;\n"
                "                       default MGBA_THREADS env or all cores)\n"
@@ -73,10 +96,7 @@ DerateTable load_table(const Args& args) {
   const std::string path = args.get("derates");
   if (path.empty()) return default_aocv_table();
   std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open derate table %s\n", path.c_str());
-    std::exit(2);
-  }
+  if (!in) fail(kExitBadFile, "cannot open derate table %s", path.c_str());
   return read_derate_table(in);
 }
 
@@ -84,10 +104,7 @@ Library load_library(const Args& args) {
   const std::string path = args.get("library");
   if (path.empty()) return make_default_library();
   std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open library %s\n", path.c_str());
-    std::exit(2);
-  }
+  if (!in) fail(kExitBadFile, "cannot open library %s", path.c_str());
   return read_library(in);
 }
 
@@ -109,18 +126,12 @@ struct Session {
 
 std::unique_ptr<Session> open_session(const Args& args) {
   const std::string path = args.get("netlist");
-  if (path.empty()) {
-    std::fprintf(stderr, "--netlist is required\n");
-    std::exit(2);
-  }
+  if (path.empty()) fail(kExitBadArgs, "--netlist is required");
   auto session = std::make_unique<Session>(args);
   session->table = load_table(args);
 
   std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open netlist %s\n", path.c_str());
-    std::exit(2);
-  }
+  if (!in) fail(kExitBadFile, "cannot open netlist %s", path.c_str());
   const bool is_verilog =
       path.size() > 2 && path.substr(path.size() - 2) == ".v";
   if (is_verilog) {
@@ -137,8 +148,7 @@ std::unique_ptr<Session> open_session(const Args& args) {
   if (args.has("sdc")) {
     std::ifstream sdc_in(args.get("sdc"));
     if (!sdc_in) {
-      std::fprintf(stderr, "cannot open SDC %s\n", args.get("sdc").c_str());
-      std::exit(2);
+      fail(kExitBadFile, "cannot open SDC %s", args.get("sdc").c_str());
     }
     session->constraints = read_sdc(sdc_in, session->constraints);
   }
@@ -166,9 +176,8 @@ std::unique_ptr<Session> open_session(const Args& args) {
   if (args.has("corners")) {
     std::ifstream corners_in(args.get("corners"));
     if (!corners_in) {
-      std::fprintf(stderr, "cannot open corner spec %s\n",
-                   args.get("corners").c_str());
-      std::exit(2);
+      fail(kExitBadFile, "cannot open corner spec %s",
+           args.get("corners").c_str());
     }
     session->setups = read_corners(corners_in, session->table);
     apply_corner_setups(*session->timer, session->setups);
@@ -205,18 +214,12 @@ int cmd_generate(const Args& args) {
         static_cast<std::size_t>(args.get_int("blocks", 1));
   }
   const std::string out_path = args.get("out");
-  if (out_path.empty()) {
-    std::fprintf(stderr, "--out is required\n");
-    return 2;
-  }
+  if (out_path.empty()) fail(kExitBadArgs, "--out is required");
 
   const Library library = load_library(args);
   const GeneratedDesign generated = generate_design(library, options);
   std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 2;
-  }
+  if (!out) fail(kExitBadFile, "cannot write %s", out_path.c_str());
   if (out_path.size() > 2 && out_path.substr(out_path.size() - 2) == ".v") {
     write_verilog(generated.design, out);
   } else {
@@ -377,18 +380,56 @@ int cmd_dump_library(const Args& args) {
   return 0;
 }
 
+namespace {
+
+void apply_threads(const Args& args) {
+  if (!args.has("threads")) return;
+  const long n = args.get_int("threads", 0);
+  if (n < 1) fail(kExitBadArgs, "--threads must be >= 1");
+  set_num_threads(static_cast<std::size_t>(n));
+}
+
+/// `mgba_timer --script FILE`: executes the script with every line echoed
+/// ("mgba> ..."), stopping at the first error, so runs are golden-diffable
+/// transcripts. Exit 0 only when every command succeeded.
+int run_script_mode(const Args& args) {
+  const std::string path = args.get("script");
+  if (path.empty()) fail(kExitBadArgs, "--script needs a file");
+  shell::InterpreterOptions options;
+  options.echo = true;
+  options.stop_on_error = true;
+  shell::ShellInterpreter interpreter(std::cout, options);
+  if (const std::string err = interpreter.run_script(path); !err.empty()) {
+    fail(kExitBadFile, "%s", err.c_str());
+  }
+  return interpreter.errors() == 0 ? 0 : 1;
+}
+
+/// `mgba_timer --shell`: interactive REPL on stdin.
+int run_shell_mode() {
+  shell::InterpreterOptions options;
+  options.interactive = true;
+  shell::ShellInterpreter interpreter(std::cout, options);
+  interpreter.run_stream(std::cin);
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Args args(argc - 1, argv + 1);
-  if (args.has("threads")) {
-    const long n = args.get_int("threads", 0);
-    if (n < 1) {
-      std::fprintf(stderr, "--threads must be >= 1\n");
-      return 2;
-    }
-    set_num_threads(static_cast<std::size_t>(n));
+  if (command.rfind("--", 0) == 0) {
+    // Shell modes take no subcommand; parse the whole command line.
+    const Args args(argc, argv);
+    apply_threads(args);
+    if (args.has("script")) return run_script_mode(args);
+    if (args.has("shell")) return run_shell_mode();
+    return usage();
   }
+  const Args args(argc - 1, argv + 1);
+  apply_threads(args);
   if (command == "generate") return cmd_generate(args);
   if (command == "stats") return cmd_stats(args);
   if (command == "report") return cmd_report(args);
