@@ -3,10 +3,14 @@
 # suite, then the parallel timing engine's determinism tests again under
 # ThreadSanitizer with a multi-threaded pool, so data races in the
 # level-synchronous sweeps fail the gate rather than shipping latent.
-# The multi-corner (MCMM) and timing-shell tests run under ASan+UBSan, so
-# an off-by-one in the corner-major SoA arena indexing — or a stale
-# pointer across the shell's session resets — faults loudly instead of
-# silently reading freed or neighboring memory. Finally the shell's
+# The incremental fast-path suites join both sanitizer passes: under TSan
+# because the frontier sweep's workers now write delay-cache entries and
+# arc-change flags concurrently, and under ASan because the trial journal
+# and bounded backward pass index scratch arrays that a stale size would
+# overrun. The multi-corner (MCMM) and timing-shell tests run under
+# ASan+UBSan, so an off-by-one in the corner-major SoA arena indexing —
+# or a stale pointer across the shell's session resets — faults loudly
+# instead of silently reading freed or neighboring memory. Finally the shell's
 # golden-transcript smoke test runs at 1 and 4 threads: the transcript
 # (including full-precision replayed slacks) must be byte-identical.
 set -euo pipefail
@@ -18,14 +22,14 @@ cmake --build build -j
 
 cmake -B build-tsan -S . -DMGBA_SANITIZE=thread
 cmake --build build-tsan -j --target mgba_tests
-MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*'
+MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*'
 
 cmake -B build-asan -S . -DMGBA_SANITIZE=address
 cmake --build build-asan -j --target mgba_tests
-MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*'
+MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*'
 
 for threads in 1 4; do
   ./scripts/shell_smoke.sh build/tools/mgba_timer \
       examples/close_timing.mgbash examples/close_timing.golden "$threads"
 done
-echo "tier-1 OK (ctest + TSan parallel suite + ASan MCMM/shell suites + shell smoke)"
+echo "tier-1 OK (ctest + TSan parallel/incremental suites + ASan MCMM/shell/incremental suites + shell smoke)"

@@ -52,11 +52,6 @@ std::size_t Library::add_cell(LibCell cell) {
   return cells_.size() - 1;
 }
 
-const LibCell& Library::cell(std::size_t id) const {
-  MGBA_CHECK(id < cells_.size());
-  return cells_[id];
-}
-
 std::size_t Library::cell_id(const std::string& name) const {
   const auto id = find_cell(name);
   MGBA_CHECK(id.has_value());

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "liberty/lookup_table.hpp"
+#include "util/check.hpp"
 
 namespace mgba {
 
@@ -98,7 +99,10 @@ class Library {
   /// Adds a cell; returns its id. Names must be unique.
   std::size_t add_cell(LibCell cell);
 
-  [[nodiscard]] const LibCell& cell(std::size_t id) const;
+  [[nodiscard]] const LibCell& cell(std::size_t id) const {
+    MGBA_CHECK(id < cells_.size());
+    return cells_[id];
+  }
   [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
 
   /// Cell id by name; aborts if absent.

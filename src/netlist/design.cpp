@@ -1,5 +1,6 @@
 #include "netlist/design.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -188,6 +189,20 @@ InstanceId Design::insert_buffer_for_sink(NetId net_id, const Terminal& sink,
   const LibCell& buf_cell = library_->cell(buffer_cell_id);
   MGBA_CHECK(buf_cell.kind == CellKind::Buffer);
 
+  // The buffer's input pin takes the detached sink's *position* in the net
+  // sink list (not the end): net loads are floating-point sums over the
+  // sinks in order, so a positional splice makes insert + remove_buffer (a
+  // reverted buffering trial, or an ECO undo) restore the exact original
+  // summation order and therefore bit-identical recomputed timing.
+  std::size_t sink_pos = 0;
+  {
+    const Net& net = nets_[net_id];
+    while (sink_pos < net.sinks.size() && net.sinks[sink_pos] != sink) {
+      ++sink_pos;
+    }
+    MGBA_CHECK(sink_pos < net.sinks.size());
+  }
+
   // Detach just the requested sink.
   if (sink.kind == Terminal::Kind::InstancePin) {
     MGBA_CHECK(instances_[sink.id].pin_nets[sink.pin] == net_id);
@@ -215,6 +230,11 @@ InstanceId Design::insert_buffer_for_sink(NetId net_id, const Terminal& sink,
     return std::size_t{0};
   }();
   connect_pin(buf, static_cast<std::uint32_t>(in_pin), net_id);
+  {
+    auto& sinks = mutable_net(net_id).sinks;
+    std::rotate(sinks.begin() + static_cast<std::ptrdiff_t>(sink_pos),
+                sinks.end() - 1, sinks.end());
+  }
   connect_pin(buf, static_cast<std::uint32_t>(buf_cell.output_pin()), out_net);
   if (sink.kind == Terminal::Kind::InstancePin) {
     connect_pin(sink.id, sink.pin, out_net);
@@ -230,6 +250,27 @@ void Design::remove_buffer(InstanceId buffer, NetId original_net) {
   const std::size_t out_pin = cell.output_pin();
   const NetId out_net = instances_[buffer].pin_nets[out_pin];
   MGBA_CHECK(out_net != kInvalidId);
+
+  // Mirror of the positional splice in insert_buffer_for_sink: remember
+  // where the buffer's input pin sits in the original net's sink list so
+  // the reattached sinks can be spliced back there, restoring the exact
+  // pre-insertion sink order (and with it the floating-point net-load
+  // summation order).
+  std::size_t splice_pos = nets_[original_net].sinks.size();
+  for (std::size_t p = 0; p < instances_[buffer].pin_nets.size(); ++p) {
+    if (p == out_pin || instances_[buffer].pin_nets[p] != original_net) {
+      continue;
+    }
+    const Terminal t =
+        Terminal::instance_pin(buffer, static_cast<std::uint32_t>(p));
+    const auto& s = nets_[original_net].sinks;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == t) {
+        splice_pos = i;
+        break;
+      }
+    }
+  }
 
   const std::vector<Terminal> sinks = nets_[out_net].sinks;
   for (const Terminal& t : sinks) {
@@ -257,6 +298,14 @@ void Design::remove_buffer(InstanceId buffer, NetId original_net) {
       connect_port(t.id, original_net);
     }
   }
+  {
+    auto& s = mutable_net(original_net).sinks;
+    const std::size_t appended = sinks.size();
+    if (splice_pos + appended <= s.size()) {
+      std::rotate(s.begin() + static_cast<std::ptrdiff_t>(splice_pos),
+                  s.end() - static_cast<std::ptrdiff_t>(appended), s.end());
+    }
+  }
 }
 
 bool Design::is_disconnected(InstanceId id) const {
@@ -264,21 +313,6 @@ bool Design::is_disconnected(InstanceId id) const {
     if (net != kInvalidId) return false;
   }
   return true;
-}
-
-const Instance& Design::instance(InstanceId id) const {
-  MGBA_CHECK(id < instances_.size());
-  return instances_[id];
-}
-
-const Net& Design::net(NetId id) const {
-  MGBA_CHECK(id < nets_.size());
-  return nets_[id];
-}
-
-const Port& Design::port(PortId id) const {
-  MGBA_CHECK(id < ports_.size());
-  return ports_[id];
 }
 
 void Design::set_location(InstanceId id, Point location) {
@@ -306,10 +340,6 @@ std::optional<PortId> Design::find_port(const std::string& port_name) const {
     if (ports_[i].name == port_name) return static_cast<PortId>(i);
   }
   return std::nullopt;
-}
-
-const LibCell& Design::cell_of(InstanceId id) const {
-  return library_->cell(instance(id).cell);
 }
 
 double Design::total_area() const {

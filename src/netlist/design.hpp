@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "liberty/library.hpp"
+#include "util/check.hpp"
 
 namespace mgba {
 
@@ -137,9 +138,18 @@ class Design {
   [[nodiscard]] std::size_t num_nets() const { return nets_.size(); }
   [[nodiscard]] std::size_t num_ports() const { return ports_.size(); }
 
-  [[nodiscard]] const Instance& instance(InstanceId id) const;
-  [[nodiscard]] const Net& net(NetId id) const;
-  [[nodiscard]] const Port& port(PortId id) const;
+  [[nodiscard]] const Instance& instance(InstanceId id) const {
+    MGBA_CHECK(id < instances_.size());
+    return instances_[id];
+  }
+  [[nodiscard]] const Net& net(NetId id) const {
+    MGBA_CHECK(id < nets_.size());
+    return nets_[id];
+  }
+  [[nodiscard]] const Port& port(PortId id) const {
+    MGBA_CHECK(id < ports_.size());
+    return ports_[id];
+  }
 
   /// Moves an instance (used when legalizing inserted buffers).
   void set_location(InstanceId id, Point location);
@@ -151,7 +161,9 @@ class Design {
       const std::string& port_name) const;
 
   /// Library cell of an instance (shorthand).
-  [[nodiscard]] const LibCell& cell_of(InstanceId id) const;
+  [[nodiscard]] const LibCell& cell_of(InstanceId id) const {
+    return library_->cell(instance(id).cell);
+  }
 
   /// Sum of area over all instances (um^2).
   [[nodiscard]] double total_area() const;

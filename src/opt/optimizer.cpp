@@ -58,9 +58,21 @@ bool TimingCloser::is_sizable(InstanceId inst) const {
   return !timer_->graph().node(out).is_clock_network;
 }
 
+const std::vector<std::size_t>& TimingCloser::family_of(
+    std::size_t cell_id) const {
+  const Library& library = design_->library();
+  if (family_cache_.size() < library.num_cells()) {
+    family_cache_.resize(library.num_cells());
+  }
+  std::vector<std::size_t>& family = family_cache_[cell_id];
+  if (family.empty()) {
+    family = library.footprint_family(library.cell(cell_id).footprint);
+  }
+  return family;
+}
+
 bool TimingCloser::try_upsize(InstanceId inst, OptimizerReport& report) {
-  const LibCell& cell = design_->cell_of(inst);
-  const auto family = design_->library().footprint_family(cell.footprint);
+  const auto& family = family_of(design_->instance(inst).cell);
   const auto it = std::find(family.begin(), family.end(),
                             design_->instance(inst).cell);
   MGBA_CHECK(it != family.end());
@@ -70,6 +82,29 @@ bool TimingCloser::try_upsize(InstanceId inst, OptimizerReport& report) {
 
   ++report.transforms_attempted;
   const double tns_before = current_tns();
+
+  if (options_.use_trial_checkpoints) {
+    Timer::TrialScope scope(*timer_);
+    design_->resize_instance(inst, bigger);
+    if (listener_) listener_->on_resize(inst, original, bigger);
+    timer_->invalidate_instance(inst);
+    const double tns_after = current_tns();
+    if (tns_after > tns_before + options_.min_improvement_ps) {
+      scope.commit();
+      ++report.upsizes;
+      return true;
+    }
+    design_->resize_instance(inst, original);
+    if (listener_) listener_->on_resize(inst, bigger, original);
+    if (!scope.rollback()) {
+      // Checkpoint broke mid-trial (e.g. escalation to a full update):
+      // restore timing the legacy way.
+      timer_->invalidate_instance(inst);
+      timer_->update_timing();
+    }
+    return false;
+  }
+
   design_->resize_instance(inst, bigger);
   if (listener_) listener_->on_resize(inst, original, bigger);
   timer_->invalidate_instance(inst);
@@ -106,6 +141,40 @@ bool TimingCloser::try_insert_buffer(ArcId net_arc, OptimizerReport& report) {
 
   ++report.transforms_attempted;
   const double tns_before = current_tns();
+
+  if (options_.use_trial_checkpoints) {
+    // Buffer insertion rebuilds the graph, so the checkpoint is a full
+    // structural snapshot: a rejected trial restores graph + arena
+    // wholesale instead of rebuilding and re-propagating a second time.
+    Timer::TrialScope scope(*timer_, Timer::TrialScope::Kind::Structural);
+    const InstanceId buffer = design_->insert_buffer_for_sink(
+        net, sink, *buffer_cell,
+        str_format("%s_%zu", options_.buffer_name_prefix.c_str(),
+                   buffer_counter_++),
+        midpoint);
+    if (listener_) {
+      listener_->on_buffer_inserted(buffer, net, sink, *buffer_cell,
+                                    midpoint);
+    }
+    timer_->rebuild_graph();
+    refresh_derates();
+    const double tns_after = current_tns();
+    if (tns_after > tns_before + options_.min_improvement_ps) {
+      scope.commit();
+      ++report.buffers_inserted;
+      return true;
+    }
+    design_->remove_buffer(buffer, net);
+    if (listener_) listener_->on_buffer_removed(buffer, net);
+    if (!scope.rollback()) {
+      timer_->rebuild_graph();
+      refresh_derates();
+      timer_->update_timing();
+    }
+    ++report.buffers_reverted;
+    return false;
+  }
+
   const InstanceId buffer = design_->insert_buffer_for_sink(
       net, sink, *buffer_cell,
       str_format("%s_%zu", options_.buffer_name_prefix.c_str(),
@@ -203,8 +272,7 @@ void TimingCloser::area_recovery(OptimizerReport& report) {
       const InstanceId inst = static_cast<InstanceId>(i);
       if (!is_sizable(inst)) continue;
       const LibCell& cell = design_->cell_of(inst);
-      const auto family =
-          design_->library().footprint_family(cell.footprint);
+      const auto& family = family_of(design_->instance(inst).cell);
       const auto it = std::find(family.begin(), family.end(),
                                 design_->instance(inst).cell);
       if (it == family.begin()) continue;  // already smallest

@@ -58,6 +58,11 @@ struct OptimizerOptions {
   bool enable_sizing = true;
   bool enable_buffering = true;
   bool enable_area_recovery = true;
+  /// Rejected trial transforms restore pre-trial timing from a
+  /// Timer::TrialScope checkpoint (O(touched) memcpy) instead of
+  /// re-propagating. Results are bit-identical either way; the knob exists
+  /// for the ablation bench.
+  bool use_trial_checkpoints = true;
   /// Endpoint slack margin required before a gate may be downsized.
   double recovery_margin_ps = 40.0;
 
@@ -117,6 +122,10 @@ class TimingCloser {
 
  private:
   bool is_sizable(InstanceId inst) const;
+  /// Area-sorted footprint family of a library cell, memoized per cell id.
+  /// The library is immutable for the closer's lifetime, so the lazy scan
+  /// runs at most once per cell instead of once per transform attempt.
+  const std::vector<std::size_t>& family_of(std::size_t cell_id) const;
   bool optimize_endpoint(NodeId endpoint, OptimizerReport& report);
   bool try_upsize(InstanceId inst, OptimizerReport& report);
   bool try_insert_buffer(ArcId net_arc, OptimizerReport& report);
@@ -132,6 +141,9 @@ class TimingCloser {
   std::vector<CornerSetup> corner_setups_;
   TransformListener* listener_ = nullptr;
   std::size_t buffer_counter_ = 0;
+  /// family_of() memo, indexed by cell id (empty slot = not yet computed;
+  /// every real family contains at least the cell itself).
+  mutable std::vector<std::vector<std::size_t>> family_cache_;
 };
 
 /// Picks a clock period such that the design's golden (PBA) critical delay

@@ -560,6 +560,16 @@ void ShellInterpreter::register_commands() {
       {"report_qor", "WNS/TNS/area/leakage/buffer-count summary", 0, 0, {},
        {},
        [this](const ParsedCommand& p) { return cmd_report_qor(p); }});
+  add("stats",
+      {"stats", "timing-update statistics (updates, frontier sizes, "
+                "delay-cache hit rate, trial checkpoints)",
+       0, 0, {}, {}, [this](const ParsedCommand&) {
+         if (!session_.loaded()) {
+           return std::string("no design loaded (read_netlist first)");
+         }
+         out_ << session_.timer().update_stats().to_string() << "\n";
+         return std::string();
+       }});
 
   // Fitting and transforms.
   add("fit_mgba",

@@ -1,8 +1,54 @@
 #include "sta/delay_calc.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace mgba {
+
+void DelayCache::resize(std::size_t n) {
+  entries.assign(n, Entry{});
+  trial_mark_.assign(n, 0);
+  trial_epoch_ = 0;
+  trial_saved_.clear();
+}
+
+void DelayCache::invalidate(std::size_t index) {
+  if (index >= entries.size()) return;
+  if (trial_active_) trial_record(index);
+  entries[index] = Entry{};
+}
+
+void DelayCache::trial_begin() {
+  if (trial_mark_.size() != entries.size()) {
+    trial_mark_.assign(entries.size(), 0);
+    trial_epoch_ = 0;
+  }
+  if (trial_epoch_ == 0xffffffffu) {
+    std::fill(trial_mark_.begin(), trial_mark_.end(), 0);
+    trial_epoch_ = 0;
+  }
+  ++trial_epoch_;
+  trial_saved_.clear();
+  trial_active_ = true;
+}
+
+void DelayCache::trial_end() {
+  trial_saved_.clear();
+  trial_active_ = false;
+}
+
+void DelayCache::trial_record(std::size_t index) {
+  if (!trial_active_ || index >= entries.size()) return;
+  if (trial_mark_[index] == trial_epoch_) return;
+  trial_mark_[index] = trial_epoch_;
+  trial_saved_.emplace_back(index, entries[index]);
+}
+
+void DelayCache::trial_restore() {
+  for (const auto& [index, entry] : trial_saved_) entries[index] = entry;
+  trial_end();
+}
 
 DelayCalculator::DelayCalculator(const Design& design, WireModel wire)
     : design_(&design), wire_(wire) {}

@@ -7,6 +7,11 @@
 /// *base* delays; the Timer composes base delay x derate x weight so that
 /// PBA can re-derate the same base values per path.
 
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "liberty/library.hpp"
 #include "netlist/design.hpp"
 #include "sta/timing_graph.hpp"
@@ -29,6 +34,71 @@ struct WireModel {
 struct ArcTiming {
   double delay_ps = 0.0;
   double slew_ps = 0.0;  ///< transition at the arc's destination
+};
+
+/// Memoized base arc timings for the incremental fast path: one
+/// direct-mapped entry per (lane, arc), where lane = corner * kNumModes +
+/// mode, so an entry already encodes the corner scaling. The stored key is
+/// (cell, input-slew bits); the net load is deliberately *not* part of the
+/// key — computing it per lookup costs as much as the lookup saves — so
+/// every entry whose load can have changed must be dropped explicitly
+/// (Timer::invalidate_instance does this; see DESIGN.md §10 for the
+/// complete invalidation rule set). Net arcs use a sentinel cell key:
+/// their geometry and sink caps only change through the same explicit
+/// invalidation or a graph rebuild (which clears the cache wholesale).
+///
+/// Thread safety: entries are written only from the level-synchronous
+/// sweeps, where each (lane, arc) has exactly one writer per level (the
+/// arc's destination node), so no synchronization is needed; the hit/miss
+/// counters are relaxed atomics because they aggregate across threads.
+struct DelayCache {
+  /// Entry never written (or explicitly invalidated).
+  static constexpr std::uint32_t kEmptyKey = 0xffffffffu;
+  /// Cell key of net-arc entries (real cell ids are small).
+  static constexpr std::uint32_t kNetArcKey = 0xfffffffeu;
+
+  struct Entry {
+    std::uint64_t slew_bits = 0;
+    std::uint32_t cell_key = kEmptyKey;
+    ArcTiming timing;
+  };
+
+  std::vector<Entry> entries;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+
+  /// Folds a worker's locally-accumulated lookup counts into the shared
+  /// counters — one atomic op per parallel block instead of per lookup,
+  /// which matters at ~1M lookups per closure flow.
+  void add_counts(std::uint64_t h, std::uint64_t m) {
+    if (h != 0) hits.fetch_add(h, std::memory_order_relaxed);
+    if (m != 0) misses.fetch_add(m, std::memory_order_relaxed);
+  }
+
+  /// Re-sizes to \p n empty entries (graph rebuild / corner-set change);
+  /// the hit/miss counters survive, mirroring Timer's update counters.
+  void resize(std::size_t n);
+
+  /// Drops one entry (journaling it first when a trial is recording).
+  void invalidate(std::size_t index);
+
+  // --- trial journal --------------------------------------------------------
+  // First-touch journal of entries overwritten or invalidated during a
+  // value trial (Timer::TrialScope), so a rejected transform restores the
+  // exact pre-trial cache. Driven serially by the Timer: record calls
+  // happen on the coordinating thread before each parallel level sweep.
+
+  void trial_begin();
+  void trial_end();
+  void trial_record(std::size_t index);
+  void trial_restore();
+  [[nodiscard]] bool trial_active() const { return trial_active_; }
+
+ private:
+  bool trial_active_ = false;
+  std::uint32_t trial_epoch_ = 0;
+  std::vector<std::uint32_t> trial_mark_;
+  std::vector<std::pair<std::size_t, Entry>> trial_saved_;
 };
 
 class DelayCalculator {

@@ -1,12 +1,14 @@
 #include "sta/timer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <functional>
-#include <queue>
 
 #include "util/check.hpp"
+#include "util/float_bits.hpp"
+#include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mgba {
@@ -16,7 +18,39 @@ constexpr double kEpsPs = 1e-9;
 /// Weight factors are clamped so a pathological solver iterate can never
 /// drive an effective delay negative.
 constexpr double kMinWeightFactor = 0.05;
+/// Minimum incremental-frontier bucket chunk handed to the pool; smaller
+/// buckets run inline on the caller's thread (most frontier levels are a
+/// handful of nodes — dispatch would cost more than the recompute).
+constexpr std::size_t kIncrementalGrain = 32;
 }  // namespace
+
+/// Checkpoint state of one open TrialScope. Value trials carry a
+/// first-touch journal of overwritten arena slots; structural trials carry
+/// a full snapshot of everything a rebuild_graph replaces. `broken` means
+/// an operation the checkpoint cannot journal intervened (full update /
+/// rebuild for value trials, corner or weight changes for either kind) —
+/// rollback then fails over to legacy re-propagation.
+struct Timer::TrialState {
+  bool structural = false;
+  bool broken = false;
+  std::vector<InstanceId> dirty_at_begin;
+  bool dirty_full_at_begin = false;
+  // Value kind:
+  TrialJournal journal;
+  // Structural kind:
+  std::optional<TimingGraph> graph;
+  TimingData data;
+  std::vector<std::vector<DeratePair>> derates;
+  std::vector<std::vector<ArcId>> instance_arcs;
+  std::vector<std::int32_t> check_of_ff;
+  std::vector<std::vector<std::uint64_t>> launch_sets;
+  std::vector<bool> port_launched;
+  std::size_t launch_words = 0;
+  std::vector<double> port_input_delay;
+  std::vector<double> port_output_delay;
+  std::vector<bool> endpoint_false;
+  std::vector<int> endpoint_multicycle;
+};
 
 Timer::Timer(const Design& design, TimingConstraints constraints,
              WireModel wire)
@@ -28,6 +62,8 @@ Timer::Timer(const Design& design, TimingConstraints constraints,
   weights_early_.resize(corners_.size());
   rebuild_graph();
 }
+
+Timer::~Timer() = default;
 
 void Timer::set_corners(std::vector<AnalysisCorner> corners) {
   MGBA_CHECK(!corners.empty());
@@ -46,6 +82,9 @@ void Timer::set_corners(std::vector<AnalysisCorner> corners) {
   allocate_storage();
   dirty_full_ = true;
   dirty_instances_.clear();
+  // Resizing the arena invalidates both journal indices and structural
+  // snapshots; no checkpoint survives a corner-set change.
+  if (trial_) trial_->broken = true;
 }
 
 std::optional<CornerId> Timer::find_corner(std::string_view name) const {
@@ -58,6 +97,9 @@ std::optional<CornerId> Timer::find_corner(std::string_view name) const {
 void Timer::set_instance_derates(std::vector<DeratePair> derates) {
   for (auto& per_corner : derates_) per_corner = derates;
   dirty_full_ = true;
+  // The coming full update rewrites every slot — more than a value journal
+  // covers. Structural snapshots hold their own derate copy, so they keep.
+  break_value_trial();
 }
 
 void Timer::set_corner_derates(CornerId corner,
@@ -65,6 +107,7 @@ void Timer::set_corner_derates(CornerId corner,
   MGBA_CHECK(corner < derates_.size());
   derates_[corner] = std::move(derates);
   dirty_full_ = true;
+  break_value_trial();
 }
 
 void Timer::set_instance_weights(std::vector<double> weights) {
@@ -76,6 +119,9 @@ void Timer::set_instance_weights(CornerId corner,
   MGBA_CHECK(corner < weights_.size());
   weights_[corner] = std::move(weights);
   dirty_full_ = true;
+  // Weights are not part of either checkpoint kind; a mid-trial weight
+  // change cannot be rolled back, so the trial degrades to the fallback.
+  if (trial_) trial_->broken = true;
 }
 
 void Timer::set_instance_weights_early(std::vector<double> weights) {
@@ -87,12 +133,18 @@ void Timer::set_instance_weights_early(CornerId corner,
   MGBA_CHECK(corner < weights_early_.size());
   weights_early_[corner] = std::move(weights);
   dirty_full_ = true;
+  if (trial_) trial_->broken = true;
 }
 
 void Timer::invalidate_instance(InstanceId inst) {
+  // Stale memo entries must be dropped even when this call escalates to a
+  // full update below: the delay cache persists across full propagations.
+  invalidate_cache_for(inst);
+
   // CRPR credits are cached across incremental updates on the assumption
   // that clock-network delays do not change; a mutation touching a clock
-  // cell breaks that, so fall back to a full update (which recomputes the
+  // cell — or changing the load on a net the clock network drives —
+  // breaks that, so fall back to a full update (which recomputes the
   // credits).
   for (const ArcId a : instance_arcs_[inst]) {
     if (graph_->node(graph_->arc(a).to).is_clock_network) {
@@ -100,10 +152,35 @@ void Timer::invalidate_instance(InstanceId inst) {
       return;
     }
   }
-  dirty_instances_.push_back(inst);
+  const Instance& instance = design_->instance(inst);
+  const LibCell& cell = design_->library().cell(instance.cell);
+  for (std::size_t p = 0; p < instance.pin_nets.size(); ++p) {
+    if (instance.pin_nets[p] == kInvalidId) continue;
+    if (cell.pins[p].direction != PinDirection::Input) continue;
+    const Net& net = design_->net(instance.pin_nets[p]);
+    if (net.driver && net.driver->kind == Terminal::Kind::InstancePin) {
+      const NodeId drv = graph_->node_of_pin(net.driver->id, net.driver->pin);
+      if (drv != kInvalidNode && graph_->node(drv).is_clock_network) {
+        dirty_full_ = true;
+        return;
+      }
+    }
+  }
+
+  // Optimizer passes re-touch the same instance several times per pass
+  // (trial, accept, neighborhood re-trial); without dedup the seed list —
+  // and with it the incremental frontier — grows with every touch.
+  if (std::find(dirty_instances_.begin(), dirty_instances_.end(), inst) ==
+      dirty_instances_.end()) {
+    dirty_instances_.push_back(inst);
+  }
 }
 
 void Timer::rebuild_graph() {
+  // Node/arc ids change wholesale; a value journal indexed by the old ids
+  // cannot restore the new arena. Structural snapshots are exactly the
+  // checkpoint kind built for this and stay valid.
+  break_value_trial();
   graph_.emplace(*design_, constraints_.clock_port);
   allocate_storage();
   compute_instance_arcs();
@@ -163,6 +240,18 @@ void Timer::allocate_storage() {
       }
     }
   }
+  resize_incremental_scratch();
+}
+
+void Timer::resize_incremental_scratch() {
+  const std::size_t lanes = corners_.size() * kNumModes;
+  delay_cache_.resize(lanes * graph_->num_arcs());
+  frontier_.assign(graph_->num_levels(), {});
+  on_frontier_.assign(graph_->num_nodes(), false);
+  arc_changed_scratch_.assign(graph_->num_arcs(), 0);
+  backward_seeded_.assign(graph_->num_nodes(), false);
+  backward_seeds_.clear();
+  touched_checks_.clear();
 }
 
 void Timer::compute_instance_arcs() {
@@ -233,7 +322,7 @@ double Timer::derate_for(const TimingArc& arc, Mode mode,
   return mode == Mode::Late ? d.late : d.early;
 }
 
-bool Timer::recompute_node(NodeId node, CornerId corner) {
+bool Timer::recompute_node(NodeId node, CornerId corner, CacheTally& tally) {
   const auto& fanin = graph_->fanin(node);
   const LibraryScaling& scaling = corners_[corner].scaling;
   bool changed = false;
@@ -269,8 +358,7 @@ bool Timer::recompute_node(NodeId node, CornerId corner) {
     for (const ArcId a : fanin) {
       const TimingArc& arc = graph_->arc(a);
       const ArcTiming timing =
-          delay_.evaluate(*graph_, a, data_.slew[node_base + arc.from],
-                          scaling);
+          arc_timing(a, arc, data_.slew[node_base + arc.from], corner, m, tally);
       double eff = timing.delay_ps * derate_for(arc, mode, corner);
       if (late && is_weighted_arc(arc) && arc.inst < weights.size()) {
         eff *= std::max(kMinWeightFactor, 1.0 + weights[arc.inst]);
@@ -279,6 +367,7 @@ bool Timer::recompute_node(NodeId node, CornerId corner) {
         eff *= std::max(kMinWeightFactor, 1.0 + weights_early[arc.inst]);
       }
       data_.arc_delay_base[arc_base + a] = timing.delay_ps;
+      if (data_.arc_delay[arc_base + a] != eff) arc_changed_scratch_[a] = 1;
       data_.arc_delay[arc_base + a] = eff;
       const double cand = data_.arrival[node_base + arc.from] + eff;
       if (late) {
@@ -298,6 +387,70 @@ bool Timer::recompute_node(NodeId node, CornerId corner) {
   return changed;
 }
 
+ArcTiming Timer::arc_timing(ArcId a, const TimingArc& arc, double input_slew,
+                            CornerId corner, int mode, CacheTally& tally) {
+  if (!fastpath_enabled_) {
+    return delay_.evaluate(*graph_, a, input_slew, corners_[corner].scaling);
+  }
+  // Memo key: driving cell + exact input-slew bits. Base timings are
+  // independent of derates/weights (those multiply afterwards), so entries
+  // survive full re-propagations triggered by solver weight updates —
+  // where nearly every lookup hits. Load is deliberately not part of the
+  // key (recomputing it per lookup would cost what the lookup saves); load
+  // changes are handled by explicit invalidation (invalidate_cache_for).
+  DelayCache::Entry& e = delay_cache_.entries[TimingData::lane(corner, mode) *
+                                                  data_.num_arcs +
+                                              a];
+  const std::uint64_t bits = float_bits(input_slew);
+  const std::uint32_t key =
+      arc.kind == TimingArc::Kind::Cell
+          ? static_cast<std::uint32_t>(design_->instance(arc.inst).cell)
+          : DelayCache::kNetArcKey;
+  if (e.cell_key == key && e.slew_bits == bits) {
+    ++tally.hits;
+    return e.timing;
+  }
+  ++tally.misses;
+  e.slew_bits = bits;
+  e.cell_key = key;
+  e.timing = delay_.evaluate(*graph_, a, input_slew, corners_[corner].scaling);
+  return e.timing;
+}
+
+void Timer::invalidate_cache_for(InstanceId inst) {
+  if (delay_cache_.entries.empty() || inst >= instance_arcs_.size()) return;
+  // Arcs whose memoized timing can be stale after a value-only edit of
+  // this instance: its own cell arcs (cell footprint changed), the cell
+  // arcs of each input net's driver instance (its output load changed),
+  // and every net arc of those input nets (this instance's pin caps feed
+  // their Elmore terms).
+  std::vector<ArcId> arcs = instance_arcs_[inst];
+  const Instance& instance = design_->instance(inst);
+  const LibCell& cell = design_->library().cell(instance.cell);
+  for (std::size_t p = 0; p < instance.pin_nets.size(); ++p) {
+    if (instance.pin_nets[p] == kInvalidId) continue;
+    if (cell.pins[p].direction != PinDirection::Input) continue;
+    const Net& net = design_->net(instance.pin_nets[p]);
+    if (!net.driver) continue;
+    NodeId drv = kInvalidNode;
+    if (net.driver->kind == Terminal::Kind::InstancePin) {
+      drv = graph_->node_of_pin(net.driver->id, net.driver->pin);
+      if (net.driver->id < instance_arcs_.size()) {
+        for (const ArcId a : instance_arcs_[net.driver->id]) arcs.push_back(a);
+      }
+    } else {
+      drv = graph_->node_of_port(net.driver->id);
+    }
+    if (drv == kInvalidNode) continue;
+    for (const ArcId a : graph_->fanout(drv)) arcs.push_back(a);
+  }
+  const std::size_t lanes = corners_.size() * kNumModes;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::size_t base = lane * data_.num_arcs;
+    for (const ArcId a : arcs) delay_cache_.invalidate(base + a);
+  }
+}
+
 void Timer::full_forward() {
   // Level-synchronous parallel propagation: nodes within one level have no
   // mutual dependencies (every arc crosses levels), and recompute_node
@@ -311,22 +464,24 @@ void Timer::full_forward() {
   for (const auto& bucket : graph_->level_nodes()) {
     parallel_for(bucket.size() * num_corners, 32,
                  [&](std::size_t b, std::size_t e) {
+      CacheTally tally;
       for (std::size_t i = b; i < e; ++i) {
         const CornerId c = static_cast<CornerId>(i / bucket.size());
-        recompute_node(bucket[i % bucket.size()], c);
+        recompute_node(bucket[i % bucket.size()], c, tally);
       }
+      delay_cache_.add_counts(tally.hits, tally.misses);
     });
   }
 }
 
-void Timer::incremental_forward() {
+void Timer::collect_seeds() {
   // Seed the frontier: every pin node of each dirty instance, plus the
   // output node of each driver feeding it (that driver's load changed, so
   // its cell-arc delay and output slew must be re-evaluated), plus the
   // sibling sinks of those nets (their input slew may change).
-  std::vector<NodeId> seeds;
+  seed_scratch_.clear();
   const auto add_seed = [&](NodeId n) {
-    if (n != kInvalidNode) seeds.push_back(n);
+    if (n != kInvalidNode) seed_scratch_.push_back(n);
   };
   for (const InstanceId inst_id : dirty_instances_) {
     const Instance& inst = design_->instance(inst_id);
@@ -348,31 +503,265 @@ void Timer::incremental_forward() {
       }
     }
   }
+}
 
-  // Level-ordered worklist propagation, one worklist per corner: a corner
-  // re-propagates only while its own values keep moving, so a change that
-  // converges early at one corner does not drag the others along.
-  using Entry = std::pair<std::uint32_t, NodeId>;  // (level, node)
+void Timer::incremental_update() {
+  collect_seeds();
+  if (fastpath_enabled_) {
+    // One corner at a time: each corner's frontiers stop where that
+    // corner's values converge, so a change that settles early at one
+    // corner does not drag the others along.
+    for (CornerId c = 0; c < corners_.size(); ++c) {
+      incremental_forward_corner(c);
+      incremental_backward_corner(c);
+    }
+    return;
+  }
+  // Pre-fastpath engine: bounded forward frontiers, then one full backward
+  // pass over the whole graph. The full pass rewrites every required slot,
+  // which a value journal cannot cover — open value checkpoints degrade.
+  break_value_trial();
   for (CornerId c = 0; c < corners_.size(); ++c) {
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-    std::vector<bool> queued(graph_->num_nodes(), false);
-    const auto push = [&](NodeId n) {
-      if (!queued[n]) {
-        queued[n] = true;
-        queue.push({graph_->node(n).level, n});
-      }
-    };
-    for (const NodeId s : seeds) push(s);
+    incremental_forward_corner(c);
+    for (const NodeId u : backward_seeds_) backward_seeded_[u] = false;
+    backward_seeds_.clear();
+    touched_checks_.clear();
+  }
+  backward_required();
+}
 
-    while (!queue.empty()) {
-      const NodeId u = queue.top().second;
-      queue.pop();
-      queued[u] = false;
-      if (recompute_node(u, c)) {
+void Timer::incremental_forward_corner(CornerId c) {
+  const std::size_t late_lane = TimingData::lane(c, idx(Mode::Late));
+  const std::size_t early_lane = TimingData::lane(c, idx(Mode::Early));
+  const std::size_t late_arc = late_lane * data_.num_arcs;
+  const std::size_t early_arc = early_lane * data_.num_arcs;
+  const std::size_t num_levels = frontier_.size();
+
+  std::size_t min_level = num_levels;
+  std::size_t max_level = 0;
+  const auto push = [&](NodeId n) {
+    if (on_frontier_[n]) return;
+    on_frontier_[n] = true;
+    const std::size_t l = graph_->node(n).level;
+    frontier_[l].push_back(n);
+    min_level = std::min(min_level, l);
+    max_level = std::max(max_level, l);
+  };
+  for (const NodeId s : seed_scratch_) push(s);
+
+  const bool journal = value_trial_active();
+  // Level-synchronous frontier sweep. Fanouts land on strictly higher
+  // levels, so a bucket never regrows once processed, and nodes within one
+  // bucket have no mutual dependencies — the same invariant full_forward's
+  // parallel sweep rests on. Per-node work is identical to the serial
+  // order, so results are bit-identical at any thread count.
+  for (std::size_t lvl = min_level; lvl < num_levels && lvl <= max_level;
+       ++lvl) {
+    auto& bucket = frontier_[lvl];
+    if (bucket.empty()) continue;
+    // When a value checkpoint is open, journal every slot the sweep may
+    // overwrite — serially, before dispatch (the journal is not
+    // thread-safe; workers only write the arena).
+    if (journal) {
+      for (const NodeId u : bucket) {
+        trial_->journal.record_node(data_, late_lane, u);
+        trial_->journal.record_node(data_, early_lane, u);
+        for (const ArcId a : graph_->fanin(u)) {
+          trial_->journal.record_arc(data_, late_lane, a);
+          trial_->journal.record_arc(data_, early_lane, a);
+          delay_cache_.trial_record(late_arc + a);
+          delay_cache_.trial_record(early_arc + a);
+        }
+      }
+    }
+    changed_scratch_.assign(bucket.size(), 0);
+    parallel_for(bucket.size(), kIncrementalGrain,
+                 [&](std::size_t b, std::size_t e) {
+      CacheTally tally;
+      for (std::size_t i = b; i < e; ++i) {
+        changed_scratch_[i] = recompute_node(bucket[i], c, tally) ? 1 : 0;
+      }
+      delay_cache_.add_counts(tally.hits, tally.misses);
+    });
+    stat_forward_nodes_ += bucket.size();
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const NodeId u = bucket[i];
+      on_frontier_[u] = false;
+      if (const auto chk = graph_->check_at(u)) touched_checks_.push_back(*chk);
+      if (changed_scratch_[i] != 0) {
         for (const ArcId a : graph_->fanout(u)) push(graph_->arc(a).to);
+      }
+      // Arcs whose *stored* delay moved (bit-wise — recompute_node flags
+      // them even under epsilon) re-root the backward pass at their from
+      // node: its required time is derived through that delay. Clearing
+      // the flag here keeps the scratch all-zero between sweeps.
+      for (const ArcId a : graph_->fanin(u)) {
+        if (arc_changed_scratch_[a] == 0) continue;
+        arc_changed_scratch_[a] = 0;
+        const NodeId from = graph_->arc(a).from;
+        if (!backward_seeded_[from]) {
+          backward_seeded_[from] = true;
+          backward_seeds_.push_back(from);
+        }
+      }
+    }
+    bucket.clear();
+  }
+}
+
+bool Timer::recompute_required(NodeId u, CornerId c) {
+  const std::size_t late_node = data_.node_index(c, idx(Mode::Late), 0);
+  const std::size_t early_node = data_.node_index(c, idx(Mode::Early), 0);
+  const std::size_t late_arc = data_.arc_index(c, idx(Mode::Late), 0);
+  const std::size_t early_arc = data_.arc_index(c, idx(Mode::Early), 0);
+  // Pull over final fanout values — the exact computation the full
+  // backward sweep performs for a non-endpoint node starting from the
+  // +/-inf fill, so a visited node lands on the same bits the full pass
+  // would produce (min/max folds are order-independent here: the fanout
+  // iteration order is the same).
+  double req_late = kInfPs;
+  double req_early = -kInfPs;
+  for (const ArcId a : graph_->fanout(u)) {
+    const NodeId v = graph_->arc(a).to;
+    if (data_.required[late_node + v] != kInfPs) {
+      req_late = std::min(
+          req_late, data_.required[late_node + v] - data_.arc_delay[late_arc + a]);
+    }
+    if (data_.required[early_node + v] != -kInfPs) {
+      req_early = std::max(req_early, data_.required[early_node + v] -
+                                          data_.arc_delay[early_arc + a]);
+    }
+  }
+  const bool changed = data_.required[late_node + u] != req_late ||
+                       data_.required[early_node + u] != req_early;
+  data_.required[late_node + u] = req_late;
+  data_.required[early_node + u] = req_early;
+  return changed;
+}
+
+void Timer::incremental_backward_corner(CornerId c) {
+  const int late = idx(Mode::Late);
+  const int early = idx(Mode::Early);
+  const std::size_t late_lane = TimingData::lane(c, late);
+  const std::size_t early_lane = TimingData::lane(c, early);
+  const std::size_t late_node = late_lane * data_.num_nodes;
+  const std::size_t early_node = early_lane * data_.num_nodes;
+  const LibraryScaling& scaling = corners_[c].scaling;
+  const double period = constraints_.clock_period_ps;
+  const auto& checks = graph_->checks();
+  const bool journal = value_trial_active();
+  const std::size_t num_levels = frontier_.size();
+
+  std::size_t min_level = num_levels;
+  std::size_t max_level = 0;
+  const auto push = [&](NodeId n) {
+    if (on_frontier_[n]) return;
+    on_frontier_[n] = true;
+    const std::size_t l = graph_->node(n).level;
+    frontier_[l].push_back(n);
+    min_level = std::min(min_level, l);
+    max_level = std::max(max_level, l);
+  };
+
+  // 1. Refresh the boundary conditions of every check whose data node the
+  // forward frontier visited. Clock arrivals and CRPR credits are
+  // invariant on the incremental path (clock-touching edits escalate to a
+  // full update), so the only moving inputs are the data slew feeding the
+  // setup/hold constraint lookups — and through them the endpoint required
+  // times. FF data pins have no fanout, so the boundary value is final.
+  for (const std::size_t ci : touched_checks_) {
+    const TimingCheck& check = checks[ci];
+    CheckTiming& ct = data_.check[data_.check_index(c, ci)];
+    if (journal) {
+      trial_->journal.record_check(data_, c, ci);
+      trial_->journal.record_node(data_, late_lane, check.data_node);
+      trial_->journal.record_node(data_, early_lane, check.data_node);
+    }
+    const double data_slew_late = data_.slew[late_node + check.data_node];
+    ct.setup_ps = delay_.setup_time(
+        check, data_.slew[early_node + check.clock_node], data_slew_late,
+        scaling);
+    ct.hold_ps = delay_.hold_time(
+        check, data_.slew[late_node + check.clock_node], data_slew_late,
+        scaling);
+    ++stat_backward_nodes_;
+    if (endpoint_false_[check.data_node]) continue;  // set_false_path
+    const double capture_edge =
+        period * static_cast<double>(endpoint_multicycle_[check.data_node]);
+    const double req_late = capture_edge +
+                            data_.arrival[early_node + check.clock_node] -
+                            ct.setup_ps + ct.crpr_credit_ps -
+                            constraints_.clock_uncertainty_ps;
+    const double req_early = data_.arrival[late_node + check.clock_node] +
+                             ct.hold_ps - ct.crpr_credit_ps +
+                             constraints_.clock_uncertainty_ps;
+    if (data_.required[late_node + check.data_node] != req_late ||
+        data_.required[early_node + check.data_node] != req_early) {
+      data_.required[late_node + check.data_node] = req_late;
+      data_.required[early_node + check.data_node] = req_early;
+      for (const ArcId a : graph_->fanin(check.data_node)) {
+        push(graph_->arc(a).from);
       }
     }
   }
+  // Output-port endpoints never move on the incremental path: their
+  // required time depends only on the period and the port's output delay.
+
+  // 2. From-nodes of arcs whose stored delay changed during the forward
+  // sweep: their required times are derived through those delays even when
+  // no endpoint boundary moved.
+  for (const NodeId u : backward_seeds_) {
+    backward_seeded_[u] = false;
+    push(u);
+  }
+  backward_seeds_.clear();
+
+  // 3. Bounded level-descending sweep — the mirror image of the forward
+  // frontier. Fanins land on strictly lower levels, required times differ
+  // from the full pass's fixed point only inside the cone rooted at the
+  // pushed nodes, and the sweep stops the moment no value moves bit-wise.
+  if (min_level < num_levels) {
+    for (std::size_t lvl = max_level + 1; lvl-- > 0;) {
+      auto& bucket = frontier_[lvl];
+      if (bucket.empty()) continue;
+      if (journal) {
+        for (const NodeId u : bucket) {
+          trial_->journal.record_node(data_, late_lane, u);
+          trial_->journal.record_node(data_, early_lane, u);
+        }
+      }
+      changed_scratch_.assign(bucket.size(), 0);
+      parallel_for(bucket.size(), kIncrementalGrain,
+                   [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          changed_scratch_[i] = recompute_required(bucket[i], c) ? 1 : 0;
+        }
+      });
+      stat_backward_nodes_ += bucket.size();
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const NodeId u = bucket[i];
+        on_frontier_[u] = false;
+        if (changed_scratch_[i] != 0) {
+          for (const ArcId a : graph_->fanin(u)) push(graph_->arc(a).from);
+        }
+      }
+      bucket.clear();
+    }
+  }
+
+  // 4. Refresh the endpoint slack caches of every *visited* check (not
+  // just changed ones: the forward sweep rewrites sub-epsilon arrival
+  // movements too, and the caches must equal the arrays bit-for-bit,
+  // exactly as the full pass leaves them).
+  for (const std::size_t ci : touched_checks_) {
+    CheckTiming& ct = data_.check[data_.check_index(c, ci)];
+    const NodeId d = checks[ci].data_node;
+    ct.setup_slack_ps =
+        data_.required[late_node + d] - data_.arrival[late_node + d];
+    ct.hold_slack_ps =
+        data_.arrival[early_node + d] - data_.required[early_node + d];
+  }
+  touched_checks_.clear();
 }
 
 void Timer::compute_crpr_credits() {
@@ -560,17 +949,22 @@ void Timer::backward_required() {
 void Timer::update_timing() {
   if (!incremental_enabled_ && !dirty_instances_.empty()) dirty_full_ = true;
   if (dirty_full_) {
+    // A full pass rewrites every slot — beyond what a value journal can
+    // cover — so an open value checkpoint degrades to the fallback.
+    break_value_trial();
     full_forward();
     compute_crpr_credits();
     backward_required();
+    // A full sweep flags changed arcs wholesale but never scans them;
+    // reset so the next incremental pass seeds only its own changes.
+    std::fill(arc_changed_scratch_.begin(), arc_changed_scratch_.end(), 0);
     dirty_full_ = false;
     dirty_instances_.clear();
     ++full_updates_;
     return;
   }
   if (dirty_instances_.empty()) return;
-  incremental_forward();
-  backward_required();  // cheap relative to forward; credits unchanged
+  incremental_update();
   dirty_instances_.clear();
   ++incremental_updates_;
 }
@@ -722,6 +1116,141 @@ NodeId Timer::worst_endpoint_merged(Mode mode) const {
     }
   }
   return worst;
+}
+
+// --- trial checkpoints ------------------------------------------------------
+
+void Timer::begin_trial(bool structural) {
+  MGBA_CHECK(!trial_ && "trial scopes must not nest");
+  trial_ = std::make_unique<TrialState>();
+  trial_->structural = structural;
+  trial_->dirty_at_begin = dirty_instances_;
+  trial_->dirty_full_at_begin = dirty_full_;
+  if (!structural) {
+    trial_->journal.begin(data_);
+    delay_cache_.trial_begin();
+    return;
+  }
+  trial_->graph = graph_;
+  trial_->data = data_;
+  trial_->derates = derates_;
+  trial_->instance_arcs = instance_arcs_;
+  trial_->check_of_ff = check_of_ff_;
+  trial_->launch_sets = launch_sets_;
+  trial_->port_launched = port_launched_;
+  trial_->launch_words = launch_words_;
+  trial_->port_input_delay = port_input_delay_;
+  trial_->port_output_delay = port_output_delay_;
+  trial_->endpoint_false = endpoint_false_;
+  trial_->endpoint_multicycle = endpoint_multicycle_;
+}
+
+void Timer::commit_trial() {
+  if (!trial_) return;
+  if (!trial_->structural) delay_cache_.trial_end();
+  trial_.reset();
+}
+
+bool Timer::rollback_trial() {
+  if (!trial_) return false;
+  if (trial_->broken) {
+    if (!trial_->structural) delay_cache_.trial_end();
+    trial_.reset();
+    dirty_full_ = true;
+    ++stat_trial_fallbacks_;
+    return false;
+  }
+  if (trial_->structural) {
+    graph_ = std::move(trial_->graph);
+    data_ = std::move(trial_->data);
+    derates_ = std::move(trial_->derates);
+    instance_arcs_ = std::move(trial_->instance_arcs);
+    check_of_ff_ = std::move(trial_->check_of_ff);
+    launch_sets_ = std::move(trial_->launch_sets);
+    port_launched_ = std::move(trial_->port_launched);
+    launch_words_ = trial_->launch_words;
+    port_input_delay_ = std::move(trial_->port_input_delay);
+    port_output_delay_ = std::move(trial_->port_output_delay);
+    endpoint_false_ = std::move(trial_->endpoint_false);
+    endpoint_multicycle_ = std::move(trial_->endpoint_multicycle);
+    // The reverted buffer survives in the design as a disconnected
+    // tombstone instance; extend instance-indexed lookups over it so
+    // queries stay in bounds (its pins resolve to kInvalidNode).
+    graph_->pad_instances(design_->num_instances());
+    if (instance_arcs_.size() < design_->num_instances()) {
+      instance_arcs_.resize(design_->num_instances());
+    }
+    if (check_of_ff_.size() < design_->num_instances()) {
+      check_of_ff_.resize(design_->num_instances(), -1);
+    }
+    // Scratch and memo cache follow the restored shape; cached entries
+    // were keyed by the trial graph's arc ids and are dropped wholesale.
+    resize_incremental_scratch();
+  } else {
+    trial_->journal.restore(data_);
+    delay_cache_.trial_restore();
+  }
+  dirty_full_ = trial_->dirty_full_at_begin;
+  dirty_instances_ = std::move(trial_->dirty_at_begin);
+  trial_.reset();
+  ++stat_trial_rollbacks_;
+  return true;
+}
+
+bool Timer::value_trial_active() const {
+  return trial_ && !trial_->structural && !trial_->broken;
+}
+
+void Timer::break_value_trial() {
+  if (trial_ && !trial_->structural) trial_->broken = true;
+}
+
+Timer::TrialScope::TrialScope(Timer& timer, Kind kind) : timer_(&timer) {
+  timer_->begin_trial(kind == Kind::Structural);
+}
+
+Timer::TrialScope::~TrialScope() {
+  if (open_) timer_->commit_trial();
+}
+
+void Timer::TrialScope::commit() {
+  if (!open_) return;
+  open_ = false;
+  timer_->commit_trial();
+}
+
+bool Timer::TrialScope::rollback() {
+  if (!open_) return false;
+  open_ = false;
+  return timer_->rollback_trial();
+}
+
+// --- update statistics ------------------------------------------------------
+
+Timer::UpdateStats Timer::update_stats() const {
+  UpdateStats s;
+  s.full_updates = full_updates_;
+  s.incremental_updates = incremental_updates_;
+  s.forward_nodes = stat_forward_nodes_;
+  s.backward_nodes = stat_backward_nodes_;
+  s.delay_cache_hits = delay_cache_.hits.load(std::memory_order_relaxed);
+  s.delay_cache_misses = delay_cache_.misses.load(std::memory_order_relaxed);
+  s.trial_rollbacks = stat_trial_rollbacks_;
+  s.trial_fallbacks = stat_trial_fallbacks_;
+  return s;
+}
+
+std::string Timer::UpdateStats::to_string() const {
+  return str_format(
+      "updates            : %zu full, %zu incremental\n"
+      "incremental touch  : %zu forward node recomputes, %zu backward node "
+      "visits\n"
+      "delay cache        : %llu hits, %llu misses (%.1f%% hit rate)\n"
+      "trial checkpoints  : %zu rollbacks, %zu fallbacks",
+      full_updates, incremental_updates, forward_nodes, backward_nodes,
+      static_cast<unsigned long long>(delay_cache_hits),
+      static_cast<unsigned long long>(delay_cache_misses),
+      100.0 * delay_cache_hit_rate(), trial_rollbacks, trial_fallbacks);
 }
 
 }  // namespace mgba

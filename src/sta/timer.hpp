@@ -28,6 +28,8 @@
 /// invalidation stays per-corner: each corner's worklist stops where that
 /// corner's values converge.
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -51,6 +53,9 @@ class Timer {
   /// single identity "default" corner.
   Timer(const Design& design, TimingConstraints constraints,
         WireModel wire = {});
+  ~Timer();
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
 
   [[nodiscard]] const TimingGraph& graph() const { return *graph_; }
   [[nodiscard]] const DelayCalculator& delay_calc() const { return delay_; }
@@ -137,12 +142,77 @@ class Timer {
   /// the optimization loop; leave enabled in real use.
   void set_incremental_enabled(bool enabled) { incremental_enabled_ = enabled; }
 
+  /// Disables the incremental fast path (bounded backward pass +
+  /// delay-calc memoization), reverting to the pre-fastpath incremental
+  /// engine that runs a full backward pass per update. Both settings are
+  /// bit-identical in results; the knob exists for the ablation bench.
+  void set_fastpath_enabled(bool enabled) { fastpath_enabled_ = enabled; }
+  [[nodiscard]] bool fastpath_enabled() const { return fastpath_enabled_; }
+
   /// Number of full and incremental propagations performed (for the
   /// runtime accounting of Table 5).
   [[nodiscard]] std::size_t full_updates() const { return full_updates_; }
   [[nodiscard]] std::size_t incremental_updates() const {
     return incremental_updates_;
   }
+
+  /// Cumulative counters of the update machinery: how often the engine
+  /// re-propagated, how much of the graph each path actually touched, and
+  /// how well the delay memo cache performs. Exposed by the shell `stats`
+  /// command and `mgba_timer --verbose`.
+  struct UpdateStats {
+    std::size_t full_updates = 0;
+    std::size_t incremental_updates = 0;
+    /// Nodes recomputed by incremental forward frontiers (sum over
+    /// corners).
+    std::size_t forward_nodes = 0;
+    /// Nodes (and endpoint checks) visited by bounded backward passes.
+    std::size_t backward_nodes = 0;
+    std::uint64_t delay_cache_hits = 0;
+    std::uint64_t delay_cache_misses = 0;
+    /// Trial transforms undone by checkpoint restore vs. by falling back
+    /// to re-propagation (a full update intervened mid-trial).
+    std::size_t trial_rollbacks = 0;
+    std::size_t trial_fallbacks = 0;
+
+    [[nodiscard]] double delay_cache_hit_rate() const {
+      const std::uint64_t total = delay_cache_hits + delay_cache_misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(delay_cache_hits) /
+                              static_cast<double>(total);
+    }
+    [[nodiscard]] std::string to_string() const;
+  };
+  [[nodiscard]] UpdateStats update_stats() const;
+
+  /// RAII checkpoint for a trial transform. While a scope is open the
+  /// Timer journals every timing value an incremental update overwrites
+  /// (Value kind) or holds a full structural snapshot taken at
+  /// construction (Structural kind, for buffer-insertion trials that
+  /// rebuild the graph). A rejected trial calls rollback(), which restores
+  /// the exact pre-trial state in O(touched) — the caller must first have
+  /// restored the *design* itself (inverse resize / remove_buffer; a
+  /// removed trial buffer may remain as a disconnected tombstone
+  /// instance). rollback() returns false when the checkpoint could not be
+  /// kept consistent (e.g. a corner-set change mid-trial); the Timer is
+  /// then marked for a full update and the caller re-propagates the legacy
+  /// way. commit() (or destruction) keeps the trial state and drops the
+  /// checkpoint. Scopes must not nest.
+  class TrialScope {
+   public:
+    enum class Kind { Value, Structural };
+    explicit TrialScope(Timer& timer, Kind kind = Kind::Value);
+    ~TrialScope();
+    TrialScope(const TrialScope&) = delete;
+    TrialScope& operator=(const TrialScope&) = delete;
+
+    void commit();
+    [[nodiscard]] bool rollback();
+
+   private:
+    Timer* timer_;
+    bool open_ = true;
+  };
 
   // --- queries (valid after update_timing) ---------------------------------
 
@@ -216,23 +286,70 @@ class Timer {
   [[nodiscard]] NodeId worst_endpoint_merged(Mode mode) const;
 
  private:
+  friend class TrialScope;
+
   int idx(Mode m) const { return static_cast<int>(m); }
 
   void allocate_storage();
+  /// Sizes the delay cache and the incremental-frontier scratch to the
+  /// current graph/corner shape (clearing cached entries). Called from
+  /// allocate_storage and from structural-trial rollback, which restores a
+  /// differently-shaped arena without reallocating it.
+  void resize_incremental_scratch();
   void compute_instance_arcs();
   void compute_launch_sets();
   bool is_weighted_arc(const TimingArc& arc) const;
   double derate_for(const TimingArc& arc, Mode mode, CornerId corner) const;
 
+  /// Thread-local tally of delay-cache lookups, folded into the shared
+  /// atomic counters once per parallel block (add_counts).
+  struct CacheTally {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Base timing of one arc at one (corner, mode), through the memo cache
+  /// when the fast path is enabled.
+  ArcTiming arc_timing(ArcId a, const TimingArc& arc, double input_slew,
+                       CornerId corner, int mode, CacheTally& tally);
+
   /// Recomputes arrival + slew of one node at one corner from its fanin;
   /// returns true if any value moved more than epsilon. Also refreshes
-  /// stored arc timings of the fanin arcs at that corner.
-  bool recompute_node(NodeId node, CornerId corner);
+  /// stored arc timings of the fanin arcs at that corner, flagging arcs
+  /// whose stored effective delay changed bit-wise in arc_changed_scratch_
+  /// (safe in parallel sweeps: each arc's to-node has a single writer).
+  bool recompute_node(NodeId node, CornerId corner, CacheTally& tally);
+  /// Re-derives the required times of one non-endpoint node at one corner
+  /// from its (already final) fanout; returns true if either mode's value
+  /// changed bit-wise.
+  bool recompute_required(NodeId node, CornerId corner);
 
   void full_forward();
-  void incremental_forward();
+  /// One incremental round: per corner a bounded forward frontier followed
+  /// (when the fast path is on) by the bounded backward pass; otherwise a
+  /// single full backward pass after all corners' forward frontiers.
+  void incremental_update();
+  void incremental_forward_corner(CornerId corner);
+  void incremental_backward_corner(CornerId corner);
+  void collect_seeds();
   void compute_crpr_credits();
   void backward_required();
+
+  /// Drops every delay-cache entry whose memoized timing may be stale
+  /// after a value-only mutation of \p inst (its own cell arcs, the cell
+  /// arcs of the drivers of its input nets, and the net arcs of those
+  /// nets).
+  void invalidate_cache_for(InstanceId inst);
+
+  // --- trial checkpoints ----------------------------------------------------
+  void begin_trial(bool structural);
+  void commit_trial();
+  bool rollback_trial();
+  [[nodiscard]] bool value_trial_active() const;
+  /// Invalidates an open value checkpoint (a full re-propagation or graph
+  /// rebuild makes the journal incomplete); rollback then reports failure
+  /// and the caller falls back to legacy re-propagation.
+  void break_value_trial();
 
   /// Clock-cell delay difference (late - early) summed over the common
   /// clock-path prefix of two checks, at one corner.
@@ -277,9 +394,41 @@ class Timer {
 
   bool dirty_full_ = true;
   bool incremental_enabled_ = true;
+  bool fastpath_enabled_ = true;
   std::vector<InstanceId> dirty_instances_;
   std::size_t full_updates_ = 0;
   std::size_t incremental_updates_ = 0;
+
+  /// Memoized base arc timings (see DelayCache); sized lanes x arcs in
+  /// allocate_storage, which clears it on every structural change.
+  DelayCache delay_cache_;
+
+  // Reusable incremental-update scratch, sized to the graph in
+  // allocate_storage and cleaned per corner pass by revisiting exactly the
+  // touched entries — keeping each update O(touched cone), not O(graph).
+  std::vector<std::vector<NodeId>> frontier_;  ///< per-level node buckets
+  std::vector<bool> on_frontier_;
+  std::vector<std::uint8_t> changed_scratch_;
+  /// Per-arc flag set by recompute_node when the stored effective delay
+  /// changed bit-wise; the frontier driver scans and clears the flags of
+  /// each processed bucket's fanin arcs to seed the backward pass. All
+  /// zero between sweeps (full updates clear it wholesale).
+  std::vector<std::uint8_t> arc_changed_scratch_;
+  std::vector<NodeId> seed_scratch_;
+  /// From-nodes of arcs whose stored delay changed this corner pass — the
+  /// roots of the bounded backward pass.
+  std::vector<NodeId> backward_seeds_;
+  std::vector<bool> backward_seeded_;
+  /// Checks whose data node the forward frontier visited this corner pass.
+  std::vector<std::size_t> touched_checks_;
+
+  std::size_t stat_forward_nodes_ = 0;
+  std::size_t stat_backward_nodes_ = 0;
+  std::size_t stat_trial_rollbacks_ = 0;
+  std::size_t stat_trial_fallbacks_ = 0;
+
+  struct TrialState;
+  std::unique_ptr<TrialState> trial_;
 };
 
 }  // namespace mgba

@@ -15,6 +15,7 @@
 /// full or incremental propagation.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sta/timing_types.hpp"
@@ -85,6 +86,101 @@ struct TimingData {
                              arc_delay.size() + arc_delay_base.size()) +
            sizeof(CheckTiming) * check.size();
   }
+};
+
+/// First-touch journal of the arena values an incremental update
+/// overwrites. A trial transform (Timer::TrialScope) records each touched
+/// (lane, node) / (lane, arc) / (corner, check) slot once, before its
+/// first write; a rejected trial then restores the exact pre-trial bits by
+/// replaying the saved values — O(touched) instead of a second
+/// re-propagation. Dedup uses epoch-stamped mark arrays sized like the
+/// arena, so begin() costs O(1) after the first trial on a given shape.
+///
+/// Thread safety: record calls happen only on the coordinating thread
+/// (before each parallel level sweep dispatches), never inside the sweep
+/// bodies.
+class TrialJournal {
+ public:
+  /// Starts a new recording against \p data's current shape, discarding
+  /// any previous entries.
+  void begin(const TimingData& data) {
+    const std::size_t node_slots =
+        data.num_corners * kNumModes * data.num_nodes;
+    const std::size_t arc_slots = data.num_corners * kNumModes * data.num_arcs;
+    const std::size_t check_slots = data.num_corners * data.num_checks;
+    if (node_mark_.size() != node_slots || arc_mark_.size() != arc_slots ||
+        check_mark_.size() != check_slots || epoch_ == 0xffffffffu) {
+      node_mark_.assign(node_slots, 0);
+      arc_mark_.assign(arc_slots, 0);
+      check_mark_.assign(check_slots, 0);
+      epoch_ = 0;
+    }
+    ++epoch_;
+    nodes_.clear();
+    arcs_.clear();
+    checks_.clear();
+  }
+
+  void record_node(const TimingData& d, std::size_t lane, NodeId node) {
+    const std::size_t i = lane * d.num_nodes + node;
+    if (node_mark_[i] == epoch_) return;
+    node_mark_[i] = epoch_;
+    nodes_.push_back({i, d.arrival[i], d.slew[i], d.required[i]});
+  }
+
+  void record_arc(const TimingData& d, std::size_t lane, ArcId arc) {
+    const std::size_t i = lane * d.num_arcs + arc;
+    if (arc_mark_[i] == epoch_) return;
+    arc_mark_[i] = epoch_;
+    arcs_.push_back({i, d.arc_delay[i], d.arc_delay_base[i]});
+  }
+
+  void record_check(const TimingData& d, std::size_t corner,
+                    std::size_t idx) {
+    const std::size_t i = corner * d.num_checks + idx;
+    if (check_mark_[i] == epoch_) return;
+    check_mark_[i] = epoch_;
+    checks_.push_back({i, d.check[i]});
+  }
+
+  /// Writes every saved value back. Requires \p d to have the shape it had
+  /// at begin() (the Timer falls back to a full update otherwise).
+  void restore(TimingData& d) const {
+    for (const NodeEntry& e : nodes_) {
+      d.arrival[e.index] = e.arrival;
+      d.slew[e.index] = e.slew;
+      d.required[e.index] = e.required;
+    }
+    for (const ArcEntry& e : arcs_) {
+      d.arc_delay[e.index] = e.delay;
+      d.arc_delay_base[e.index] = e.base;
+    }
+    for (const CheckEntry& e : checks_) d.check[e.index] = e.value;
+  }
+
+  [[nodiscard]] std::size_t entries() const {
+    return nodes_.size() + arcs_.size() + checks_.size();
+  }
+
+ private:
+  struct NodeEntry {
+    std::size_t index;
+    double arrival, slew, required;
+  };
+  struct ArcEntry {
+    std::size_t index;
+    double delay, base;
+  };
+  struct CheckEntry {
+    std::size_t index;
+    CheckTiming value;
+  };
+
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> node_mark_, arc_mark_, check_mark_;
+  std::vector<NodeEntry> nodes_;
+  std::vector<ArcEntry> arcs_;
+  std::vector<CheckEntry> checks_;
 };
 
 }  // namespace mgba

@@ -219,6 +219,14 @@ void TimingGraph::trace_clock_paths() {
   }
 }
 
+void TimingGraph::pad_instances(std::size_t num_instances) {
+  while (inst_pin_nodes_.size() < num_instances) {
+    const InstanceId id = static_cast<InstanceId>(inst_pin_nodes_.size());
+    inst_pin_nodes_.emplace_back(design_->instance(id).pin_nets.size(),
+                                 kInvalidNode);
+  }
+}
+
 NodeId TimingGraph::node_of_pin(InstanceId inst, std::uint32_t pin) const {
   MGBA_CHECK(inst < inst_pin_nodes_.size());
   MGBA_CHECK(pin < inst_pin_nodes_[inst].size());

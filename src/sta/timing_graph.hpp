@@ -65,6 +65,14 @@ class TimingGraph {
   [[nodiscard]] NodeId node_of_pin(InstanceId inst, std::uint32_t pin) const;
   [[nodiscard]] NodeId node_of_port(PortId port) const;
 
+  /// Extends the instance-pin lookup to cover instances appended to the
+  /// design *after* this graph was built — the disconnected tombstones a
+  /// reverted buffer trial leaves behind. Their pins resolve to
+  /// kInvalidNode, matching how unconnected pins behave everywhere else.
+  /// Used when a structural trial checkpoint restores a pre-insertion
+  /// graph against the post-revert design.
+  void pad_instances(std::size_t num_instances);
+
   [[nodiscard]] const std::vector<ArcId>& fanin(NodeId id) const {
     return fanin_[id];
   }

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file float_bits.hpp
+/// Exact bit-pattern view of doubles. The incremental timing engine keys
+/// its memo caches and change-detection on the *bit pattern* of a value
+/// rather than an epsilon comparison: two propagations are interchangeable
+/// only if they produce the identical double, which is also the invariant
+/// the bit-identity tests (incremental vs. full, 1 vs. N threads) assert.
+
+#include <bit>
+#include <cstdint>
+
+namespace mgba {
+
+/// Raw IEEE-754 bits of \p v. Distinct NaN payloads map to distinct keys,
+/// which is fine for memoization (a spurious miss, never a wrong hit).
+[[nodiscard]] inline std::uint64_t float_bits(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+}  // namespace mgba

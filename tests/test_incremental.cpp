@@ -1,0 +1,572 @@
+/// Incremental-engine tests: the bounded backward pass and delay-calc
+/// memoization must be bit-identical to full re-propagation at any thread
+/// count, trial checkpoints must restore rejected transforms exactly, and
+/// the headline property — a randomized ECO sequence evaluated through the
+/// fast path matches a twin session running full rebuilds after every
+/// mutation, and the journal it writes replays bit-identically at 1 and 4
+/// threads across two corners. The tier-1 script re-runs the Incremental*
+/// suites under both ASan+UBSan and TSan.
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aocv/aocv_model.hpp"
+#include "netlist/design.hpp"
+#include "opt/optimizer.hpp"
+#include "shell/session.hpp"
+#include "sta/timer.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mgba {
+namespace {
+
+using shell::LoadRequest;
+using shell::ShellSession;
+using testing_helpers::GeneratedStack;
+using testing_helpers::small_options;
+
+/// Restores the ambient thread count on scope exit so test order doesn't
+/// leak configuration across suites.
+struct ThreadGuard {
+  std::size_t saved = num_threads();
+  ~ThreadGuard() { set_num_threads(saved); }
+};
+
+/// Every arrival / slew / required at every (corner, mode, node) plus every
+/// endpoint slack, in a fixed order — two timers agree on this vector iff
+/// they agree bit-for-bit on the whole timing state.
+std::vector<double> snapshot_values(const Timer& timer) {
+  std::vector<double> values;
+  const TimingGraph& graph = timer.graph();
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    for (const Mode mode : {Mode::Early, Mode::Late}) {
+      for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+        values.push_back(timer.arrival(n, mode, c));
+        values.push_back(timer.slew(n, mode, c));
+        values.push_back(timer.required(n, mode, c));
+      }
+      for (const NodeId e : graph.endpoints()) {
+        values.push_back(timer.slack(e, mode, c));
+      }
+    }
+  }
+  return values;
+}
+
+/// Per-endpoint slack keyed by endpoint name across every corner and both
+/// modes — name-keyed so graphs that differ only in tombstone instances
+/// (and hence node numbering) still compare.
+std::map<std::string, double> slacks_by_name(const Timer& timer) {
+  std::map<std::string, double> slacks;
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    for (const Mode mode : {Mode::Early, Mode::Late}) {
+      for (const NodeId e : timer.graph().endpoints()) {
+        const std::string key =
+            timer.graph().node_name(e) + "|" + timer.corner(c).name +
+            (mode == Mode::Early ? "|E" : "|L");
+        slacks[key] = timer.slack(e, mode, c);
+      }
+    }
+  }
+  return slacks;
+}
+
+/// A same-footprint sibling cell the instance can be resized to, or
+/// nullopt (flip-flops are excluded; footprint families never mix kinds).
+std::optional<std::size_t> sizable_sibling(const Library& library,
+                                           const Design& design,
+                                           InstanceId inst) {
+  const LibCell& cell = design.cell_of(inst);
+  if (cell.kind == CellKind::FlipFlop) return std::nullopt;
+  for (std::size_t j = 0; j < library.num_cells(); ++j) {
+    const LibCell& c = library.cell(j);
+    if (c.footprint == cell.footprint && c.name != cell.name) return j;
+  }
+  return std::nullopt;
+}
+
+/// Applies the same resize to two independently-updated stacks and brings
+/// both timers up to date.
+void resize_both(GeneratedStack& a, GeneratedStack& b, InstanceId inst,
+                 std::size_t cell) {
+  a.design().resize_instance(inst, cell);
+  a.timer->invalidate_instance(inst);
+  a.timer->update_timing();
+  b.design().resize_instance(inst, cell);
+  b.timer->invalidate_instance(inst);
+  b.timer->update_timing();
+}
+
+/// A deterministic sequence of sizable (instance, sibling cell) pairs.
+std::vector<std::pair<InstanceId, std::size_t>> resize_plan(
+    const Library& library, const Design& design, std::size_t count,
+    std::uint64_t seed) {
+  std::vector<std::pair<InstanceId, std::size_t>> plan;
+  Rng rng(seed);
+  while (plan.size() < count) {
+    const auto inst =
+        static_cast<InstanceId>(rng.uniform_index(design.num_instances()));
+    const auto sibling = sizable_sibling(library, design, inst);
+    if (!sibling.has_value()) continue;
+    if (design.instance(inst).cell == *sibling) continue;
+    plan.emplace_back(inst, *sibling);
+  }
+  return plan;
+}
+
+// --- fast path vs. full re-propagation -------------------------------------
+
+TEST(IncrementalFastpath, MatchesFullRebuildAfterResizes) {
+  GeneratedStack fast(small_options(301));
+  GeneratedStack full(small_options(301));
+  full.timer->set_incremental_enabled(false);
+
+  ASSERT_EQ(snapshot_values(*fast.timer), snapshot_values(*full.timer));
+  for (const auto& [inst, cell] :
+       resize_plan(fast.library, fast.design(), 12, 7001)) {
+    resize_both(fast, full, inst, cell);
+    ASSERT_EQ(snapshot_values(*fast.timer), snapshot_values(*full.timer));
+  }
+  EXPECT_GT(fast.timer->incremental_updates(), 0u);
+  EXPECT_GT(full.timer->full_updates(), fast.timer->full_updates());
+}
+
+TEST(IncrementalFastpath, MatchesLegacyIncrementalPath) {
+  GeneratedStack fast(small_options(302));
+  GeneratedStack legacy(small_options(302));
+  legacy.timer->set_fastpath_enabled(false);  // full backward, no memo cache
+
+  for (const auto& [inst, cell] :
+       resize_plan(fast.library, fast.design(), 12, 7002)) {
+    resize_both(fast, legacy, inst, cell);
+    ASSERT_EQ(snapshot_values(*fast.timer), snapshot_values(*legacy.timer));
+  }
+  EXPECT_GT(fast.timer->update_stats().delay_cache_hits, 0u);
+  EXPECT_EQ(legacy.timer->update_stats().delay_cache_hits, 0u);
+}
+
+TEST(IncrementalFastpath, ThreadCountInvariance) {
+  ThreadGuard guard;
+  const auto run = [](std::size_t threads) {
+    set_num_threads(threads);
+    GeneratedStack stack(small_options(303));
+    for (const auto& [inst, cell] :
+         resize_plan(stack.library, stack.design(), 10, 7003)) {
+      stack.design().resize_instance(inst, cell);
+      stack.timer->invalidate_instance(inst);
+      stack.timer->update_timing();
+    }
+    return snapshot_values(*stack.timer);
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(IncrementalFastpath, BoundedBackwardTouchesLessThanGraph) {
+  GeneratedStack stack(small_options(304));
+  const auto plan = resize_plan(stack.library, stack.design(), 1, 7004);
+  const Timer::UpdateStats before = stack.timer->update_stats();
+  stack.design().resize_instance(plan[0].first, plan[0].second);
+  stack.timer->invalidate_instance(plan[0].first);
+  stack.timer->update_timing();
+  const Timer::UpdateStats after = stack.timer->update_stats();
+
+  EXPECT_EQ(after.incremental_updates, before.incremental_updates + 1);
+  const std::size_t forward = after.forward_nodes - before.forward_nodes;
+  const std::size_t backward = after.backward_nodes - before.backward_nodes;
+  EXPECT_GT(forward, 0u);
+  // One corner: a single resize must not touch anywhere near the whole
+  // graph in either direction.
+  EXPECT_LT(forward, stack.timer->graph().num_nodes());
+  EXPECT_LT(backward, stack.timer->graph().num_nodes());
+}
+
+TEST(IncrementalFastpath, RepeatedInvalidationIsDeduplicated) {
+  GeneratedStack once(small_options(305));
+  GeneratedStack thrice(small_options(305));
+  const auto plan = resize_plan(once.library, once.design(), 1, 7005);
+
+  once.design().resize_instance(plan[0].first, plan[0].second);
+  once.timer->invalidate_instance(plan[0].first);
+  thrice.design().resize_instance(plan[0].first, plan[0].second);
+  thrice.timer->invalidate_instance(plan[0].first);
+  thrice.timer->invalidate_instance(plan[0].first);
+  thrice.timer->invalidate_instance(plan[0].first);
+
+  const std::size_t f0 = once.timer->update_stats().forward_nodes;
+  const std::size_t f1 = thrice.timer->update_stats().forward_nodes;
+  once.timer->update_timing();
+  thrice.timer->update_timing();
+  // Duplicate dirty entries would seed (and recompute) the same frontier
+  // nodes repeatedly.
+  EXPECT_EQ(once.timer->update_stats().forward_nodes - f0,
+            thrice.timer->update_stats().forward_nodes - f1);
+  EXPECT_EQ(snapshot_values(*once.timer), snapshot_values(*thrice.timer));
+}
+
+// --- delay-calc memoization -------------------------------------------------
+
+TEST(IncrementalCache, WeightOnlyFullUpdateHitsEveryArc) {
+  GeneratedStack stack(small_options(306));
+  const Timer::UpdateStats before = stack.timer->update_stats();
+
+  // Weights change effective delays but not the base timings the cache
+  // memoizes, and no slew moves on the first fill (slews come from the
+  // cached base timings) — the weight-driven full update must be all hits.
+  std::vector<double> weights(stack.design().num_instances(), 0.01);
+  stack.timer->set_instance_weights(std::move(weights));
+  stack.timer->update_timing();
+
+  const Timer::UpdateStats after = stack.timer->update_stats();
+  EXPECT_EQ(after.full_updates, before.full_updates + 1);
+  EXPECT_EQ(after.delay_cache_misses, before.delay_cache_misses);
+  EXPECT_GT(after.delay_cache_hits, before.delay_cache_hits);
+  EXPECT_GT(after.delay_cache_hit_rate(), 0.0);
+}
+
+TEST(IncrementalCache, ResizeInvalidatesOnlyTouchedEntries) {
+  GeneratedStack stack(small_options(307));
+  const auto plan = resize_plan(stack.library, stack.design(), 1, 7007);
+  const Timer::UpdateStats before = stack.timer->update_stats();
+  stack.design().resize_instance(plan[0].first, plan[0].second);
+  stack.timer->invalidate_instance(plan[0].first);
+  stack.timer->update_timing();
+  const Timer::UpdateStats after = stack.timer->update_stats();
+
+  // The resized instance's arcs (and its input nets' driver/net arcs) must
+  // be re-evaluated — but only a sliver of the graph's arc population.
+  EXPECT_GT(after.delay_cache_misses, before.delay_cache_misses);
+  EXPECT_LT(after.delay_cache_misses - before.delay_cache_misses,
+            stack.timer->graph().num_arcs() / 4);
+
+  // And the memoized state must equal a from-scratch evaluation.
+  Timer fresh(stack.design(), stack.timer->constraints());
+  fresh.set_instance_derates(compute_gba_derates(fresh.graph(), stack.table));
+  fresh.update_timing();
+  EXPECT_EQ(snapshot_values(*stack.timer), snapshot_values(fresh));
+}
+
+TEST(IncrementalStats, CountersAdvanceAndReportRenders) {
+  GeneratedStack stack(small_options(308));
+  const auto plan = resize_plan(stack.library, stack.design(), 2, 7008);
+  for (const auto& [inst, cell] : plan) {
+    stack.design().resize_instance(inst, cell);
+    stack.timer->invalidate_instance(inst);
+    stack.timer->update_timing();
+  }
+  const Timer::UpdateStats stats = stack.timer->update_stats();
+  EXPECT_GE(stats.full_updates, 1u);  // construction
+  EXPECT_GE(stats.incremental_updates, 2u);
+  EXPECT_GT(stats.forward_nodes, 0u);
+  EXPECT_GT(stats.delay_cache_misses, 0u);
+
+  const std::string text = stats.to_string();
+  EXPECT_NE(text.find("incremental"), std::string::npos);
+  EXPECT_NE(text.find("delay cache"), std::string::npos);
+  EXPECT_NE(text.find("trial checkpoints"), std::string::npos);
+}
+
+// --- trial checkpoints ------------------------------------------------------
+
+TEST(IncrementalTrial, ValueRollbackIsBitIdentical) {
+  GeneratedStack stack(small_options(309));
+  const auto plan = resize_plan(stack.library, stack.design(), 1, 7009);
+  const InstanceId inst = plan[0].first;
+  const std::size_t old_cell = stack.design().instance(inst).cell;
+  const std::vector<double> before = snapshot_values(*stack.timer);
+  const std::size_t rollbacks = stack.timer->update_stats().trial_rollbacks;
+
+  {
+    Timer::TrialScope scope(*stack.timer);
+    stack.design().resize_instance(inst, plan[0].second);
+    stack.timer->invalidate_instance(inst);
+    stack.timer->update_timing();
+    stack.design().resize_instance(inst, old_cell);
+    ASSERT_TRUE(scope.rollback());
+  }
+
+  EXPECT_EQ(snapshot_values(*stack.timer), before);
+  EXPECT_EQ(stack.timer->update_stats().trial_rollbacks, rollbacks + 1);
+  // The rolled-back timer is not left dirty: another update is a no-op.
+  stack.timer->update_timing();
+  EXPECT_EQ(snapshot_values(*stack.timer), before);
+}
+
+TEST(IncrementalTrial, CommittedTrialKeepsTheNewState) {
+  GeneratedStack stack(small_options(310));
+  GeneratedStack twin(small_options(310));
+  const auto plan = resize_plan(stack.library, stack.design(), 1, 7010);
+
+  {
+    Timer::TrialScope scope(*stack.timer);
+    stack.design().resize_instance(plan[0].first, plan[0].second);
+    stack.timer->invalidate_instance(plan[0].first);
+    stack.timer->update_timing();
+    scope.commit();
+  }
+  twin.design().resize_instance(plan[0].first, plan[0].second);
+  twin.timer->invalidate_instance(plan[0].first);
+  twin.timer->update_timing();
+  EXPECT_EQ(snapshot_values(*stack.timer), snapshot_values(*twin.timer));
+}
+
+TEST(IncrementalTrial, StructuralRollbackIsBitIdentical) {
+  GeneratedStack stack(small_options(311));
+  Design& design = stack.design();
+  const std::vector<double> before = snapshot_values(*stack.timer);
+
+  // A data net with an instance driver and at least one sink.
+  std::optional<NetId> target;
+  for (std::size_t n = 0; n < design.num_nets() && !target; ++n) {
+    const Net& net = design.net(static_cast<NetId>(n));
+    if (!net.driver.has_value() || net.sinks.empty()) continue;
+    if (net.driver->kind != Terminal::Kind::InstancePin) continue;
+    const NodeId driver_node =
+        stack.timer->graph().node_of_pin(net.driver->id, net.driver->pin);
+    if (stack.timer->graph().node(driver_node).is_clock_network) continue;
+    target = static_cast<NetId>(n);
+  }
+  ASSERT_TRUE(target.has_value());
+  const std::size_t buffer_cell = *stack.library.strongest_buffer();
+
+  {
+    Timer::TrialScope scope(*stack.timer,
+                            Timer::TrialScope::Kind::Structural);
+    const Net net_before = design.net(*target);
+    const InstanceId buffer = design.insert_buffer_for_sink(
+        *target, net_before.sinks[0], buffer_cell, "trialbuf", {0.0, 0.0});
+    stack.timer->rebuild_graph();
+    stack.timer->set_instance_derates(
+        compute_gba_derates(stack.timer->graph(), stack.table));
+    stack.timer->update_timing();
+    EXPECT_NE(snapshot_values(*stack.timer), before);
+    design.remove_buffer(buffer, *target);
+    ASSERT_TRUE(scope.rollback());
+  }
+
+  EXPECT_EQ(snapshot_values(*stack.timer), before);
+
+  // The rejected trial leaves a disconnected tombstone instance; later
+  // value-only work must still run (and match a from-scratch timer that
+  // skips the tombstone).
+  const auto plan = resize_plan(stack.library, design, 1, 7011);
+  design.resize_instance(plan[0].first, plan[0].second);
+  stack.timer->invalidate_instance(plan[0].first);
+  stack.timer->update_timing();
+
+  Timer fresh(design, stack.timer->constraints());
+  fresh.set_instance_derates(compute_gba_derates(fresh.graph(), stack.table));
+  fresh.update_timing();
+  EXPECT_EQ(snapshot_values(*stack.timer), snapshot_values(fresh));
+}
+
+TEST(IncrementalTrial, FullUpdateMidTrialFallsBackSafely) {
+  GeneratedStack stack(small_options(312));
+  const auto plan = resize_plan(stack.library, stack.design(), 1, 7012);
+  const InstanceId inst = plan[0].first;
+  const std::size_t old_cell = stack.design().instance(inst).cell;
+  const std::size_t fallbacks = stack.timer->update_stats().trial_fallbacks;
+
+  {
+    Timer::TrialScope scope(*stack.timer);
+    stack.design().resize_instance(inst, plan[0].second);
+    stack.timer->invalidate_instance(inst);
+    stack.timer->update_timing();
+    // A derate refresh forces a full re-propagation, which a value journal
+    // cannot undo — rollback must refuse and flag the timer dirty.
+    stack.timer->set_instance_derates(
+        compute_gba_derates(stack.timer->graph(), stack.table));
+    stack.timer->update_timing();
+    stack.design().resize_instance(inst, old_cell);
+    EXPECT_FALSE(scope.rollback());
+  }
+  EXPECT_EQ(stack.timer->update_stats().trial_fallbacks, fallbacks + 1);
+
+  // Legacy re-propagation from here must converge to a fresh evaluation.
+  stack.timer->invalidate_instance(inst);
+  stack.timer->update_timing();
+  Timer fresh(stack.design(), stack.timer->constraints());
+  fresh.set_instance_derates(compute_gba_derates(fresh.graph(), stack.table));
+  fresh.update_timing();
+  EXPECT_EQ(snapshot_values(*stack.timer), snapshot_values(fresh));
+}
+
+TEST(IncrementalTrial, OptimizerCheckpointsMatchLegacyRejectPath) {
+  const auto run = [](bool checkpoints) {
+    GeneratedStack stack(small_options(313), 1500.0);
+    OptimizerOptions options;
+    options.max_passes = 3;
+    options.use_trial_checkpoints = checkpoints;
+    TimingCloser closer(stack.design(), *stack.timer, stack.table, options);
+    const OptimizerReport report = closer.run();
+    return std::make_pair(snapshot_values(*stack.timer),
+                          report.transforms_attempted);
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_EQ(with.first, without.first);
+  EXPECT_EQ(with.second, without.second);
+  EXPECT_GT(with.second, 0u);
+}
+
+// --- randomized ECO property test -------------------------------------------
+
+LoadRequest eco_request() {
+  LoadRequest request;
+  request.gates = 220;
+  request.flops = 32;
+  request.seed = 11;
+  request.utilization = 1.05;
+  return request;
+}
+
+std::string write_corner_spec(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  out << "corner slow delay 1.15 slew 1.05 constraint 1.02 derate_margin "
+         "1.2\n"
+      << "corner fast delay 0.85 derate_margin 0.8\n";
+  return path;
+}
+
+/// A data net suitable for buffering: instance driver outside the clock
+/// network, at least one sink. Scans from a random start for variety.
+std::optional<NetId> pick_buffer_net(const ShellSession& session, Rng& rng) {
+  const Design& design = session.design();
+  const Timer& timer = session.timer();
+  const std::size_t start = rng.uniform_index(design.num_nets());
+  for (std::size_t k = 0; k < design.num_nets(); ++k) {
+    const auto n = static_cast<NetId>((start + k) % design.num_nets());
+    const Net& net = design.net(n);
+    if (!net.driver.has_value() || net.sinks.empty()) continue;
+    if (net.driver->kind != Terminal::Kind::InstancePin) continue;
+    const NodeId driver =
+        timer.graph().node_of_pin(net.driver->id, net.driver->pin);
+    if (timer.graph().node(driver).is_clock_network) continue;
+    return n;
+  }
+  return std::nullopt;
+}
+
+TEST(IncrementalEco, RandomizedSequenceMatchesFullRebuildAndReplay) {
+  const std::string corners =
+      write_corner_spec("incremental_eco_corners.spec");
+  const std::string journal = testing::TempDir() + "incremental_eco.eco";
+
+  // Twin sessions over two corners: `fast` runs the incremental fast path
+  // and trial checkpoints; `full` re-propagates the whole graph after
+  // every mutation with both knobs off. Every committed operation must
+  // leave them bit-identical.
+  ShellSession fast;
+  ShellSession full;
+  ASSERT_EQ(fast.load(eco_request()), "");
+  ASSERT_EQ(full.load(eco_request()), "");
+  ASSERT_EQ(fast.load_corners(corners), "");
+  ASSERT_EQ(full.load_corners(corners), "");
+  full.timer().set_incremental_enabled(false);
+  full.timer().set_fastpath_enabled(false);
+  ASSERT_EQ(fast.timer().num_corners(), 2u);
+  ASSERT_EQ(slacks_by_name(fast.timer()), slacks_by_name(full.timer()));
+
+  Rng rng(2026);
+  const Design& design = fast.design();
+  for (std::size_t txn = 0; txn < 3; ++txn) {
+    ASSERT_EQ(fast.begin_eco(), "");
+    ASSERT_EQ(full.begin_eco(), "");
+    for (std::size_t op = 0; op < 6; ++op) {
+      const std::uint64_t kind = rng.uniform_index(8);
+      if (kind < 4) {
+        // Random same-footprint resize (occasionally a clock cell, which
+        // escalates the fast session to a full update — also a bit-identity
+        // case worth covering).
+        InstanceId inst = 0;
+        std::optional<std::size_t> sibling;
+        while (!sibling.has_value()) {
+          inst = static_cast<InstanceId>(
+              rng.uniform_index(design.num_instances()));
+          if (design.is_disconnected(inst)) continue;
+          sibling = sizable_sibling(fast.library(), design, inst);
+        }
+        const std::string name = design.instance(inst).name;
+        const std::string cell = fast.library().cell(*sibling).name;
+        ASSERT_EQ(fast.size_cell(name, cell), "");
+        ASSERT_EQ(full.size_cell(name, cell), "");
+      } else if (kind < 6) {
+        // Random targeted rebuffering of a data net sink.
+        const auto net = pick_buffer_net(fast, rng);
+        ASSERT_TRUE(net.has_value());
+        const Net& n = design.net(*net);
+        const Terminal sink =
+            n.sinks[rng.uniform_index(n.sinks.size())];
+        std::string fast_name;
+        std::string full_name;
+        ASSERT_EQ(fast.insert_buffer(n.name, fast.sink_spec(sink), "",
+                                     fast_name),
+                  "");
+        ASSERT_EQ(full.insert_buffer(n.name, full.sink_spec(sink), "",
+                                     full_name),
+                  "");
+        ASSERT_EQ(fast_name, full_name);
+      } else {
+        // A short closure burst: the fast session rejects trials via
+        // checkpoints, the full session via legacy re-propagation. The
+        // transform trajectories only agree if every intermediate timing
+        // read agrees.
+        OptimizerOptions options;
+        options.max_passes = 1;
+        options.endpoints_per_pass = 4;
+        options.enable_area_recovery = false;
+        OptimizerReport fast_report;
+        OptimizerReport full_report;
+        OptimizerOptions legacy = options;
+        legacy.use_trial_checkpoints = false;
+        ASSERT_EQ(fast.optimize(options, fast_report), "");
+        ASSERT_EQ(full.optimize(legacy, full_report), "");
+        ASSERT_EQ(fast_report.transforms_attempted,
+                  full_report.transforms_attempted);
+      }
+      ASSERT_EQ(slacks_by_name(fast.timer()), slacks_by_name(full.timer()))
+          << "diverged at txn " << txn << " op " << op;
+    }
+    std::size_t fast_records = 0;
+    std::size_t full_records = 0;
+    ASSERT_EQ(fast.end_eco(fast_records), "");
+    ASSERT_EQ(full.end_eco(full_records), "");
+    ASSERT_EQ(fast_records, full_records);
+
+    if (txn == 1) {
+      // Exercise undo through both engines mid-sequence.
+      ASSERT_EQ(fast.undo_eco(), "");
+      ASSERT_EQ(full.undo_eco(), "");
+      ASSERT_EQ(slacks_by_name(fast.timer()), slacks_by_name(full.timer()));
+    }
+  }
+  ASSERT_EQ(fast.write_eco(journal), "");
+  const auto live = slacks_by_name(fast.timer());
+
+  // The journal written from the fast session must replay bit-identically
+  // on fresh sessions at 1 and at 4 threads.
+  ThreadGuard guard;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_num_threads(threads);
+    ShellSession replayed;
+    ASSERT_EQ(replayed.load(eco_request()), "");
+    ASSERT_EQ(replayed.load_corners(corners), "");
+    std::size_t transactions = 0;
+    std::size_t applied = 0;
+    ASSERT_EQ(replayed.replay_eco(journal, transactions, applied), "");
+    EXPECT_EQ(transactions, 2u);  // txn 1 was undone
+    EXPECT_EQ(slacks_by_name(replayed.timer()), live)
+        << "replay diverged at " << threads << " thread(s)";
+  }
+}
+
+}  // namespace
+}  // namespace mgba

@@ -78,6 +78,9 @@ int usage() {
                "  common: --library FILE (liberty-lite cell library)\n"
                "          --threads N (parallel STA/PBA/solver threads;\n"
                "                       default MGBA_THREADS env or all cores)\n"
+               "          --verbose (timing-update statistics: update\n"
+               "                     counts, frontier sizes, delay-cache\n"
+               "                     hit rate, trial checkpoints)\n"
                "          --corners FILE (MCMM corner spec; per-corner +\n"
                "                          merged worst-corner analysis)\n"
                "  generate --design 1..10 | --gates N --flops N [--seed S]\n"
@@ -238,6 +241,11 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+void print_update_stats(const Args& args, const Timer& timer) {
+  if (!args.has("verbose")) return;
+  std::printf("\n%s\n", timer.update_stats().to_string().c_str());
+}
+
 int cmd_report(const Args& args) {
   auto session = open_session(args);
   Timer& timer = *session->timer;
@@ -290,6 +298,7 @@ int cmd_report(const Args& args) {
         timer, args.get_double("max-slew", 0.0));
     std::printf("\n%s", drc.to_string(*session->design).c_str());
   }
+  print_update_stats(args, timer);
   return 0;
 }
 
@@ -361,6 +370,7 @@ int cmd_optimize(const Args& args) {
     write_netlist(*session->design, out);
     std::printf("wrote optimized netlist to %s\n", args.get("out").c_str());
   }
+  print_update_stats(args, *session->timer);
   return 0;
 }
 
