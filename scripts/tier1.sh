@@ -10,7 +10,12 @@
 # overrun. The multi-corner (MCMM) and timing-shell tests run under
 # ASan+UBSan, so an off-by-one in the corner-major SoA arena indexing —
 # or a stale pointer across the shell's session resets — faults loudly
-# instead of silently reading freed or neighboring memory. Finally the shell's
+# instead of silently reading freed or neighboring memory. The solver
+# fast-path suite (sparse SCG accumulators + incremental refit) runs under
+# both: TSan because the sparse gradient's block partials and the refit's
+# parallel path re-evaluation write shared scratch from pool workers, ASan
+# because the refit session indexes cached rows/paths through arrays that
+# a stale size after an ECO would overrun. Finally the shell's
 # golden-transcript smoke test runs at 1 and 4 threads: the transcript
 # (including full-precision replayed slacks) must be byte-identical.
 set -euo pipefail
@@ -22,11 +27,11 @@ cmake --build build -j
 
 cmake -B build-tsan -S . -DMGBA_SANITIZE=thread
 cmake --build build-tsan -j --target mgba_tests
-MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*'
+MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*:SolverFastpath*'
 
 cmake -B build-asan -S . -DMGBA_SANITIZE=address
 cmake --build build-asan -j --target mgba_tests
-MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*'
+MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*'
 
 for threads in 1 4; do
   ./scripts/shell_smoke.sh build/tools/mgba_timer \

@@ -1,6 +1,7 @@
 #include "mgba/framework.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "mgba/metrics.hpp"
 #include "mgba/path_selection.hpp"
@@ -10,11 +11,28 @@
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mgba {
 
-MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
-                             const MgbaFlowOptions& options) {
+namespace {
+
+/// Fit state handed back to MgbaRefitSession by the shared flow below.
+struct FitCapture {
+  std::vector<TimingPath> paths;
+  std::unique_ptr<MgbaProblem> problem;
+  std::vector<std::size_t> rows;
+  std::vector<double> x;
+};
+
+/// One full Fig. 5 fit. run_mgba_flow calls this with no capture (its
+/// historical behavior, bit for bit); MgbaRefitSession::fit() passes a
+/// capture to keep the paths/problem/rows/solution for later refits, and
+/// its solver scratch so the cold fit already warms the refit arena.
+MgbaFlowResult run_mgba_flow_impl(Timer& timer, const DerateTable& table,
+                                  const MgbaFlowOptions& options,
+                                  FitCapture* capture,
+                                  SolverScratch* scratch) {
   MGBA_CHECK(options.candidate_paths_per_endpoint >=
              options.paths_per_endpoint);
   const Stopwatch total_watch;
@@ -63,23 +81,24 @@ MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
 
   // Full problem over all candidates (also the measurement set).
   const PathEvaluator evaluator(timer, table, options.eval_options, corner);
-  const MgbaProblem problem(timer, evaluator, paths, options.epsilon,
-                            options.check_kind);
-  result.variables = problem.num_cols();
-  if (problem.num_rows() == 0 || problem.num_cols() == 0) return result;
+  auto problem = std::make_unique<MgbaProblem>(timer, evaluator, paths,
+                                               options.epsilon,
+                                               options.check_kind);
+  result.variables = problem->num_cols();
+  if (problem->num_rows() == 0 || problem->num_cols() == 0) return result;
 
   // Row universe: violated paths, falling back to all candidates when the
   // design is already clean (so the fit is still meaningful).
-  std::vector<std::size_t> candidates = violated_rows(problem.gba_slack());
+  std::vector<std::size_t> candidates = violated_rows(problem->gba_slack());
   result.violated_paths = candidates.size();
   if (candidates.empty() || !options.only_violated) {
-    candidates.resize(problem.num_rows());
+    candidates.resize(problem->num_rows());
     for (std::size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
   }
 
   // Scheme 2 selection: k' worst per endpoint, capped at m'.
-  const std::vector<std::size_t> rows = select_per_endpoint(
-      paths, problem.gba_slack(), candidates, options.paths_per_endpoint,
+  std::vector<std::size_t> rows = select_per_endpoint(
+      paths, problem->gba_slack(), candidates, options.paths_per_endpoint,
       options.max_paths);
   result.fitted_paths = rows.size();
 
@@ -87,36 +106,43 @@ MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
   SolveResult solved;
   switch (options.solver) {
     case MgbaSolverKind::GradientDescent:
-      solved = solve_gradient_descent(problem, rows, options.solver_options);
+      solved = solve_gradient_descent(*problem, rows, options.solver_options);
       break;
     case MgbaSolverKind::Scg:
-      solved = solve_scg(problem, rows, options.solver_options);
+      solved = solve_scg(*problem, rows, options.solver_options, {}, scratch);
       break;
     case MgbaSolverKind::ScgWithRowSampling:
-      solved = solve_scg_with_row_sampling(problem, rows,
+      solved = solve_scg_with_row_sampling(*problem, rows,
                                            options.solver_options,
-                                           options.sampling_options);
+                                           options.sampling_options, scratch);
       break;
   }
   result.solve_seconds = solved.seconds;
   result.solver_iterations = solved.iterations;
 
   // Quality on the full candidate set.
-  const std::vector<double> x0(problem.num_cols(), 0.0);
-  result.mse_before = modeling_mse(problem, x0);
-  result.mse_after = modeling_mse(problem, solved.x);
-  result.pass_ratio_before = pass_ratio(problem, x0).ratio();
-  result.pass_ratio_after = pass_ratio(problem, solved.x).ratio();
+  const std::vector<double> x0(problem->num_cols(), 0.0);
+  result.mse_before = modeling_mse(*problem, x0);
+  result.mse_after = modeling_mse(*problem, solved.x);
+  result.pass_ratio_before = pass_ratio(*problem, x0).ratio();
+  result.pass_ratio_after = pass_ratio(*problem, solved.x).ratio();
 
   // Apply the weighting factors to the timing graph (Fig. 5: "update
   // timing graph").
-  result.instance_weights = problem.to_instance_weights(solved.x);
+  result.instance_weights = problem->to_instance_weights(solved.x);
   if (hold) {
     timer.set_instance_weights_early(corner, result.instance_weights);
   } else {
     timer.set_instance_weights(corner, result.instance_weights);
   }
   timer.update_timing();
+
+  if (capture != nullptr) {
+    capture->paths = std::move(paths);
+    capture->problem = std::move(problem);
+    capture->rows = std::move(rows);
+    capture->x = std::move(solved.x);
+  }
 
   result.total_seconds = total_watch.seconds();
   MGBA_LOG_INFO(
@@ -127,6 +153,13 @@ MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
       result.mse_before, result.mse_after, result.pass_ratio_before,
       result.pass_ratio_after, result.solve_seconds);
   return result;
+}
+
+}  // namespace
+
+MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
+                             const MgbaFlowOptions& options) {
+  return run_mgba_flow_impl(timer, table, options, nullptr, nullptr);
 }
 
 std::vector<MgbaFlowResult> run_mgba_flow_all_corners(
@@ -155,6 +188,206 @@ std::string fit_result_summary(const Timer& timer, const MgbaFlowResult& fit,
                     100.0 * fit.pass_ratio_before,
                     100.0 * fit.pass_ratio_after, fit.solver_iterations);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// MgbaRefitSession
+// ---------------------------------------------------------------------------
+
+MgbaRefitSession::MgbaRefitSession(Timer& timer, const DerateTable& table,
+                                   MgbaFlowOptions options)
+    : timer_(&timer), table_(&table), options_(std::move(options)) {}
+
+MgbaFlowResult MgbaRefitSession::fit() {
+  FitCapture capture;
+  // The row set is about to change wholesale; never let solve_scg reuse a
+  // previous session's alias table just because the sizes coincide.
+  scratch_.alias_valid = false;
+  MgbaFlowResult result =
+      run_mgba_flow_impl(*timer_, *table_, options_, &capture, &scratch_);
+  paths_ = std::move(capture.paths);
+  problem_ = std::move(capture.problem);
+  rows_ = std::move(capture.rows);
+  x_ = std::move(capture.x);
+  has_fit_ = problem_ != nullptr && !x_.empty();
+  if (has_fit_) build_row_index();
+  last_result_ = result;
+  // Arm the log: from here on the timer records which instances value-only
+  // ECOs touch, and poisons itself on anything structural.
+  timer_->reset_eco_log();
+  return result;
+}
+
+void MgbaRefitSession::build_row_index() {
+  const std::size_t num_nodes = timer_->graph().num_nodes();
+  node_row_ptr_.assign(num_nodes + 1, 0);
+  const std::size_t m = problem_->num_rows();
+  for (std::size_t r = 0; r < m; ++r) {
+    for (const NodeId n : paths_[problem_->row_path(r)].nodes) {
+      ++node_row_ptr_[n + 1];
+    }
+  }
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    node_row_ptr_[i + 1] += node_row_ptr_[i];
+  }
+  node_row_idx_.resize(node_row_ptr_[num_nodes]);
+  std::vector<std::size_t> cursor(node_row_ptr_.begin(),
+                                  node_row_ptr_.end() - 1);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (const NodeId n : paths_[problem_->row_path(r)].nodes) {
+      node_row_idx_[cursor[n]++] = r;
+    }
+  }
+}
+
+std::size_t MgbaRefitSession::collect_stale_rows(
+    std::span<const InstanceId> touched) {
+  const TimingGraph& graph = timer_->graph();
+  const std::size_t num_nodes = graph.num_nodes();
+  if (node_flag_.size() < num_nodes) node_flag_.resize(num_nodes, 0);
+  if (row_stale_.size() < problem_->num_rows()) {
+    row_stale_.resize(problem_->num_rows(), 0);
+  }
+
+  // Seed exactly like the incremental engine (pins, drivers, siblings),
+  // then grow the forward cone: every quantity a row depends on — base
+  // delays (via slews), the plain-GBA arrival, the endpoint required time
+  // (via the endpoint data slew), and the PBA re-propagation (anchored at
+  // the path's front node) — can only move at nodes inside this cone.
+  // Clock-side changes would escape it, but those poison the log.
+  seed_scratch_.clear();
+  timer_->seed_nodes_for(touched, seed_scratch_);
+  cone_.clear();
+  const auto visit = [&](NodeId n) {
+    if (!node_flag_[n]) {
+      node_flag_[n] = 1;
+      cone_.push_back(n);
+    }
+  };
+  for (const NodeId n : seed_scratch_) visit(n);
+  for (std::size_t i = 0; i < cone_.size(); ++i) {
+    for (const ArcId a : graph.fanout(cone_[i])) visit(graph.arc(a).to);
+  }
+
+  stale_rows_.clear();
+  for (const NodeId n : cone_) {
+    for (std::size_t k = node_row_ptr_[n]; k < node_row_ptr_[n + 1]; ++k) {
+      const std::size_t row = node_row_idx_[k];
+      if (!row_stale_[row]) {
+        row_stale_[row] = 1;
+        stale_rows_.push_back(row);
+      }
+    }
+  }
+  // Touched-entry cleanup keeps the next refit O(touched), not O(graph).
+  for (const NodeId n : cone_) node_flag_[n] = 0;
+  for (const std::size_t r : stale_rows_) row_stale_[r] = 0;
+  // Refresh in row order, independent of cone discovery order.
+  std::sort(stale_rows_.begin(), stale_rows_.end());
+  return cone_.size();
+}
+
+MgbaFlowResult MgbaRefitSession::refit() {
+  Timer& timer = *timer_;
+  if (!has_fit_ || timer.eco_poisoned()) {
+    ++stats_.cold_rebuilds;
+    return fit();
+  }
+  const Stopwatch total_watch;
+  const bool hold = options_.check_kind == CheckKind::Hold;
+  const Mode mode = hold ? Mode::Early : Mode::Late;
+  const CornerId corner = options_.corner;
+
+  // Bring GBA up to date incrementally — with the previous fit's weights
+  // still applied. Everything refreshed below is weight-independent, so
+  // there is no need for the clear/re-apply pair of full propagations the
+  // cold flow pays.
+  timer.update_timing();
+
+  const std::span<const InstanceId> touched = timer.eco_touched();
+  stats_.eco_instances = touched.size();
+  stats_.rows_total = problem_->num_rows();
+  stats_.cone_nodes = collect_stale_rows(touched);
+  stats_.rows_reevaluated = stale_rows_.size();
+  ++stats_.warm_refits;
+
+  const PathEvaluator evaluator(timer, *table_, options_.eval_options, corner);
+  if (!stale_rows_.empty()) {
+    fresh_timings_.resize(stale_rows_.size());
+    const auto eval_range = [&](std::size_t b, std::size_t e) {
+      for (std::size_t k = b; k < e; ++k) {
+        TimingPath& path = paths_[problem_->row_path(stale_rows_[k])];
+        // Refresh the recorded enumeration arrival first so evaluate()'s
+        // GBA fields read the post-ECO plain-GBA value.
+        path.gba_arrival_ps = evaluator.plain_gba_arrival(path, mode);
+        fresh_timings_[k] =
+            hold ? evaluator.evaluate_hold(path) : evaluator.evaluate(path);
+      }
+    };
+    // Rows own disjoint paths (1:1), so the parallel evaluation has no
+    // shared writes and the chunking cannot change any result.
+    if (num_threads() <= 1 || stale_rows_.size() < 16) {
+      eval_range(0, stale_rows_.size());
+    } else {
+      parallel_for(stale_rows_.size(), 4, eval_range);
+    }
+    for (std::size_t k = 0; k < stale_rows_.size(); ++k) {
+      const std::size_t row = stale_rows_[k];
+      problem_->refresh_row(row, timer, paths_[problem_->row_path(row)],
+                            fresh_timings_[k]);
+    }
+    // Row norms moved: the cached Eq.-11 alias table is stale.
+    scratch_.alias_valid = false;
+  }
+
+  MgbaFlowResult result;
+  result.corner = corner;
+  result.candidate_paths = paths_.size();
+  result.variables = problem_->num_cols();
+  result.fitted_paths = rows_.size();
+  {
+    std::size_t violated = 0;
+    for (const double s : problem_->gba_slack()) {
+      if (s < 0.0) ++violated;
+    }
+    result.violated_paths = violated;
+  }
+
+  // Warm re-solve from the previous solution. The refit always uses the
+  // plain SCG kernel: Algorithm 1's doubling rounds exist to find a good
+  // subset from scratch, while here rows_ is already selected and x_ is
+  // already near the optimum.
+  SolveResult solved =
+      solve_scg(*problem_, rows_, options_.solver_options, x_, &scratch_);
+  result.solve_seconds = solved.seconds;
+  result.solver_iterations = solved.iterations;
+
+  const std::vector<double> x0(problem_->num_cols(), 0.0);
+  result.mse_before = modeling_mse(*problem_, x0);
+  result.mse_after = modeling_mse(*problem_, solved.x);
+  result.pass_ratio_before = pass_ratio(*problem_, x0).ratio();
+  result.pass_ratio_after = pass_ratio(*problem_, solved.x).ratio();
+
+  result.instance_weights = problem_->to_instance_weights(solved.x);
+  if (hold) {
+    timer.set_instance_weights_early(corner, result.instance_weights);
+  } else {
+    timer.set_instance_weights(corner, result.instance_weights);
+  }
+  timer.update_timing();
+
+  x_ = std::move(solved.x);
+  last_result_ = result;
+  timer.reset_eco_log();
+
+  result.total_seconds = total_watch.seconds();
+  MGBA_LOG_INFO(
+      "mGBA refit [%s]: %zu ECO instances -> cone %zu nodes, refreshed "
+      "%zu/%zu rows, mse %.4g -> %.4g, solve %.2fs",
+      timer.corner(corner).name.c_str(), stats_.eco_instances,
+      stats_.cone_nodes, stats_.rows_reevaluated, stats_.rows_total,
+      result.mse_before, result.mse_after, result.solve_seconds);
+  return result;
 }
 
 }  // namespace mgba

@@ -7,6 +7,7 @@
 /// push the resulting weighting factors back into the timing graph so
 /// every subsequent (incremental) timing query sees mGBA slacks.
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "aocv/derate_table.hpp"
 #include "mgba/problem.hpp"
 #include "mgba/solvers.hpp"
+#include "pba/path.hpp"
 #include "sta/timer.hpp"
 
 namespace mgba {
@@ -101,5 +103,91 @@ std::vector<MgbaFlowResult> run_mgba_flow_all_corners(
 /// counts.
 std::string fit_result_summary(const Timer& timer, const MgbaFlowResult& fit,
                                CheckKind check_kind);
+
+/// Counters of the incremental-refit machinery. The per-refit fields
+/// describe the LAST refit() call; the *_refits / cold_rebuilds totals
+/// accumulate over the session.
+struct RefitStats {
+  std::size_t rows_total = 0;        ///< rows in the cached problem
+  std::size_t rows_reevaluated = 0;  ///< rows golden-PBA re-evaluated
+  std::size_t eco_instances = 0;     ///< touched instances consumed
+  std::size_t cone_nodes = 0;        ///< nodes in the grown touched cone
+  std::size_t warm_refits = 0;       ///< refits served incrementally
+  std::size_t cold_rebuilds = 0;     ///< refits that fell back to fit()
+};
+
+/// Incremental mGBA refit session: makes repeated fits inside an ECO loop
+/// O(touched), not O(problem).
+///
+/// fit() runs the full Fig. 5 flow — identical to run_mgba_flow, including
+/// bit-identical results — and caches the enumerated paths, the built
+/// problem, the selected row set, and the solution, then arms the timer's
+/// ECO log. refit() consumes the log: it grows the touched cone from the
+/// logged instances (the incremental engine's own seeding rule), finds the
+/// cached rows whose path intersects the cone via a node->rows inverted
+/// index, golden-PBA re-evaluates ONLY those rows (refreshing their matrix
+/// values in place — the sparsity pattern of a path never changes), and
+/// re-solves warm-started from the previous solution with the Eq.-11
+/// sampling state reused. A poisoned log (graph rebuild, corner change,
+/// derate reload, clock touch) falls back to a cold fit() automatically.
+///
+/// Soundness of refreshing while the previous fit's weights stay applied:
+/// every refreshed quantity — base delays, derates, PBA slacks, endpoint
+/// required times, and the plain-GBA path arrival — is independent of the
+/// mGBA weights, so the refit never needs to clear and re-apply them (that
+/// would cost two extra full propagations per refit).
+class MgbaRefitSession {
+ public:
+  /// \p timer and \p table must outlive the session. \p table must be the
+  /// derate table of options.corner.
+  MgbaRefitSession(Timer& timer, const DerateTable& table,
+                   MgbaFlowOptions options = {});
+
+  /// Cold fit; leaves weights applied, caches the fit state, resets the
+  /// ECO log.
+  MgbaFlowResult fit();
+
+  /// Incremental refit of the cached fit against the ECOs logged since the
+  /// last fit()/refit(); cold fallback when there is no cached fit or the
+  /// log is poisoned. Leaves the refreshed weights applied.
+  MgbaFlowResult refit();
+
+  [[nodiscard]] bool has_fit() const { return has_fit_; }
+  [[nodiscard]] const RefitStats& stats() const { return stats_; }
+  [[nodiscard]] const MgbaFlowOptions& options() const { return options_; }
+
+ private:
+  void build_row_index();
+  /// Marks rows whose path intersects the forward cone of the logged
+  /// instances; fills stale_rows_. Returns the cone size.
+  std::size_t collect_stale_rows(std::span<const InstanceId> touched);
+
+  Timer* timer_;
+  const DerateTable* table_;
+  MgbaFlowOptions options_;
+  RefitStats stats_;
+  bool has_fit_ = false;
+
+  // Cached fit state.
+  std::vector<TimingPath> paths_;
+  std::unique_ptr<MgbaProblem> problem_;
+  std::vector<std::size_t> rows_;  ///< selected (fitted) row subset
+  std::vector<double> x_;          ///< previous solution (warm start)
+  MgbaFlowResult last_result_;
+  SolverScratch scratch_;
+
+  // node -> rows inverted index (CSR layout over graph nodes).
+  std::vector<std::size_t> node_row_ptr_;
+  std::vector<std::size_t> node_row_idx_;
+
+  // Cone/stale scratch, cleared per refit by revisiting the touched
+  // entries only.
+  std::vector<std::uint8_t> node_flag_;
+  std::vector<NodeId> cone_;
+  std::vector<NodeId> seed_scratch_;
+  std::vector<std::uint8_t> row_stale_;
+  std::vector<std::size_t> stale_rows_;
+  std::vector<PathTiming> fresh_timings_;
+};
 
 }  // namespace mgba

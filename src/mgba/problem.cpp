@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -9,15 +11,102 @@
 namespace mgba {
 
 namespace {
+
 /// Below this many rows the per-block partial buffers cost more than the
 /// sweep; the stochastic SCG batches typically land under it.
 constexpr std::size_t kParallelRowThreshold = 128;
+/// Fixed-partition parameters: a block per ~256 rows, at most 16 blocks.
+/// The block count is a pure function of the row count — never of the
+/// pool's thread count — which is what makes every reduction in this file
+/// bit-identical across thread counts.
+constexpr std::size_t kRowBlockGrain = 256;
+constexpr std::size_t kMaxRowBlocks = 16;
+
+std::size_t fixed_row_blocks(std::size_t m) {
+  const std::size_t by_grain = (m + kRowBlockGrain - 1) / kRowBlockGrain;
+  return std::clamp<std::size_t>(by_grain, 1, kMaxRowBlocks);
+}
+
+/// Workers that can actually run simultaneously: the pool size capped by
+/// the machine's core count. When the pool is oversubscribed past the
+/// hardware, dispatching these micro-scale sweeps buys no concurrency and
+/// pays wake/switch latency on every solver iteration — the blocks then
+/// run inline instead: same partials, same combine order, same result.
+std::size_t effective_workers() {
+  static const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::min(num_threads(), hw);
+}
+
+/// Partitions [0, m) into \p blocks near-equal contiguous ranges and calls
+/// fn(blk, begin, end) for each; ranges depend only on (m, blocks). Blocks
+/// are dispatched across the pool when that can help, inline otherwise —
+/// the arithmetic each block performs is the same either way.
+template <typename Fn>
+void for_each_fixed_block(std::size_t m, std::size_t blocks, Fn&& fn) {
+  const std::size_t base = m / blocks;
+  const std::size_t rem = m % blocks;
+  const auto range_of = [&](std::size_t blk) {
+    const std::size_t begin = blk * base + std::min(blk, rem);
+    return std::pair(begin, begin + base + (blk < rem ? 1 : 0));
+  };
+  if (blocks <= 1 || effective_workers() <= 1) {
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      const auto [b, e] = range_of(blk);
+      fn(blk, b, e);
+    }
+    return;
+  }
+  parallel_for(blocks, 1, [&](std::size_t bb, std::size_t be) {
+    for (std::size_t blk = bb; blk < be; ++blk) {
+      const auto [b, e] = range_of(blk);
+      fn(blk, b, e);
+    }
+  });
+}
+
+/// Assembles the (cols, values) arrays of one path's matrix row:
+/// a_ij = base delay * GBA derate of weighted gate j on the path, in the
+/// mode the check cares about. Shared by the builder and refresh_row so a
+/// refreshed row is computed by the letter-identical code path.
+void assemble_row(const Timer& timer, const TimingGraph& graph,
+                  const TimingPath& path, bool hold, CornerId corner,
+                  std::span<const std::int32_t> instance_column,
+                  std::vector<std::pair<std::size_t, double>>& entries,
+                  std::vector<std::size_t>& cols,
+                  std::vector<double>& values) {
+  const Mode mode = hold ? Mode::Early : Mode::Late;
+  entries.clear();
+  for (const ArcId a : path.arcs) {
+    if (!timer.is_weighted(a)) continue;
+    const InstanceId inst = graph.arc(a).inst;
+    const DeratePair derate = timer.instance_derate(inst, corner);
+    const double contribution = timer.arc_delay_base(a, mode, corner) *
+                                (hold ? derate.early : derate.late);
+    entries.emplace_back(static_cast<std::size_t>(instance_column[inst]),
+                         contribution);
+  }
+  std::sort(entries.begin(), entries.end());
+  cols.clear();
+  values.clear();
+  for (const auto& [col, val] : entries) {
+    // A path visits each instance at most once (simple path in a DAG),
+    // but merge defensively.
+    if (!cols.empty() && cols.back() == col) {
+      values.back() += val;
+    } else {
+      cols.push_back(col);
+      values.push_back(val);
+    }
+  }
+}
+
 }  // namespace
 
 MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
                          const std::vector<TimingPath>& paths, double epsilon,
                          CheckKind kind)
-    : kind_(kind) {
+    : kind_(kind), epsilon_(epsilon), corner_(evaluator.corner()) {
   const TimingGraph& graph = timer.graph();
   const bool hold = kind_ == CheckKind::Hold;
   design_instances_ = graph.design().num_instances();
@@ -36,8 +125,7 @@ MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
     }
   }
 
-  // Pass 2: rows. a_ij = base delay * GBA derate of gate j on path i, in
-  // the mode the check cares about.
+  // Pass 2: rows.
   matrix_ = CsrMatrix(column_instance_.size());
   std::size_t nnz_estimate = 0;
   for (const TimingPath& path : paths) nnz_estimate += path.arcs.size();
@@ -47,11 +135,7 @@ MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
   bound_.reserve(paths.size());
   s_pba_.reserve(paths.size());
   s_gba0_.reserve(paths.size());
-
-  const Mode mode = hold ? Mode::Early : Mode::Late;
-  // The whole system is built at the evaluator's corner: its delays define
-  // a_ij and its GBA/PBA slacks define b. Each corner fits independently.
-  const CornerId corner = evaluator.corner();
+  row_path_.reserve(paths.size());
 
   // Golden PBA re-evaluation is the expensive part of the build (per-path
   // derate/slew/CRPR recomputation) and is independent per path: sweep it
@@ -73,30 +157,10 @@ MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
     const PathTiming& pt = timings[p];
     if (pt.pba_slack_ps == kInfPs) continue;  // unconstrained hold endpoint
 
-    entries.clear();
-    for (const ArcId a : path.arcs) {
-      if (!timer.is_weighted(a)) continue;
-      const InstanceId inst = graph.arc(a).inst;
-      const DeratePair derate = timer.instance_derate(inst, corner);
-      const double contribution = timer.arc_delay_base(a, mode, corner) *
-                                  (hold ? derate.early : derate.late);
-      entries.emplace_back(
-          static_cast<std::size_t>(instance_column_[inst]), contribution);
-    }
-    std::sort(entries.begin(), entries.end());
-    cols.clear();
-    values.clear();
-    for (const auto& [col, val] : entries) {
-      // A path visits each instance at most once (simple path in a DAG),
-      // but merge defensively.
-      if (!cols.empty() && cols.back() == col) {
-        values.back() += val;
-      } else {
-        cols.push_back(col);
-        values.push_back(val);
-      }
-    }
+    assemble_row(timer, graph, path, hold, corner_, instance_column_, entries,
+                 cols, values);
     matrix_.append_row(cols, values);
+    row_path_.push_back(p);
 
     s_gba0_.push_back(pt.gba_slack_ps);
     s_pba_.push_back(pt.pba_slack_ps);
@@ -114,6 +178,36 @@ MgbaProblem::MgbaProblem(const Timer& timer, const PathEvaluator& evaluator,
 
   all_rows_.resize(matrix_.num_rows());
   for (std::size_t i = 0; i < all_rows_.size(); ++i) all_rows_[i] = i;
+}
+
+void MgbaProblem::refresh_row(std::size_t row, const Timer& timer,
+                              const TimingPath& path,
+                              const PathTiming& timing) {
+  MGBA_CHECK(row < num_rows());
+  // A constrained row cannot become unconstrained without a graph rebuild,
+  // which poisons the refit session before reaching here.
+  MGBA_CHECK(timing.pba_slack_ps != kInfPs);
+  const bool hold = kind_ == CheckKind::Hold;
+
+  std::vector<std::pair<std::size_t, double>> entries;
+  std::vector<std::size_t> cols;
+  std::vector<double> values;
+  assemble_row(timer, timer.graph(), path, hold, corner_, instance_column_,
+               entries, cols, values);
+  matrix_.set_row_values(row, values);  // checks the pattern size is intact
+
+  s_gba0_[row] = timing.gba_slack_ps;
+  s_pba_[row] = timing.pba_slack_ps;
+  const double tol = epsilon_ * std::abs(timing.pba_slack_ps);
+  if (hold) {
+    const double b = timing.pba_slack_ps - timing.gba_slack_ps;
+    b_[row] = b;
+    bound_[row] = b + tol;
+  } else {
+    const double b = timing.gba_slack_ps - timing.pba_slack_ps;
+    b_[row] = b;
+    bound_[row] = b - tol;
+  }
 }
 
 std::vector<double> MgbaProblem::to_instance_weights(
@@ -154,11 +248,11 @@ double MgbaProblem::objective_rows(std::span<const std::size_t> rows,
     return f;
   };
   if (rows.size() < kParallelRowThreshold) return sweep(0, rows.size());
-  std::vector<double> partial(reduction_blocks(rows.size()), 0.0);
-  parallel_blocks(rows.size(),
-                  [&](std::size_t blk, std::size_t begin, std::size_t end) {
-                    partial[blk] = sweep(begin, end);
-                  });
+  const std::size_t blocks = fixed_row_blocks(rows.size());
+  std::vector<double> partial(blocks, 0.0);
+  for_each_fixed_block(rows.size(), blocks,
+                       [&](std::size_t blk, std::size_t begin,
+                           std::size_t end) { partial[blk] = sweep(begin, end); });
   double f = 0.0;
   for (const double p : partial) f += p;
   return f;
@@ -176,30 +270,88 @@ void MgbaProblem::gradient_rows(std::span<const std::size_t> rows,
   MGBA_CHECK(g.size() == num_cols());
   const auto sweep = [&](std::size_t begin, std::size_t end,
                          std::span<double> out) {
+    CsrMatrix::SpanSink sink{out};
     for (std::size_t k = begin; k < end; ++k) {
       const std::size_t i = rows[k];
-      const double ax = matrix_.row_dot(i, x);
-      double coeff = 2.0 * (ax - b_[i]);
-      if (violates(i, ax)) coeff += 2.0 * penalty_weight * (ax - bound_[i]);
-      matrix_.add_scaled_row(i, coeff, out);
+      matrix_.row_dot_scatter(
+          i, x,
+          [&](double ax) {
+            double coeff = 2.0 * (ax - b_[i]);
+            if (violates(i, ax)) {
+              coeff += 2.0 * penalty_weight * (ax - bound_[i]);
+            }
+            return coeff;
+          },
+          sink);
     }
   };
   std::fill(g.begin(), g.end(), 0.0);
-  const std::size_t blocks = reduction_blocks(rows.size());
+  const std::size_t blocks = fixed_row_blocks(rows.size());
   if (rows.size() < kParallelRowThreshold || blocks <= 1 || g.empty()) {
     sweep(0, rows.size(), g);
     return;
   }
   std::vector<double> partial(blocks * g.size(), 0.0);
-  parallel_blocks(rows.size(),
-                  [&](std::size_t blk, std::size_t begin, std::size_t end) {
-                    sweep(begin, end,
-                          std::span<double>(partial).subspan(blk * g.size(),
-                                                             g.size()));
-                  });
+  for_each_fixed_block(
+      rows.size(), blocks,
+      [&](std::size_t blk, std::size_t begin, std::size_t end) {
+        sweep(begin, end,
+              std::span<double>(partial).subspan(blk * g.size(), g.size()));
+      });
   for (std::size_t blk = 0; blk < blocks; ++blk) {
     const double* p = partial.data() + blk * g.size();
     for (std::size_t j = 0; j < g.size(); ++j) g[j] += p[j];
+  }
+}
+
+void MgbaProblem::gradient_rows_sparse(
+    std::span<const std::size_t> rows, std::span<const double> x,
+    double penalty_weight, SparseAccumulator& g,
+    std::vector<SparseAccumulator>& block_scratch) const {
+  if (g.size() != num_cols()) {
+    g.resize(num_cols());
+  } else {
+    g.clear();
+  }
+  const auto sweep = [&](std::size_t begin, std::size_t end,
+                         SparseAccumulator& out) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = rows[k];
+      matrix_.row_dot_scatter(
+          i, x,
+          [&](double ax) {
+            double coeff = 2.0 * (ax - b_[i]);
+            if (violates(i, ax)) {
+              coeff += 2.0 * penalty_weight * (ax - bound_[i]);
+            }
+            return coeff;
+          },
+          out);
+    }
+  };
+  const std::size_t blocks = fixed_row_blocks(rows.size());
+  if (rows.size() < kParallelRowThreshold || blocks <= 1 ||
+      num_cols() == 0) {
+    sweep(0, rows.size(), g);
+    return;
+  }
+  if (block_scratch.size() < blocks) block_scratch.resize(blocks);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    if (block_scratch[blk].size() != num_cols()) {
+      block_scratch[blk].resize(num_cols());
+    } else {
+      block_scratch[blk].clear();
+    }
+  }
+  for_each_fixed_block(rows.size(), blocks,
+                       [&](std::size_t blk, std::size_t begin,
+                           std::size_t end) { sweep(begin, end,
+                                                    block_scratch[blk]); });
+  // Combine in block order, ascending columns within a block — the exact
+  // order the dense path adds its partial buffers (its untouched entries
+  // contribute exact +0.0 terms, which are additive identities).
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    block_scratch[blk].for_each([&](std::size_t j, double v) { g.add(j, v); });
   }
 }
 

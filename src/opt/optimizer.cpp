@@ -24,6 +24,47 @@ TimingCloser::TimingCloser(Design& design, Timer& timer,
 void TimingCloser::set_corner_setups(std::vector<CornerSetup> setups) {
   MGBA_CHECK(setups.size() == timer_->num_corners());
   corner_setups_ = std::move(setups);
+  // Sessions hold pointers into the previous setups' derate tables.
+  mgba_sessions_.clear();
+}
+
+std::vector<RefitStats> TimingCloser::mgba_refit_stats() const {
+  std::vector<RefitStats> stats;
+  stats.reserve(mgba_sessions_.size());
+  for (const MgbaRefitSession& s : mgba_sessions_) stats.push_back(s.stats());
+  return stats;
+}
+
+void TimingCloser::refresh_mgba(OptimizerReport& report) {
+  const Stopwatch mgba_watch;
+  if (!options_.mgba_incremental_refit) {
+    if (corner_setups_.empty()) {
+      run_mgba_flow(*timer_, *table_, options_.mgba_options);
+    } else {
+      run_mgba_flow_all_corners(*timer_, corner_setups_,
+                                options_.mgba_options);
+    }
+    report.mgba_seconds += mgba_watch.seconds();
+    return;
+  }
+  if (mgba_sessions_.empty()) {
+    if (corner_setups_.empty()) {
+      mgba_sessions_.emplace_back(*timer_, *table_, options_.mgba_options);
+    } else {
+      mgba_sessions_.reserve(corner_setups_.size());
+      for (std::size_t c = 0; c < corner_setups_.size(); ++c) {
+        MgbaFlowOptions per_corner = options_.mgba_options;
+        per_corner.corner = static_cast<CornerId>(c);
+        mgba_sessions_.emplace_back(*timer_, corner_setups_[c].table,
+                                    per_corner);
+      }
+    }
+  }
+  // refit() serves the steady state O(touched); the first call of a run
+  // (derate refresh poisons the log) and any pass after a graph rebuild
+  // fall back to a cold fit automatically.
+  for (MgbaRefitSession& session : mgba_sessions_) session.refit();
+  report.mgba_seconds += mgba_watch.seconds();
 }
 
 double TimingCloser::current_tns() {
@@ -343,14 +384,7 @@ OptimizerReport TimingCloser::run() {
     report.passes = pass + 1;
 
     if (options_.use_mgba && pass % options_.mgba_refresh_passes == 0) {
-      const Stopwatch mgba_watch;
-      if (corner_setups_.empty()) {
-        run_mgba_flow(*timer_, *table_, options_.mgba_options);
-      } else {
-        run_mgba_flow_all_corners(*timer_, corner_setups_,
-                                  options_.mgba_options);
-      }
-      report.mgba_seconds += mgba_watch.seconds();
+      refresh_mgba(report);
     }
     timer_->update_timing();
     if (timer_->num_violations_merged(Mode::Late) <=

@@ -70,6 +70,14 @@ struct OptimizerOptions {
   bool use_mgba = false;
   std::size_t mgba_refresh_passes = 4;
   MgbaFlowOptions mgba_options;
+  /// Serve mGBA refreshes after the first from an MgbaRefitSession: only
+  /// rows whose path intersects the cone of the instances the closure loop
+  /// actually touched are golden-PBA re-measured, and the solve warm-starts
+  /// from the previous weights. Structural edits (buffer insertion rebuilds
+  /// the graph) automatically fall back to a cold fit. Off = every refresh
+  /// is a from-scratch run_mgba_flow (the pre-refit behavior, kept for the
+  /// ablation bench).
+  bool mgba_incremental_refit = true;
 
   /// Inserted buffers are named "<prefix>_<k>" with k counting from
   /// buffer_name_start. A driver that runs several closure invocations on
@@ -120,7 +128,13 @@ class TimingCloser {
   /// Runs the closure loop and (optionally) area recovery.
   OptimizerReport run();
 
+  /// Refit-session counters of the embedded mGBA (empty when use_mgba is
+  /// off or mgba_incremental_refit is disabled; one entry per corner in
+  /// MCMM mode). Valid after run().
+  [[nodiscard]] std::vector<RefitStats> mgba_refit_stats() const;
+
  private:
+  void refresh_mgba(OptimizerReport& report);
   bool is_sizable(InstanceId inst) const;
   /// Area-sorted footprint family of a library cell, memoized per cell id.
   /// The library is immutable for the closer's lifetime, so the lazy scan
@@ -140,6 +154,11 @@ class TimingCloser {
   /// Empty = single-corner legacy mode (derates and mGBA from *table_).
   std::vector<CornerSetup> corner_setups_;
   TransformListener* listener_ = nullptr;
+  /// Embedded-mGBA refit sessions, created lazily on the first refresh of
+  /// run() and kept across passes (and across run() invocations — cold
+  /// falls back automatically whenever the timer's ECO log was poisoned in
+  /// between). One session in single-corner mode, one per corner in MCMM.
+  std::vector<MgbaRefitSession> mgba_sessions_;
   std::size_t buffer_counter_ = 0;
   /// family_of() memo, indexed by cell id (empty slot = not yet computed;
   /// every real family contains at least the cell itself).

@@ -19,6 +19,23 @@ double PathEvaluator::gba_path_hold_slack(const TimingPath& path) const {
          timer_->required(path.endpoint(), Mode::Early, corner_);
 }
 
+double PathEvaluator::plain_gba_arrival(const TimingPath& path,
+                                        Mode mode) const {
+  const Timer& timer = *timer_;
+  const TimingGraph& graph = timer.graph();
+  double arrival = timer.arrival(path.nodes.front(), mode, corner_);
+  for (const ArcId a : path.arcs) {
+    const TimingArc& arc = graph.arc(a);
+    double factor = 1.0;
+    if (arc.kind == TimingArc::Kind::Cell) {
+      const DeratePair derate = timer.instance_derate(arc.inst, corner_);
+      factor = mode == Mode::Early ? derate.early : derate.late;
+    }
+    arrival += timer.arc_delay_base(a, mode, corner_) * factor;
+  }
+  return arrival;
+}
+
 PathTiming PathEvaluator::evaluate(const TimingPath& path) const {
   const Timer& timer = *timer_;
   const TimingGraph& graph = timer.graph();

@@ -66,6 +66,17 @@ class PathEvaluator {
   /// Hold slack of the path under current effective early delays.
   [[nodiscard]] double gba_path_hold_slack(const TimingPath& path) const;
 
+  /// Plain-GBA (weight-free) arrival of the path in \p mode under the
+  /// timer's CURRENT base delays and derates: arrival(front) plus
+  /// base x derate summed over the arcs. Right after enumeration with
+  /// weights cleared this equals the recorded path.gba_arrival_ps; after a
+  /// value-only ECO it re-derives that number WITHOUT toggling the timer's
+  /// weight state — launch arrivals, slews, and base delays are all
+  /// weight-independent, so the refit session can refresh s_gba(0) while
+  /// the previous fit's weights stay applied.
+  [[nodiscard]] double plain_gba_arrival(const TimingPath& path,
+                                         Mode mode) const;
+
  private:
   const Timer* timer_;
   const DerateTable* table_;

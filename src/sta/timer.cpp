@@ -82,6 +82,7 @@ void Timer::set_corners(std::vector<AnalysisCorner> corners) {
   allocate_storage();
   dirty_full_ = true;
   dirty_instances_.clear();
+  eco_poisoned_ = true;  // per-corner golden slacks all moved
   // Resizing the arena invalidates both journal indices and structural
   // snapshots; no checkpoint survives a corner-set change.
   if (trial_) trial_->broken = true;
@@ -97,6 +98,7 @@ std::optional<CornerId> Timer::find_corner(std::string_view name) const {
 void Timer::set_instance_derates(std::vector<DeratePair> derates) {
   for (auto& per_corner : derates_) per_corner = derates;
   dirty_full_ = true;
+  eco_poisoned_ = true;  // every matrix entry a_ij = d_j * lambda_j moved
   // The coming full update rewrites every slot — more than a value journal
   // covers. Structural snapshots hold their own derate copy, so they keep.
   break_value_trial();
@@ -107,6 +109,7 @@ void Timer::set_corner_derates(CornerId corner,
   MGBA_CHECK(corner < derates_.size());
   derates_[corner] = std::move(derates);
   dirty_full_ = true;
+  eco_poisoned_ = true;
   break_value_trial();
 }
 
@@ -149,6 +152,7 @@ void Timer::invalidate_instance(InstanceId inst) {
   for (const ArcId a : instance_arcs_[inst]) {
     if (graph_->node(graph_->arc(a).to).is_clock_network) {
       dirty_full_ = true;
+      eco_poisoned_ = true;  // clock arrivals move: every row is stale
       return;
     }
   }
@@ -162,6 +166,7 @@ void Timer::invalidate_instance(InstanceId inst) {
       const NodeId drv = graph_->node_of_pin(net.driver->id, net.driver->pin);
       if (drv != kInvalidNode && graph_->node(drv).is_clock_network) {
         dirty_full_ = true;
+        eco_poisoned_ = true;
         return;
       }
     }
@@ -174,12 +179,33 @@ void Timer::invalidate_instance(InstanceId inst) {
       dirty_instances_.end()) {
     dirty_instances_.push_back(inst);
   }
+
+  // The ECO log outlives update_timing(), so it dedups with a flag array
+  // instead of the dirty list's linear scan.
+  if (!eco_poisoned_) {
+    if (eco_touched_flag_.size() < design_->num_instances()) {
+      eco_touched_flag_.resize(design_->num_instances(), 0);
+    }
+    if (!eco_touched_flag_[inst]) {
+      eco_touched_flag_[inst] = 1;
+      eco_touched_.push_back(inst);
+    }
+  }
+}
+
+void Timer::reset_eco_log() {
+  for (const InstanceId inst : eco_touched_) eco_touched_flag_[inst] = 0;
+  eco_touched_.clear();
+  eco_touched_flag_.resize(design_->num_instances(), 0);
+  eco_poisoned_ = false;
 }
 
 void Timer::rebuild_graph() {
   // Node/arc ids change wholesale; a value journal indexed by the old ids
   // cannot restore the new arena. Structural snapshots are exactly the
-  // checkpoint kind built for this and stay valid.
+  // checkpoint kind built for this and stay valid. The ECO log speaks in
+  // the old ids too — poison it.
+  eco_poisoned_ = true;
   break_value_trial();
   graph_.emplace(*design_, constraints_.clock_port);
   allocate_storage();
@@ -367,7 +393,14 @@ bool Timer::recompute_node(NodeId node, CornerId corner, CacheTally& tally) {
         eff *= std::max(kMinWeightFactor, 1.0 + weights_early[arc.inst]);
       }
       data_.arc_delay_base[arc_base + a] = timing.delay_ps;
-      if (data_.arc_delay[arc_base + a] != eff) arc_changed_scratch_[a] = 1;
+      if (data_.arc_delay[arc_base + a] != eff) {
+        // The flag is per arc, not per (corner, arc): in a multi-corner
+        // full sweep two corners recomputing the same node both store 1
+        // here. Relaxed atomic keeps the same-value stores race-free; the
+        // consumers read serially after the pool joins.
+        std::atomic_ref<std::uint8_t>(arc_changed_scratch_[a])
+            .store(1, std::memory_order_relaxed);
+      }
       data_.arc_delay[arc_base + a] = eff;
       const double cand = data_.arrival[node_base + arc.from] + eff;
       if (late) {
@@ -475,15 +508,20 @@ void Timer::full_forward() {
 }
 
 void Timer::collect_seeds() {
+  seed_scratch_.clear();
+  seed_nodes_for(dirty_instances_, seed_scratch_);
+}
+
+void Timer::seed_nodes_for(std::span<const InstanceId> instances,
+                           std::vector<NodeId>& out) const {
   // Seed the frontier: every pin node of each dirty instance, plus the
   // output node of each driver feeding it (that driver's load changed, so
   // its cell-arc delay and output slew must be re-evaluated), plus the
   // sibling sinks of those nets (their input slew may change).
-  seed_scratch_.clear();
   const auto add_seed = [&](NodeId n) {
-    if (n != kInvalidNode) seed_scratch_.push_back(n);
+    if (n != kInvalidNode) out.push_back(n);
   };
-  for (const InstanceId inst_id : dirty_instances_) {
+  for (const InstanceId inst_id : instances) {
     const Instance& inst = design_->instance(inst_id);
     const LibCell& cell = design_->library().cell(inst.cell);
     for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {

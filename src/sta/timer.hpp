@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -133,6 +134,38 @@ class Timer {
   /// Rebuilds the timing graph from the (mutated) design. Use after
   /// structural edits such as buffer insertion. The corner set survives.
   void rebuild_graph();
+
+  // --- ECO log (incremental mGBA refit) ------------------------------------
+
+  /// Instances touched by value-only ECOs since the last reset_eco_log().
+  /// Unlike the engine's internal dirty list — which update_timing()
+  /// consumes — this log ACCUMULATES across updates, so a consumer can
+  /// batch many ECOs and refresh once. The mGBA refit session keys its
+  /// row invalidation on it. Weight applications (set_instance_weights*)
+  /// are fit *outputs*, not ECOs, and are deliberately not logged.
+  [[nodiscard]] std::span<const InstanceId> eco_touched() const {
+    return eco_touched_;
+  }
+
+  /// True when something the log cannot describe happened since the last
+  /// reset: a graph rebuild, a corner-set change, a derate reload, or a
+  /// touch escalating into the clock network. A poisoned log means
+  /// incremental refit is unsound; the consumer must rebuild cold.
+  [[nodiscard]] bool eco_poisoned() const { return eco_poisoned_; }
+
+  /// Clears the log (O(touched)) and re-arms it against the current
+  /// design/graph shape.
+  void reset_eco_log();
+
+  /// Frontier seed nodes a value-only change to \p instances would
+  /// re-propagate from — the exact rule the incremental engine applies to
+  /// its own dirty list: every pin node of each instance, the output node
+  /// of each driver feeding it (its load changed), and the sibling sinks
+  /// of those nets (their input slew may change). Appends to \p out
+  /// (duplicates possible; callers dedup). The refit session grows its
+  /// touched cone from these.
+  void seed_nodes_for(std::span<const InstanceId> instances,
+                      std::vector<NodeId>& out) const;
 
   /// Brings all timing quantities up to date (incremental when possible).
   void update_timing();
@@ -396,6 +429,11 @@ class Timer {
   bool incremental_enabled_ = true;
   bool fastpath_enabled_ = true;
   std::vector<InstanceId> dirty_instances_;
+  /// ECO log (see eco_touched): accumulating touched-instance list with a
+  /// per-instance dedup flag, plus the poison bit.
+  std::vector<InstanceId> eco_touched_;
+  std::vector<std::uint8_t> eco_touched_flag_;
+  bool eco_poisoned_ = false;
   std::size_t full_updates_ = 0;
   std::size_t incremental_updates_ = 0;
 
