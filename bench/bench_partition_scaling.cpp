@@ -1,0 +1,453 @@
+/// Partition scaling bench: the headline claim of the hierarchical
+/// partitioned-timing work, measured on a >=1M-instance generated design.
+///
+///   1. Full weight update, localized: weights change on the first N/8
+///      instances only. The flat engine pays a whole-design re-propagation
+///      per application; the partitioned engine diffs the weight vector,
+///      marks only the regions that own changed instances, and re-sweeps
+///      those to a boundary fix point. This phase carries the acceptance
+///      criterion: 4 regions >= 2x faster than flat.
+///   2. Full weight update, global: every instance's weight changes, so
+///      every region sweeps — measures the worst-case convergence-loop
+///      overhead over the flat sweep (expected ~1x, reported honestly).
+///   3. ECO update: a batch of gate resizes through the PR-4 incremental
+///      path, which is already O(touched) in both modes — recorded so the
+///      JSON shows partitioning does not tax it.
+///   4. Refit (reduced size): MgbaRefitSession warm refit with a 4-region
+///      timer vs. a flat twin, bit-compared, with the per-region row-block
+///      stats (partitions_touched / boundary_rows / rows provably fresh).
+///
+/// Every phase ends in the same canonical design + weight state, and the
+/// full timing arena (arrival/slew/required per corner x mode x node, plus
+/// endpoint slacks) is compared bitwise against the flat reference; any
+/// divergence prints the offending configuration and the binary exits
+/// nonzero. Emits BENCH_partition_scaling.json. `--smoke` runs a
+/// seconds-scale version (CRPR on, for extra divergence surface) with the
+/// same exit contract — wired into ctest.
+///
+/// Scale note: this host is single-core, so the speedup here is sweep
+/// *confinement* (fewer nodes recomputed), not parallelism; the wave
+/// schedule's parallel_for degenerates to the inline serial path. See
+/// DESIGN.md section 13.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mgba/framework.hpp"
+#include "sta/partition.hpp"
+#include "util/rng.hpp"
+
+namespace mgba::bench {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool same_bits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// Deterministic pseudo-random weight vector, nonzero only on
+/// [first, first + count) — the partitioned engine's weight diff sees
+/// exactly that id range as changed.
+std::vector<double> make_weights(std::size_t num_instances, std::size_t first,
+                                 std::size_t count, std::uint64_t seed) {
+  std::vector<double> w(num_instances, 0.0);
+  Rng rng(seed);
+  const std::size_t end = std::min(num_instances, first + count);
+  for (std::size_t i = first; i < end; ++i) w[i] = rng.uniform(-0.15, 0.25);
+  return w;
+}
+
+std::optional<std::size_t> sizable_sibling(const Library& library,
+                                           const Design& design,
+                                           InstanceId inst) {
+  const LibCell& cell = design.cell_of(inst);
+  if (cell.kind == CellKind::FlipFlop) return std::nullopt;
+  for (std::size_t j = 0; j < library.num_cells(); ++j) {
+    const LibCell& c = library.cell(j);
+    if (c.footprint == cell.footprint && c.name != cell.name) return j;
+  }
+  return std::nullopt;
+}
+
+/// One reversible resize: toggling inst between base_cell and alt_cell
+/// returns the design to its starting state, so every timer configuration
+/// measures the ECO phase against an identical netlist.
+struct EcoStep {
+  InstanceId inst = 0;
+  std::size_t base_cell = 0;
+  std::size_t alt_cell = 0;
+};
+
+/// Plans \p count deterministic non-clock gate resizes against the
+/// *pristine* design. The plan depends only on (library, design, graph),
+/// all identical across configurations, so every timer replays the same
+/// ECO. Clock-tree buffers are excluded: resizing one poisons the ECO log
+/// (clock-network invalidation), the same exclusion the optimizer applies.
+std::vector<EcoStep> plan_eco(const Library& library, const Design& design,
+                              const Timer& timer, std::size_t count,
+                              std::uint64_t seed) {
+  std::vector<EcoStep> plan;
+  std::vector<std::uint8_t> used(design.num_instances(), 0);
+  Rng rng(seed);
+  while (plan.size() < count) {
+    const auto inst =
+        static_cast<InstanceId>(rng.uniform_index(design.num_instances()));
+    if (used[inst]) continue;
+    const auto sibling = sizable_sibling(library, design, inst);
+    if (!sibling.has_value()) continue;
+    if (design.instance(inst).cell == *sibling) continue;
+    const LibCell& cell = design.cell_of(inst);
+    const NodeId out = timer.graph().node_of_pin(
+        inst, static_cast<std::uint32_t>(cell.output_pin()));
+    if (out == kInvalidNode || timer.graph().node(out).is_clock_network) {
+      continue;
+    }
+    used[inst] = 1;
+    plan.push_back({inst, design.instance(inst).cell, *sibling});
+  }
+  return plan;
+}
+
+/// Full timing arena in a fixed order; two timers agree on this vector iff
+/// they agree bit-for-bit on the whole timing state.
+std::vector<double> snapshot_values(const Timer& timer) {
+  std::vector<double> values;
+  const TimingGraph& graph = timer.graph();
+  values.reserve(timer.num_corners() * 2 *
+                 (graph.num_nodes() * 3 + graph.endpoints().size()));
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    for (const Mode mode : {Mode::Early, Mode::Late}) {
+      for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+        values.push_back(timer.arrival(n, mode, c));
+        values.push_back(timer.slew(n, mode, c));
+        values.push_back(timer.required(n, mode, c));
+      }
+      for (const NodeId e : graph.endpoints()) {
+        values.push_back(timer.slack(e, mode, c));
+      }
+    }
+  }
+  return values;
+}
+
+struct ConfigResult {
+  std::size_t partitions = 0;  ///< 0 = flat (no Partitioning installed)
+  double initial_ms = 0.0;
+  double localized_ms = 0.0;
+  double global_ms = 0.0;
+  double eco_ms = 0.0;
+  Timer::UpdateStats stats;
+  Timer::MemoryStats memory;
+  bool identical = true;
+};
+
+/// Runs one timer configuration through the three update phases and the
+/// canonical final state. The design is mutated only by the reversible ECO
+/// toggles, so it is bit-identical to its starting state on return.
+ConfigResult run_config(BenchStack& stack, std::size_t partitions, int reps,
+                        std::size_t eco_size,
+                        const std::vector<std::vector<double>>& localized,
+                        const std::vector<std::vector<double>>& global,
+                        std::vector<double>& reference) {
+  ConfigResult r;
+  r.partitions = partitions;
+
+  Timer timer(stack.design(), stack.constraints);
+  timer.set_instance_derates(compute_gba_derates(timer.graph(), stack.table));
+  double t0 = now_ms();
+  timer.update_timing();
+  r.initial_ms = now_ms() - t0;
+
+  if (partitions > 0) {
+    PartitionOptions popt;
+    popt.num_partitions = partitions;
+    popt.seed = 13;
+    timer.set_partitioning(popt);
+    std::printf("%s\n", timer.partitioning()->stats().to_string().c_str());
+  }
+
+  const auto sample = [&](double& best, const std::vector<double>& w) {
+    const double s0 = now_ms();
+    timer.set_instance_weights(w);
+    timer.update_timing();
+    const double ms = now_ms() - s0;
+    best = best == 0.0 ? ms : std::min(best, ms);
+  };
+
+  // Phases 1+2: alternating weight vectors so every application does real
+  // work (re-applying identical weights would be a no-op diff for the
+  // partitioned engine but still a full sweep for the flat one).
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const auto& w : localized) sample(r.localized_ms, w);
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const auto& w : global) sample(r.global_ms, w);
+  }
+
+  // Phase 3: reversible resize batch through the incremental path. Both
+  // toggle directions are timed; the design ends where it started.
+  const std::vector<EcoStep> eco =
+      plan_eco(stack.library, stack.design(), timer, eco_size, 1234);
+  const auto toggle = [&](bool forward) {
+    const double s0 = now_ms();
+    for (const EcoStep& step : eco) {
+      stack.design().resize_instance(step.inst,
+                                     forward ? step.alt_cell : step.base_cell);
+      timer.invalidate_instance(step.inst);
+    }
+    timer.update_timing();
+    const double ms = now_ms() - s0;
+    r.eco_ms = r.eco_ms == 0.0 ? ms : std::min(r.eco_ms, ms);
+  };
+  for (int rep = 0; rep < reps; ++rep) {
+    toggle(true);
+    toggle(false);
+  }
+
+  // Canonical final state: same last weight vector for every configuration,
+  // then the whole-arena bitwise comparison.
+  timer.set_instance_weights(global.front());
+  timer.update_timing();
+  const std::vector<double> snap = snapshot_values(timer);
+  if (reference.empty()) {
+    reference = snap;
+  } else if (!same_bits(snap, reference)) {
+    r.identical = false;
+    std::printf("ERROR: %zu-region timing state diverged from flat\n",
+                partitions);
+  }
+
+  r.stats = timer.update_stats();
+  r.memory = timer.memory_stats();
+  std::printf(
+      "%-6s  init %8.0f ms  localized %8.1f ms  global %8.1f ms  "
+      "eco %7.1f ms  sweeps %zu  rounds %zu  fallbacks %zu\n",
+      partitions == 0 ? "flat" : ("P=" + std::to_string(partitions)).c_str(),
+      r.initial_ms, r.localized_ms, r.global_ms, r.eco_ms,
+      r.stats.partition_sweeps, r.stats.boundary_rounds,
+      r.stats.partition_fallbacks);
+  return r;
+}
+
+struct RefitResult {
+  double fit_ms = 0.0;
+  double refit_ms = 0.0;
+  RefitStats stats;
+  bool identical = true;
+  std::size_t instances = 0;
+};
+
+/// Reduced-size refit comparison: a 4-region session and a flat session on
+/// twin designs replay the same ECO; the refreshed weight vectors must be
+/// bit-identical, and the partitioned session reports its row-block stats.
+RefitResult run_refit(std::size_t target_instances, bool smoke) {
+  GeneratorOptions gen = scaled_design_options(target_instances, 11);
+  gen.name = "partition_refit";
+
+  MgbaFlowOptions flow;
+  flow.paths_per_endpoint = 4;
+  flow.candidate_paths_per_endpoint = 4;
+  flow.solver = MgbaSolverKind::Scg;
+  flow.solver_options.max_iterations = smoke ? 200 : 500;
+  flow.solver_options.row_fraction = 0.002;
+
+  const auto build = [&](std::size_t partitions) {
+    auto stack = std::make_unique<BenchStack>(gen);
+    stack->constraints.clock_port = stack->generated.clock_port;
+    stack->constraints.clock_period_ps = smoke ? 1800.0 : 2500.0;
+    stack->timer =
+        std::make_unique<Timer>(stack->generated.design, stack->constraints);
+    stack->timer->set_instance_derates(
+        compute_gba_derates(stack->timer->graph(), stack->table));
+    stack->timer->update_timing();
+    if (partitions > 0) {
+      PartitionOptions popt;
+      popt.num_partitions = partitions;
+      popt.seed = 13;
+      stack->timer->set_partitioning(popt);
+    }
+    return stack;
+  };
+
+  auto part_stack = build(4);
+  auto flat_stack = build(0);
+  RefitResult r;
+  r.instances = part_stack->design().num_instances();
+
+  MgbaRefitSession part_session(*part_stack->timer, part_stack->table, flow);
+  MgbaRefitSession flat_session(*flat_stack->timer, flat_stack->table, flow);
+
+  double t0 = now_ms();
+  const MgbaFlowResult part_fit = part_session.fit();
+  r.fit_ms = now_ms() - t0;
+  const MgbaFlowResult flat_fit = flat_session.fit();
+  if (!same_bits(part_fit.instance_weights, flat_fit.instance_weights)) {
+    r.identical = false;
+    std::printf("ERROR: 4-region fit weights diverged from flat\n");
+  }
+
+  // The same deterministic ECO on both twins (plans are identical because
+  // the pristine designs and graphs are).
+  const std::size_t eco_size = smoke ? 2 : 5;
+  const std::vector<EcoStep> eco = plan_eco(
+      part_stack->library, part_stack->design(), *part_stack->timer, eco_size,
+      4321);
+  for (const EcoStep& step : eco) {
+    part_stack->design().resize_instance(step.inst, step.alt_cell);
+    part_stack->timer->invalidate_instance(step.inst);
+    flat_stack->design().resize_instance(step.inst, step.alt_cell);
+    flat_stack->timer->invalidate_instance(step.inst);
+  }
+
+  t0 = now_ms();
+  const MgbaFlowResult part_refit = part_session.refit();
+  r.refit_ms = now_ms() - t0;
+  const MgbaFlowResult flat_refit = flat_session.refit();
+  if (!same_bits(part_refit.instance_weights, flat_refit.instance_weights)) {
+    r.identical = false;
+    std::printf("ERROR: 4-region refit weights diverged from flat\n");
+  }
+  r.stats = part_session.stats();
+  std::printf(
+      "refit (%zu insts, 4 regions): fit %.1f ms, warm refit %.1f ms, "
+      "%zu/%zu rows re-evaluated, %zu regions touched, %zu boundary rows, "
+      "%zu rows provably fresh\n",
+      r.instances, r.fit_ms, r.refit_ms, r.stats.rows_reevaluated,
+      r.stats.rows_total, r.stats.partitions_touched, r.stats.boundary_rows,
+      r.stats.partition_rows_skipped);
+  return r;
+}
+
+int run(bool smoke) {
+  const std::size_t target = smoke ? 24'000 : 1'050'000;
+  GeneratorOptions gen = scaled_design_options(target, 7);
+  gen.name = smoke ? "partition_scaling_smoke" : "partition_scaling";
+
+  BenchStack stack(gen);
+  stack.constraints.clock_port = stack.generated.clock_port;
+  stack.constraints.clock_period_ps = smoke ? 2500.0 : 4000.0;
+  // At 1M+ instances the CRPR launch-set index alone would dominate the
+  // footprint; the smoke build keeps CRPR on for extra divergence surface
+  // (the partitioned mode skips credit recomputation by invariance).
+  stack.constraints.enable_crpr = smoke;
+
+  const std::size_t instances = stack.design().num_instances();
+  std::printf("design %s: %zu instances, clock %.0f ps, crpr %s\n",
+              gen.name.c_str(), instances, stack.constraints.clock_period_ps,
+              stack.constraints.enable_crpr ? "on" : "off");
+
+  // Localized phase touches the first N/8 instance ids — in region terms,
+  // a strict subset of the decomposition at every P in the sweep.
+  const std::vector<std::vector<double>> localized = {
+      make_weights(instances, 0, instances / 8, 101),
+      make_weights(instances, 0, instances / 8, 202)};
+  const std::vector<std::vector<double>> global = {
+      make_weights(instances, 0, instances, 303),
+      make_weights(instances, 0, instances, 404)};
+
+  const int reps = smoke ? 1 : 3;  // best-of-3 against host noise
+  const std::size_t eco_size = smoke ? 8 : 32;
+  const auto sweep = smoke ? std::vector<std::size_t>{0, 1, 4}
+                           : std::vector<std::size_t>{0, 1, 2, 4, 8};
+
+  std::vector<double> reference;
+  std::vector<ConfigResult> results;
+  for (const std::size_t partitions : sweep) {
+    results.push_back(run_config(stack, partitions, reps, eco_size, localized,
+                                 global, reference));
+  }
+  bool identical = true;
+  for (const ConfigResult& r : results) identical = identical && r.identical;
+
+  const ConfigResult& flat = results.front();
+  std::printf("%s\n", flat.memory.to_string().c_str());
+  double speedup_p4 = 0.0;
+  for (const ConfigResult& r : results) {
+    if (r.partitions == 4) speedup_p4 = flat.localized_ms / r.localized_ms;
+  }
+  std::printf("localized speedup at 4 regions: %.2fx (acceptance: >= 2x)\n",
+              speedup_p4);
+
+  const RefitResult refit = run_refit(smoke ? 3'000 : 40'000, smoke);
+  identical = identical && refit.identical;
+
+  if (smoke) {
+    std::printf(identical
+                    ? "smoke OK: flat/1/4-region states bit-identical\n"
+                    : "smoke FAILED\n");
+    return identical ? 0 : 1;
+  }
+
+  std::FILE* out = std::fopen("BENCH_partition_scaling.json", "w");
+  if (out == nullptr) {
+    std::printf("ERROR: cannot open BENCH_partition_scaling.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"design\": {\"name\": \"%s\", \"instances\": %zu, "
+               "\"clock_period_ps\": %.1f, \"crpr\": %s},\n",
+               gen.name.c_str(), instances, stack.constraints.clock_period_ps,
+               stack.constraints.enable_crpr ? "true" : "false");
+  std::fprintf(out, "  \"reps_best_of\": %d,\n", reps);
+  std::fprintf(out, "  \"localized_weight_instances\": %zu,\n", instances / 8);
+  std::fprintf(out, "  \"eco_resizes\": %zu,\n", eco_size);
+  std::fprintf(out, "  \"bit_identical_all_configs\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(out, "  \"localized_speedup_at_4\": %.3f,\n", speedup_p4);
+  std::fprintf(out, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"partitions\": %zu, \"initial_update_ms\": %.1f, "
+        "\"localized_update_ms\": %.2f, \"global_update_ms\": %.2f, "
+        "\"eco_update_ms\": %.2f, \"localized_speedup\": %.3f, "
+        "\"global_speedup\": %.3f, \"partition_sweeps\": %zu, "
+        "\"boundary_rounds\": %zu, \"partition_fallbacks\": %zu, "
+        "\"partition_bytes\": %zu, \"total_bytes\": %zu}%s\n",
+        r.partitions, r.initial_ms, r.localized_ms, r.global_ms, r.eco_ms,
+        flat.localized_ms / r.localized_ms, flat.global_ms / r.global_ms,
+        r.stats.partition_sweeps, r.stats.boundary_rounds,
+        r.stats.partition_fallbacks, r.memory.partition_bytes,
+        r.memory.total_bytes(), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"refit\": {\n");
+  std::fprintf(out, "    \"instances\": %zu,\n", refit.instances);
+  std::fprintf(out, "    \"partitions\": 4,\n");
+  std::fprintf(out, "    \"cold_fit_ms\": %.2f,\n", refit.fit_ms);
+  std::fprintf(out, "    \"warm_refit_ms\": %.2f,\n", refit.refit_ms);
+  std::fprintf(out, "    \"rows_total\": %zu,\n", refit.stats.rows_total);
+  std::fprintf(out, "    \"rows_reevaluated\": %zu,\n",
+               refit.stats.rows_reevaluated);
+  std::fprintf(out, "    \"partitions_touched\": %zu,\n",
+               refit.stats.partitions_touched);
+  std::fprintf(out, "    \"boundary_rows\": %zu,\n", refit.stats.boundary_rows);
+  std::fprintf(out, "    \"partition_rows_skipped\": %zu\n",
+               refit.stats.partition_rows_skipped);
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_partition_scaling.json\n");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mgba::bench
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return mgba::bench::run(smoke);
+}

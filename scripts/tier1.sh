@@ -15,7 +15,12 @@
 # both: TSan because the sparse gradient's block partials and the refit's
 # parallel path re-evaluation write shared scratch from pool workers, ASan
 # because the refit session indexes cached rows/paths through arrays that
-# a stale size after an ECO would overrun. Finally the shell's
+# a stale size after an ECO would overrun. The partition suite joins both
+# for the same reasons: under TSan because same-wave region sweeps run on
+# pool workers and push frontier pending flags / arc-change flags
+# concurrently, and under ASan because the frontier's pending and
+# level-bucket flags index per-node and per-(region, level) arrays that a
+# stale partitioning would overrun. Finally the shell's
 # golden-transcript smoke test runs at 1 and 4 threads: the transcript
 # (including full-precision replayed slacks) must be byte-identical.
 set -euo pipefail
@@ -27,11 +32,11 @@ cmake --build build -j
 
 cmake -B build-tsan -S . -DMGBA_SANITIZE=thread
 cmake --build build-tsan -j --target mgba_tests
-MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*:SolverFastpath*'
+MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*:SolverFastpath*:Partition*'
 
 cmake -B build-asan -S . -DMGBA_SANITIZE=address
 cmake --build build-asan -j --target mgba_tests
-MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*'
+MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*:Partition*'
 
 for threads in 1 4; do
   ./scripts/shell_smoke.sh build/tools/mgba_timer \

@@ -84,6 +84,15 @@ class Design {
 
   // --- construction -------------------------------------------------------
 
+  /// Pre-sizes the backing arrays. The generator streams 1M+ instances in
+  /// one pass; reserving once avoids the reallocation churn (and the ~2x
+  /// transient peak of vector growth) at that scale.
+  void reserve(std::size_t instances, std::size_t nets, std::size_t ports) {
+    instances_.reserve(instances);
+    nets_.reserve(nets);
+    ports_.reserve(ports);
+  }
+
   InstanceId add_instance(std::string inst_name, std::size_t cell_id,
                           Point location = {});
   NetId add_net(std::string net_name);

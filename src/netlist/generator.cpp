@@ -74,6 +74,22 @@ GeneratedDesign generate_design(const Library& library,
                       .output_ports = {}};
   Design& design = out.design;
 
+  // Pre-size the arenas: instances = gates + flops + clock buffers
+  // (geometric series over the tree fanout) + a pad per untapped input;
+  // nets and ports follow the same accounting. At 1M+ instances this keeps
+  // generation a single streaming pass with no reallocation churn.
+  {
+    const std::size_t fanout = std::max<std::size_t>(2, opt.clock_tree_fanout);
+    const std::size_t clock_bufs = opt.num_flops / (fanout - 1) + 8;
+    const std::size_t insts =
+        opt.num_gates + opt.num_flops + clock_bufs + opt.num_inputs;
+    const std::size_t nets = 1 + opt.num_flops + clock_bufs + opt.num_inputs +
+                             opt.num_gates + opt.num_inputs;
+    const std::size_t ports = 1 + opt.num_inputs + 2 * opt.num_outputs +
+                              opt.num_flops / 8 + opt.num_inputs;
+    design.reserve(insts, nets, ports);
+  }
+
   const double die =
       std::sqrt(static_cast<double>(opt.num_gates + opt.num_flops)) *
       opt.placement_pitch_um;
@@ -344,6 +360,29 @@ GeneratedDesign generate_design(const Library& library,
 
   design.validate();
   return out;
+}
+
+GeneratorOptions scaled_design_options(std::size_t target_instances,
+                                       std::uint64_t seed) {
+  MGBA_CHECK(target_instances >= 64);
+  GeneratorOptions opt;
+  opt.seed = seed;
+  opt.name = str_format("scaled_%zu", target_instances);
+  // Post-synthesis ratios: ~1 flop per 32 instances, a clock buffer per
+  // ~7 flops (fanout-8 tree), gates make up the remainder. Many blocks keep
+  // the fabric a sea of disjoint cones — the shape that partitions well —
+  // and a moderate port count keeps the boundary small relative to core
+  // logic, as on a real SoC.
+  opt.num_flops = std::max<std::size_t>(8, target_instances / 32);
+  const std::size_t tree = opt.num_flops / 7 + 4;
+  opt.num_gates = target_instances > opt.num_flops + tree + 16
+                      ? target_instances - opt.num_flops - tree
+                      : std::max<std::size_t>(16, target_instances / 2);
+  opt.num_inputs = std::max<std::size_t>(16, target_instances / 4096);
+  opt.num_outputs = opt.num_inputs;
+  opt.target_depth = 64;
+  opt.num_blocks = std::max<std::size_t>(1, target_instances / 4096);
+  return opt;
 }
 
 GeneratorOptions benchmark_design_options(int d) {

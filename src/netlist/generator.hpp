@@ -75,6 +75,15 @@ struct GeneratedDesign {
 GeneratedDesign generate_design(const Library& library,
                                 const GeneratorOptions& options);
 
+/// Options for a design of approximately \p target_instances instances
+/// (within a few percent: clock buffers and tie-off pads ride on top of the
+/// gate/flop budget). Realistic post-synthesis ratios — ~3% flops, fanout-8
+/// clock tree, block count scaling with size so the fabric stays a sea of
+/// disjoint cones. Generation streams in one pass with pre-sized arenas, so
+/// 1M+ instances need no more transient memory than the final design.
+GeneratorOptions scaled_design_options(std::size_t target_instances,
+                                       std::uint64_t seed = 7);
+
 /// The ten fixed benchmark configurations standing in for the paper's
 /// industrial designs D1..D10. Sizes grow from ~1.2k to ~26k instances so
 /// the full table benches complete in minutes on one core. Index is 1-based

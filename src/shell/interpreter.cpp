@@ -562,12 +562,51 @@ void ShellInterpreter::register_commands() {
        [this](const ParsedCommand& p) { return cmd_report_qor(p); }});
   add("stats",
       {"stats", "timing-update statistics (updates, frontier sizes, "
-                "delay-cache hit rate, trial checkpoints)",
+                "delay-cache hit rate, trial checkpoints, memory footprint)",
        0, 0, {}, {}, [this](const ParsedCommand&) {
          if (!session_.loaded()) {
            return std::string("no design loaded (read_netlist first)");
          }
-         out_ << session_.timer().update_stats().to_string() << "\n";
+         const Timer& timer = session_.timer();
+         out_ << timer.update_stats().to_string() << "\n";
+         out_ << timer.memory_stats().to_string() << "\n";
+         if (const Partitioning* part = timer.partitioning()) {
+           out_ << part->stats().to_string();
+         }
+         return std::string();
+       }});
+  add("partition",
+      {"partition [regions] [-seed S] [-rounds N] [-off]",
+       "decompose the graph into regions for partitioned updates "
+       "(-off returns to flat)",
+       0, 1, {"seed", "rounds"}, {"off"}, [this](const ParsedCommand& p) {
+         if (!session_.loaded()) {
+           return std::string("no design loaded (read_netlist first)");
+         }
+         Timer& timer = session_.timer();
+         if (p.has_flag("off")) {
+           timer.clear_partitioning();
+           out_ << "partitioning cleared (flat updates)\n";
+           return std::string();
+         }
+         PartitionOptions options;
+         options.num_partitions = 4;
+         if (!p.positional.empty() &&
+             !parse_size(p.positional[0], options.num_partitions)) {
+           return "not a region count: " + p.positional[0];
+         }
+         if (const std::string* s = p.value("seed")) {
+           std::size_t seed = 0;
+           if (!parse_size(*s, seed)) return "not a seed: " + *s;
+           options.seed = seed;
+         }
+         if (const std::string* r = p.value("rounds")) {
+           if (!parse_size(*r, options.max_rounds)) {
+             return "not a round cap: " + *r;
+           }
+         }
+         timer.set_partitioning(options);
+         out_ << timer.partitioning()->stats().to_string();
          return std::string();
        }});
 

@@ -1,0 +1,216 @@
+#pragma once
+
+/// \file partition.hpp
+/// Region decomposition of the timing graph for partitioned updates.
+///
+/// A Partitioning assigns every instance (and through it every graph node)
+/// to one of P regions, then precomputes everything the Timer's partitioned
+/// update mode needs to sweep regions independently and converge across the
+/// cuts:
+///
+///   * per-region, per-global-level node buckets, so one region can run the
+///     same level-synchronous forward/backward sweeps as the flat engine,
+///     restricted to its own nodes;
+///   * boundary watch lists: the distinct from-nodes of cut arcs leaving a
+///     region (forward) and the distinct to-nodes of cut arcs entering it
+///     (backward), each with the dedup'd set of neighbor regions to mark
+///     dirty when the node's values change bitwise;
+///   * a wave schedule: the quotient graph over regions is condensed into
+///     strongly connected components, and SCCs are grouped into waves by
+///     topological depth. Two SCCs in the same wave have no cut arcs
+///     between them in either direction, so their regions can be swept
+///     concurrently with every arena slot still having a single writer.
+///     Regions inside one SCC are swept sequentially in ascending id.
+///
+/// The builder is deterministic for a fixed (graph, options) pair: seeds
+/// are evenly spaced in instance-id order, region growth is a strict
+/// round-robin BFS over the instance adjacency (driver-sink star per net)
+/// with a hard balance cap of ceil(N/P), and the greedy refinement passes
+/// visit instances in ascending id with lowest-id tie-breaking. Instance-id
+/// order correlates with the generator's block structure and with
+/// placement, which is what makes the BFS "level-aware" in practice: a
+/// region is a contiguous run of logic levels within a few blocks, so cut
+/// arcs concentrate at register and clock boundaries.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace mgba {
+
+using PartitionId = std::uint32_t;
+inline constexpr PartitionId kInvalidPartition = 0xffffffffu;
+
+struct PartitionOptions {
+  /// Number of regions. 1 is allowed and exercises the full partitioned
+  /// machinery (one region, empty boundary) — useful for bit-identity
+  /// checks against the flat engine.
+  std::size_t num_partitions = 1;
+  /// Seed for the deterministic region growth (spaces the BFS seeds).
+  std::uint64_t seed = 1;
+  /// Greedy cut-reduction passes after BFS growth.
+  std::size_t refine_passes = 2;
+  /// Boundary-convergence rounds the Timer runs before giving up and
+  /// falling back to a flat full sweep (counted in UpdateStats).
+  std::size_t max_rounds = 32;
+};
+
+struct PartitionStats {
+  std::size_t num_partitions = 0;
+  std::size_t num_instances = 0;
+  std::size_t min_instances = 0;  ///< smallest region
+  std::size_t max_instances = 0;  ///< largest region
+  std::size_t cut_arcs = 0;       ///< graph arcs crossing a region boundary
+  std::size_t total_arcs = 0;
+  std::size_t fwd_boundary_nodes = 0;  ///< watched cut-arc from-nodes
+  std::size_t bwd_boundary_nodes = 0;  ///< watched cut-arc to-nodes
+  std::size_t num_sccs = 0;   ///< SCCs of the region quotient graph
+  std::size_t num_waves = 0;  ///< topological depth levels of the SCC DAG
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One watched boundary node: when its values change bitwise after its
+/// owner region is swept, every region in [targets_begin, targets_end) of
+/// the watch target pool must be marked dirty.
+struct BoundaryWatch {
+  NodeId node = kInvalidNode;
+  std::uint32_t targets_begin = 0;
+  std::uint32_t targets_end = 0;
+};
+
+class Partitioning {
+ public:
+  /// Builds the decomposition for the current \p graph. \p design is the
+  /// graph's design (used for the instance adjacency and output ports).
+  Partitioning(const TimingGraph& graph, const Design& design,
+               const PartitionOptions& options);
+
+  [[nodiscard]] const PartitionOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t num_partitions() const { return num_parts_; }
+  [[nodiscard]] const PartitionStats& stats() const { return stats_; }
+
+  /// Region of an instance. Instances appended to the design after the
+  /// build (reverted-trial tombstones) resolve to region 0; they have no
+  /// graph nodes, so the assignment only affects dirty-marking.
+  [[nodiscard]] PartitionId partition_of_instance(InstanceId inst) const {
+    return inst < part_of_instance_.size() ? part_of_instance_[inst] : 0;
+  }
+  [[nodiscard]] PartitionId partition_of_node(NodeId node) const {
+    return part_of_node_[node];
+  }
+
+  /// Nodes of region \p p at global topological level \p level (a subset of
+  /// the graph's level bucket, in the same relative order).
+  [[nodiscard]] const std::vector<NodeId>& level_nodes(
+      PartitionId p, std::size_t level) const {
+    return level_nodes_[p * num_levels_ + level];
+  }
+  [[nodiscard]] std::size_t num_levels() const { return num_levels_; }
+  /// Total graph nodes assigned to region \p p.
+  [[nodiscard]] std::size_t nodes_in_partition(PartitionId p) const {
+    return nodes_in_part_[p];
+  }
+
+  /// Forward boundary watches owned by region \p p (cut-arc from-nodes in
+  /// p). The watch's global index (position in fwd_watches()) is the slot
+  /// the Timer uses for its pre-sweep value snapshot.
+  [[nodiscard]] const std::vector<BoundaryWatch>& fwd_watches() const {
+    return fwd_watches_;
+  }
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> fwd_watch_range(
+      PartitionId p) const {
+    return {fwd_watch_begin_[p], fwd_watch_begin_[p + 1]};
+  }
+  /// Backward boundary watches owned by region \p p (cut-arc to-nodes in p).
+  [[nodiscard]] const std::vector<BoundaryWatch>& bwd_watches() const {
+    return bwd_watches_;
+  }
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> bwd_watch_range(
+      PartitionId p) const {
+    return {bwd_watch_begin_[p], bwd_watch_begin_[p + 1]};
+  }
+  /// Target-region pool the BoundaryWatch ranges index into.
+  [[nodiscard]] const std::vector<PartitionId>& watch_targets() const {
+    return watch_targets_;
+  }
+
+  // --- wave schedule -------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_waves() const { return waves_.size(); }
+  /// SCC ids scheduled in wave \p w (regions of different SCCs in one wave
+  /// may be swept concurrently).
+  [[nodiscard]] const std::vector<std::uint32_t>& wave(std::size_t w) const {
+    return waves_[w];
+  }
+  /// Regions of one SCC, ascending id (swept sequentially in this order).
+  [[nodiscard]] const std::vector<PartitionId>& scc_partitions(
+      std::uint32_t scc) const {
+    return scc_parts_[scc];
+  }
+  /// Topological depth (wave index) of a region's SCC.
+  [[nodiscard]] std::size_t wave_of_partition(PartitionId p) const {
+    return depth_of_part_[p];
+  }
+
+  /// Dedup'd successor regions in the quotient graph (regions reachable by
+  /// one cut arc leaving \p p). Used by the refit session to close the set
+  /// of regions an ECO can influence.
+  [[nodiscard]] const std::vector<PartitionId>& quotient_fanout(
+      PartitionId p) const {
+    return quotient_fanout_[p];
+  }
+
+  /// Checks (indices into graph.checks()) whose data node lives in \p p.
+  [[nodiscard]] const std::vector<std::uint32_t>& checks_of(
+      PartitionId p) const {
+    return checks_of_part_[p];
+  }
+  /// Output ports whose node lives in \p p, as (port, node) pairs.
+  [[nodiscard]] const std::vector<std::pair<PortId, NodeId>>& output_ports_of(
+      PartitionId p) const {
+    return out_ports_of_part_[p];
+  }
+
+  /// Heap footprint of the decomposition (for Timer::memory_stats()).
+  [[nodiscard]] std::size_t storage_bytes() const;
+
+ private:
+  void assign_instances(const TimingGraph& graph, const Design& design);
+  void assign_nodes(const TimingGraph& graph, const Design& design);
+  void build_boundary(const TimingGraph& graph);
+  void build_schedule();
+  void build_endpoints(const TimingGraph& graph, const Design& design);
+
+  PartitionOptions options_;
+  std::size_t num_parts_ = 1;
+  std::size_t num_levels_ = 0;
+
+  std::vector<PartitionId> part_of_instance_;
+  std::vector<PartitionId> part_of_node_;
+  std::vector<std::size_t> nodes_in_part_;
+  /// [p * num_levels_ + level] -> nodes of region p at that level.
+  std::vector<std::vector<NodeId>> level_nodes_;
+
+  std::vector<BoundaryWatch> fwd_watches_;
+  std::vector<std::uint32_t> fwd_watch_begin_;  ///< size P+1
+  std::vector<BoundaryWatch> bwd_watches_;
+  std::vector<std::uint32_t> bwd_watch_begin_;  ///< size P+1
+  std::vector<PartitionId> watch_targets_;
+
+  std::vector<std::vector<PartitionId>> quotient_fanout_;
+  std::vector<std::uint32_t> scc_of_part_;
+  std::vector<std::vector<PartitionId>> scc_parts_;
+  std::vector<std::size_t> depth_of_part_;
+  std::vector<std::vector<std::uint32_t>> waves_;
+
+  std::vector<std::vector<std::uint32_t>> checks_of_part_;
+  std::vector<std::vector<std::pair<PortId, NodeId>>> out_ports_of_part_;
+
+  PartitionStats stats_;
+};
+
+}  // namespace mgba

@@ -40,6 +40,7 @@
 #include "sta/constraints.hpp"
 #include "sta/corner.hpp"
 #include "sta/delay_calc.hpp"
+#include "sta/partition.hpp"
 #include "sta/timing_data.hpp"
 #include "sta/timing_graph.hpp"
 #include "sta/timing_types.hpp"
@@ -170,6 +171,48 @@ class Timer {
   /// Brings all timing quantities up to date (incremental when possible).
   void update_timing();
 
+  // --- partitioned updates -------------------------------------------------
+
+  /// Installs partitioned-update mode: the graph is decomposed into regions
+  /// (see Partitioning) and weight applications (set_instance_weights*)
+  /// mark only the regions whose effective weights actually moved, instead
+  /// of forcing a full re-propagation. update_timing() then sweeps dirty
+  /// regions inside a boundary-convergence loop until every cut-pin value
+  /// is bitwise stable, falling back to a counted flat full sweep if the
+  /// loop exceeds options.max_rounds. Results are bit-identical to the flat
+  /// engine at any partition count and any thread count. Survives
+  /// rebuild_graph() (the decomposition is rebuilt). num_partitions == 1 is
+  /// allowed and exercises the full machinery with an empty boundary.
+  void set_partitioning(const PartitionOptions& options);
+  /// Returns to flat-only updates (drops the decomposition).
+  void clear_partitioning();
+  /// The active decomposition, or nullptr when flat.
+  [[nodiscard]] const Partitioning* partitioning() const {
+    return partition_.get();
+  }
+
+  /// Footprint of the engine's major allocations — the flat arena is what
+  /// future sharding has to split, so the shell `stats` command and
+  /// `mgba_timer --verbose` surface where the bytes are.
+  struct MemoryStats {
+    std::size_t num_nodes = 0;
+    std::size_t num_arcs = 0;
+    std::size_t num_corners = 0;
+    std::size_t arena_bytes = 0;           ///< corner-major timing arena
+    std::size_t arena_bytes_per_lane = 0;  ///< arena / (corners * modes)
+    std::size_t delay_cache_entries = 0;   ///< memo slots (lanes * arcs)
+    std::size_t delay_cache_bytes = 0;
+    std::size_t launch_set_bytes = 0;  ///< CRPR launch bitsets (0 when off)
+    std::size_t partition_bytes = 0;   ///< decomposition tables (0 when flat)
+    std::size_t eco_log_entries = 0;   ///< accumulated ECO-touched instances
+    [[nodiscard]] std::size_t total_bytes() const {
+      return arena_bytes + delay_cache_bytes + launch_set_bytes +
+             partition_bytes;
+    }
+    [[nodiscard]] std::string to_string() const;
+  };
+  [[nodiscard]] MemoryStats memory_stats() const;
+
   /// Disables the incremental path: every update re-propagates the whole
   /// graph. For the ablation measuring what incremental updates [18] buy
   /// the optimization loop; leave enabled in real use.
@@ -207,6 +250,14 @@ class Timer {
     /// to re-propagation (a full update intervened mid-trial).
     std::size_t trial_rollbacks = 0;
     std::size_t trial_fallbacks = 0;
+    /// Partitioned-mode counters: updates served by the region sweep, total
+    /// region sweeps, boundary-convergence rounds, cap-triggered flat
+    /// fallbacks, and distinct regions the ECO frontier seeds touched.
+    std::size_t partitioned_updates = 0;
+    std::size_t partition_sweeps = 0;
+    std::size_t boundary_rounds = 0;
+    std::size_t partition_fallbacks = 0;
+    std::size_t eco_partitions_touched = 0;
 
     [[nodiscard]] double delay_cache_hit_rate() const {
       const std::uint64_t total = delay_cache_hits + delay_cache_misses;
@@ -374,6 +425,58 @@ class Timer {
   /// nets).
   void invalidate_cache_for(InstanceId inst);
 
+  /// Walks the ECO neighborhood of one instance — the single code path
+  /// behind frontier seeding (seed_nodes_for), delay-cache invalidation
+  /// (invalidate_cache_for), and partition touch accounting, so the
+  /// consumers can never drift apart. Callbacks:
+  ///   own_pin(node)        every connected pin node of the instance;
+  ///   driver(term, node)   each input net's driver terminal and node
+  ///                        (instance pin or port; node may be invalid);
+  ///   sibling(node)        every instance-pin sink of those input nets.
+  template <typename OwnPinFn, typename DriverFn, typename SiblingFn>
+  void visit_eco_neighborhood(InstanceId inst_id, OwnPinFn&& own_pin,
+                              DriverFn&& driver, SiblingFn&& sibling) const {
+    const Instance& inst = design_->instance(inst_id);
+    const LibCell& cell = design_->library().cell(inst.cell);
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const NetId net_id = inst.pin_nets[p];
+      if (net_id == kInvalidId) continue;
+      own_pin(graph_->node_of_pin(inst_id, static_cast<std::uint32_t>(p)));
+      if (cell.pins[p].direction != PinDirection::Input) continue;
+      const Net& net = design_->net(net_id);
+      if (net.driver) {
+        const NodeId drv =
+            net.driver->kind == Terminal::Kind::InstancePin
+                ? graph_->node_of_pin(net.driver->id, net.driver->pin)
+                : graph_->node_of_port(net.driver->id);
+        driver(*net.driver, drv);
+      }
+      for (const Terminal& sink : net.sinks) {
+        if (sink.kind == Terminal::Kind::InstancePin) {
+          sibling(graph_->node_of_pin(sink.id, sink.pin));
+        }
+      }
+    }
+  }
+
+  // --- partitioned updates --------------------------------------------------
+
+  /// Diffs old vs new effective weight factors (the clamped multiplier
+  /// recompute_node applies) and marks the regions of instances whose
+  /// factor moved and that own at least one weighted arc.
+  void mark_weight_dirty(const std::vector<double>& before,
+                         const std::vector<double>& after);
+  void clear_partition_dirty();
+  /// The boundary-convergence region sweep behind update_timing() when
+  /// regions (and only regions) are dirty.
+  void partitioned_update();
+  void sweep_partition_forward(PartitionId p);
+  void sweep_partition_backward(PartitionId p);
+  /// Zeroes every per-node/per-bucket frontier flag and the marked-region
+  /// scratches — called when an escalation (full update, round-cap
+  /// fallback) makes the half-consumed frontier meaningless.
+  void clear_partition_frontier();
+
   // --- trial checkpoints ----------------------------------------------------
   void begin_trial(bool structural);
   void commit_trial();
@@ -464,6 +567,56 @@ class Timer {
   std::size_t stat_backward_nodes_ = 0;
   std::size_t stat_trial_rollbacks_ = 0;
   std::size_t stat_trial_fallbacks_ = 0;
+
+  /// Partitioned-update state. part_dirty_ carries the weight-diff marks
+  /// between updates; the remaining vectors are per-update scratch.
+  std::unique_ptr<Partitioning> partition_;
+  PartitionOptions partition_options_;
+  std::vector<std::uint8_t> part_dirty_;
+  std::vector<std::uint8_t> part_dirty_next_;
+  std::vector<std::uint8_t> part_swept_;
+  std::vector<std::uint8_t> part_swept_bwd_;
+  /// Regions selected for the wave pass currently sweeping. Kept separate
+  /// from part_dirty_ so a mark produced by a sweeping region (targeting a
+  /// same-pass neighbor) is never consumed by the post-sweep drain walk —
+  /// it must survive into the next pass.
+  std::vector<std::uint8_t> part_in_pass_;
+  std::vector<std::uint8_t> part_touch_scratch_;
+  std::vector<std::uint32_t> scc_scratch_;
+  std::vector<std::size_t> part_sweep_nodes_;
+  /// Push-based frontier confinement for region sweeps. A sweep visits
+  /// only the (region, level) buckets flagged dirty and, within them, only
+  /// the nodes whose pending flag is set — both consumed on visit. Flags
+  /// are planted by the producers of a change: mark_weight_dirty seeds the
+  /// to-nodes of re-weighted arcs; a forward sweep that moves a node's
+  /// arrival/slew bits pushes the node's fanout to-nodes (and, for fanin
+  /// arcs whose stored delay bits moved, the from-nodes onto the backward
+  /// frontier — a required fold reads the delay even when downstream
+  /// requireds keep their bits); a backward sweep that moves a required
+  /// pushes the fanin from-nodes. Pushes into other regions use relaxed
+  /// atomic stores: the wave schedule guarantees the owning region is not
+  /// sweeping concurrently (no cut arcs between same-wave SCCs), so the
+  /// owner's later plain reads are join-ordered after every store. Each
+  /// sweep records the foreign regions it pushed into (part_marked_*,
+  /// owner-indexed so sweeps never share a scratch); the serial drain
+  /// after the parallel pass turns them into dirty marks. node_fwd_moved_
+  /// latches "forward bits moved this update" per node — it gates which
+  /// endpoint checks the first backward sweep of a region re-derives — and
+  /// resets in O(moved) via part_changed_fwd_.
+  std::vector<std::uint8_t> node_pending_;
+  std::vector<std::uint8_t> node_pending_bwd_;
+  std::vector<std::uint8_t> node_fwd_moved_;
+  std::vector<std::uint8_t> part_level_fwd_dirty_;  ///< [p * num_levels + l]
+  std::vector<std::uint8_t> part_level_bwd_dirty_;  ///< [p * num_levels + l]
+  std::vector<std::vector<PartitionId>> part_marked_;
+  std::vector<std::vector<std::uint8_t>> part_marked_seen_;
+  std::vector<std::vector<NodeId>> part_changed_fwd_;
+  std::size_t part_dirty_count_ = 0;
+  std::size_t partitioned_updates_ = 0;
+  std::size_t stat_partition_sweeps_ = 0;
+  std::size_t stat_boundary_rounds_ = 0;
+  std::size_t stat_partition_fallbacks_ = 0;
+  std::size_t stat_eco_partitions_ = 0;
 
   struct TrialState;
   std::unique_ptr<TrialState> trial_;

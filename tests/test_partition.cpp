@@ -1,0 +1,402 @@
+/// Partitioned-timing tests: the region decomposition must be
+/// deterministic, balanced, and covering; the partitioned update mode must
+/// be bit-identical to the flat engine at any region count and any thread
+/// count (the headline guarantee — the decomposition is a scheduling
+/// choice, never a numerical one); the convergence-loop round cap must
+/// trigger a counted full-flat fallback; and the partition-aware refit
+/// session and optimizer flow must land on the same bits as their flat
+/// twins. The tier-1 script re-runs Partition* under ASan+UBSan and TSan.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mgba/framework.hpp"
+#include "netlist/design.hpp"
+#include "netlist/generator.hpp"
+#include "opt/optimizer.hpp"
+#include "sta/partition.hpp"
+#include "sta/timer.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mgba {
+namespace {
+
+using testing_helpers::GeneratedStack;
+using testing_helpers::small_options;
+
+struct ThreadGuard {
+  std::size_t saved = num_threads();
+  ~ThreadGuard() { set_num_threads(saved); }
+};
+
+/// Every arrival / slew / required at every (corner, mode, node) plus every
+/// endpoint slack, in a fixed order — two timers agree on this vector iff
+/// they agree bit-for-bit on the whole timing state.
+std::vector<double> snapshot_values(const Timer& timer) {
+  std::vector<double> values;
+  const TimingGraph& graph = timer.graph();
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    for (const Mode mode : {Mode::Early, Mode::Late}) {
+      for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+        values.push_back(timer.arrival(n, mode, c));
+        values.push_back(timer.slew(n, mode, c));
+        values.push_back(timer.required(n, mode, c));
+      }
+      for (const NodeId e : graph.endpoints()) {
+        values.push_back(timer.slack(e, mode, c));
+      }
+    }
+  }
+  return values;
+}
+
+/// Deterministic pseudo-random weight vector; nonzero only on
+/// [first, first + count).
+std::vector<double> make_weights(std::size_t num_instances, std::size_t first,
+                                 std::size_t count, std::uint64_t seed) {
+  std::vector<double> w(num_instances, 0.0);
+  Rng rng(seed);
+  const std::size_t end = std::min(num_instances, first + count);
+  for (std::size_t i = first; i < end; ++i) {
+    w[i] = rng.uniform(-0.15, 0.25);
+  }
+  return w;
+}
+
+std::optional<std::size_t> sizable_sibling(const Library& library,
+                                           const Design& design,
+                                           InstanceId inst) {
+  const LibCell& cell = design.cell_of(inst);
+  if (cell.kind == CellKind::FlipFlop) return std::nullopt;
+  for (std::size_t j = 0; j < library.num_cells(); ++j) {
+    const LibCell& c = library.cell(j);
+    if (c.footprint == cell.footprint && c.name != cell.name) return j;
+  }
+  return std::nullopt;
+}
+
+// --- the decomposition itself ----------------------------------------------
+
+TEST(Partition, BuilderDeterministicBalancedAndCovering) {
+  GeneratedStack stack(small_options(601));
+  const TimingGraph& graph = stack.timer->graph();
+  PartitionOptions options;
+  options.num_partitions = 4;
+  options.seed = 11;
+
+  const Partitioning a(graph, stack.design(), options);
+  const Partitioning b(graph, stack.design(), options);
+  ASSERT_EQ(a.num_partitions(), 4u);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    EXPECT_EQ(a.partition_of_node(n), b.partition_of_node(n));
+  }
+
+  // Balance: BFS growth caps every region at ceil(N/P).
+  const PartitionStats& stats = a.stats();
+  EXPECT_EQ(stats.num_instances, stack.design().num_instances());
+  EXPECT_LE(stats.max_instances, (stats.num_instances + 3) / 4 + 1);
+  EXPECT_GE(stats.min_instances, 1u);
+  EXPECT_LT(stats.cut_arcs, stats.total_arcs);
+  EXPECT_GE(stats.num_waves, 1u);
+
+  // Coverage: the per-region level buckets repartition the graph's levels.
+  std::size_t bucketed = 0;
+  for (PartitionId p = 0; p < 4; ++p) {
+    std::size_t in_p = 0;
+    for (std::size_t l = 0; l < a.num_levels(); ++l) {
+      for (const NodeId n : a.level_nodes(p, l)) {
+        EXPECT_EQ(a.partition_of_node(n), p);
+        ++in_p;
+      }
+    }
+    EXPECT_EQ(in_p, a.nodes_in_partition(p));
+    bucketed += in_p;
+  }
+  EXPECT_EQ(bucketed, static_cast<std::size_t>(graph.num_nodes()));
+
+  // A different seed is a different (but equally valid) decomposition.
+  PartitionOptions other = options;
+  other.seed = 12;
+  const Partitioning c(graph, stack.design(), other);
+  EXPECT_EQ(c.stats().num_instances, stats.num_instances);
+}
+
+// --- bit-identity vs. the flat engine ---------------------------------------
+
+TEST(Partition, SingleRegionBitIdenticalToFlat) {
+  GeneratedStack part(small_options(602));
+  GeneratedStack flat(small_options(602));
+  PartitionOptions options;
+  options.num_partitions = 1;
+  part.timer->set_partitioning(options);
+
+  const std::size_t n = part.design().num_instances();
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    const auto w = make_weights(n, 0, n, 900 + round);
+    part.timer->set_instance_weights(w);
+    flat.timer->set_instance_weights(w);
+    part.timer->update_timing();
+    flat.timer->update_timing();
+    ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer));
+    EXPECT_EQ(part.timer->wns(Mode::Late), flat.timer->wns(Mode::Late));
+    EXPECT_EQ(part.timer->tns(Mode::Late), flat.timer->tns(Mode::Late));
+  }
+  // The region path actually served those updates (no silent escalation).
+  EXPECT_EQ(part.timer->update_stats().partitioned_updates, 3u);
+  EXPECT_EQ(part.timer->update_stats().partition_fallbacks, 0u);
+  EXPECT_GT(flat.timer->update_stats().full_updates,
+            part.timer->update_stats().full_updates);
+}
+
+TEST(Partition, FourRegionsBitIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  // Block-structured fabric — the shape partitioning targets: regions grow
+  // along blocks, and register boundaries stop the convergence wavefront.
+  auto options_gen = small_options(603);
+  options_gen.num_blocks = 8;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_num_threads(threads);
+    GeneratedStack part(options_gen);
+    GeneratedStack flat(options_gen);
+    PartitionOptions options;
+    options.num_partitions = 4;
+    part.timer->set_partitioning(options);
+
+    const std::size_t n = part.design().num_instances();
+    // Localized (one region's worth of instances), then global.
+    for (const auto& w : {make_weights(n, 0, n / 8, 910),
+                          make_weights(n, n / 2, n / 8, 911),
+                          make_weights(n, 0, n, 912)}) {
+      part.timer->set_instance_weights(w);
+      flat.timer->set_instance_weights(w);
+      part.timer->update_timing();
+      flat.timer->update_timing();
+      ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer))
+          << "threads=" << threads;
+    }
+    EXPECT_EQ(part.timer->update_stats().partitioned_updates, 3u);
+    EXPECT_GE(part.timer->update_stats().partition_sweeps, 3u);
+    EXPECT_GE(part.timer->update_stats().boundary_rounds, 3u);
+    EXPECT_EQ(part.timer->update_stats().partition_fallbacks, 0u);
+  }
+}
+
+TEST(Partition, RandomizedEcoMatchesFlatRebuild) {
+  ThreadGuard guard;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_num_threads(threads);
+    GeneratedStack part(small_options(604));
+    GeneratedStack flat(small_options(604));
+    flat.timer->set_incremental_enabled(false);  // full rebuild per update
+    PartitionOptions options;
+    options.num_partitions = 4;
+    part.timer->set_partitioning(options);
+
+    const std::size_t n = part.design().num_instances();
+    Rng rng(77);
+    for (std::size_t step = 0; step < 16; ++step) {
+      if (step % 3 == 2) {
+        // Interleave a weight application (partitioned sweep on one side,
+        // full rebuild on the other).
+        const auto w =
+            make_weights(n, rng.uniform_index(n / 2), n / 6, 920 + step);
+        part.timer->set_instance_weights(w);
+        flat.timer->set_instance_weights(w);
+      } else {
+        const auto inst =
+            static_cast<InstanceId>(rng.uniform_index(n));
+        const auto sibling = sizable_sibling(part.library, part.design(), inst);
+        if (!sibling.has_value() ||
+            part.design().instance(inst).cell == *sibling) {
+          continue;
+        }
+        part.design().resize_instance(inst, *sibling);
+        part.timer->invalidate_instance(inst);
+        flat.design().resize_instance(inst, *sibling);
+        flat.timer->invalidate_instance(inst);
+      }
+      part.timer->update_timing();
+      flat.timer->update_timing();
+      ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer))
+          << "threads=" << threads << " step=" << step;
+    }
+    EXPECT_GT(part.timer->update_stats().partitioned_updates, 0u);
+    EXPECT_GT(part.timer->update_stats().incremental_updates, 0u);
+    EXPECT_GT(part.timer->update_stats().eco_partitions_touched, 0u);
+  }
+}
+
+TEST(Partition, RoundCapTriggersCountedFallback) {
+  GeneratedStack part(small_options(605));
+  GeneratedStack flat(small_options(605));
+  PartitionOptions options;
+  options.num_partitions = 4;
+  options.max_rounds = 0;  // every region update immediately exceeds the cap
+  part.timer->set_partitioning(options);
+
+  const std::size_t n = part.design().num_instances();
+  const auto w = make_weights(n, 0, n, 930);
+  part.timer->set_instance_weights(w);
+  flat.timer->set_instance_weights(w);
+  part.timer->update_timing();
+  flat.timer->update_timing();
+  ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer));
+  EXPECT_EQ(part.timer->update_stats().partition_fallbacks, 1u);
+  EXPECT_EQ(part.timer->update_stats().partitioned_updates, 0u);
+}
+
+// --- accounting -------------------------------------------------------------
+
+TEST(Partition, MemoryStatsSane) {
+  GeneratedStack stack(small_options(606));
+  Timer& timer = *stack.timer;
+  auto m = timer.memory_stats();
+  EXPECT_EQ(m.num_nodes, static_cast<std::size_t>(timer.graph().num_nodes()));
+  EXPECT_EQ(m.arena_bytes, timer.timing_storage_bytes());
+  EXPECT_GT(m.arena_bytes_per_lane, 0u);
+  EXPECT_GT(m.delay_cache_entries, 0u);
+  EXPECT_EQ(m.partition_bytes, 0u);  // flat
+  EXPECT_FALSE(m.to_string().empty());
+
+  PartitionOptions options;
+  options.num_partitions = 4;
+  timer.set_partitioning(options);
+  m = timer.memory_stats();
+  EXPECT_GT(m.partition_bytes, 0u);
+  EXPECT_GE(m.total_bytes(), m.arena_bytes + m.partition_bytes);
+
+  timer.clear_partitioning();
+  EXPECT_EQ(timer.memory_stats().partition_bytes, 0u);
+}
+
+TEST(Partition, LaunchSetsGatedOnCrpr) {
+  auto options = small_options(607);
+  GeneratedStack with_crpr(options);
+  EXPECT_GT(with_crpr.timer->memory_stats().launch_set_bytes, 0u);
+
+  // CRPR off: the per-endpoint launch bitsets are never built. At 1M+
+  // instances those sets are tens of GB — this gate is what makes the
+  // scaling bench fit in memory.
+  GeneratedDesign gen = generate_design(with_crpr.library, options);
+  TimingConstraints constraints;
+  constraints.clock_port = gen.clock_port;
+  constraints.clock_period_ps = 4000.0;
+  constraints.enable_crpr = false;
+  Timer timer(gen.design, constraints);
+  timer.update_timing();
+  EXPECT_EQ(timer.memory_stats().launch_set_bytes, 0u);
+}
+
+// --- partition-aware refit and optimizer ------------------------------------
+
+TEST(Partition, RefitSessionPartitionAware) {
+  GeneratedStack part(small_options(608));
+  GeneratedStack flat(small_options(608));
+  PartitionOptions options;
+  options.num_partitions = 4;
+  part.timer->set_partitioning(options);
+
+  MgbaFlowOptions flow;
+  flow.paths_per_endpoint = 4;
+  flow.candidate_paths_per_endpoint = 4;
+  MgbaRefitSession part_session(*part.timer, part.table, flow);
+  MgbaRefitSession flat_session(*flat.timer, flat.table, flow);
+  const MgbaFlowResult part_fit = part_session.fit();
+  const MgbaFlowResult flat_fit = flat_session.fit();
+  ASSERT_EQ(part_fit.instance_weights, flat_fit.instance_weights);
+
+  // One ECO, then a warm refit on both sides. Pick a sizable fabric gate
+  // ("g_*") — flops are never sizable and resizing a clock buffer would
+  // (correctly) poison the ECO log into a cold rebuild.
+  InstanceId inst = kInvalidId;
+  std::optional<std::size_t> sibling;
+  for (InstanceId i = 0; i < part.design().num_instances(); ++i) {
+    if (part.design().instance(i).name.rfind("g_", 0) != 0) continue;
+    sibling = sizable_sibling(part.library, part.design(), i);
+    if (sibling.has_value() && part.design().instance(i).cell != *sibling) {
+      inst = i;
+      break;
+    }
+  }
+  ASSERT_NE(inst, kInvalidId);
+  part.design().resize_instance(inst, *sibling);
+  part.timer->invalidate_instance(inst);
+  flat.design().resize_instance(inst, *sibling);
+  flat.timer->invalidate_instance(inst);
+
+  const MgbaFlowResult part_refit = part_session.refit();
+  const MgbaFlowResult flat_refit = flat_session.refit();
+  EXPECT_EQ(part_refit.instance_weights, flat_refit.instance_weights);
+  ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer));
+
+  const RefitStats& stats = part_session.stats();
+  EXPECT_EQ(stats.warm_refits, 1u);
+  EXPECT_GE(stats.partitions_touched, 1u);
+  EXPECT_LE(stats.partitions_touched, 4u);
+  EXPECT_EQ(stats.partition_rows_skipped + stats.boundary_rows +
+                (stats.rows_total - stats.boundary_rows -
+                 stats.partition_rows_skipped),
+            stats.rows_total);
+  // The flat session reports no region decomposition.
+  EXPECT_EQ(flat_session.stats().partitions_touched, 0u);
+}
+
+TEST(Partition, OptimizerWithPartitionedTimerMatchesFlat) {
+  GeneratedStack part(small_options(609));
+  GeneratedStack flat(small_options(609));
+
+  OptimizerOptions options;
+  options.max_passes = 4;
+  options.use_mgba = true;
+  options.mgba_refresh_passes = 2;
+  options.mgba_options.paths_per_endpoint = 4;
+  options.mgba_options.candidate_paths_per_endpoint = 4;
+  OptimizerOptions part_options = options;
+  part_options.timer_partitions = 4;
+
+  TimingCloser part_closer(part.design(), *part.timer, part.table,
+                           part_options);
+  TimingCloser flat_closer(flat.design(), *flat.timer, flat.table, options);
+  const OptimizerReport part_report = part_closer.run();
+  const OptimizerReport flat_report = flat_closer.run();
+
+  EXPECT_NE(part.timer->partitioning(), nullptr);
+  EXPECT_EQ(part_report.passes, flat_report.passes);
+  EXPECT_EQ(part_report.upsizes, flat_report.upsizes);
+  EXPECT_EQ(part_report.buffers_inserted, flat_report.buffers_inserted);
+  EXPECT_EQ(part_report.final_qor.wns_ps, flat_report.final_qor.wns_ps);
+  EXPECT_EQ(part_report.final_qor.tns_ps, flat_report.final_qor.tns_ps);
+  ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer));
+}
+
+// --- scaled generator -------------------------------------------------------
+
+TEST(Partition, ScaledGeneratorSmoke) {
+  const GeneratorOptions options = scaled_design_options(20000, 5);
+  const Library library = make_default_library();
+  GeneratedDesign gen = generate_design(library, options);
+  // Within a few percent of the target (clock buffers and pads ride along).
+  const std::size_t n = gen.design.num_instances();
+  EXPECT_GE(n, 19000u);
+  EXPECT_LE(n, 22000u);
+
+  TimingConstraints constraints;
+  constraints.clock_port = gen.clock_port;
+  constraints.clock_period_ps = 4000.0;
+  constraints.enable_crpr = false;
+  Timer timer(gen.design, constraints);
+  PartitionOptions popt;
+  popt.num_partitions = 8;
+  timer.set_partitioning(popt);
+  timer.update_timing();
+  EXPECT_EQ(timer.partitioning()->stats().num_partitions, 8u);
+  EXPECT_GT(timer.wns(Mode::Late), -1e9);
+}
+
+}  // namespace
+}  // namespace mgba

@@ -80,10 +80,12 @@ int usage() {
                "                       default MGBA_THREADS env or all cores)\n"
                "          --verbose (timing-update statistics: update\n"
                "                     counts, frontier sizes, delay-cache\n"
-               "                     hit rate, trial checkpoints)\n"
+               "                     hit rate, trial checkpoints, memory\n"
+               "                     footprint)\n"
                "          --corners FILE (MCMM corner spec; per-corner +\n"
                "                          merged worst-corner analysis)\n"
-               "  generate --design 1..10 | --gates N --flops N [--seed S]\n"
+               "  generate --design 1..10 | --instances N (scaled preset) |\n"
+               "           --gates N --flops N [--seed S]\n"
                "           [--depth D] [--blocks B] --out FILE\n"
                "  stats    --netlist FILE\n"
                "  report   --netlist FILE [--utilization U | --period PS]\n"
@@ -199,6 +201,13 @@ int cmd_generate(const Args& args) {
     options = benchmark_design_options(
         static_cast<int>(args.get_int("design", 1)));
   }
+  if (args.has("instances")) {
+    // Target total instance count with realistic ratios; explicit knobs
+    // below still override individual fields.
+    options = scaled_design_options(
+        static_cast<std::size_t>(args.get_int("instances", 100000)),
+        options.seed);
+  }
   if (args.has("gates")) {
     options.num_gates = static_cast<std::size_t>(args.get_int("gates", 2000));
   }
@@ -244,6 +253,7 @@ int cmd_stats(const Args& args) {
 void print_update_stats(const Args& args, const Timer& timer) {
   if (!args.has("verbose")) return;
   std::printf("\n%s\n", timer.update_stats().to_string().c_str());
+  std::printf("\n%s\n", timer.memory_stats().to_string().c_str());
 }
 
 int cmd_report(const Args& args) {
