@@ -41,6 +41,7 @@
 #include "bench_common.hpp"
 #include "mgba/framework.hpp"
 #include "sta/partition.hpp"
+#include "sta/state_signature.hpp"
 #include "util/rng.hpp"
 
 namespace mgba::bench {
@@ -50,11 +51,6 @@ double now_ms() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-bool same_bits(const std::vector<double>& a, const std::vector<double>& b) {
-  return a.size() == b.size() &&
-         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
 }
 
 /// Deterministic pseudo-random weight vector, nonzero only on
@@ -118,28 +114,6 @@ std::vector<EcoStep> plan_eco(const Library& library, const Design& design,
     plan.push_back({inst, design.instance(inst).cell, *sibling});
   }
   return plan;
-}
-
-/// Full timing arena in a fixed order; two timers agree on this vector iff
-/// they agree bit-for-bit on the whole timing state.
-std::vector<double> snapshot_values(const Timer& timer) {
-  std::vector<double> values;
-  const TimingGraph& graph = timer.graph();
-  values.reserve(timer.num_corners() * 2 *
-                 (graph.num_nodes() * 3 + graph.endpoints().size()));
-  for (CornerId c = 0; c < timer.num_corners(); ++c) {
-    for (const Mode mode : {Mode::Early, Mode::Late}) {
-      for (NodeId n = 0; n < graph.num_nodes(); ++n) {
-        values.push_back(timer.arrival(n, mode, c));
-        values.push_back(timer.slew(n, mode, c));
-        values.push_back(timer.required(n, mode, c));
-      }
-      for (const NodeId e : graph.endpoints()) {
-        values.push_back(timer.slack(e, mode, c));
-      }
-    }
-  }
-  return values;
 }
 
 struct ConfigResult {
@@ -220,7 +194,7 @@ ConfigResult run_config(BenchStack& stack, std::size_t partitions, int reps,
   // then the whole-arena bitwise comparison.
   timer.set_instance_weights(global.front());
   timer.update_timing();
-  const std::vector<double> snap = snapshot_values(timer);
+  const std::vector<double> snap = state_signature(timer);
   if (reference.empty()) {
     reference = snap;
   } else if (!same_bits(snap, reference)) {

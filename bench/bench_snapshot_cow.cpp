@@ -1,0 +1,292 @@
+/// Copy-on-write snapshot bench: the cost model of the versioned timing
+/// state, measured three ways.
+///
+///   1. Fork cost vs design size: Timer::snapshot() shares the chunk
+///      pointer tables and bumps refcounts; the O(chunks) table split is
+///      deferred to the first post-fork write, so a fork never touches
+///      arena bytes. Reported next to a full arena byte copy
+///      (dump_bytes) so the gap is visible per size.
+///   2. ECO-storm throughput with 0 / 1 / 4 live snapshots: the same
+///      deterministic resize storm (every step re-times the head and
+///      queries WNS/TNS at every corner) with snapshots pinned the whole
+///      time. Live snapshots force the chunk-granular privatize on every
+///      touched write; the delta vs 0 snapshots is the whole price
+///      readers impose on the writer.
+///   3. Retained-byte overhead: cow_retained_bytes after the storm at
+///      each snapshot count — what keeping old versions alive actually
+///      holds in memory, vs the naive full-arena-copy-per-snapshot cost.
+///
+/// Divergence gates (both modes, exit nonzero on any failure): the head
+/// timing state after the storm must be bit-identical across the 0/1/4
+/// snapshot configurations, and every pinned snapshot must still answer
+/// byte-for-byte what it answered at fork time. `--smoke` runs a
+/// seconds-scale version wired into ctest as snapshot_cow_smoke.
+///
+/// Emits BENCH_snapshot_cow.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sta/snapshot.hpp"
+#include "sta/state_signature.hpp"
+#include "util/rng.hpp"
+
+namespace mgba::bench {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::optional<std::size_t> sizable_sibling(const Library& library,
+                                           const Design& design,
+                                           InstanceId inst) {
+  const LibCell& cell = design.cell_of(inst);
+  if (cell.kind == CellKind::FlipFlop) return std::nullopt;
+  for (std::size_t j = 0; j < library.num_cells(); ++j) {
+    const LibCell& c = library.cell(j);
+    if (c.footprint == cell.footprint && c.name != cell.name) return j;
+  }
+  return std::nullopt;
+}
+
+/// Deterministic non-clock resize storm against the pristine design; the
+/// plan depends only on (library, design, graph), identical across the
+/// snapshot-count configurations, so every run replays the same ECOs.
+std::vector<std::pair<InstanceId, std::size_t>> plan_storm(
+    const Library& library, const Design& design, const Timer& timer,
+    std::size_t count, std::uint64_t seed) {
+  std::vector<std::pair<InstanceId, std::size_t>> plan;
+  std::vector<std::uint8_t> used(design.num_instances(), 0);
+  Rng rng(seed);
+  while (plan.size() < count) {
+    const auto inst =
+        static_cast<InstanceId>(rng.uniform_index(design.num_instances()));
+    if (used[inst]) continue;
+    const auto sibling = sizable_sibling(library, design, inst);
+    if (!sibling.has_value()) continue;
+    if (design.instance(inst).cell == *sibling) continue;
+    const LibCell& cell = design.cell_of(inst);
+    const NodeId out = timer.graph().node_of_pin(
+        inst, static_cast<std::uint32_t>(cell.output_pin()));
+    if (out == kInvalidNode || timer.graph().node(out).is_clock_network) {
+      continue;
+    }
+    used[inst] = 1;
+    plan.emplace_back(inst, *sibling);
+  }
+  return plan;
+}
+
+std::unique_ptr<BenchStack> build_stack(std::size_t target_instances,
+                                        std::uint64_t seed,
+                                        double clock_ps) {
+  GeneratorOptions gen = scaled_design_options(target_instances, seed);
+  gen.name = "snapshot_cow";
+  auto stack = std::make_unique<BenchStack>(gen);
+  stack->constraints.clock_port = stack->generated.clock_port;
+  stack->constraints.clock_period_ps = clock_ps;
+  stack->timer =
+      std::make_unique<Timer>(stack->generated.design, stack->constraints);
+  stack->timer->set_instance_derates(
+      compute_gba_derates(stack->timer->graph(), stack->table));
+  stack->timer->update_timing();
+  return stack;
+}
+
+struct ForkResult {
+  std::size_t instances = 0;
+  std::size_t arena_bytes = 0;
+  std::size_t chunks = 0;
+  double fork_us = 0.0;       ///< one snapshot() fork, best of reps
+  double byte_copy_us = 0.0;  ///< full arena byte dump, the O(arena) foil
+};
+
+/// Times one fork against a full arena copy at one design size. The fork
+/// bumps table refcounts; the copy walks every byte — the ratio is the
+/// O(chunks touched) vs O(arena) claim in one number.
+ForkResult run_fork(std::size_t target_instances, std::uint64_t seed) {
+  auto stack = build_stack(target_instances, seed, 4000.0);
+  ForkResult r;
+  r.instances = stack->design().num_instances();
+  const Timer::MemoryStats m = stack->timer->memory_stats();
+  r.arena_bytes = m.arena_bytes;
+  r.chunks = m.cow_chunks;
+
+  const int reps = 16;
+  double best_fork = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = now_ms();
+    const auto snap = stack->timer->snapshot();
+    best_fork = std::min(best_fork, (now_ms() - t0) * 1e3);
+  }
+  r.fork_us = best_fork;
+
+  double best_copy = 1e30;
+  for (int i = 0; i < 3; ++i) {
+    const double t0 = now_ms();
+    const auto snap = stack->timer->snapshot();
+    const std::vector<std::uint8_t> bytes = snap->data().dump_bytes();
+    best_copy = std::min(best_copy, (now_ms() - t0) * 1e3);
+    if (bytes.size() != snap->data().bytes()) return r;  // keep bytes alive
+  }
+  r.byte_copy_us = best_copy;
+
+  std::printf(
+      "fork  %8zu insts  arena %7.1f MB  %6zu chunks  fork %8.1f us  "
+      "byte copy %10.1f us  (%.0fx)\n",
+      r.instances, r.arena_bytes / 1048576.0, r.chunks, r.fork_us,
+      r.byte_copy_us, r.byte_copy_us / std::max(r.fork_us, 0.01));
+  return r;
+}
+
+struct StormResult {
+  std::size_t live_snapshots = 0;
+  double storm_ms = 0.0;
+  std::size_t retained_bytes = 0;
+  std::size_t shared_chunks = 0;
+  bool identical = true;
+};
+
+/// Replays the deterministic resize storm with \p live snapshots pinned;
+/// every step re-times the head and reads WNS/TNS at every corner. Fills
+/// \p head_reference on the first call and bit-compares later configs
+/// against it; also re-verifies every pinned snapshot against its
+/// fork-time signature.
+StormResult run_storm(std::size_t target_instances, std::uint64_t seed,
+                      std::size_t live, std::size_t eco_size,
+                      std::vector<double>& head_reference) {
+  auto stack = build_stack(target_instances, seed, 2500.0);
+  const auto plan = plan_storm(stack->library, stack->design(), *stack->timer,
+                               eco_size, 9001);
+
+  std::vector<std::shared_ptr<const TimingSnapshot>> pinned;
+  std::vector<std::vector<double>> pinned_sigs;
+  for (std::size_t i = 0; i < live; ++i) {
+    pinned.push_back(stack->timer->snapshot());
+    pinned_sigs.push_back(state_signature(*pinned.back()));
+  }
+
+  StormResult r;
+  r.live_snapshots = live;
+  double checksum = 0.0;
+  const double t0 = now_ms();
+  for (const auto& [inst, cell] : plan) {
+    stack->design().resize_instance(inst, cell);
+    stack->timer->invalidate_instance(inst);
+    stack->timer->update_timing();
+    for (CornerId c = 0; c < stack->timer->num_corners(); ++c) {
+      checksum += stack->timer->wns(Mode::Late, c);
+      checksum += stack->timer->tns(Mode::Late, c);
+    }
+  }
+  r.storm_ms = now_ms() - t0;
+  if (checksum == 1e300) return r;  // defeat dead-code elimination
+
+  const Timer::MemoryStats m = stack->timer->memory_stats();
+  r.retained_bytes = m.cow_retained_bytes;
+  r.shared_chunks = m.cow_shared_chunks;
+
+  const std::vector<double> head = state_signature(*stack->timer);
+  if (head_reference.empty()) {
+    head_reference = head;
+  } else if (!same_bits(head, head_reference)) {
+    r.identical = false;
+    std::printf("ERROR: head diverged with %zu live snapshots\n", live);
+  }
+  for (std::size_t i = 0; i < pinned.size(); ++i) {
+    if (!same_bits(state_signature(*pinned[i]), pinned_sigs[i])) {
+      r.identical = false;
+      std::printf("ERROR: snapshot %zu moved during the storm\n", i);
+    }
+  }
+
+  std::printf(
+      "storm %zu snapshots  %8.1f ms  retained %8.2f MB  shared chunks "
+      "%6zu\n",
+      live, r.storm_ms, r.retained_bytes / 1048576.0, r.shared_chunks);
+  return r;
+}
+
+int run(bool smoke) {
+  const std::vector<std::size_t> fork_sizes =
+      smoke ? std::vector<std::size_t>{3'000}
+            : std::vector<std::size_t>{12'000, 60'000, 250'000};
+  std::vector<ForkResult> forks;
+  for (const std::size_t size : fork_sizes) forks.push_back(run_fork(size, 7));
+
+  const std::size_t storm_instances = smoke ? 3'000 : 60'000;
+  const std::size_t eco_size = smoke ? 8 : 48;
+  std::vector<double> head_reference;
+  std::vector<StormResult> storms;
+  for (const std::size_t live : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{4}}) {
+    storms.push_back(
+        run_storm(storm_instances, 11, live, eco_size, head_reference));
+  }
+  bool identical = true;
+  for (const StormResult& s : storms) identical = identical && s.identical;
+
+  if (smoke) {
+    std::printf(identical
+                    ? "smoke OK: head and pinned snapshots bit-stable at "
+                      "0/1/4 live snapshots\n"
+                    : "smoke FAILED\n");
+    return identical ? 0 : 1;
+  }
+
+  std::FILE* out = std::fopen("BENCH_snapshot_cow.json", "w");
+  if (out == nullptr) {
+    std::printf("ERROR: cannot open BENCH_snapshot_cow.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bit_identical_all_configs\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(out, "  \"fork_cost\": [\n");
+  for (std::size_t i = 0; i < forks.size(); ++i) {
+    const ForkResult& f = forks[i];
+    std::fprintf(out,
+                 "    {\"instances\": %zu, \"arena_bytes\": %zu, "
+                 "\"chunks\": %zu, \"fork_us\": %.2f, "
+                 "\"arena_byte_copy_us\": %.1f, \"copy_over_fork\": %.1f}%s\n",
+                 f.instances, f.arena_bytes, f.chunks, f.fork_us,
+                 f.byte_copy_us, f.byte_copy_us / std::max(f.fork_us, 0.01),
+                 i + 1 < forks.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"eco_storm\": {\"instances\": %zu, \"resizes\": %zu, "
+               "\"configs\": [\n",
+               storm_instances, eco_size);
+  for (std::size_t i = 0; i < storms.size(); ++i) {
+    const StormResult& s = storms[i];
+    std::fprintf(out,
+                 "    {\"live_snapshots\": %zu, \"storm_ms\": %.2f, "
+                 "\"retained_bytes\": %zu, \"shared_chunks\": %zu, "
+                 "\"overhead_vs_none\": %.3f}%s\n",
+                 s.live_snapshots, s.storm_ms, s.retained_bytes,
+                 s.shared_chunks, s.storm_ms / storms[0].storm_ms,
+                 i + 1 < storms.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]}\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_snapshot_cow.json\n");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mgba::bench
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return mgba::bench::run(smoke);
+}

@@ -27,6 +27,7 @@
 #include "mgba/solvers.hpp"
 #include "pba/path_enum.hpp"
 #include "pba/path_eval.hpp"
+#include "sta/state_signature.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -78,11 +79,6 @@ void apply_small_eco(BenchStack& stack, std::size_t count,
     stack.timer->invalidate_instance(inst);
     ++applied;
   }
-}
-
-bool same_bits(const std::vector<double>& a, const std::vector<double>& b) {
-  return a.size() == b.size() &&
-         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
 }
 
 GeneratorOptions large_options() {

@@ -20,7 +20,13 @@
 # pool workers and push frontier pending flags / arc-change flags
 # concurrently, and under ASan because the frontier's pending and
 # level-bucket flags index per-node and per-(region, level) arrays that a
-# stale partitioning would overrun. Finally the shell's
+# stale partitioning would overrun. The snapshot suite joins both: under
+# TSan because the concurrent-reader stress has pool-independent reader
+# threads scanning a pinned snapshot's chunks while the writer privatizes
+# and re-times the head (the COW refcounts and chunk handoff must be
+# race-free), and under ASan because releasing the last snapshot handle
+# frees retained chunks whose stale reuse would read freed memory.
+# Finally the shell's
 # golden-transcript smoke test runs at 1 and 4 threads: the transcript
 # (including full-precision replayed slacks) must be byte-identical.
 set -euo pipefail
@@ -32,11 +38,11 @@ cmake --build build -j
 
 cmake -B build-tsan -S . -DMGBA_SANITIZE=thread
 cmake --build build-tsan -j --target mgba_tests
-MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*:SolverFastpath*:Partition*'
+MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*:SolverFastpath*:Partition*:Snapshot*'
 
 cmake -B build-asan -S . -DMGBA_SANITIZE=address
 cmake --build build-asan -j --target mgba_tests
-MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*:Partition*'
+MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*:Partition*:Snapshot*'
 
 for threads in 1 4; do
   ./scripts/shell_smoke.sh build/tools/mgba_timer \

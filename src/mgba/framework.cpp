@@ -1,6 +1,7 @@
 #include "mgba/framework.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "mgba/metrics.hpp"
@@ -8,6 +9,7 @@
 #include "pba/path_enum.hpp"
 #include "sta/report.hpp"
 #include "util/check.hpp"
+#include "util/float_bits.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -203,6 +205,10 @@ MgbaFlowResult MgbaRefitSession::fit() {
   // The row set is about to change wholesale; never let solve_scg reuse a
   // previous session's alias table just because the sizes coincide.
   scratch_.alias_valid = false;
+  // Drop the previous fit's version first: the cold flow runs full
+  // propagations, and a live snapshot would force each one to privatize
+  // the whole arena for a view nobody will read again.
+  fit_view_.reset();
   MgbaFlowResult result =
       run_mgba_flow_impl(*timer_, *table_, options_, &capture, &scratch_);
   paths_ = std::move(capture.paths);
@@ -213,8 +219,11 @@ MgbaFlowResult MgbaRefitSession::fit() {
   if (has_fit_) build_row_index();
   last_result_ = result;
   // Arm the log: from here on the timer records which instances value-only
-  // ECOs touch, and poisons itself on anything structural.
+  // ECOs touch, and poisons itself on anything structural. Capture the
+  // fitted version alongside — refit() bit-diffs head against it, so row
+  // invalidation no longer trusts the log alone.
   timer_->reset_eco_log();
+  if (has_fit_) fit_view_ = timer_->snapshot();
   return result;
 }
 
@@ -350,6 +359,81 @@ std::size_t MgbaRefitSession::collect_stale_rows(
   return cone_.size();
 }
 
+std::size_t MgbaRefitSession::add_version_diff_rows() {
+  if (!fit_view_) return 0;
+  // A second fork of the head: O(1), and it dies before the weight
+  // re-application below, so it never forces an O(arena) privatize.
+  const std::shared_ptr<const TimingSnapshot> head_view = timer_->snapshot();
+  const TimingData& head = head_view->data();
+  const TimingData& fit = fit_view_->data();
+  const TimingGraph& graph = timer_->graph();
+  // Shape or graph-identity drift implies a structural change, which
+  // poisons the log and routes refit() to the cold path before this runs;
+  // guard anyway so the diff can never index across shapes.
+  if (!head.same_shape(fit) || &fit_view_->graph() != &graph) return 0;
+
+  const std::size_t num_nodes = head.num_nodes;
+  if (node_flag_.size() < num_nodes) node_flag_.resize(num_nodes, 0);
+  diff_nodes_.clear();
+  const auto mark_node = [&](NodeId n) {
+    if (!node_flag_[n]) {
+      node_flag_[n] = 1;
+      diff_nodes_.push_back(n);
+    }
+  };
+  // Chunk pointers that still match are bit-identical by the COW fork
+  // invariant (a shared chunk is never written), so the value compare
+  // walks only the diverged ranges — O(chunks the ECOs touched).
+  const auto diff_values = [&](const CowVec<double>& now,
+                               const CowVec<double>& then,
+                               const auto& node_of) {
+    now.for_each_diverged_range(then, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        if (float_bits(now[i]) != float_bits(then[i])) mark_node(node_of(i));
+      }
+    });
+  };
+  const auto self_node = [&](std::size_t i) {
+    return static_cast<NodeId>(i % num_nodes);
+  };
+  const auto arc_to_node = [&](std::size_t i) {
+    return graph.arc(static_cast<ArcId>(i % head.num_arcs)).to;
+  };
+  diff_values(head.arrival, fit.arrival, self_node);
+  diff_values(head.slew, fit.slew, self_node);
+  diff_values(head.required, fit.required, self_node);
+  diff_values(head.arc_delay, fit.arc_delay, arc_to_node);
+  diff_values(head.arc_delay_base, fit.arc_delay_base, arc_to_node);
+  head.check.for_each_diverged_range(
+      fit.check, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const CheckTiming& now = head.check[i];
+          const CheckTiming& then = fit.check[i];
+          if (std::memcmp(&now, &then, sizeof(CheckTiming)) != 0) {
+            mark_node(graph.checks()[i % head.num_checks].data_node);
+          }
+        }
+      });
+
+  // Union the moved nodes' rows into the log-derived stale set.
+  std::size_t added = 0;
+  for (const std::size_t r : stale_rows_) row_stale_[r] = 1;
+  for (const NodeId n : diff_nodes_) {
+    for (std::size_t k = node_row_ptr_[n]; k < node_row_ptr_[n + 1]; ++k) {
+      const std::size_t row = node_row_idx_[k];
+      if (!row_stale_[row]) {
+        row_stale_[row] = 1;
+        stale_rows_.push_back(row);
+        ++added;
+      }
+    }
+    node_flag_[n] = 0;
+  }
+  for (const std::size_t r : stale_rows_) row_stale_[r] = 0;
+  if (added > 0) std::sort(stale_rows_.begin(), stale_rows_.end());
+  return added;
+}
+
 MgbaFlowResult MgbaRefitSession::refit() {
   Timer& timer = *timer_;
   if (!has_fit_ || timer.eco_poisoned()) {
@@ -371,8 +455,16 @@ MgbaFlowResult MgbaRefitSession::refit() {
   stats_.eco_instances = touched.size();
   stats_.rows_total = problem_->num_rows();
   stats_.cone_nodes = collect_stale_rows(touched);
+  // Version diff: bit-compare head against the snapshot the problem was
+  // fit against and union in the rows of any moved value. With an honest
+  // log the diff is a subset of the cone (adds nothing); a mutation the
+  // log missed gets caught here instead of silently fitting stale rows.
+  stats_.diff_rows_added = add_version_diff_rows();
   stats_.rows_reevaluated = stale_rows_.size();
   ++stats_.warm_refits;
+  // Done reading the fitted version; release it before the weight
+  // re-application below so head writes stop privatizing against it.
+  fit_view_.reset();
 
   const PathEvaluator evaluator(timer, *table_, options_.eval_options, corner);
   if (!stale_rows_.empty()) {
@@ -442,6 +534,9 @@ MgbaFlowResult MgbaRefitSession::refit() {
   x_ = std::move(solved.x);
   last_result_ = result;
   timer.reset_eco_log();
+  // Re-capture: the refreshed weights are applied and propagated, so this
+  // version is what the cached problem now models.
+  fit_view_ = timer.snapshot();
 
   result.total_seconds = total_watch.seconds();
   MGBA_LOG_INFO(

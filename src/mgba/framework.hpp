@@ -16,6 +16,7 @@
 #include "mgba/problem.hpp"
 #include "mgba/solvers.hpp"
 #include "pba/path.hpp"
+#include "sta/snapshot.hpp"
 #include "sta/timer.hpp"
 
 namespace mgba {
@@ -123,6 +124,11 @@ struct RefitStats {
   std::size_t partitions_touched = 0;
   std::size_t boundary_rows = 0;
   std::size_t partition_rows_skipped = 0;
+  /// Rows the head-vs-fit snapshot diff added beyond the ECO-log cone in
+  /// the last refit. Zero when the log honestly covered every moved value
+  /// (the diff is then a subset of the cone); nonzero means the version
+  /// diff caught arena movement the log missed and backstopped it.
+  std::size_t diff_rows_added = 0;
 };
 
 /// Incremental mGBA refit session: makes repeated fits inside an ECO loop
@@ -170,6 +176,12 @@ class MgbaRefitSession {
   /// Marks rows whose path intersects the forward cone of the logged
   /// instances; fills stale_rows_. Returns the cone size.
   std::size_t collect_stale_rows(std::span<const InstanceId> touched);
+  /// Bit-diffs the current head arena against the snapshot fit() captured
+  /// (value compare confined to pointer-diverged COW chunks) and unions
+  /// the rows of any node whose value moved into stale_rows_. Returns the
+  /// number of rows added beyond the log-derived set — the refit no longer
+  /// has to trust the poisonable ECO log alone.
+  std::size_t add_version_diff_rows();
 
   Timer* timer_;
   const DerateTable* table_;
@@ -184,6 +196,9 @@ class MgbaRefitSession {
   std::vector<double> x_;          ///< previous solution (warm start)
   MgbaFlowResult last_result_;
   SolverScratch scratch_;
+  /// The timing version the cached problem was fit against, captured right
+  /// after fit()/refit() applied its weights. refit() diffs head vs this.
+  std::shared_ptr<const TimingSnapshot> fit_view_;
 
   // node -> rows inverted index (CSR layout over graph nodes).
   std::vector<std::size_t> node_row_ptr_;
@@ -201,6 +216,7 @@ class MgbaRefitSession {
   // entries only.
   std::vector<std::uint8_t> node_flag_;
   std::vector<NodeId> cone_;
+  std::vector<NodeId> diff_nodes_;
   std::vector<NodeId> seed_scratch_;
   std::vector<std::uint8_t> row_stale_;
   std::vector<std::size_t> stale_rows_;

@@ -7,11 +7,11 @@
 
 namespace mgba {
 
-PathEnumerator::PathEnumerator(const Timer& timer, std::size_t k, Mode mode,
-                               CornerId corner)
-    : timer_(&timer), k_(k), mode_(mode), corner_(corner) {
+PathEnumerator::PathEnumerator(std::shared_ptr<const TimingSnapshot> view,
+                               std::size_t k, Mode mode, CornerId corner)
+    : view_(std::move(view)), k_(k), mode_(mode), corner_(corner) {
   MGBA_CHECK(k_ > 0);
-  const TimingGraph& graph = timer.graph();
+  const TimingGraph& graph = view_->graph();
   const Design& design = graph.design();
   candidates_.assign(graph.num_nodes(), {});
 
@@ -27,7 +27,7 @@ PathEnumerator::PathEnumerator(const Timer& timer, std::size_t k, Mode mode,
   for (const NodeId launch : graph.launch_nodes()) {
     is_launch[launch] = true;
     candidates_[launch].push_back(
-        {timer.arrival(launch, mode_, corner_), kInvalidArc, 0});
+        {view_->arrival(launch, mode_, corner_), kInvalidArc, 0});
   }
 
   // K-best DP, level-synchronous over data nodes. "Best" is the
@@ -46,7 +46,7 @@ PathEnumerator::PathEnumerator(const Timer& timer, std::size_t k, Mode mode,
     for (const ArcId a : graph.fanin(u)) {
       const TimingArc& arc = graph.arc(a);
       if (graph.node(arc.from).is_clock_network) continue;  // CK->Q handled
-      const double delay = timer_->arc_delay(a, mode_, corner_);
+      const double delay = view_->arc_delay(a, mode_, corner_);
       const auto& preds = candidates_[arc.from];
       for (std::uint32_t r = 0; r < preds.size(); ++r) {
         merged.push_back({preds[r].arrival + delay, a, r});
@@ -73,7 +73,7 @@ PathEnumerator::PathEnumerator(const Timer& timer, std::size_t k, Mode mode,
 }
 
 TimingPath PathEnumerator::backtrack(NodeId endpoint, std::size_t rank) const {
-  const TimingGraph& graph = timer_->graph();
+  const TimingGraph& graph = view_->graph();
   TimingPath path;
   path.gba_arrival_ps = candidates_[endpoint][rank].arrival;
 
@@ -114,7 +114,7 @@ std::vector<TimingPath> PathEnumerator::all_paths() const {
   // Backtracking is independent per endpoint; collect per-endpoint lists
   // in parallel and flatten in endpoint order so the result is identical
   // to the serial concatenation.
-  const auto& endpoints = timer_->graph().endpoints();
+  const auto& endpoints = view_->graph().endpoints();
   std::vector<std::vector<TimingPath>> per_endpoint(endpoints.size());
   parallel_for(endpoints.size(), 8, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {

@@ -13,23 +13,32 @@
 /// PBA slack computation (candidates are re-scored path-by-path by the
 /// PathEvaluator).
 
+#include <memory>
 #include <vector>
 
 #include "pba/path.hpp"
+#include "sta/snapshot.hpp"
 #include "sta/timer.hpp"
 
 namespace mgba {
 
 class PathEnumerator {
  public:
-  /// Runs the k-best DP once over the whole data graph. The timer must be
-  /// up to date; results snapshot the timer's current arc delays at
-  /// \p corner. Late mode keeps the k *largest* arrivals (setup-critical
+  /// Runs the k-best DP once over the data graph of one frozen timing
+  /// version. Late mode keeps the k *largest* arrivals (setup-critical
   /// paths); Early mode keeps the k *smallest* (hold-critical paths).
   /// Multi-corner flows run one enumerator per corner: the golden path set
-  /// of a corner is defined by that corner's delays.
+  /// of a corner is defined by that corner's delays. The snapshot is
+  /// retained, so enumeration and backtracking stay consistent even while
+  /// the originating Timer keeps mutating.
+  PathEnumerator(std::shared_ptr<const TimingSnapshot> view, std::size_t k,
+                 Mode mode = Mode::Late, CornerId corner = kDefaultCorner);
+
+  /// Convenience bridge: forks a snapshot of the timer's current state
+  /// (the timer must be up to date) and enumerates on that.
   PathEnumerator(const Timer& timer, std::size_t k, Mode mode = Mode::Late,
-                 CornerId corner = kDefaultCorner);
+                 CornerId corner = kDefaultCorner)
+      : PathEnumerator(timer.snapshot(), k, mode, corner) {}
 
   [[nodiscard]] CornerId corner() const { return corner_; }
 
@@ -51,7 +60,7 @@ class PathEnumerator {
 
   TimingPath backtrack(NodeId endpoint, std::size_t rank) const;
 
-  const Timer* timer_;
+  std::shared_ptr<const TimingSnapshot> view_;
   std::size_t k_;
   Mode mode_ = Mode::Late;
   CornerId corner_ = kDefaultCorner;

@@ -5,23 +5,25 @@
 
 namespace mgba {
 
-PathEvaluator::PathEvaluator(const Timer& timer, const DerateTable& table,
-                             PathEvalOptions options, CornerId corner)
-    : timer_(&timer), table_(&table), options_(options), corner_(corner) {}
+PathEvaluator::PathEvaluator(std::shared_ptr<const TimingSnapshot> view,
+                             const DerateTable& table, PathEvalOptions options,
+                             CornerId corner)
+    : view_(std::move(view)), table_(&table), options_(options),
+      corner_(corner) {}
 
 double PathEvaluator::gba_path_slack(const TimingPath& path) const {
-  return timer_->required(path.endpoint(), Mode::Late, corner_) -
+  return view_->required(path.endpoint(), Mode::Late, corner_) -
          path.gba_arrival_ps;
 }
 
 double PathEvaluator::gba_path_hold_slack(const TimingPath& path) const {
   return path.gba_arrival_ps -
-         timer_->required(path.endpoint(), Mode::Early, corner_);
+         view_->required(path.endpoint(), Mode::Early, corner_);
 }
 
 double PathEvaluator::plain_gba_arrival(const TimingPath& path,
                                         Mode mode) const {
-  const Timer& timer = *timer_;
+  const TimingSnapshot& timer = *view_;
   const TimingGraph& graph = timer.graph();
   double arrival = timer.arrival(path.nodes.front(), mode, corner_);
   for (const ArcId a : path.arcs) {
@@ -37,7 +39,7 @@ double PathEvaluator::plain_gba_arrival(const TimingPath& path,
 }
 
 PathTiming PathEvaluator::evaluate(const TimingPath& path) const {
-  const Timer& timer = *timer_;
+  const TimingSnapshot& timer = *view_;
   const TimingGraph& graph = timer.graph();
 
   PathTiming out;
@@ -109,7 +111,7 @@ PathTiming PathEvaluator::evaluate(const TimingPath& path) const {
 }
 
 PathTiming PathEvaluator::evaluate_hold(const TimingPath& path) const {
-  const Timer& timer = *timer_;
+  const TimingSnapshot& timer = *view_;
   const TimingGraph& graph = timer.graph();
 
   PathTiming out;

@@ -12,8 +12,11 @@
 ///   3. exact launch/capture CRPR credit (vs. GBA's conservative minimum
 ///      over all possible launches).
 
+#include <memory>
+
 #include "aocv/derate_table.hpp"
 #include "pba/path.hpp"
+#include "sta/snapshot.hpp"
 #include "sta/timer.hpp"
 
 namespace mgba {
@@ -40,11 +43,19 @@ struct PathTiming {
 
 class PathEvaluator {
  public:
-  /// The timer must outlive the evaluator and be up to date. All GBA reads
-  /// and PBA re-evaluation (library scaling included) happen at \p corner;
-  /// pass the corner's own derate table alongside it in multi-corner flows.
+  /// Evaluates against one frozen timing version (retained for the
+  /// evaluator's lifetime). All GBA reads and PBA re-evaluation (library
+  /// scaling included) happen at \p corner; pass the corner's own derate
+  /// table alongside it in multi-corner flows.
+  PathEvaluator(std::shared_ptr<const TimingSnapshot> view,
+                const DerateTable& table, PathEvalOptions options = {},
+                CornerId corner = kDefaultCorner);
+
+  /// Convenience bridge: forks a snapshot of the timer's current state
+  /// (the timer must be up to date) and evaluates against that.
   PathEvaluator(const Timer& timer, const DerateTable& table,
-                PathEvalOptions options = {}, CornerId corner = kDefaultCorner);
+                PathEvalOptions options = {}, CornerId corner = kDefaultCorner)
+      : PathEvaluator(timer.snapshot(), table, options, corner) {}
 
   [[nodiscard]] CornerId corner() const { return corner_; }
 
@@ -78,7 +89,7 @@ class PathEvaluator {
                                          Mode mode) const;
 
  private:
-  const Timer* timer_;
+  std::shared_ptr<const TimingSnapshot> view_;
   const DerateTable* table_;
   PathEvalOptions options_;
   CornerId corner_ = kDefaultCorner;

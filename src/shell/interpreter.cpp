@@ -243,26 +243,26 @@ std::string ShellInterpreter::cmd_read_netlist(const ParsedCommand& p) {
 std::string ShellInterpreter::cmd_report_wns_tns(const ParsedCommand& p,
                                                 bool tns) {
   if (!session_.loaded()) return "no design loaded (read_netlist first)";
-  const Timer& timer = session_.timer();
+  const auto view = session_.timing_view();
   const Mode mode = p.has_flag("early") ? Mode::Early : Mode::Late;
   const char* what = tns ? "tns" : "wns";
   std::optional<CornerId> corner;
   if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
   const auto value = [&](CornerId c) {
-    return tns ? timer.tns(mode, c) : timer.wns(mode, c);
+    return tns ? view->tns(mode, c) : view->wns(mode, c);
   };
   if (corner.has_value()) {
     out_ << str_format("%s %s = %.6f ps\n", what,
-                       corner_label(timer, *corner).c_str(), value(*corner));
+                       corner_label(*view, *corner).c_str(), value(*corner));
     return "";
   }
-  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+  for (CornerId c = 0; c < view->num_corners(); ++c) {
     out_ << str_format("%s %s = %.6f ps\n", what,
-                       corner_label(timer, c).c_str(), value(c));
+                       corner_label(*view, c).c_str(), value(c));
   }
   if (session_.multi_corner()) {
     const double merged =
-        tns ? timer.tns_merged(mode) : timer.wns_merged(mode);
+        tns ? view->tns_merged(mode) : view->wns_merged(mode);
     out_ << str_format("%s merged = %.6f ps\n", what, merged);
   }
   return "";
@@ -270,7 +270,7 @@ std::string ShellInterpreter::cmd_report_wns_tns(const ParsedCommand& p,
 
 std::string ShellInterpreter::cmd_report_worst_slack(const ParsedCommand& p) {
   if (!session_.loaded()) return "no design loaded (read_netlist first)";
-  const Timer& timer = session_.timer();
+  const auto view = session_.timing_view();
   const Mode mode = p.has_flag("early") ? Mode::Early : Mode::Late;
   std::optional<CornerId> corner;
   if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
@@ -278,8 +278,8 @@ std::string ShellInterpreter::cmd_report_worst_slack(const ParsedCommand& p) {
     // Worst endpoint at one specific corner.
     NodeId worst = kInvalidNode;
     double worst_slack = 0.0;
-    for (const NodeId e : timer.graph().endpoints()) {
-      const double s = timer.slack(e, mode, *corner);
+    for (const NodeId e : view->graph().endpoints()) {
+      const double s = view->slack(e, mode, *corner);
       if (worst == kInvalidNode || s < worst_slack) {
         worst = e;
         worst_slack = s;
@@ -287,25 +287,25 @@ std::string ShellInterpreter::cmd_report_worst_slack(const ParsedCommand& p) {
     }
     if (worst == kInvalidNode) return "design has no endpoints";
     out_ << str_format("worst slack %s = %.6f ps at %s\n",
-                       corner_label(timer, *corner).c_str(), worst_slack,
-                       timer.graph().node_name(worst).c_str());
+                       corner_label(*view, *corner).c_str(), worst_slack,
+                       view->graph().node_name(worst).c_str());
     return "";
   }
-  const NodeId worst = timer.worst_endpoint_merged(mode);
+  const NodeId worst = view->worst_endpoint_merged(mode);
   if (worst == kInvalidNode) return "design has no endpoints";
-  const CornerId at = timer.worst_slack_corner(worst, mode);
+  const CornerId at = view->worst_slack_corner(worst, mode);
   out_ << str_format("worst slack = %.6f ps at %s (%s)\n",
-                     timer.slack_merged(worst, mode),
-                     timer.graph().node_name(worst).c_str(),
-                     corner_label(timer, at).c_str());
+                     view->slack_merged(worst, mode),
+                     view->graph().node_name(worst).c_str(),
+                     corner_label(*view, at).c_str());
   return "";
 }
 
 std::string ShellInterpreter::cmd_get_slack(const ParsedCommand& p) {
   if (!session_.loaded()) return "no design loaded (read_netlist first)";
-  const Timer& timer = session_.timer();
+  const auto view = session_.timing_view();
   const std::string& name = p.positional[0];
-  const auto endpoint = timer.graph().find_endpoint(name);
+  const auto endpoint = view->graph().find_endpoint(name);
   if (!endpoint.has_value()) return "no endpoint named '" + name + "'";
   const Mode mode = p.has_flag("early") ? Mode::Early : Mode::Late;
   const char* mode_tag = p.has_flag("early") ? " early" : "";
@@ -313,41 +313,41 @@ std::string ShellInterpreter::cmd_get_slack(const ParsedCommand& p) {
   if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
   if (corner.has_value()) {
     out_ << str_format("slack(%s)%s %s = %.17g ps\n", name.c_str(), mode_tag,
-                       corner_label(timer, *corner).c_str(),
-                       timer.slack(*endpoint, mode, *corner));
+                       corner_label(*view, *corner).c_str(),
+                       view->slack(*endpoint, mode, *corner));
     return "";
   }
-  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+  for (CornerId c = 0; c < view->num_corners(); ++c) {
     out_ << str_format("slack(%s)%s %s = %.17g ps\n", name.c_str(), mode_tag,
-                       corner_label(timer, c).c_str(),
-                       timer.slack(*endpoint, mode, c));
+                       corner_label(*view, c).c_str(),
+                       view->slack(*endpoint, mode, c));
   }
   if (session_.multi_corner()) {
     out_ << str_format("slack(%s)%s merged = %.17g ps\n", name.c_str(),
-                       mode_tag, timer.slack_merged(*endpoint, mode));
+                       mode_tag, view->slack_merged(*endpoint, mode));
   }
   return "";
 }
 
 std::string ShellInterpreter::cmd_report_path(const ParsedCommand& p) {
   if (!session_.loaded()) return "no design loaded (read_netlist first)";
-  const Timer& timer = session_.timer();
+  const auto view = session_.timing_view();
   NodeId endpoint = kInvalidNode;
   if (!p.positional.empty()) {
-    const auto found = timer.graph().find_endpoint(p.positional[0]);
+    const auto found = view->graph().find_endpoint(p.positional[0]);
     if (!found.has_value()) {
       return "no endpoint named '" + p.positional[0] + "'";
     }
     endpoint = *found;
   } else {
-    endpoint = timer.worst_endpoint_merged(Mode::Late);
+    endpoint = view->worst_endpoint_merged(Mode::Late);
     if (endpoint == kInvalidNode) return "design has no endpoints";
   }
   std::optional<CornerId> corner;
   if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
   const CornerId at =
-      corner.value_or(timer.worst_slack_corner(endpoint, Mode::Late));
-  out_ << report_worst_path(timer, endpoint, at);
+      corner.value_or(view->worst_slack_corner(endpoint, Mode::Late));
+  out_ << report_worst_path(*view, endpoint, at);
   return "";
 }
 
@@ -552,7 +552,7 @@ void ShellInterpreter::register_commands() {
          if (std::string err = resolve_corner(p, corner); !err.empty()) {
            return err;
          }
-         out_ << report_endpoints(session_.timer(), count,
+         out_ << report_endpoints(*session_.timing_view(), count,
                                   corner.value_or(kDefaultCorner));
          return std::string();
        }});
@@ -672,6 +672,40 @@ void ShellInterpreter::register_commands() {
                             p.positional[0].c_str());
          return std::string();
        }});
+  // Versioned timing snapshots.
+  add("snapshot",
+      {"snapshot", "pin the current timing state as a frozen snapshot", 0, 0,
+       {}, {}, [this](const ParsedCommand&) {
+         if (!session_.loaded()) {
+           return std::string("no design loaded (read_netlist first)");
+         }
+         const std::size_t id = session_.take_snapshot();
+         const Timer::MemoryStats m = session_.timer().memory_stats();
+         out_ << str_format(
+             "snapshot %zu pinned (%zu live, %zu bytes retained)\n", id,
+             m.live_snapshots, m.cow_retained_bytes);
+         return std::string();
+       }});
+  add("release",
+      {"release <snapshot>", "release a pinned timing snapshot", 1, 1, {}, {},
+       [this](const ParsedCommand& p) {
+         if (!session_.loaded()) {
+           return std::string("no design loaded (read_netlist first)");
+         }
+         std::size_t id = 0;
+         if (!parse_size(p.positional[0], id)) {
+           return "not a snapshot id: " + p.positional[0];
+         }
+         if (std::string err = session_.release_snapshot(id); !err.empty()) {
+           return err;
+         }
+         const Timer::MemoryStats m = session_.timer().memory_stats();
+         out_ << str_format(
+             "snapshot %zu released (%zu live, %zu bytes retained)\n", id,
+             m.live_snapshots, m.cow_retained_bytes);
+         return std::string();
+       }});
+
   add("replay_eco",
       {"replay_eco <file>", "apply a journal file to this session", 1, 1, {},
        {}, [this](const ParsedCommand& p) {

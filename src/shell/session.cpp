@@ -49,6 +49,8 @@ std::string ShellSession::load_library(const std::string& path) {
   }
   std::ifstream in(path);
   if (!in) return "cannot open library " + path;
+  eco_view_.reset();  // snapshots must not outlive the timer they reference
+  pinned_snapshots_.clear();
   timer_.reset();  // references the old library via the design
   design_.reset();
   library_ = read_library(in);
@@ -112,7 +114,10 @@ std::string ShellSession::load(const LoadRequest& request) {
     return "read_netlist: give a file, -design N, or -gates N";
   }
 
-  // Tear down the old session before the new design replaces it.
+  // Tear down the old session before the new design replaces it. Any
+  // pinned snapshots reference the old timer and must go first.
+  eco_view_.reset();
+  pinned_snapshots_.clear();
   timer_.reset();
   design_ = std::move(design);
   journal_ = EcoJournal{};
@@ -323,6 +328,9 @@ std::string ShellSession::begin_eco() {
   if (!loaded()) return "no design loaded (read_netlist first)";
   if (!journal_.begin()) return "an ECO transaction is already open";
   open_snapshot_ = snapshot_weights();
+  // Pin the pre-ECO timing version: queries issued while the transaction
+  // is open read this frozen view, never the half-mutated head.
+  eco_view_ = timer_->snapshot();
   return "";
 }
 
@@ -353,6 +361,28 @@ std::string ShellSession::end_eco(std::size_t& num_records) {
   MGBA_CHECK(journal_.end());
   committed_snapshots_.push_back(std::move(open_snapshot_));
   open_snapshot_ = WeightSnapshot{};
+  eco_view_.reset();  // queries go back to reading the (committed) head
+  return "";
+}
+
+std::shared_ptr<const TimingSnapshot> ShellSession::timing_view() const {
+  if (journal_.in_transaction() && eco_view_ != nullptr) return eco_view_;
+  return timer_->snapshot();
+}
+
+std::size_t ShellSession::take_snapshot() {
+  pinned_snapshots_.emplace_back(next_snapshot_id_++, timer_->snapshot());
+  return pinned_snapshots_.back().first;
+}
+
+std::string ShellSession::release_snapshot(std::size_t id) {
+  const auto it =
+      std::find_if(pinned_snapshots_.begin(), pinned_snapshots_.end(),
+                   [id](const auto& entry) { return entry.first == id; });
+  if (it == pinned_snapshots_.end()) {
+    return str_format("no pinned snapshot with id %zu", id);
+  }
+  pinned_snapshots_.erase(it);
   return "";
 }
 

@@ -35,6 +35,7 @@
 #include "netlist/design.hpp"
 #include "opt/optimizer.hpp"
 #include "shell/eco_journal.hpp"
+#include "sta/snapshot.hpp"
 #include "sta/timer.hpp"
 
 namespace mgba::shell {
@@ -75,6 +76,22 @@ class ShellSession : public TransformListener {
   [[nodiscard]] const EcoJournal& journal() const { return journal_; }
   [[nodiscard]] double clock_period_ps() const {
     return constraints_.clock_period_ps;
+  }
+
+  /// The timing version query commands read. While an ECO transaction is
+  /// open this is the snapshot begin_eco pinned — reports describe one
+  /// consistent pre-ECO state while the edits mutate the head — otherwise
+  /// a fresh snapshot of the current head (bit-identical to live reads).
+  [[nodiscard]] std::shared_ptr<const TimingSnapshot> timing_view() const;
+
+  // --- pinned snapshots (`snapshot` / `release` commands) ------------------
+
+  /// Pins the current timing state as a frozen snapshot; returns its id.
+  std::size_t take_snapshot();
+  /// Releases a pinned snapshot, dropping its retained COW chunks.
+  std::string release_snapshot(std::size_t id);
+  [[nodiscard]] std::size_t num_pinned_snapshots() const {
+    return pinned_snapshots_.size();
   }
 
   // --- loading (all return "" on success, else a one-line error) -----------
@@ -175,6 +192,16 @@ class ShellSession : public TransformListener {
   /// In-memory only — undo state does not travel through journal files.
   std::vector<WeightSnapshot> committed_snapshots_;
   WeightSnapshot open_snapshot_;
+
+  /// Frozen pre-ECO timing version while a transaction is open; queries
+  /// read it so an in-flight ECO never shows them a torn state.
+  std::shared_ptr<const TimingSnapshot> eco_view_;
+  /// User-pinned snapshots, in pin order. Cleared (with eco_view_) before
+  /// the Timer they reference is torn down — a snapshot must never outlive
+  /// its Timer.
+  std::vector<std::pair<std::size_t, std::shared_ptr<const TimingSnapshot>>>
+      pinned_snapshots_;
+  std::size_t next_snapshot_id_ = 1;
 
   /// Buffers named so far ("optbuf_<k>"), shared between insert_buffer and
   /// optimize invocations so names never collide.

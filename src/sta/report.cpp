@@ -12,12 +12,12 @@ namespace mgba {
 namespace {
 
 /// Shared histogram body: \p slack_of supplies the per-endpoint slack and
-/// \p view the header label ("corner 'x'" or "merged worst").
-std::string slack_histogram(const Timer& timer, std::size_t num_bins,
+/// \p label the header label ("corner 'x'" or "merged worst").
+std::string slack_histogram(const TimingSnapshot& view, std::size_t num_bins,
                             const std::function<double(NodeId)>& slack_of,
-                            const std::string& view) {
+                            const std::string& label) {
   std::vector<double> slacks;
-  for (const NodeId e : timer.graph().endpoints()) {
+  for (const NodeId e : view.graph().endpoints()) {
     const double s = slack_of(e);
     if (s != kInfPs) slacks.push_back(s);  // skip false-path endpoints
   }
@@ -28,85 +28,85 @@ std::string slack_histogram(const Timer& timer, std::size_t num_bins,
   Histogram hist(lo, hi, num_bins);
   hist.add_all(slacks);
   return str_format("endpoint setup slack histogram [%s] (%zu endpoints)\n",
-                    view.c_str(), slacks.size()) +
+                    label.c_str(), slacks.size()) +
          hist.to_text(48);
 }
 
 }  // namespace
 
-std::string corner_label(const Timer& timer, CornerId corner) {
-  return str_format("corner '%s'", timer.corner(corner).name.c_str());
+std::string corner_label(const TimingSnapshot& view, CornerId corner) {
+  return str_format("corner '%s'", view.corner(corner).name.c_str());
 }
 
-std::string report_summary(const Timer& timer, Mode mode, CornerId corner) {
+std::string report_summary(const TimingSnapshot& view, Mode mode, CornerId corner) {
   const char* label = mode == Mode::Late ? "setup" : "hold";
   return str_format("%s [%s]: WNS=%.2fps TNS=%.2fps violations=%zu/%zu",
-                    label, corner_label(timer, corner).c_str(),
-                    timer.wns(mode, corner), timer.tns(mode, corner),
-                    timer.num_violations(mode, corner),
-                    timer.graph().endpoints().size());
+                    label, corner_label(view, corner).c_str(),
+                    view.wns(mode, corner), view.tns(mode, corner),
+                    view.num_violations(mode, corner),
+                    view.graph().endpoints().size());
 }
 
-std::string report_summary_merged(const Timer& timer, Mode mode) {
+std::string report_summary_merged(const TimingSnapshot& view, Mode mode) {
   const char* label = mode == Mode::Late ? "setup" : "hold";
   return str_format(
       "%s [merged worst of %zu corners]: WNS=%.2fps TNS=%.2fps "
       "violations=%zu/%zu",
-      label, timer.num_corners(), timer.wns_merged(mode),
-      timer.tns_merged(mode), timer.num_violations_merged(mode),
-      timer.graph().endpoints().size());
+      label, view.num_corners(), view.wns_merged(mode),
+      view.tns_merged(mode), view.num_violations_merged(mode),
+      view.graph().endpoints().size());
 }
 
-std::string report_endpoints(const Timer& timer, std::size_t count,
+std::string report_endpoints(const TimingSnapshot& view, std::size_t count,
                              CornerId corner) {
   std::vector<std::pair<double, NodeId>> slacks;
-  for (const NodeId e : timer.graph().endpoints()) {
-    slacks.emplace_back(timer.slack(e, Mode::Late, corner), e);
+  for (const NodeId e : view.graph().endpoints()) {
+    slacks.emplace_back(view.slack(e, Mode::Late, corner), e);
   }
   std::sort(slacks.begin(), slacks.end());
   std::string out =
       str_format("endpoint [%s]                    setup slack (ps)\n",
-                 corner_label(timer, corner).c_str());
+                 corner_label(view, corner).c_str());
   for (std::size_t i = 0; i < std::min(count, slacks.size()); ++i) {
     out += str_format("%-32s  %10.2f\n",
-                      timer.graph().node_name(slacks[i].second).c_str(),
+                      view.graph().node_name(slacks[i].second).c_str(),
                       slacks[i].first);
   }
   return out;
 }
 
-std::string report_worst_path(const Timer& timer, NodeId endpoint,
+std::string report_worst_path(const TimingSnapshot& view, NodeId endpoint,
                               CornerId corner) {
-  const std::vector<NodeId> path = timer.worst_path(endpoint, corner);
+  const std::vector<NodeId> path = view.worst_path(endpoint, corner);
   std::string out = str_format("worst path to %s [%s] (slack %.2fps)\n",
-                               timer.graph().node_name(endpoint).c_str(),
-                               corner_label(timer, corner).c_str(),
-                               timer.slack(endpoint, Mode::Late, corner));
+                               view.graph().node_name(endpoint).c_str(),
+                               corner_label(view, corner).c_str(),
+                               view.slack(endpoint, Mode::Late, corner));
   double prev_arrival = 0.0;
   for (std::size_t i = 0; i < path.size(); ++i) {
-    const double arr = timer.arrival(path[i], Mode::Late, corner);
+    const double arr = view.arrival(path[i], Mode::Late, corner);
     out += str_format("  %-32s arrival=%9.2f  +%8.2f\n",
-                      timer.graph().node_name(path[i]).c_str(), arr,
+                      view.graph().node_name(path[i]).c_str(), arr,
                       i == 0 ? 0.0 : arr - prev_arrival);
     prev_arrival = arr;
   }
   return out;
 }
 
-std::string report_slack_histogram(const Timer& timer, std::size_t num_bins,
+std::string report_slack_histogram(const TimingSnapshot& view, std::size_t num_bins,
                                    CornerId corner) {
   return slack_histogram(
-      timer, num_bins,
-      [&](NodeId e) { return timer.slack(e, Mode::Late, corner); },
-      corner_label(timer, corner));
+      view, num_bins,
+      [&](NodeId e) { return view.slack(e, Mode::Late, corner); },
+      corner_label(view, corner));
 }
 
-std::string report_slack_histogram_merged(const Timer& timer,
+std::string report_slack_histogram_merged(const TimingSnapshot& view,
                                           std::size_t num_bins) {
   return slack_histogram(
-      timer, num_bins,
-      [&](NodeId e) { return timer.slack_merged(e, Mode::Late); },
-      str_format("merged worst of %zu corners", timer.num_corners()));
+      view, num_bins,
+      [&](NodeId e) { return view.slack_merged(e, Mode::Late); },
+      str_format("merged worst of %zu corners", view.num_corners()));
 }
 
 }  // namespace mgba

@@ -6,42 +6,80 @@
 /// report is labeled with the analysis corner it reads (or "merged worst"
 /// for the across-corners min-slack view), so multi-corner output is never
 /// ambiguous.
+///
+/// Reports read a frozen TimingSnapshot — a report rendered while an ECO
+/// mutates the Timer head describes one consistent version, never a torn
+/// mix. The Timer& overloads are convenience bridges that fork a snapshot
+/// of the current state first.
 
 #include <string>
 
+#include "sta/snapshot.hpp"
 #include "sta/timer.hpp"
 
 namespace mgba {
 
 /// The label reports print for a corner: its name, e.g. "corner 'slow'".
-std::string corner_label(const Timer& timer, CornerId corner);
+std::string corner_label(const TimingSnapshot& view, CornerId corner);
 
 /// Summary line: WNS / TNS / violation count for a mode at one corner.
-std::string report_summary(const Timer& timer, Mode mode,
+std::string report_summary(const TimingSnapshot& view, Mode mode,
                            CornerId corner = kDefaultCorner);
 
 /// Summary line of the merged worst-corner view.
-std::string report_summary_merged(const Timer& timer, Mode mode);
+std::string report_summary_merged(const TimingSnapshot& view, Mode mode);
 
 /// Table of the \p count worst endpoints by slack (late mode) at a corner.
-std::string report_endpoints(const Timer& timer, std::size_t count = 10,
+std::string report_endpoints(const TimingSnapshot& view,
+                             std::size_t count = 10,
                              CornerId corner = kDefaultCorner);
 
 /// Full trace of the worst path into \p endpoint at a corner: per-node
 /// arrival and the arc delays along the path.
-std::string report_worst_path(const Timer& timer, NodeId endpoint,
+std::string report_worst_path(const TimingSnapshot& view, NodeId endpoint,
                               CornerId corner = kDefaultCorner);
 
 /// Text histogram of endpoint setup slacks (the classic closure progress
 /// view) at one corner: \p num_bins bins spanning [wns, best positive
 /// slack]. The header names the corner.
-std::string report_slack_histogram(const Timer& timer,
+std::string report_slack_histogram(const TimingSnapshot& view,
                                    std::size_t num_bins = 12,
                                    CornerId corner = kDefaultCorner);
 
 /// Histogram of the merged worst-corner endpoint slacks; the header reads
 /// "merged worst".
-std::string report_slack_histogram_merged(const Timer& timer,
+std::string report_slack_histogram_merged(const TimingSnapshot& view,
                                           std::size_t num_bins = 12);
+
+// --- Timer bridges: snapshot the current state, then report on it. ---------
+
+inline std::string corner_label(const Timer& timer, CornerId corner) {
+  return corner_label(*timer.snapshot(), corner);
+}
+inline std::string report_summary(const Timer& timer, Mode mode,
+                                  CornerId corner = kDefaultCorner) {
+  return report_summary(*timer.snapshot(), mode, corner);
+}
+inline std::string report_summary_merged(const Timer& timer, Mode mode) {
+  return report_summary_merged(*timer.snapshot(), mode);
+}
+inline std::string report_endpoints(const Timer& timer,
+                                    std::size_t count = 10,
+                                    CornerId corner = kDefaultCorner) {
+  return report_endpoints(*timer.snapshot(), count, corner);
+}
+inline std::string report_worst_path(const Timer& timer, NodeId endpoint,
+                                     CornerId corner = kDefaultCorner) {
+  return report_worst_path(*timer.snapshot(), endpoint, corner);
+}
+inline std::string report_slack_histogram(const Timer& timer,
+                                          std::size_t num_bins = 12,
+                                          CornerId corner = kDefaultCorner) {
+  return report_slack_histogram(*timer.snapshot(), num_bins, corner);
+}
+inline std::string report_slack_histogram_merged(const Timer& timer,
+                                                 std::size_t num_bins = 12) {
+  return report_slack_histogram_merged(*timer.snapshot(), num_bins);
+}
 
 }  // namespace mgba

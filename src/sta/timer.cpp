@@ -6,6 +6,8 @@
 #include <cmath>
 #include <functional>
 
+#include "sta/query_ops.hpp"
+#include "sta/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/float_bits.hpp"
 #include "util/strings.hpp"
@@ -24,25 +26,26 @@ constexpr double kMinWeightFactor = 0.05;
 constexpr std::size_t kIncrementalGrain = 32;
 }  // namespace
 
-/// Checkpoint state of one open TrialScope. Value trials carry a
-/// first-touch journal of overwritten arena slots; structural trials carry
-/// a full snapshot of everything a rebuild_graph replaces. `broken` means
-/// an operation the checkpoint cannot journal intervened (full update /
-/// rebuild for value trials, corner or weight changes for either kind) —
-/// rollback then fails over to legacy re-propagation.
+/// Checkpoint state of one open TrialScope. Both kinds checkpoint the
+/// arena by COW fork: begin is O(1), and head writes privatize only the
+/// chunks they touch (the same machinery snapshots use — this replaced
+/// the hand-rolled first-touch TrialJournal). Structural trials
+/// additionally retain the graph and every derived table a rebuild_graph
+/// replaces; the graph/statics are refcounted, the remaining tables are
+/// plain copies. `broken` means an operation the checkpoint cannot cover
+/// intervened (corner-set change, weight application) — rollback then
+/// fails over to legacy re-propagation.
 struct Timer::TrialState {
   bool structural = false;
   bool broken = false;
   std::vector<InstanceId> dirty_at_begin;
   bool dirty_full_at_begin = false;
-  // Value kind:
-  TrialJournal journal;
-  // Structural kind:
-  std::optional<TimingGraph> graph;
+  // Both kinds: COW fork of the arena at begin.
   TimingData data;
-  std::vector<std::vector<DeratePair>> derates;
-  std::vector<std::vector<ArcId>> instance_arcs;
-  std::vector<std::int32_t> check_of_ff;
+  // Structural kind:
+  std::shared_ptr<TimingGraph> graph;
+  std::shared_ptr<GraphStatics> statics;
+  std::vector<std::shared_ptr<const std::vector<DeratePair>>> derates;
   std::vector<std::vector<std::uint64_t>> launch_sets;
   std::vector<bool> port_launched;
   std::size_t launch_words = 0;
@@ -57,7 +60,8 @@ Timer::Timer(const Design& design, TimingConstraints constraints,
     : design_(&design),
       constraints_(std::move(constraints)),
       delay_(design, wire) {
-  derates_.resize(corners_.size());
+  derates_.assign(corners_.size(),
+                  std::make_shared<const std::vector<DeratePair>>());
   weights_.resize(corners_.size());
   weights_early_.resize(corners_.size());
   rebuild_graph();
@@ -69,8 +73,9 @@ void Timer::set_corners(std::vector<AnalysisCorner> corners) {
   MGBA_CHECK(!corners.empty());
   // Corner 0's configuration seeds every corner of the new set; callers
   // refine per corner afterwards (per-corner derate tables, fits).
-  const std::vector<DeratePair> seed_derates =
-      derates_.empty() ? std::vector<DeratePair>{} : derates_[0];
+  const std::shared_ptr<const std::vector<DeratePair>> seed_derates =
+      derates_.empty() ? std::make_shared<const std::vector<DeratePair>>()
+                       : derates_[0];
   const std::vector<double> seed_weights =
       weights_.empty() ? std::vector<double>{} : weights_[0];
   const std::vector<double> seed_weights_early =
@@ -96,7 +101,11 @@ std::optional<CornerId> Timer::find_corner(std::string_view name) const {
 }
 
 void Timer::set_instance_derates(std::vector<DeratePair> derates) {
-  for (auto& per_corner : derates_) per_corner = derates;
+  // Published inner vectors are immutable (snapshots share them); install
+  // one fresh shared vector across every corner.
+  const auto shared =
+      std::make_shared<const std::vector<DeratePair>>(std::move(derates));
+  for (auto& per_corner : derates_) per_corner = shared;
   dirty_full_ = true;
   eco_poisoned_ = true;  // every matrix entry a_ij = d_j * lambda_j moved
   // The coming full update rewrites every slot — more than a value journal
@@ -107,7 +116,8 @@ void Timer::set_instance_derates(std::vector<DeratePair> derates) {
 void Timer::set_corner_derates(CornerId corner,
                                std::vector<DeratePair> derates) {
   MGBA_CHECK(corner < derates_.size());
-  derates_[corner] = std::move(derates);
+  derates_[corner] =
+      std::make_shared<const std::vector<DeratePair>>(std::move(derates));
   dirty_full_ = true;
   eco_poisoned_ = true;
   break_value_trial();
@@ -164,11 +174,11 @@ void Timer::mark_weight_dirty(const std::vector<double>& before,
         std::max(kMinWeightFactor, 1.0 + a)) {
       continue;
     }
-    if (i >= instance_arcs_.size()) continue;
+    if (i >= statics_->instance_arcs.size()) continue;
     // Only instances with at least one weighted (data combinational cell)
     // arc can move a timing value; flops and clock cells never do.
     bool weighted = false;
-    for (const ArcId a_id : instance_arcs_[i]) {
+    for (const ArcId a_id : statics_->instance_arcs[i]) {
       if (is_weighted_arc(graph_->arc(a_id))) {
         weighted = true;
         break;
@@ -179,7 +189,7 @@ void Timer::mark_weight_dirty(const std::vector<double>& before,
     // arcs are the only places a weight change enters the timing values
     // (recomputing them re-evaluates the arc delays under the new factor).
     const std::size_t num_levels = partition_->num_levels();
-    for (const ArcId a_id : instance_arcs_[i]) {
+    for (const ArcId a_id : statics_->instance_arcs[i]) {
       const TimingArc& arc = graph_->arc(a_id);
       if (!is_weighted_arc(arc)) continue;
       node_pending_[arc.to] = 1;
@@ -206,7 +216,7 @@ void Timer::invalidate_instance(InstanceId inst) {
   // cell — or changing the load on a net the clock network drives —
   // breaks that, so fall back to a full update (which recomputes the
   // credits).
-  for (const ArcId a : instance_arcs_[inst]) {
+  for (const ArcId a : statics_->instance_arcs[inst]) {
     if (graph_->node(graph_->arc(a).to).is_clock_network) {
       dirty_full_ = true;
       eco_poisoned_ = true;  // clock arrivals move: every row is stale
@@ -264,7 +274,9 @@ void Timer::rebuild_graph() {
   // the old ids too — poison it.
   eco_poisoned_ = true;
   break_value_trial();
-  graph_.emplace(*design_, constraints_.clock_port);
+  // Fresh graph object: snapshots taken against the old one keep it alive.
+  graph_ = std::make_shared<TimingGraph>(*design_, constraints_.clock_port);
+  ++state_version_;
   allocate_storage();
   compute_instance_arcs();
   compute_launch_sets();
@@ -321,9 +333,11 @@ void Timer::allocate_storage() {
     for (int m = 0; m < kNumModes; ++m) {
       const std::size_t base = data_.node_index(c, m, 0);
       const double req_init = m == idx(Mode::Late) ? kInfPs : -kInfPs;
+      // resize() left every chunk exclusively owned (a shared table is
+      // detached, a shared chunk privatized), so plain mut() writes hold.
       for (std::size_t u = 0; u < n; ++u) {
-        data_.slew[base + u] = boundary_slew;
-        data_.required[base + u] = req_init;
+        data_.slew.mut(base + u) = boundary_slew;
+        data_.required.mut(base + u) = req_init;
       }
     }
   }
@@ -342,15 +356,20 @@ void Timer::resize_incremental_scratch() {
 }
 
 void Timer::compute_instance_arcs() {
-  instance_arcs_.assign(design_->num_instances(), {});
+  // Fresh bundle every structural pass: snapshots holding the previous
+  // one keep it alive by refcount; the head never mutates a shared one.
+  statics_ = std::make_shared<GraphStatics>();
+  statics_->instance_arcs.assign(design_->num_instances(), {});
   for (ArcId a = 0; a < graph_->num_arcs(); ++a) {
     const TimingArc& arc = graph_->arc(a);
-    if (arc.kind == TimingArc::Kind::Cell) instance_arcs_[arc.inst].push_back(a);
+    if (arc.kind == TimingArc::Kind::Cell) {
+      statics_->instance_arcs[arc.inst].push_back(a);
+    }
   }
-  check_of_ff_.assign(design_->num_instances(), -1);
+  statics_->check_of_ff.assign(design_->num_instances(), -1);
   const auto& checks = graph_->checks();
   for (std::size_t c = 0; c < checks.size(); ++c) {
-    check_of_ff_[checks[c].inst] = static_cast<std::int32_t>(c);
+    statics_->check_of_ff[checks[c].inst] = static_cast<std::int32_t>(c);
   }
 }
 
@@ -385,7 +404,7 @@ void Timer::compute_launch_sets() {
       const LibCell& cell = design_->library().cell(inst.cell);
       if (cell.kind == CellKind::FlipFlop &&
           node.terminal.pin == cell.output_pin()) {
-        const std::int32_t check = check_of_ff_[node.terminal.id];
+        const std::int32_t check = statics_->check_of_ff[node.terminal.id];
         if (check >= 0) {
           launch_sets_[u][static_cast<std::size_t>(check) / 64] |=
               std::uint64_t{1} << (static_cast<std::size_t>(check) % 64);
@@ -413,7 +432,7 @@ bool Timer::is_weighted_arc(const TimingArc& arc) const {
 double Timer::derate_for(const TimingArc& arc, Mode mode,
                          CornerId corner) const {
   if (arc.kind != TimingArc::Kind::Cell) return 1.0;
-  const auto& derates = derates_[corner];
+  const auto& derates = *derates_[corner];
   if (arc.inst >= derates.size()) return 1.0;
   const DeratePair& d = derates[arc.inst];
   return mode == Mode::Late ? d.late : d.early;
@@ -437,8 +456,8 @@ bool Timer::recompute_node(NodeId node, CornerId corner, CacheTally& tally) {
       const std::size_t at = data_.node_index(corner, m, node);
       changed = changed || std::abs(data_.arrival[at] - arr) > kEpsPs ||
                 std::abs(data_.slew[at] - sl) > kEpsPs;
-      data_.arrival[at] = arr;
-      data_.slew[at] = sl;
+      data_.arrival.mut(at) = arr;
+      data_.slew.mut(at) = sl;
     }
     return changed;
   }
@@ -463,7 +482,7 @@ bool Timer::recompute_node(NodeId node, CornerId corner, CacheTally& tally) {
                  arc.inst < weights_early.size()) {
         eff *= std::max(kMinWeightFactor, 1.0 + weights_early[arc.inst]);
       }
-      data_.arc_delay_base[arc_base + a] = timing.delay_ps;
+      data_.arc_delay_base.mut(arc_base + a) = timing.delay_ps;
       if (data_.arc_delay[arc_base + a] != eff) {
         // The flag is per arc, not per (corner, arc): in a multi-corner
         // full sweep two corners recomputing the same node both store 1
@@ -472,7 +491,7 @@ bool Timer::recompute_node(NodeId node, CornerId corner, CacheTally& tally) {
         std::atomic_ref<std::uint8_t>(arc_changed_scratch_[a])
             .store(1, std::memory_order_relaxed);
       }
-      data_.arc_delay[arc_base + a] = eff;
+      data_.arc_delay.mut(arc_base + a) = eff;
       const double cand = data_.arrival[node_base + arc.from] + eff;
       if (late) {
         best_arr = std::max(best_arr, cand);
@@ -485,8 +504,8 @@ bool Timer::recompute_node(NodeId node, CornerId corner, CacheTally& tally) {
     const std::size_t at = node_base + node;
     changed = changed || std::abs(data_.arrival[at] - best_arr) > kEpsPs ||
               std::abs(data_.slew[at] - best_slew) > kEpsPs;
-    data_.arrival[at] = best_arr;
-    data_.slew[at] = best_slew;
+    data_.arrival.mut(at) = best_arr;
+    data_.slew.mut(at) = best_slew;
   }
   return changed;
 }
@@ -522,20 +541,20 @@ ArcTiming Timer::arc_timing(ArcId a, const TimingArc& arc, double input_slew,
 }
 
 void Timer::invalidate_cache_for(InstanceId inst) {
-  if (delay_cache_.entries.empty() || inst >= instance_arcs_.size()) return;
+  if (delay_cache_.entries.empty() || inst >= statics_->instance_arcs.size()) return;
   // Arcs whose memoized timing can be stale after a value-only edit of
   // this instance: its own cell arcs (cell footprint changed), the cell
   // arcs of each input net's driver instance (its output load changed),
   // and every net arc of those input nets (this instance's pin caps feed
   // their Elmore terms). The neighborhood itself comes from the same walk
   // the frontier seeds use (visit_eco_neighborhood).
-  std::vector<ArcId> arcs = instance_arcs_[inst];
+  std::vector<ArcId> arcs = statics_->instance_arcs[inst];
   visit_eco_neighborhood(
       inst, [](NodeId) {},
       [&](const Terminal& t, NodeId drv) {
         if (t.kind == Terminal::Kind::InstancePin &&
-            t.id < instance_arcs_.size()) {
-          for (const ArcId a : instance_arcs_[t.id]) arcs.push_back(a);
+            t.id < statics_->instance_arcs.size()) {
+          for (const ArcId a : statics_->instance_arcs[t.id]) arcs.push_back(a);
         }
         if (drv == kInvalidNode) return;
         for (const ArcId a : graph_->fanout(drv)) arcs.push_back(a);
@@ -628,9 +647,11 @@ void Timer::incremental_update() {
     return;
   }
   // Pre-fastpath engine: bounded forward frontiers, then one full backward
-  // pass over the whole graph. The full pass rewrites every required slot,
-  // which a value journal cannot cover — open value checkpoints degrade.
+  // pass over the whole graph. The full pass rewrites every required and
+  // check slot — open value checkpoints degrade (PR-4 contract), and the
+  // arena privatizes wholesale when shared.
   break_value_trial();
+  if (cow_writes_guarded()) data_.privatize_all();
   for (CornerId c = 0; c < corners_.size(); ++c) {
     incremental_forward_corner(c);
     for (const NodeId u : backward_seeds_) backward_seeded_[u] = false;
@@ -643,6 +664,8 @@ void Timer::incremental_update() {
 void Timer::incremental_forward_corner(CornerId c) {
   const std::size_t late_lane = TimingData::lane(c, idx(Mode::Late));
   const std::size_t early_lane = TimingData::lane(c, idx(Mode::Early));
+  const std::size_t late_node = late_lane * data_.num_nodes;
+  const std::size_t early_node = early_lane * data_.num_nodes;
   const std::size_t late_arc = late_lane * data_.num_arcs;
   const std::size_t early_arc = early_lane * data_.num_arcs;
   const std::size_t num_levels = frontier_.size();
@@ -659,7 +682,8 @@ void Timer::incremental_forward_corner(CornerId c) {
   };
   for (const NodeId s : seed_scratch_) push(s);
 
-  const bool journal = value_trial_active();
+  const bool guard = cow_writes_guarded();
+  const bool cache_journal = value_trial_active();
   // Level-synchronous frontier sweep. Fanouts land on strictly higher
   // levels, so a bucket never regrows once processed, and nodes within one
   // bucket have no mutual dependencies — the same invariant full_forward's
@@ -669,18 +693,26 @@ void Timer::incremental_forward_corner(CornerId c) {
        ++lvl) {
     auto& bucket = frontier_[lvl];
     if (bucket.empty()) continue;
-    // When a value checkpoint is open, journal every slot the sweep may
-    // overwrite — serially, before dispatch (the journal is not
-    // thread-safe; workers only write the arena).
-    if (journal) {
+    // COW choke point: when a snapshot or trial fork shares chunks,
+    // privatize every slot the sweep may overwrite — serially, before
+    // dispatch (privatization is not thread-safe; workers only write
+    // already-private chunks). The delay cache keeps its own first-touch
+    // journal for value trials.
+    if (guard) {
       for (const NodeId u : bucket) {
-        trial_->journal.record_node(data_, late_lane, u);
-        trial_->journal.record_node(data_, early_lane, u);
+        data_.arrival.privatize(late_node + u);
+        data_.arrival.privatize(early_node + u);
+        data_.slew.privatize(late_node + u);
+        data_.slew.privatize(early_node + u);
         for (const ArcId a : graph_->fanin(u)) {
-          trial_->journal.record_arc(data_, late_lane, a);
-          trial_->journal.record_arc(data_, early_lane, a);
-          delay_cache_.trial_record(late_arc + a);
-          delay_cache_.trial_record(early_arc + a);
+          data_.arc_delay.privatize(late_arc + a);
+          data_.arc_delay.privatize(early_arc + a);
+          data_.arc_delay_base.privatize(late_arc + a);
+          data_.arc_delay_base.privatize(early_arc + a);
+          if (cache_journal) {
+            delay_cache_.trial_record(late_arc + a);
+            delay_cache_.trial_record(early_arc + a);
+          }
         }
       }
     }
@@ -744,8 +776,8 @@ bool Timer::recompute_required(NodeId u, CornerId c) {
   }
   const bool changed = data_.required[late_node + u] != req_late ||
                        data_.required[early_node + u] != req_early;
-  data_.required[late_node + u] = req_late;
-  data_.required[early_node + u] = req_early;
+  data_.required.mut(late_node + u) = req_late;
+  data_.required.mut(early_node + u) = req_early;
   return changed;
 }
 
@@ -759,7 +791,7 @@ void Timer::incremental_backward_corner(CornerId c) {
   const LibraryScaling& scaling = corners_[c].scaling;
   const double period = constraints_.clock_period_ps;
   const auto& checks = graph_->checks();
-  const bool journal = value_trial_active();
+  const bool guard = cow_writes_guarded();
   const std::size_t num_levels = frontier_.size();
 
   std::size_t min_level = num_levels;
@@ -781,12 +813,14 @@ void Timer::incremental_backward_corner(CornerId c) {
   // times. FF data pins have no fanout, so the boundary value is final.
   for (const std::size_t ci : touched_checks_) {
     const TimingCheck& check = checks[ci];
-    CheckTiming& ct = data_.check[data_.check_index(c, ci)];
-    if (journal) {
-      trial_->journal.record_check(data_, c, ci);
-      trial_->journal.record_node(data_, late_lane, check.data_node);
-      trial_->journal.record_node(data_, early_lane, check.data_node);
+    if (guard) {
+      // Serial COW choke point for this check's slots (the slack-cache
+      // refresh below reuses the privatized check slot).
+      data_.check.privatize(data_.check_index(c, ci));
+      data_.required.privatize(late_node + check.data_node);
+      data_.required.privatize(early_node + check.data_node);
     }
+    CheckTiming& ct = data_.check.mut(data_.check_index(c, ci));
     const double data_slew_late = data_.slew[late_node + check.data_node];
     ct.setup_ps = delay_.setup_time(
         check, data_.slew[early_node + check.clock_node], data_slew_late,
@@ -807,8 +841,8 @@ void Timer::incremental_backward_corner(CornerId c) {
                              constraints_.clock_uncertainty_ps;
     if (data_.required[late_node + check.data_node] != req_late ||
         data_.required[early_node + check.data_node] != req_early) {
-      data_.required[late_node + check.data_node] = req_late;
-      data_.required[early_node + check.data_node] = req_early;
+      data_.required.mut(late_node + check.data_node) = req_late;
+      data_.required.mut(early_node + check.data_node) = req_early;
       for (const ArcId a : graph_->fanin(check.data_node)) {
         push(graph_->arc(a).from);
       }
@@ -834,10 +868,11 @@ void Timer::incremental_backward_corner(CornerId c) {
     for (std::size_t lvl = max_level + 1; lvl-- > 0;) {
       auto& bucket = frontier_[lvl];
       if (bucket.empty()) continue;
-      if (journal) {
+      // COW choke point: the pull writes only required times.
+      if (guard) {
         for (const NodeId u : bucket) {
-          trial_->journal.record_node(data_, late_lane, u);
-          trial_->journal.record_node(data_, early_lane, u);
+          data_.required.privatize(late_node + u);
+          data_.required.privatize(early_node + u);
         }
       }
       changed_scratch_.assign(bucket.size(), 0);
@@ -864,7 +899,7 @@ void Timer::incremental_backward_corner(CornerId c) {
   // movements too, and the caches must equal the arrays bit-for-bit,
   // exactly as the full pass leaves them).
   for (const std::size_t ci : touched_checks_) {
-    CheckTiming& ct = data_.check[data_.check_index(c, ci)];
+    CheckTiming& ct = data_.check.mut(data_.check_index(c, ci));
     const NodeId d = checks[ci].data_node;
     ct.setup_slack_ps =
         data_.required[late_node + d] - data_.arrival[late_node + d];
@@ -906,27 +941,15 @@ void Timer::compute_crpr_credits() {
         if (credit == kInfPs) credit = 0.0;  // endpoint unreachable from FFs
       }
     }
-    data_.check[data_.check_index(corner, c)].crpr_credit_ps = credit;
+    data_.check.mut(data_.check_index(corner, c)).crpr_credit_ps = credit;
   }
   });
 }
 
 double Timer::common_path_credit(std::size_t check_a, std::size_t check_b,
                                  CornerId corner) const {
-  const auto& path_a = graph_->clock_path(check_a);
-  const auto& path_b = graph_->clock_path(check_b);
-  const std::size_t len = std::min(path_a.size(), path_b.size());
-  const std::size_t late_base = data_.arc_index(corner, idx(Mode::Late), 0);
-  const std::size_t early_base = data_.arc_index(corner, idx(Mode::Early), 0);
-  double credit = 0.0;
-  for (std::size_t i = 0; i < len; ++i) {
-    if (path_a[i] != path_b[i]) break;
-    for (const ArcId a : instance_arcs_[path_a[i]]) {
-      credit += data_.arc_delay[late_base + a] -
-                data_.arc_delay[early_base + a];
-    }
-  }
-  return credit;
+  return query::common_path_credit(data_, *graph_, statics_->instance_arcs,
+                                   check_a, check_b, corner);
 }
 
 double Timer::crpr_credit_exact(std::optional<std::size_t> launch_check,
@@ -948,19 +971,15 @@ void Timer::backward_required() {
     const LibraryScaling& scaling = corners_[corner].scaling;
     const std::size_t late_base = data_.node_index(corner, late, 0);
     const std::size_t early_base = data_.node_index(corner, early, 0);
-    std::fill(data_.required.begin() + static_cast<std::ptrdiff_t>(late_base),
-              data_.required.begin() +
-                  static_cast<std::ptrdiff_t>(late_base + n),
-              kInfPs);
-    std::fill(data_.required.begin() + static_cast<std::ptrdiff_t>(early_base),
-              data_.required.begin() +
-                  static_cast<std::ptrdiff_t>(early_base + n),
-              -kInfPs);
+    // fill_range privatizes the lanes it rewrites, so the full backward
+    // pass is COW-safe even without a wholesale privatize upstream.
+    data_.required.fill_range(late_base, late_base + n, kInfPs);
+    data_.required.fill_range(early_base, early_base + n, -kInfPs);
 
     // Endpoint boundary conditions.
     for (std::size_t c = 0; c < checks.size(); ++c) {
       const TimingCheck& check = checks[c];
-      CheckTiming& ct = data_.check[data_.check_index(corner, c)];
+      CheckTiming& ct = data_.check.mut(data_.check_index(corner, c));
       // Check values use the conservative slew pairing: both setup and hold
       // margins grow with slew, so the worst (max = late) data slew bounds
       // them; PBA's per-path slew can then only shrink the requirement.
@@ -985,9 +1004,9 @@ void Timer::backward_required() {
       const double req_early = data_.arrival[late_base + check.clock_node] +
                                ct.hold_ps - ct.crpr_credit_ps +
                                constraints_.clock_uncertainty_ps;
-      data_.required[late_base + check.data_node] =
+      data_.required.mut(late_base + check.data_node) =
           std::min(data_.required[late_base + check.data_node], req_late);
-      data_.required[early_base + check.data_node] =
+      data_.required.mut(early_base + check.data_node) =
           std::max(data_.required[early_base + check.data_node], req_early);
     }
     for (std::size_t p = 0; p < design_->num_ports(); ++p) {
@@ -998,7 +1017,7 @@ void Timer::backward_required() {
       if (endpoint_false_[node]) continue;
       const double capture_edge =
           period * static_cast<double>(endpoint_multicycle_[node]);
-      data_.required[late_base + node] =
+      data_.required.mut(late_base + node) =
           std::min(data_.required[late_base + node],
                    capture_edge - port_output_delay_[p]);
     }
@@ -1025,13 +1044,13 @@ void Timer::backward_required() {
         for (const ArcId a : graph_->fanout(u)) {
           const NodeId v = graph_->arc(a).to;
           if (data_.required[late_node + v] != kInfPs) {
-            data_.required[late_node + u] =
+            data_.required.mut(late_node + u) =
                 std::min(data_.required[late_node + u],
                          data_.required[late_node + v] -
                              data_.arc_delay[late_arc + a]);
           }
           if (data_.required[early_node + v] != -kInfPs) {
-            data_.required[early_node + u] =
+            data_.required.mut(early_node + u) =
                 std::max(data_.required[early_node + u],
                          data_.required[early_node + v] -
                              data_.arc_delay[early_arc + a]);
@@ -1047,7 +1066,7 @@ void Timer::backward_required() {
     const std::size_t early_base = data_.node_index(corner, early, 0);
     for (std::size_t c = 0; c < checks.size(); ++c) {
       const NodeId d = checks[c].data_node;
-      CheckTiming& ct = data_.check[data_.check_index(corner, c)];
+      CheckTiming& ct = data_.check.mut(data_.check_index(corner, c));
       ct.setup_slack_ps =
           data_.required[late_base + d] - data_.arrival[late_base + d];
       ct.hold_slack_ps =
@@ -1064,9 +1083,14 @@ void Timer::update_timing() {
   // new weights.
   if (part_dirty_count_ > 0 && !dirty_instances_.empty()) dirty_full_ = true;
   if (dirty_full_) {
-    // A full pass rewrites every slot — beyond what a value journal can
-    // cover — so an open value checkpoint degrades to the fallback.
+    // A full pass rewrites every slot. An open value checkpoint degrades
+    // to the fallback (preserving the PR-4 escalation contract), and the
+    // whole arena is privatized up front when snapshots or a trial fork
+    // still share chunks — O(arena) once, instead of per-slot checks in
+    // the sweeps.
     break_value_trial();
+    if (cow_writes_guarded()) data_.privatize_all();
+    ++state_version_;
     full_forward();
     compute_crpr_credits();
     backward_required();
@@ -1087,6 +1111,7 @@ void Timer::update_timing() {
     return;
   }
   if (dirty_instances_.empty()) return;
+  ++state_version_;
   incremental_update();
   dirty_instances_.clear();
   ++incremental_updates_;
@@ -1299,7 +1324,7 @@ void Timer::sweep_partition_backward(PartitionId p) {
         const LibraryScaling& scaling = corners_[c].scaling;
         const std::size_t late_base = data_.node_index(c, late, 0);
         const std::size_t early_base = data_.node_index(c, early, 0);
-        CheckTiming& ct = data_.check[data_.check_index(c, ci)];
+        CheckTiming& ct = data_.check.mut(data_.check_index(c, ci));
         const double data_slew_late = data_.slew[late_base + check.data_node];
         ct.setup_ps = delay_.setup_time(
             check, data_.slew[early_base + check.clock_node], data_slew_late,
@@ -1324,8 +1349,8 @@ void Timer::sweep_partition_backward(PartitionId p) {
         moved = moved ||
                 data_.required[late_base + check.data_node] != req_late ||
                 data_.required[early_base + check.data_node] != req_early;
-        data_.required[late_base + check.data_node] = req_late;
-        data_.required[early_base + check.data_node] = req_early;
+        data_.required.mut(late_base + check.data_node) = req_late;
+        data_.required.mut(early_base + check.data_node) = req_early;
       }
       ++recomputed;
       if (moved) push_fanin(check.data_node);
@@ -1356,7 +1381,11 @@ void Timer::partitioned_update() {
   const std::size_t p_count = part.num_partitions();
   // Region sweeps rewrite arena slots wholesale — beyond a value journal
   // (the weight application that marked the regions already broke it).
+  // Their workers write straight through mut(), so the arena privatizes
+  // up front when snapshots or a trial fork share chunks.
   break_value_trial();
+  if (cow_writes_guarded()) data_.privatize_all();
+  ++state_version_;
   std::fill(part_swept_.begin(), part_swept_.end(), 0);
   std::fill(part_swept_bwd_.begin(), part_swept_bwd_.end(), 0);
   std::fill(part_sweep_nodes_.begin(), part_sweep_nodes_.end(), 0);
@@ -1513,7 +1542,7 @@ void Timer::partitioned_update() {
       const std::size_t early_base = data_.node_index(c, idx(Mode::Early), 0);
       for (const std::uint32_t ci : part.checks_of(p)) {
         const NodeId d = graph_->checks()[ci].data_node;
-        CheckTiming& ct = data_.check[data_.check_index(c, ci)];
+        CheckTiming& ct = data_.check.mut(data_.check_index(c, ci));
         ct.setup_slack_ps =
             data_.required[late_base + d] - data_.arrival[late_base + d];
         ct.hold_slack_ps =
@@ -1536,153 +1565,109 @@ void Timer::partitioned_update() {
   ++partitioned_updates_;
 }
 
+// Every const query delegates to query_ops so Timer (head) and
+// TimingSnapshot (frozen fork) answer with the same code.
+
 double Timer::arrival(NodeId node, Mode mode, CornerId corner) const {
-  return data_.arrival[data_.node_index(corner, idx(mode), node)];
+  return query::arrival(data_, node, mode, corner);
 }
 
 double Timer::slew(NodeId node, Mode mode, CornerId corner) const {
-  return data_.slew[data_.node_index(corner, idx(mode), node)];
+  return query::slew(data_, node, mode, corner);
 }
 
 double Timer::required(NodeId node, Mode mode, CornerId corner) const {
-  return data_.required[data_.node_index(corner, idx(mode), node)];
+  return query::required(data_, node, mode, corner);
 }
 
 double Timer::slack(NodeId node, Mode mode, CornerId corner) const {
-  if (mode == Mode::Late) {
-    return required(node, mode, corner) - arrival(node, mode, corner);
-  }
-  return arrival(node, mode, corner) - required(node, mode, corner);
+  return query::slack(data_, node, mode, corner);
 }
 
 double Timer::slack_merged(NodeId node, Mode mode) const {
-  double worst = kInfPs;
-  for (CornerId c = 0; c < corners_.size(); ++c) {
-    worst = std::min(worst, slack(node, mode, c));
-  }
-  return worst;
+  return query::slack_merged(data_, node, mode);
 }
 
 CornerId Timer::worst_slack_corner(NodeId node, Mode mode) const {
-  CornerId worst_corner = kDefaultCorner;
-  double worst = kInfPs;
-  for (CornerId c = 0; c < corners_.size(); ++c) {
-    const double s = slack(node, mode, c);
-    if (s < worst) {
-      worst = s;
-      worst_corner = c;
-    }
-  }
-  return worst_corner;
+  return query::worst_slack_corner(data_, node, mode);
 }
 
 double Timer::arc_delay(ArcId arc, Mode mode, CornerId corner) const {
-  return data_.arc_delay[data_.arc_index(corner, idx(mode), arc)];
+  return query::arc_delay(data_, arc, mode, corner);
 }
 
 double Timer::arc_delay_base(ArcId arc, Mode mode, CornerId corner) const {
-  return data_.arc_delay_base[data_.arc_index(corner, idx(mode), arc)];
+  return query::arc_delay_base(data_, arc, mode, corner);
 }
 
 const CheckTiming& Timer::check_timing(std::size_t i, CornerId corner) const {
-  MGBA_CHECK(i < data_.num_checks && corner < corners_.size());
-  return data_.check[data_.check_index(corner, i)];
+  return query::check_timing(data_, i, corner);
 }
 
 DeratePair Timer::instance_derate(InstanceId inst, CornerId corner) const {
-  const auto& derates = derates_[corner];
+  const auto& derates = *derates_[corner];
   if (inst >= derates.size()) return {};
   return derates[inst];
 }
 
 double Timer::wns(Mode mode, CornerId corner) const {
-  double worst = 0.0;
-  for (const NodeId e : graph_->endpoints()) {
-    worst = std::min(worst, slack(e, mode, corner));
-  }
-  return worst;
+  return query::wns(data_, *graph_, mode, corner);
 }
 
 double Timer::tns(Mode mode, CornerId corner) const {
-  double total = 0.0;
-  for (const NodeId e : graph_->endpoints()) {
-    const double s = slack(e, mode, corner);
-    if (s < 0.0) total += s;
-  }
-  return total;
+  return query::tns(data_, *graph_, mode, corner);
 }
 
 std::size_t Timer::num_violations(Mode mode, CornerId corner) const {
-  std::size_t count = 0;
-  for (const NodeId e : graph_->endpoints()) {
-    if (slack(e, mode, corner) < 0.0) ++count;
-  }
-  return count;
+  return query::num_violations(data_, *graph_, mode, corner);
 }
 
 double Timer::wns_merged(Mode mode) const {
-  double worst = 0.0;
-  for (const NodeId e : graph_->endpoints()) {
-    worst = std::min(worst, slack_merged(e, mode));
-  }
-  return worst;
+  return query::wns_merged(data_, *graph_, mode);
 }
 
 double Timer::tns_merged(Mode mode) const {
-  double total = 0.0;
-  for (const NodeId e : graph_->endpoints()) {
-    const double s = slack_merged(e, mode);
-    if (s < 0.0) total += s;
-  }
-  return total;
+  return query::tns_merged(data_, *graph_, mode);
 }
 
 std::size_t Timer::num_violations_merged(Mode mode) const {
-  std::size_t count = 0;
-  for (const NodeId e : graph_->endpoints()) {
-    if (slack_merged(e, mode) < 0.0) ++count;
-  }
-  return count;
+  return query::num_violations_merged(data_, *graph_, mode);
 }
 
 std::vector<NodeId> Timer::worst_path(NodeId endpoint, CornerId corner) const {
-  const int late = idx(Mode::Late);
-  const std::size_t node_base = data_.node_index(corner, late, 0);
-  const std::size_t arc_base = data_.arc_index(corner, late, 0);
-  std::vector<NodeId> path{endpoint};
-  NodeId cur = endpoint;
-  while (!graph_->fanin(cur).empty()) {
-    NodeId best_from = kInvalidNode;
-    double best_gap = kInfPs;
-    for (const ArcId a : graph_->fanin(cur)) {
-      const TimingArc& arc = graph_->arc(a);
-      const double gap = std::abs(data_.arrival[node_base + cur] -
-                                  (data_.arrival[node_base + arc.from] +
-                                   data_.arc_delay[arc_base + a]));
-      if (gap < best_gap) {
-        best_gap = gap;
-        best_from = arc.from;
-      }
-    }
-    MGBA_CHECK(best_from != kInvalidNode);
-    path.push_back(best_from);
-    cur = best_from;
-  }
-  std::reverse(path.begin(), path.end());
-  return path;
+  return query::worst_path(data_, *graph_, endpoint, corner);
 }
 
 NodeId Timer::worst_endpoint_merged(Mode mode) const {
-  NodeId worst = kInvalidNode;
-  double worst_slack = kInfPs;
-  for (const NodeId e : graph_->endpoints()) {
-    const double s = slack_merged(e, mode);
-    if (s < worst_slack) {
-      worst_slack = s;
-      worst = e;
-    }
-  }
-  return worst;
+  return query::worst_endpoint_merged(data_, *graph_, mode);
+}
+
+// --- snapshots --------------------------------------------------------------
+
+std::shared_ptr<const TimingSnapshot> Timer::snapshot() const {
+  prune_snapshots();
+  // Private constructor: reachable here via friendship, so no make_shared.
+  std::shared_ptr<const TimingSnapshot> snap(new TimingSnapshot(*this));
+  snapshots_.push_back(snap);
+  return snap;
+}
+
+std::size_t Timer::live_snapshots() const {
+  prune_snapshots();
+  return snapshots_.size();
+}
+
+void Timer::prune_snapshots() const {
+  std::erase_if(snapshots_,
+                [](const std::weak_ptr<const TimingSnapshot>& w) {
+                  return w.expired();
+                });
+}
+
+bool Timer::cow_writes_guarded() const {
+  if (trial_) return true;
+  prune_snapshots();
+  return !snapshots_.empty();
 }
 
 // --- trial checkpoints ------------------------------------------------------
@@ -1693,16 +1678,18 @@ void Timer::begin_trial(bool structural) {
   trial_->structural = structural;
   trial_->dirty_at_begin = dirty_instances_;
   trial_->dirty_full_at_begin = dirty_full_;
+  // COW fork of the whole arena: O(1) per array, rollback is a move-back.
+  // Head writes between begin and rollback privatize the chunks they
+  // touch (cow_writes_guarded() sees the open trial), so the fork keeps
+  // the begin-time bits. This replaced the first-touch TrialJournal.
+  trial_->data = data_;
   if (!structural) {
-    trial_->journal.begin(data_);
     delay_cache_.trial_begin();
     return;
   }
   trial_->graph = graph_;
-  trial_->data = data_;
+  trial_->statics = statics_;
   trial_->derates = derates_;
-  trial_->instance_arcs = instance_arcs_;
-  trial_->check_of_ff = check_of_ff_;
   trial_->launch_sets = launch_sets_;
   trial_->port_launched = port_launched_;
   trial_->launch_words = launch_words_;
@@ -1731,8 +1718,7 @@ bool Timer::rollback_trial() {
     graph_ = std::move(trial_->graph);
     data_ = std::move(trial_->data);
     derates_ = std::move(trial_->derates);
-    instance_arcs_ = std::move(trial_->instance_arcs);
-    check_of_ff_ = std::move(trial_->check_of_ff);
+    statics_ = std::move(trial_->statics);
     launch_sets_ = std::move(trial_->launch_sets);
     port_launched_ = std::move(trial_->port_launched);
     launch_words_ = trial_->launch_words;
@@ -1742,13 +1728,17 @@ bool Timer::rollback_trial() {
     endpoint_multicycle_ = std::move(trial_->endpoint_multicycle);
     // The reverted buffer survives in the design as a disconnected
     // tombstone instance; extend instance-indexed lookups over it so
-    // queries stay in bounds (its pins resolve to kInvalidNode).
+    // queries stay in bounds (its pins resolve to kInvalidNode). The
+    // restored graph/statics may still back a live snapshot — clone
+    // before padding rather than mutate a shared bundle.
+    if (graph_.use_count() > 1) graph_ = std::make_shared<TimingGraph>(*graph_);
     graph_->pad_instances(design_->num_instances());
-    if (instance_arcs_.size() < design_->num_instances()) {
-      instance_arcs_.resize(design_->num_instances());
-    }
-    if (check_of_ff_.size() < design_->num_instances()) {
-      check_of_ff_.resize(design_->num_instances(), -1);
+    if (statics_->instance_arcs.size() < design_->num_instances() ||
+        statics_->check_of_ff.size() < design_->num_instances()) {
+      auto fresh = std::make_shared<GraphStatics>(*statics_);
+      fresh->instance_arcs.resize(design_->num_instances());
+      fresh->check_of_ff.resize(design_->num_instances(), -1);
+      statics_ = std::move(fresh);
     }
     // Scratch and memo cache follow the restored shape; cached entries
     // were keyed by the trial graph's arc ids and are dropped wholesale.
@@ -1764,9 +1754,10 @@ bool Timer::rollback_trial() {
       if (marks_pending) trial_->dirty_full_at_begin = true;
     }
   } else {
-    trial_->journal.restore(data_);
+    data_ = std::move(trial_->data);
     delay_cache_.trial_restore();
   }
+  ++state_version_;
   dirty_full_ = trial_->dirty_full_at_begin;
   dirty_instances_ = std::move(trial_->dirty_at_begin);
   trial_.reset();
@@ -1869,6 +1860,16 @@ Timer::MemoryStats Timer::memory_stats() const {
         part_sweep_nodes_.capacity() * sizeof(std::size_t);
   }
   m.eco_log_entries = eco_touched_.size();
+  const TimingData::CowStats cs = data_.cow_stats();
+  m.cow_chunks = cs.chunks;
+  m.cow_shared_chunks = cs.shared_chunks;
+  prune_snapshots();
+  m.live_snapshots = snapshots_.size();
+  for (const auto& w : snapshots_) {
+    if (const auto snap = w.lock()) {
+      m.cow_retained_bytes += snap->data_.diverged_bytes(data_);
+    }
+  }
   return m;
 }
 
@@ -1883,10 +1884,13 @@ std::string Timer::MemoryStats::to_string() const {
       "crpr launch sets   : %.1f MB\n"
       "partition tables   : %.1f MB\n"
       "eco log            : %zu touched instances\n"
+      "cow arena          : %zu chunks (%zu shared), %zu live snapshots, "
+      "%.1f MB retained\n"
       "total tracked      : %.1f MB",
       num_nodes, num_arcs, num_corners, mb(arena_bytes),
       mb(arena_bytes_per_lane), delay_cache_entries, mb(delay_cache_bytes),
-      mb(launch_set_bytes), mb(partition_bytes), eco_log_entries,
+      mb(launch_set_bytes), mb(partition_bytes), eco_log_entries, cow_chunks,
+      cow_shared_chunks, live_snapshots, mb(cow_retained_bytes),
       mb(total_bytes()));
 }
 

@@ -47,6 +47,18 @@
 
 namespace mgba {
 
+class TimingSnapshot;
+
+/// Graph-derived lookup tables shared (refcounted) between the Timer head
+/// and its snapshots: per-instance cell-arc lists and the FF -> check
+/// index map, both read by the exact CRPR credit walk. Rebuilt wholesale
+/// on structural change; cloned before mutation when a snapshot still
+/// holds the old version.
+struct GraphStatics {
+  std::vector<std::vector<ArcId>> instance_arcs;
+  std::vector<std::int32_t> check_of_ff;  // InstanceId -> check idx or -1
+};
+
 class Timer {
  public:
   /// The design and the constraint object must outlive the Timer. The
@@ -171,6 +183,28 @@ class Timer {
   /// Brings all timing quantities up to date (incremental when possible).
   void update_timing();
 
+  // --- snapshots ------------------------------------------------------------
+
+  /// Immutable, refcounted view of the current timing state. The fork is
+  /// O(1) per arena (chunk-table refcount bumps); subsequent head writes
+  /// privatize only the chunks they touch, so a live snapshot costs
+  /// O(chunks diverged), never O(arena). Queries on the returned snapshot
+  /// are safe from any number of threads concurrently with head mutation
+  /// — but snapshot() itself is a writer-side operation (call it from the
+  /// thread that mutates this Timer), and the snapshot must not outlive
+  /// the Timer (it borrows the design/delay-model/constraint objects; the
+  /// netlist itself is NOT versioned — see DESIGN.md §14). Call after
+  /// update_timing(); a snapshot of stale state answers stale queries.
+  [[nodiscard]] std::shared_ptr<const TimingSnapshot> snapshot() const;
+
+  /// Monotonic state generation, bumped by every mutating re-propagation
+  /// (full, incremental, partitioned), structural rebuild, and trial
+  /// rollback. Snapshots carry the version they forked at.
+  [[nodiscard]] std::uint64_t state_version() const { return state_version_; }
+
+  /// Un-released snapshots currently alive (expired handles are pruned).
+  [[nodiscard]] std::size_t live_snapshots() const;
+
   // --- partitioned updates -------------------------------------------------
 
   /// Installs partitioned-update mode: the graph is decomposed into regions
@@ -205,6 +239,14 @@ class Timer {
     std::size_t launch_set_bytes = 0;  ///< CRPR launch bitsets (0 when off)
     std::size_t partition_bytes = 0;   ///< decomposition tables (0 when flat)
     std::size_t eco_log_entries = 0;   ///< accumulated ECO-touched instances
+    /// COW accounting (PR 7): total arena chunks at head, chunks some
+    /// snapshot or open trial still shares, live snapshot count, and the
+    /// bytes those snapshots retain in chunks the head has diverged from
+    /// (summed per snapshot, so overlapping retention double-counts).
+    std::size_t cow_chunks = 0;
+    std::size_t cow_shared_chunks = 0;
+    std::size_t live_snapshots = 0;
+    std::size_t cow_retained_bytes = 0;
     [[nodiscard]] std::size_t total_bytes() const {
       return arena_bytes + delay_cache_bytes + launch_set_bytes +
              partition_bytes;
@@ -269,11 +311,12 @@ class Timer {
   };
   [[nodiscard]] UpdateStats update_stats() const;
 
-  /// RAII checkpoint for a trial transform. While a scope is open the
-  /// Timer journals every timing value an incremental update overwrites
-  /// (Value kind) or holds a full structural snapshot taken at
-  /// construction (Structural kind, for buffer-insertion trials that
-  /// rebuild the graph). A rejected trial calls rollback(), which restores
+  /// RAII checkpoint for a trial transform. Construction forks the arena
+  /// copy-on-write (O(1)); while a scope is open, incremental updates
+  /// privatize the chunks they write, so the checkpoint costs O(chunks
+  /// touched). Structural kind additionally retains the graph and derived
+  /// tables (for buffer-insertion trials that rebuild the graph). A
+  /// rejected trial calls rollback(), which restores
   /// the exact pre-trial state in O(touched) — the caller must first have
   /// restored the *design* itself (inverse resize / remove_buffer; a
   /// removed trial buffer may remain as a disconnected tombstone
@@ -371,8 +414,16 @@ class Timer {
 
  private:
   friend class TrialScope;
+  friend class TimingSnapshot;
 
   int idx(Mode m) const { return static_cast<int>(m); }
+
+  /// True when arena chunks may be shared with a snapshot or an open
+  /// trial fork, i.e. the coordinating thread must privatize before
+  /// parallel sweeps write. Prunes expired snapshot handles as a side
+  /// effect.
+  [[nodiscard]] bool cow_writes_guarded() const;
+  void prune_snapshots() const;
 
   void allocate_storage();
   /// Sizes the delay cache and the incremental-frontier scratch to the
@@ -495,13 +546,19 @@ class Timer {
   const Design* design_;
   TimingConstraints constraints_;
   DelayCalculator delay_;
-  std::optional<TimingGraph> graph_;
+  /// Shared with snapshots; replaced wholesale by rebuild_graph and cloned
+  /// before the in-place pad_instances mutation when still shared.
+  std::shared_ptr<TimingGraph> graph_;
 
   /// At least one corner at all times; corner 0 is the default view.
   std::vector<AnalysisCorner> corners_{AnalysisCorner{}};
-  /// Per-corner per-instance derates / mGBA weights (outer index =
-  /// CornerId; empty inner vector = identity everywhere).
-  std::vector<std::vector<DeratePair>> derates_;
+  /// Per-corner per-instance derates (outer index = CornerId; never-null
+  /// inner pointer; empty inner vector = identity everywhere). The inner
+  /// vectors are immutable once published — set_* installs fresh ones —
+  /// so snapshots share them by refcount. mGBA weights stay plain (the
+  /// snapshot read path never consumes them; fitted effects are already
+  /// baked into the arena's effective delays).
+  std::vector<std::shared_ptr<const std::vector<DeratePair>>> derates_;
   std::vector<std::vector<double>> weights_;
   std::vector<std::vector<double>> weights_early_;
   // Per-port external delays resolved from the constraint overrides at
@@ -516,8 +573,8 @@ class Timer {
   /// timing quantity for all corners.
   TimingData data_;
 
-  // Per-instance list of its cell ArcIds (clock-cell credit lookup).
-  std::vector<std::vector<ArcId>> instance_arcs_;
+  // Per-instance cell ArcIds + FF check map, shared with snapshots.
+  std::shared_ptr<GraphStatics> statics_;
 
   // Launch-set DP for GBA CRPR: for each node, the set of launch checks
   // (flip-flops) whose Q reaches it, as a bitset; plus a flag for paths
@@ -526,7 +583,12 @@ class Timer {
   std::vector<std::vector<std::uint64_t>> launch_sets_;
   std::vector<bool> port_launched_;
   std::size_t launch_words_ = 0;
-  std::vector<std::int32_t> check_of_ff_;  // InstanceId -> check idx or -1
+
+  /// Live snapshot registry (weak: a released snapshot self-frees its
+  /// chunks; the registry only answers "must head writes privatize?" and
+  /// the retained-byte accounting). Writer-side, pruned opportunistically.
+  mutable std::vector<std::weak_ptr<const TimingSnapshot>> snapshots_;
+  std::uint64_t state_version_ = 0;
 
   bool dirty_full_ = true;
   bool incremental_enabled_ = true;

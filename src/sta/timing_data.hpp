@@ -13,12 +13,20 @@
 /// result) is bit-identical to the old per-mode vectors. The arena is
 /// sized once per (graph structure, corner count) and refilled in place by
 /// full or incremental propagation.
+///
+/// Since PR 7 each arena is a chunked copy-on-write vector (CowVec,
+/// DESIGN.md §14): copying a TimingData is an O(1)-per-array fork sharing
+/// every chunk, and the writing Timer privatizes only the chunks it
+/// touches. This one primitive backs both immutable TimingSnapshot reads
+/// and O(chunks-touched) trial-checkpoint rollback (which replaced the
+/// hand-rolled first-touch TrialJournal).
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "sta/timing_types.hpp"
+#include "util/cow_vec.hpp"
 
 namespace mgba {
 
@@ -38,14 +46,14 @@ struct TimingData {
   std::size_t num_checks = 0;
 
   // Per-node, lane-major: [lane * num_nodes + node].
-  std::vector<double> arrival;
-  std::vector<double> slew;
-  std::vector<double> required;
+  CowVec<double> arrival;
+  CowVec<double> slew;
+  CowVec<double> required;
   // Per-arc effective and base delays, lane-major: [lane * num_arcs + arc].
-  std::vector<double> arc_delay;
-  std::vector<double> arc_delay_base;
+  CowVec<double> arc_delay;
+  CowVec<double> arc_delay_base;
   // Per-check records, corner-major: [corner * num_checks + check].
-  std::vector<CheckTiming> check;
+  CowVec<CheckTiming> check;
 
   void resize(std::size_t corners, std::size_t nodes, std::size_t arcs,
               std::size_t checks) {
@@ -79,108 +87,86 @@ struct TimingData {
     return corner * num_checks + idx;
   }
 
+  [[nodiscard]] bool same_shape(const TimingData& o) const {
+    return num_corners == o.num_corners && num_nodes == o.num_nodes &&
+           num_arcs == o.num_arcs && num_checks == o.num_checks;
+  }
+
   /// Arena footprint in bytes (the multi-corner memory cost reported by
   /// bench_mcmm).
   [[nodiscard]] std::size_t bytes() const {
-    return sizeof(double) * (arrival.size() + slew.size() + required.size() +
-                             arc_delay.size() + arc_delay_base.size()) +
-           sizeof(CheckTiming) * check.size();
-  }
-};
-
-/// First-touch journal of the arena values an incremental update
-/// overwrites. A trial transform (Timer::TrialScope) records each touched
-/// (lane, node) / (lane, arc) / (corner, check) slot once, before its
-/// first write; a rejected trial then restores the exact pre-trial bits by
-/// replaying the saved values — O(touched) instead of a second
-/// re-propagation. Dedup uses epoch-stamped mark arrays sized like the
-/// arena, so begin() costs O(1) after the first trial on a given shape.
-///
-/// Thread safety: record calls happen only on the coordinating thread
-/// (before each parallel level sweep dispatches), never inside the sweep
-/// bodies.
-class TrialJournal {
- public:
-  /// Starts a new recording against \p data's current shape, discarding
-  /// any previous entries.
-  void begin(const TimingData& data) {
-    const std::size_t node_slots =
-        data.num_corners * kNumModes * data.num_nodes;
-    const std::size_t arc_slots = data.num_corners * kNumModes * data.num_arcs;
-    const std::size_t check_slots = data.num_corners * data.num_checks;
-    if (node_mark_.size() != node_slots || arc_mark_.size() != arc_slots ||
-        check_mark_.size() != check_slots || epoch_ == 0xffffffffu) {
-      node_mark_.assign(node_slots, 0);
-      arc_mark_.assign(arc_slots, 0);
-      check_mark_.assign(check_slots, 0);
-      epoch_ = 0;
-    }
-    ++epoch_;
-    nodes_.clear();
-    arcs_.clear();
-    checks_.clear();
+    return arrival.bytes() + slew.bytes() + required.bytes() +
+           arc_delay.bytes() + arc_delay_base.bytes() + check.bytes();
   }
 
-  void record_node(const TimingData& d, std::size_t lane, NodeId node) {
-    const std::size_t i = lane * d.num_nodes + node;
-    if (node_mark_[i] == epoch_) return;
-    node_mark_[i] = epoch_;
-    nodes_.push_back({i, d.arrival[i], d.slew[i], d.required[i]});
+  /// Writer-side: make every chunk of every array exclusively owned, so a
+  /// following whole-arena sweep can write without per-slot checks.
+  void privatize_all() {
+    arrival.privatize_all();
+    slew.privatize_all();
+    required.privatize_all();
+    arc_delay.privatize_all();
+    arc_delay_base.privatize_all();
+    check.privatize_all();
   }
 
-  void record_arc(const TimingData& d, std::size_t lane, ArcId arc) {
-    const std::size_t i = lane * d.num_arcs + arc;
-    if (arc_mark_[i] == epoch_) return;
-    arc_mark_[i] = epoch_;
-    arcs_.push_back({i, d.arc_delay[i], d.arc_delay_base[i]});
+  /// Bitwise equality of the logical arena contents (chunk-pointer spans
+  /// short-circuit; diverged chunks memcmp).
+  [[nodiscard]] bool bytes_equal(const TimingData& o) const {
+    return same_shape(o) && arrival.bytes_equal(o.arrival) &&
+           slew.bytes_equal(o.slew) && required.bytes_equal(o.required) &&
+           arc_delay.bytes_equal(o.arc_delay) &&
+           arc_delay_base.bytes_equal(o.arc_delay_base) &&
+           check.bytes_equal(o.check);
   }
 
-  void record_check(const TimingData& d, std::size_t corner,
-                    std::size_t idx) {
-    const std::size_t i = corner * d.num_checks + idx;
-    if (check_mark_[i] == epoch_) return;
-    check_mark_[i] = epoch_;
-    checks_.push_back({i, d.check[i]});
+  /// Flat concatenated dump of every arena's logical bytes, for the
+  /// byte-equality acceptance checks and the bench bit-divergence gates.
+  [[nodiscard]] std::vector<std::uint8_t> dump_bytes() const {
+    std::vector<std::uint8_t> out;
+    out.reserve(bytes());
+    arrival.append_raw(out);
+    slew.append_raw(out);
+    required.append_raw(out);
+    arc_delay.append_raw(out);
+    arc_delay_base.append_raw(out);
+    check.append_raw(out);
+    return out;
   }
 
-  /// Writes every saved value back. Requires \p d to have the shape it had
-  /// at begin() (the Timer falls back to a full update otherwise).
-  void restore(TimingData& d) const {
-    for (const NodeEntry& e : nodes_) {
-      d.arrival[e.index] = e.arrival;
-      d.slew[e.index] = e.slew;
-      d.required[e.index] = e.required;
-    }
-    for (const ArcEntry& e : arcs_) {
-      d.arc_delay[e.index] = e.delay;
-      d.arc_delay_base[e.index] = e.base;
-    }
-    for (const CheckEntry& e : checks_) d.check[e.index] = e.value;
-  }
-
-  [[nodiscard]] std::size_t entries() const {
-    return nodes_.size() + arcs_.size() + checks_.size();
-  }
-
- private:
-  struct NodeEntry {
-    std::size_t index;
-    double arrival, slew, required;
+  /// COW accounting across all six arenas.
+  struct CowStats {
+    std::size_t chunks = 0;
+    std::size_t shared_chunks = 0;
+    std::size_t chunk_bytes = 0;
   };
-  struct ArcEntry {
-    std::size_t index;
-    double delay, base;
-  };
-  struct CheckEntry {
-    std::size_t index;
-    CheckTiming value;
-  };
+  [[nodiscard]] CowStats cow_stats() const {
+    CowStats s;
+    const auto add = [&s](const auto& v) {
+      const auto vs = v.stats();
+      s.chunks += vs.chunks;
+      s.shared_chunks += vs.shared_chunks;
+      s.chunk_bytes += vs.chunk_bytes;
+    };
+    add(arrival);
+    add(slew);
+    add(required);
+    add(arc_delay);
+    add(arc_delay_base);
+    add(check);
+    return s;
+  }
 
-  std::uint32_t epoch_ = 0;
-  std::vector<std::uint32_t> node_mark_, arc_mark_, check_mark_;
-  std::vector<NodeEntry> nodes_;
-  std::vector<ArcEntry> arcs_;
-  std::vector<CheckEntry> checks_;
+  /// Bytes of chunks this (snapshot) arena retains that \p head no longer
+  /// shares — the memory a live snapshot pins beyond the head version.
+  [[nodiscard]] std::size_t diverged_bytes(const TimingData& head) const {
+    return arrival.diverged_bytes(head.arrival) +
+           slew.diverged_bytes(head.slew) +
+           required.diverged_bytes(head.required) +
+           arc_delay.diverged_bytes(head.arc_delay) +
+           arc_delay_base.diverged_bytes(head.arc_delay_base) +
+           check.diverged_bytes(head.check);
+  }
 };
 
 }  // namespace mgba

@@ -20,6 +20,7 @@
 #include "netlist/design.hpp"
 #include "opt/optimizer.hpp"
 #include "shell/session.hpp"
+#include "sta/state_signature.hpp"
 #include "sta/timer.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
@@ -39,27 +40,6 @@ struct ThreadGuard {
   std::size_t saved = num_threads();
   ~ThreadGuard() { set_num_threads(saved); }
 };
-
-/// Every arrival / slew / required at every (corner, mode, node) plus every
-/// endpoint slack, in a fixed order — two timers agree on this vector iff
-/// they agree bit-for-bit on the whole timing state.
-std::vector<double> snapshot_values(const Timer& timer) {
-  std::vector<double> values;
-  const TimingGraph& graph = timer.graph();
-  for (CornerId c = 0; c < timer.num_corners(); ++c) {
-    for (const Mode mode : {Mode::Early, Mode::Late}) {
-      for (NodeId n = 0; n < graph.num_nodes(); ++n) {
-        values.push_back(timer.arrival(n, mode, c));
-        values.push_back(timer.slew(n, mode, c));
-        values.push_back(timer.required(n, mode, c));
-      }
-      for (const NodeId e : graph.endpoints()) {
-        values.push_back(timer.slack(e, mode, c));
-      }
-    }
-  }
-  return values;
-}
 
 /// Per-endpoint slack keyed by endpoint name across every corner and both
 /// modes — name-keyed so graphs that differ only in tombstone instances
@@ -129,11 +109,11 @@ TEST(IncrementalFastpath, MatchesFullRebuildAfterResizes) {
   GeneratedStack full(small_options(301));
   full.timer->set_incremental_enabled(false);
 
-  ASSERT_EQ(snapshot_values(*fast.timer), snapshot_values(*full.timer));
+  ASSERT_EQ(state_signature(*fast.timer), state_signature(*full.timer));
   for (const auto& [inst, cell] :
        resize_plan(fast.library, fast.design(), 12, 7001)) {
     resize_both(fast, full, inst, cell);
-    ASSERT_EQ(snapshot_values(*fast.timer), snapshot_values(*full.timer));
+    ASSERT_EQ(state_signature(*fast.timer), state_signature(*full.timer));
   }
   EXPECT_GT(fast.timer->incremental_updates(), 0u);
   EXPECT_GT(full.timer->full_updates(), fast.timer->full_updates());
@@ -147,7 +127,7 @@ TEST(IncrementalFastpath, MatchesLegacyIncrementalPath) {
   for (const auto& [inst, cell] :
        resize_plan(fast.library, fast.design(), 12, 7002)) {
     resize_both(fast, legacy, inst, cell);
-    ASSERT_EQ(snapshot_values(*fast.timer), snapshot_values(*legacy.timer));
+    ASSERT_EQ(state_signature(*fast.timer), state_signature(*legacy.timer));
   }
   EXPECT_GT(fast.timer->update_stats().delay_cache_hits, 0u);
   EXPECT_EQ(legacy.timer->update_stats().delay_cache_hits, 0u);
@@ -164,7 +144,7 @@ TEST(IncrementalFastpath, ThreadCountInvariance) {
       stack.timer->invalidate_instance(inst);
       stack.timer->update_timing();
     }
-    return snapshot_values(*stack.timer);
+    return state_signature(*stack.timer);
   };
   EXPECT_EQ(run(1), run(4));
 }
@@ -208,7 +188,7 @@ TEST(IncrementalFastpath, RepeatedInvalidationIsDeduplicated) {
   // nodes repeatedly.
   EXPECT_EQ(once.timer->update_stats().forward_nodes - f0,
             thrice.timer->update_stats().forward_nodes - f1);
-  EXPECT_EQ(snapshot_values(*once.timer), snapshot_values(*thrice.timer));
+  EXPECT_EQ(state_signature(*once.timer), state_signature(*thrice.timer));
 }
 
 // --- delay-calc memoization -------------------------------------------------
@@ -250,7 +230,7 @@ TEST(IncrementalCache, ResizeInvalidatesOnlyTouchedEntries) {
   Timer fresh(stack.design(), stack.timer->constraints());
   fresh.set_instance_derates(compute_gba_derates(fresh.graph(), stack.table));
   fresh.update_timing();
-  EXPECT_EQ(snapshot_values(*stack.timer), snapshot_values(fresh));
+  EXPECT_EQ(state_signature(*stack.timer), state_signature(fresh));
 }
 
 TEST(IncrementalStats, CountersAdvanceAndReportRenders) {
@@ -280,7 +260,7 @@ TEST(IncrementalTrial, ValueRollbackIsBitIdentical) {
   const auto plan = resize_plan(stack.library, stack.design(), 1, 7009);
   const InstanceId inst = plan[0].first;
   const std::size_t old_cell = stack.design().instance(inst).cell;
-  const std::vector<double> before = snapshot_values(*stack.timer);
+  const std::vector<double> before = state_signature(*stack.timer);
   const std::size_t rollbacks = stack.timer->update_stats().trial_rollbacks;
 
   {
@@ -292,11 +272,11 @@ TEST(IncrementalTrial, ValueRollbackIsBitIdentical) {
     ASSERT_TRUE(scope.rollback());
   }
 
-  EXPECT_EQ(snapshot_values(*stack.timer), before);
+  EXPECT_EQ(state_signature(*stack.timer), before);
   EXPECT_EQ(stack.timer->update_stats().trial_rollbacks, rollbacks + 1);
   // The rolled-back timer is not left dirty: another update is a no-op.
   stack.timer->update_timing();
-  EXPECT_EQ(snapshot_values(*stack.timer), before);
+  EXPECT_EQ(state_signature(*stack.timer), before);
 }
 
 TEST(IncrementalTrial, CommittedTrialKeepsTheNewState) {
@@ -314,13 +294,13 @@ TEST(IncrementalTrial, CommittedTrialKeepsTheNewState) {
   twin.design().resize_instance(plan[0].first, plan[0].second);
   twin.timer->invalidate_instance(plan[0].first);
   twin.timer->update_timing();
-  EXPECT_EQ(snapshot_values(*stack.timer), snapshot_values(*twin.timer));
+  EXPECT_EQ(state_signature(*stack.timer), state_signature(*twin.timer));
 }
 
 TEST(IncrementalTrial, StructuralRollbackIsBitIdentical) {
   GeneratedStack stack(small_options(311));
   Design& design = stack.design();
-  const std::vector<double> before = snapshot_values(*stack.timer);
+  const std::vector<double> before = state_signature(*stack.timer);
 
   // A data net with an instance driver and at least one sink.
   std::optional<NetId> target;
@@ -346,12 +326,12 @@ TEST(IncrementalTrial, StructuralRollbackIsBitIdentical) {
     stack.timer->set_instance_derates(
         compute_gba_derates(stack.timer->graph(), stack.table));
     stack.timer->update_timing();
-    EXPECT_NE(snapshot_values(*stack.timer), before);
+    EXPECT_NE(state_signature(*stack.timer), before);
     design.remove_buffer(buffer, *target);
     ASSERT_TRUE(scope.rollback());
   }
 
-  EXPECT_EQ(snapshot_values(*stack.timer), before);
+  EXPECT_EQ(state_signature(*stack.timer), before);
 
   // The rejected trial leaves a disconnected tombstone instance; later
   // value-only work must still run (and match a from-scratch timer that
@@ -364,7 +344,7 @@ TEST(IncrementalTrial, StructuralRollbackIsBitIdentical) {
   Timer fresh(design, stack.timer->constraints());
   fresh.set_instance_derates(compute_gba_derates(fresh.graph(), stack.table));
   fresh.update_timing();
-  EXPECT_EQ(snapshot_values(*stack.timer), snapshot_values(fresh));
+  EXPECT_EQ(state_signature(*stack.timer), state_signature(fresh));
 }
 
 TEST(IncrementalTrial, FullUpdateMidTrialFallsBackSafely) {
@@ -395,7 +375,7 @@ TEST(IncrementalTrial, FullUpdateMidTrialFallsBackSafely) {
   Timer fresh(stack.design(), stack.timer->constraints());
   fresh.set_instance_derates(compute_gba_derates(fresh.graph(), stack.table));
   fresh.update_timing();
-  EXPECT_EQ(snapshot_values(*stack.timer), snapshot_values(fresh));
+  EXPECT_EQ(state_signature(*stack.timer), state_signature(fresh));
 }
 
 TEST(IncrementalTrial, OptimizerCheckpointsMatchLegacyRejectPath) {
@@ -406,7 +386,7 @@ TEST(IncrementalTrial, OptimizerCheckpointsMatchLegacyRejectPath) {
     options.use_trial_checkpoints = checkpoints;
     TimingCloser closer(stack.design(), *stack.timer, stack.table, options);
     const OptimizerReport report = closer.run();
-    return std::make_pair(snapshot_values(*stack.timer),
+    return std::make_pair(state_signature(*stack.timer),
                           report.transforms_attempted);
   };
   const auto with = run(true);

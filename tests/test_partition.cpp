@@ -18,6 +18,7 @@
 #include "netlist/generator.hpp"
 #include "opt/optimizer.hpp"
 #include "sta/partition.hpp"
+#include "sta/state_signature.hpp"
 #include "sta/timer.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
@@ -33,27 +34,6 @@ struct ThreadGuard {
   std::size_t saved = num_threads();
   ~ThreadGuard() { set_num_threads(saved); }
 };
-
-/// Every arrival / slew / required at every (corner, mode, node) plus every
-/// endpoint slack, in a fixed order — two timers agree on this vector iff
-/// they agree bit-for-bit on the whole timing state.
-std::vector<double> snapshot_values(const Timer& timer) {
-  std::vector<double> values;
-  const TimingGraph& graph = timer.graph();
-  for (CornerId c = 0; c < timer.num_corners(); ++c) {
-    for (const Mode mode : {Mode::Early, Mode::Late}) {
-      for (NodeId n = 0; n < graph.num_nodes(); ++n) {
-        values.push_back(timer.arrival(n, mode, c));
-        values.push_back(timer.slew(n, mode, c));
-        values.push_back(timer.required(n, mode, c));
-      }
-      for (const NodeId e : graph.endpoints()) {
-        values.push_back(timer.slack(e, mode, c));
-      }
-    }
-  }
-  return values;
-}
 
 /// Deterministic pseudo-random weight vector; nonzero only on
 /// [first, first + count).
@@ -142,7 +122,7 @@ TEST(Partition, SingleRegionBitIdenticalToFlat) {
     flat.timer->set_instance_weights(w);
     part.timer->update_timing();
     flat.timer->update_timing();
-    ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer));
+    ASSERT_EQ(state_signature(*part.timer), state_signature(*flat.timer));
     EXPECT_EQ(part.timer->wns(Mode::Late), flat.timer->wns(Mode::Late));
     EXPECT_EQ(part.timer->tns(Mode::Late), flat.timer->tns(Mode::Late));
   }
@@ -176,7 +156,7 @@ TEST(Partition, FourRegionsBitIdenticalAcrossThreads) {
       flat.timer->set_instance_weights(w);
       part.timer->update_timing();
       flat.timer->update_timing();
-      ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer))
+      ASSERT_EQ(state_signature(*part.timer), state_signature(*flat.timer))
           << "threads=" << threads;
     }
     EXPECT_EQ(part.timer->update_stats().partitioned_updates, 3u);
@@ -222,7 +202,7 @@ TEST(Partition, RandomizedEcoMatchesFlatRebuild) {
       }
       part.timer->update_timing();
       flat.timer->update_timing();
-      ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer))
+      ASSERT_EQ(state_signature(*part.timer), state_signature(*flat.timer))
           << "threads=" << threads << " step=" << step;
     }
     EXPECT_GT(part.timer->update_stats().partitioned_updates, 0u);
@@ -245,7 +225,7 @@ TEST(Partition, RoundCapTriggersCountedFallback) {
   flat.timer->set_instance_weights(w);
   part.timer->update_timing();
   flat.timer->update_timing();
-  ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer));
+  ASSERT_EQ(state_signature(*part.timer), state_signature(*flat.timer));
   EXPECT_EQ(part.timer->update_stats().partition_fallbacks, 1u);
   EXPECT_EQ(part.timer->update_stats().partitioned_updates, 0u);
 }
@@ -332,7 +312,7 @@ TEST(Partition, RefitSessionPartitionAware) {
   const MgbaFlowResult part_refit = part_session.refit();
   const MgbaFlowResult flat_refit = flat_session.refit();
   EXPECT_EQ(part_refit.instance_weights, flat_refit.instance_weights);
-  ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer));
+  ASSERT_EQ(state_signature(*part.timer), state_signature(*flat.timer));
 
   const RefitStats& stats = part_session.stats();
   EXPECT_EQ(stats.warm_refits, 1u);
@@ -371,7 +351,7 @@ TEST(Partition, OptimizerWithPartitionedTimerMatchesFlat) {
   EXPECT_EQ(part_report.buffers_inserted, flat_report.buffers_inserted);
   EXPECT_EQ(part_report.final_qor.wns_ps, flat_report.final_qor.wns_ps);
   EXPECT_EQ(part_report.final_qor.tns_ps, flat_report.final_qor.tns_ps);
-  ASSERT_EQ(snapshot_values(*part.timer), snapshot_values(*flat.timer));
+  ASSERT_EQ(state_signature(*part.timer), state_signature(*flat.timer));
 }
 
 // --- scaled generator -------------------------------------------------------
