@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the timing daemon (mgba_timer --serve).
+#
+# Phase 1 (golden transcript): starts the daemon, drives the example ECO +
+# query script through mgba_client, and byte-compares the transcript
+# against the `--script` golden — one command registry, two transports,
+# identical bytes at any --threads count. SIGTERM must then drain and
+# exit 0 (graceful shutdown).
+#
+# Phase 2 (kill-and-replay): a session loads a design and commits an ECO
+# transaction (mGBA fit + optimizer transforms), records two
+# full-precision (%.17g) slacks, and the daemon is killed with SIGKILL —
+# no shutdown path runs. A fresh daemon recovers the session from its
+# streamed recipe + ECO journal; the recovered slacks must be
+# byte-identical.
+#
+# Usage: server_smoke.sh <mgba_timer> <mgba_client> <script.mgbash> <golden> [threads]
+set -euo pipefail
+
+timer=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+client=$(cd "$(dirname "$2")" && pwd)/$(basename "$2")
+script=$(cd "$(dirname "$3")" && pwd)/$(basename "$3")
+golden=$(cd "$(dirname "$4")" && pwd)/$(basename "$4")
+threads=${5:-1}
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -9 "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+cd "$workdir"
+
+wait_for_socket() {
+  for _ in $(seq 1 200); do
+    [ -S "$1" ] && return 0
+    sleep 0.05
+  done
+  echo "daemon socket $1 never appeared" >&2
+  return 1
+}
+
+# --- Phase 1: golden transcript through the daemon ------------------------
+mkdir -p state1
+"$timer" --threads "$threads" --serve mgba.sock --state-dir state1 \
+    > daemon1.log 2>&1 &
+daemon_pid=$!
+wait_for_socket mgba.sock
+
+"$client" mgba.sock --script "$script" --echo > transcript.out
+diff -u "$golden" transcript.out
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" && rc=0 || rc=$?
+daemon_pid=""
+if [ "$rc" -ne 0 ]; then
+  echo "graceful shutdown exited $rc (want 0)" >&2
+  exit 1
+fi
+
+# --- Phase 2: kill -9, then recover from the streamed journal -------------
+mkdir -p state2
+"$timer" --threads "$threads" --serve mgba.sock --state-dir state2 \
+    > daemon2.log 2>&1 &
+daemon_pid=$!
+wait_for_socket mgba.sock
+
+"$client" mgba.sock --print-session --detach \
+    "read_netlist -gates 300 -flops 40 -seed 7 -utilization 1.05" \
+    begin_eco fit_mgba "optimize -passes 1" end_eco > setup.out
+session_id=$(head -n 1 setup.out)
+
+"$client" mgba.sock --attach "$session_id" --detach \
+    "get_slack out_25" "get_slack out_3" > before.txt
+
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+# The killed daemon never unlinked its socket; remove the stale file so
+# wait_for_socket sees the *new* daemon's bind, not the corpse's.
+rm -f mgba.sock
+
+"$timer" --threads "$threads" --serve mgba.sock --state-dir state2 \
+    > daemon3.log 2>&1 &
+daemon_pid=$!
+wait_for_socket mgba.sock
+
+"$client" mgba.sock --recover "$session_id" \
+    "get_slack out_25" "get_slack out_3" > after.txt
+diff -u before.txt after.txt
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" && rc=0 || rc=$?
+daemon_pid=""
+if [ "$rc" -ne 0 ]; then
+  echo "graceful shutdown exited $rc (want 0)" >&2
+  exit 1
+fi
+
+echo "server smoke OK (threads=$threads; transcript + kill-and-replay)"

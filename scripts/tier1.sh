@@ -26,9 +26,20 @@
 # and re-times the head (the COW refcounts and chunk handoff must be
 # race-free), and under ASan because releasing the last snapshot handle
 # frees retained chunks whose stale reuse would read freed memory.
+# The server suites join both sanitizer passes: under TSan because the
+# daemon's reader connections answer query batches from the published
+# snapshot view on their own threads while the session's writer thread
+# mutates and re-times the live graph (the snapshot-isolation storm test
+# is exactly the race TSan must clear), and under ASan because the
+# protocol fuzz feeds truncated / oversized / garbage frames through the
+# bounds-checked decoders — an off-by-one there reads out of the payload.
 # Finally the shell's
 # golden-transcript smoke test runs at 1 and 4 threads: the transcript
-# (including full-precision replayed slacks) must be byte-identical.
+# (including full-precision replayed slacks) must be byte-identical —
+# and the server smoke drives the same script through the daemon +
+# mgba_client (byte-identical transcript again) plus a kill -9 /
+# --recover round trip that must reproduce the session's slacks bit for
+# bit from the streamed recipe + ECO journal.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,14 +49,19 @@ cmake --build build -j
 
 cmake -B build-tsan -S . -DMGBA_SANITIZE=thread
 cmake --build build-tsan -j --target mgba_tests
-MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*:SolverFastpath*:Partition*:Snapshot*'
+MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*:SolverFastpath*:Partition*:Snapshot*:Server*'
 
 cmake -B build-asan -S . -DMGBA_SANITIZE=address
 cmake --build build-asan -j --target mgba_tests
-MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*:Partition*:Snapshot*'
+MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*:Partition*:Snapshot*:Server*'
 
 for threads in 1 4; do
   ./scripts/shell_smoke.sh build/tools/mgba_timer \
       examples/close_timing.mgbash examples/close_timing.golden "$threads"
 done
-echo "tier-1 OK (ctest + TSan parallel/incremental suites + ASan MCMM/shell/incremental suites + shell smoke)"
+
+for threads in 1 4; do
+  ./scripts/server_smoke.sh build/tools/mgba_timer build/tools/mgba_client \
+      examples/close_timing.mgbash examples/close_timing.golden "$threads"
+done
+echo "tier-1 OK (ctest + TSan parallel/incremental/server suites + ASan MCMM/shell/incremental/server suites + shell and server smokes)"

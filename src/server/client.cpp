@@ -1,0 +1,102 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace mgba::server {
+
+std::string Client::connect(const std::string& socket_path,
+                            const std::string& mode) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return "socket path too long";
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return str_format("socket failed: %s", std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = str_format("connect %s failed: %s",
+                                       socket_path.c_str(),
+                                       std::strerror(errno));
+    close();
+    return err;
+  }
+  if (std::string err = write_frame(
+          fd_, str_format("%s %u %s", kMagic, kProtocolVersion,
+                          mode.c_str()));
+      !err.empty()) {
+    close();
+    return err;
+  }
+  std::string reply;
+  std::string err;
+  if (read_frame(fd_, reply, err) != 1) {
+    close();
+    return err.empty() ? "server closed the connection during handshake"
+                       : err;
+  }
+  unsigned version = 0;
+  unsigned long long id = 0;
+  if (std::sscanf(reply.c_str(), "ok %u session %llu", &version, &id) != 2) {
+    close();
+    return reply.rfind("error ", 0) == 0 ? reply.substr(6)
+                                         : "bad handshake reply: " + reply;
+  }
+  session_id_ = id;
+  return "";
+}
+
+std::string Client::run_batch(const std::vector<std::string>& lines,
+                              std::vector<WireResult>& results) {
+  results.clear();
+  if (fd_ < 0) return "not connected";
+  std::string payload = "batch\n";
+  for (const std::string& line : lines) {
+    payload += line;
+    payload += '\n';
+  }
+  if (std::string err = write_frame(fd_, payload); !err.empty()) return err;
+  std::string reply;
+  std::string err;
+  if (read_frame(fd_, reply, err) != 1) {
+    return err.empty() ? "server closed the connection" : err;
+  }
+  if (reply.rfind("error ", 0) == 0) return reply.substr(6);
+  if (!decode_results(reply, results, err)) return err;
+  if (results.size() != lines.size()) {
+    return str_format("result count mismatch (%zu commands, %zu results)",
+                      lines.size(), results.size());
+  }
+  return "";
+}
+
+std::string Client::control(const std::string& request, std::string& reply) {
+  reply.clear();
+  if (fd_ < 0) return "not connected";
+  if (std::string err = write_frame(fd_, request); !err.empty()) return err;
+  std::string err;
+  if (read_frame(fd_, reply, err) != 1) {
+    return err.empty() ? "server closed the connection" : err;
+  }
+  return "";
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  session_id_ = 0;
+}
+
+}  // namespace mgba::server

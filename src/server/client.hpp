@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file client.hpp
+/// Client side of the daemon protocol: connect + handshake, batch
+/// execution, and control directives. Shared by tools/mgba_client, the
+/// server tests, and bench_server_throughput. One Client is one
+/// connection — not thread-safe; concurrent clients each open their own.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace mgba::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon socket and performs the handshake. \p mode is
+  /// "new", "attach <id>", or "recover <id>". Returns "" or an error.
+  std::string connect(const std::string& socket_path,
+                      const std::string& mode = "new");
+
+  /// The session id the handshake granted.
+  [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends \p lines as one batch frame and decodes the per-command
+  /// results. Returns "" or a transport/protocol error.
+  std::string run_batch(const std::vector<std::string>& lines,
+                        std::vector<WireResult>& results);
+
+  /// Sends a control directive ("ping", "detach", "bye", "sessions") and
+  /// returns the reply in \p reply. Returns "" or a transport error.
+  std::string control(const std::string& request, std::string& reply);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t session_id_ = 0;
+};
+
+}  // namespace mgba::server

@@ -1,0 +1,162 @@
+#include "server/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace mgba::server {
+
+namespace {
+
+/// send() with MSG_NOSIGNAL so a vanished peer surfaces as EPIPE instead
+/// of killing the process; plain read() has no such hazard.
+std::string send_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return str_format("send failed: %s", std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return "";
+}
+
+/// Reads exactly \p size bytes. Returns 1 on success, 0 on EOF before the
+/// first byte, -1 on a short read or transport error.
+int recv_all(int fd, void* data, std::size_t size, std::string& error) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error = str_format("read failed: %s", std::strerror(errno));
+      return -1;
+    }
+    if (n == 0) {
+      if (got == 0) return 0;
+      error = str_format("truncated frame (%zu of %zu bytes)", got, size);
+      return -1;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::string write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return str_format("frame too large (%zu bytes, cap %zu)", payload.size(),
+                      kMaxFrameBytes);
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[4] = {
+      static_cast<unsigned char>(len & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff),
+  };
+  if (std::string err = send_all(fd, header, sizeof(header)); !err.empty()) {
+    return err;
+  }
+  return send_all(fd, payload.data(), payload.size());
+}
+
+int read_frame(int fd, std::string& payload, std::string& error,
+               std::size_t max_bytes) {
+  payload.clear();
+  error.clear();
+  unsigned char header[4];
+  const int rc = recv_all(fd, header, sizeof(header), error);
+  if (rc <= 0) return rc;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            static_cast<std::uint32_t>(header[1]) << 8 |
+                            static_cast<std::uint32_t>(header[2]) << 16 |
+                            static_cast<std::uint32_t>(header[3]) << 24;
+  if (len > max_bytes) {
+    error = str_format("oversized frame (%u bytes, cap %zu)", len, max_bytes);
+    return -1;
+  }
+  payload.resize(len);
+  if (len == 0) return 1;
+  if (recv_all(fd, payload.data(), len, error) != 1) return -1;
+  return 1;
+}
+
+std::string encode_results(const std::vector<WireResult>& results) {
+  std::string payload = str_format("results %zu\n", results.size());
+  for (const WireResult& r : results) {
+    payload += str_format("%d %zu %zu\n", r.status, r.output.size(),
+                          r.error.size());
+    payload += r.output;
+    payload += r.error;
+  }
+  return payload;
+}
+
+bool decode_results(const std::string& payload, std::vector<WireResult>& out,
+                    std::string& error) {
+  out.clear();
+  error.clear();
+  std::size_t pos = 0;
+  const auto next_line = [&](std::string& line) {
+    const std::size_t nl = payload.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    line = payload.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+  std::string line;
+  std::size_t count = 0;
+  if (!next_line(line) ||
+      std::sscanf(line.c_str(), "results %zu", &count) != 1) {
+    error = "malformed results header";
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    WireResult r;
+    std::size_t out_len = 0;
+    std::size_t err_len = 0;
+    if (!next_line(line) || std::sscanf(line.c_str(), "%d %zu %zu", &r.status,
+                                        &out_len, &err_len) != 3) {
+      error = str_format("malformed result header %zu", i);
+      return false;
+    }
+    if (out_len > payload.size() - pos ||
+        err_len > payload.size() - pos - out_len) {
+      error = str_format("result %zu overruns the payload", i);
+      return false;
+    }
+    r.output = payload.substr(pos, out_len);
+    pos += out_len;
+    r.error = payload.substr(pos, err_len);
+    pos += err_len;
+    out.push_back(std::move(r));
+  }
+  return true;
+}
+
+int exit_code_for_status(shell::CommandStatus status) {
+  switch (status) {
+    case shell::CommandStatus::Ok:
+      return 0;
+    case shell::CommandStatus::UnknownCommand:
+      return 4;
+    case shell::CommandStatus::BadArgs:
+      return 5;
+    case shell::CommandStatus::EngineError:
+      return 6;
+  }
+  return 6;
+}
+
+}  // namespace mgba::server

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file protocol.hpp
+/// Wire protocol of the timing daemon (DESIGN.md §15): length-prefixed
+/// frames over a Unix-domain socket.
+///
+/// Frame: a 4-byte little-endian payload length, then the payload (UTF-8
+/// text). Payloads above kMaxFrameBytes are protocol violations — the
+/// receiver reports an error instead of allocating, so a garbage header
+/// can't balloon memory.
+///
+/// Handshake (first frame each way, versioned so old clients fail loudly):
+///   client:  "mgba-serve 1 new"            create a session
+///            "mgba-serve 1 attach <id>"    reattach to a live session
+///            "mgba-serve 1 recover <id>"   rebuild a dead session from its
+///                                          recipe + streamed ECO journal
+///   server:  "ok 1 session <id>"  |  "error <message>"
+///
+/// Requests after the handshake:
+///   "batch\n<command line>\n..."  execute shell commands in order
+///   "ping" | "detach" | "bye" | "sessions"   control directives
+///
+/// A batch response is encode_results(): "results <n>\n" then, per
+/// command, "<status> <outlen> <errlen>\n" followed by exactly outlen
+/// output bytes and errlen error bytes (statuses are
+/// shell::CommandStatus values). Control responses are "ok[ detail]" or
+/// "error <message>".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shell/interpreter.hpp"
+
+namespace mgba::server {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr char kMagic[] = "mgba-serve";
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one frame to \p fd. Returns "" or a one-line transport error.
+std::string write_frame(int fd, const std::string& payload);
+
+/// Reads one frame from \p fd into \p payload. Returns 1 on success, 0 on
+/// clean EOF before any header byte, -1 on error (truncated frame,
+/// oversized length, transport failure) with a message in \p error.
+int read_frame(int fd, std::string& payload, std::string& error,
+               std::size_t max_bytes = kMaxFrameBytes);
+
+/// Per-command outcome on the wire (shell::CommandResult minus the
+/// session-local `stop`/`read_only` bookkeeping).
+struct WireResult {
+  int status = 0;  ///< shell::CommandStatus value
+  std::string output;
+  std::string error;
+};
+
+std::string encode_results(const std::vector<WireResult>& results);
+
+/// Parses an encode_results() payload. Length fields are validated
+/// against the remaining payload, so a corrupt frame yields an error —
+/// never an out-of-bounds read.
+bool decode_results(const std::string& payload, std::vector<WireResult>& out,
+                    std::string& error);
+
+/// Exit code CLI drivers use for the first failing command: 0 for Ok,
+/// then 4/5/6 for unknown-command / bad-args / engine-error, leaving 1-3
+/// for the drivers' own usage and file errors.
+int exit_code_for_status(shell::CommandStatus status);
+
+}  // namespace mgba::server

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file server.hpp
+/// The timing daemon: a Unix-domain-socket accept loop in front of the
+/// SessionManager. One std::thread per connection does the versioned
+/// handshake (new / attach / recover), then loops over request frames —
+/// batches dispatch to ServerSession::execute, control directives (ping /
+/// detach / bye / sessions) answer inline.
+///
+/// Graceful shutdown (SIGINT/SIGTERM in --serve mode): the handler writes
+/// one byte to the stop pipe (async-signal-safe); run() wakes, closes the
+/// listen socket, half-closes every connection with shutdown(SHUT_RD) —
+/// so a request already read finishes and its response is sent — joins
+/// the connection threads, drains every session's writer queue, flushes
+/// the ECO journals, and returns 0.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/session_manager.hpp"
+
+namespace mgba::server {
+
+class TimingServer {
+ public:
+  TimingServer(std::string socket_path, ServerOptions options);
+  ~TimingServer();
+
+  /// Binds and listens on the socket path. Returns "" or an error.
+  std::string start();
+
+  /// Serves until request_stop(), then drains and shuts down. Returns 0
+  /// on a clean drain.
+  int run();
+
+  /// Thread-safe stop request. Signal handlers instead write one byte to
+  /// stop_fd() — the async-signal-safe equivalent.
+  void request_stop();
+  [[nodiscard]] int stop_fd() const { return stop_pipe_[1]; }
+
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+  [[nodiscard]] SessionManager& manager() { return manager_; }
+
+ private:
+  void connection_loop(int fd);
+
+  std::string socket_path_;
+  SessionManager manager_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace mgba::server

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file session_manager.hpp
+/// Session layer of the timing daemon (DESIGN.md §15). Each ServerSession
+/// owns one ShellSession + interpreter behind a single writer thread.
+/// Batches of commands classified entirely read-only are answered on the
+/// calling connection thread from the session's published SessionView — a
+/// pinned copy-on-write snapshot plus a frozen node-name table — so
+/// concurrent readers observe snapshot-isolated, bit-identical-to-frozen-
+/// Timer answers even while the writer is mid-ECO. Any batch containing a
+/// mutating command is serialized, whole, onto the writer thread (program
+/// order within a batch is preserved, so reads after writes in one batch
+/// see their effects).
+///
+/// Durability: with a state dir configured, every successful setup
+/// command (read_library / read_derates / read_netlist / read_corners) is
+/// appended to `session-<id>.recipe`, and every committed ECO transaction
+/// is streamed to `session-<id>.eco` as it commits. Crash recovery /
+/// session migration is then: re-run the recipe on a fresh session, and
+/// `replay_eco` the journal — which test_shell already proves reproduces
+/// slacks bit for bit. Un-bracketed mutations are, by design, not
+/// journaled (the production-ECO contract), so the covered state is
+/// "setup + committed transactions".
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shell/interpreter.hpp"
+
+namespace mgba::server {
+
+struct ServerOptions {
+  /// Where recipes + journals stream; empty disables durability.
+  std::string state_dir;
+  /// Unattached sessions idle longer than this are evicted (seconds).
+  double idle_timeout_s = 900.0;
+  std::size_t max_sessions = 64;
+};
+
+class ServerSession {
+ public:
+  ServerSession(std::uint64_t id, const ServerOptions& options);
+  ~ServerSession();
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Executes one batch of command lines, in order, and returns one
+  /// result per line. Thread-safe: any connection thread may call it.
+  std::vector<shell::CommandResult> execute(
+      const std::vector<std::string>& lines);
+
+  void attach() { ++attached_; }
+  void detach() { --attached_; }
+  [[nodiscard]] std::size_t attached() const { return attached_.load(); }
+  [[nodiscard]] bool evictable(std::chrono::steady_clock::time_point now,
+                               double idle_timeout_s) const;
+
+  /// Rebuilds state from a saved recipe + journal (crash recovery and
+  /// migration). The replay runs through the normal command path, so the
+  /// recovered session re-streams its own recipe and journal. Returns ""
+  /// or the first failing command's error.
+  std::string recover_from(const std::string& recipe_path,
+                           const std::string& journal_path);
+
+  /// Blocks until queued writer jobs drain, then flushes the durability
+  /// streams (graceful-shutdown path; the session stays usable).
+  void drain();
+
+  /// Test access to the underlying shell session. Only meaningful when no
+  /// writer job is in flight (call drain() first).
+  [[nodiscard]] shell::ShellSession& shell() { return interp_.session(); }
+
+ private:
+  struct Job {
+    std::vector<std::string> lines;
+    std::promise<std::vector<shell::CommandResult>> done;
+  };
+
+  void writer_loop();
+  std::vector<shell::CommandResult> run_on_writer(
+      const std::vector<std::string>& lines);
+  /// Writer thread: re-fork the view readers answer from.
+  void publish();
+  /// Writer thread: stream recipe lines and newly committed ECO
+  /// transactions after a successful command.
+  void sync_durability(const std::string& line);
+  void touch();
+
+  const std::uint64_t id_;
+  std::ostringstream sink_;  ///< interpreter ctor needs a stream; the
+                             ///< server never uses the printing drivers
+  shell::ShellInterpreter interp_;
+
+  mutable std::mutex view_mutex_;
+  shell::SessionView published_;
+  std::chrono::steady_clock::time_point last_active_;
+  std::atomic<std::size_t> attached_{0};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::unique_ptr<Job>> queue_;
+  bool busy_ = false;
+  bool stopping_ = false;
+  std::thread writer_;
+
+  std::string recipe_path_;
+  std::string journal_path_;
+  std::ofstream recipe_out_;
+  std::ofstream journal_out_;
+  std::size_t journaled_txns_ = 0;
+};
+
+/// Owns the live sessions: create / attach / recover / idle eviction.
+class SessionManager {
+ public:
+  explicit SessionManager(ServerOptions options);
+  ~SessionManager();
+
+  std::shared_ptr<ServerSession> create(std::string& error);
+  std::shared_ptr<ServerSession> attach(std::uint64_t id, std::string& error);
+  /// Builds a fresh session from saved session \p saved_id's recipe +
+  /// journal files (the dead session's state; the files survive a crash
+  /// because they are streamed, not written at shutdown).
+  std::shared_ptr<ServerSession> recover(std::uint64_t saved_id,
+                                         std::string& error);
+
+  /// Evicts unattached sessions idle past the timeout; returns the count.
+  std::size_t evict_idle();
+  [[nodiscard]] std::vector<std::uint64_t> ids() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+  /// Drains every session's writer queue and flushes journals, then
+  /// destroys the sessions (graceful shutdown).
+  void shutdown();
+
+ private:
+  ServerOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<ServerSession>> sessions_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mgba::server

@@ -59,34 +59,41 @@ EcoTransaction EcoJournal::pop_back() {
   return txn;
 }
 
-void EcoJournal::write(std::ostream& out) const {
+void EcoJournal::write_header(std::ostream& out) {
   out << "# mgba ECO journal v1\n";
-  for (const EcoTransaction& txn : committed_) {
-    out << "begin_eco\n";
-    for (const EcoRecord& r : txn.records) {
-      switch (r.kind) {
-        case EcoRecord::Kind::Resize:
-          out << "resize " << quote(r.inst) << ' ' << quote(r.old_cell) << ' '
-              << quote(r.new_cell) << '\n';
-          break;
-        case EcoRecord::Kind::InsertBuffer:
-          out << "buffer " << quote(r.net) << ' ' << quote(r.sink) << ' '
-              << quote(r.new_cell) << ' ' << quote(r.inst) << ' '
-              << fmt_double(r.x) << ' ' << fmt_double(r.y) << '\n';
-          break;
-        case EcoRecord::Kind::RemoveBuffer:
-          out << "unbuffer " << quote(r.inst) << ' ' << quote(r.net) << '\n';
-          break;
-        case EcoRecord::Kind::Weights:
-          out << "weights " << quote(r.corner) << ' '
-              << (r.early ? "early" : "late") << ' ' << r.values.size();
-          for (const double v : r.values) out << ' ' << fmt_double(v);
-          out << '\n';
-          break;
-      }
+}
+
+void EcoJournal::write_transaction(std::ostream& out,
+                                   const EcoTransaction& txn) {
+  out << "begin_eco\n";
+  for (const EcoRecord& r : txn.records) {
+    switch (r.kind) {
+      case EcoRecord::Kind::Resize:
+        out << "resize " << quote(r.inst) << ' ' << quote(r.old_cell) << ' '
+            << quote(r.new_cell) << '\n';
+        break;
+      case EcoRecord::Kind::InsertBuffer:
+        out << "buffer " << quote(r.net) << ' ' << quote(r.sink) << ' '
+            << quote(r.new_cell) << ' ' << quote(r.inst) << ' '
+            << fmt_double(r.x) << ' ' << fmt_double(r.y) << '\n';
+        break;
+      case EcoRecord::Kind::RemoveBuffer:
+        out << "unbuffer " << quote(r.inst) << ' ' << quote(r.net) << '\n';
+        break;
+      case EcoRecord::Kind::Weights:
+        out << "weights " << quote(r.corner) << ' '
+            << (r.early ? "early" : "late") << ' ' << r.values.size();
+        for (const double v : r.values) out << ' ' << fmt_double(v);
+        out << '\n';
+        break;
     }
-    out << "end_eco\n";
   }
+  out << "end_eco\n";
+}
+
+void EcoJournal::write(std::ostream& out) const {
+  write_header(out);
+  for (const EcoTransaction& txn : committed_) write_transaction(out, txn);
 }
 
 bool EcoJournal::read(std::istream& in, std::vector<EcoTransaction>& out,

@@ -96,6 +96,15 @@ class EcoJournal {
   /// Serializes every committed transaction in the text format above.
   void write(std::ostream& out) const;
 
+  /// Writes the "# mgba ECO journal v1" header line (once per file). With
+  /// write_transaction this lets a server stream a session's journal to
+  /// disk append-only: header at session creation, one transaction block
+  /// per commit, and read() parses the accumulated file unchanged.
+  static void write_header(std::ostream& out);
+  /// Serializes one transaction block (begin_eco … end_eco). Byte-for-byte
+  /// the block write() emits for the same transaction.
+  static void write_transaction(std::ostream& out, const EcoTransaction& txn);
+
   /// Parses the text format. On success fills \p out and returns true; on
   /// malformed input returns false with a one-line message in \p error.
   static bool read(std::istream& in, std::vector<EcoTransaction>& out,

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "opt/qor.hpp"
 #include "shell/tokenizer.hpp"
@@ -55,38 +56,106 @@ std::string read_double_option(const ParsedCommand& p, const std::string& name,
   return "";
 }
 
+CommandResult ok_result(std::string text = {}) {
+  CommandResult r;
+  r.output = std::move(text);
+  return r;
+}
+
+CommandResult fail(CommandStatus status, std::string message) {
+  CommandResult r;
+  r.status = status;
+  r.error = std::move(message);
+  return r;
+}
+
+CommandResult args_fail(std::string message) {
+  return fail(CommandStatus::BadArgs, std::move(message));
+}
+
+CommandResult engine_fail(std::string message) {
+  return fail(CommandStatus::EngineError, std::move(message));
+}
+
+CommandResult no_design() {
+  return engine_fail("no design loaded (read_netlist first)");
+}
+
+/// Resolves an optional "-corner NAME" against the view's frozen corner
+/// set; kDefaultCorner stand-in (nullopt) when absent. The caller has
+/// already checked view.loaded().
+std::string resolve_corner(const ParsedCommand& p, const SessionView& view,
+                           std::optional<CornerId>& corner) {
+  corner.reset();
+  const std::string* name = p.value("corner");
+  if (name == nullptr) return "";
+  const auto c = view.snap->find_corner(*name);
+  if (!c.has_value()) return "no corner named '" + *name + "'";
+  corner = *c;
+  return "";
+}
+
 }  // namespace
+
+std::shared_ptr<const NodeNameTable> NodeNameTable::build(
+    const std::shared_ptr<const TimingGraph>& graph) {
+  auto table = std::make_shared<NodeNameTable>();
+  table->names.reserve(graph->num_nodes());
+  for (NodeId n = 0; n < graph->num_nodes(); ++n) {
+    table->names.push_back(graph->node_name(n));
+  }
+  for (const NodeId e : graph->endpoints()) {
+    table->endpoints.emplace(table->names[e], e);
+  }
+  table->graph = graph;
+  return table;
+}
+
+std::string SessionView::node_name(NodeId node) const {
+  if (names != nullptr && node < names->names.size()) {
+    return names->names[node];
+  }
+  return snap->graph().node_name(node);
+}
+
+std::optional<NodeId> SessionView::find_endpoint(
+    const std::string& name) const {
+  if (names != nullptr) {
+    const auto it = names->endpoints.find(name);
+    if (it == names->endpoints.end()) return std::nullopt;
+    return it->second;
+  }
+  return snap->graph().find_endpoint(name);
+}
 
 ShellInterpreter::ShellInterpreter(std::ostream& out,
                                    InterpreterOptions options)
-    : out_(out), options_(std::move(options)) {
+    : out_(&out), options_(std::move(options)) {
   register_commands();
 }
 
+void ShellInterpreter::note_error(CommandStatus status) {
+  ++errors_;
+  if (first_error_ == CommandStatus::Ok) first_error_ = status;
+}
+
 bool ShellInterpreter::run_line(const std::string& line) {
-  TokenizeResult tok = tokenize_line(line);
-  if (!tok.ok()) {
-    out_ << "error: " << tok.error << "\n";
-    ++errors_;
-    return !options_.stop_on_error;
-  }
-  if (tok.tokens.empty()) return true;
-  bool stop = false;
-  const std::string err = dispatch(tok.tokens, stop);
-  if (!err.empty()) {
-    out_ << "error: " << err << "\n";
-    ++errors_;
+  const CommandResult r = execute_line(line);
+  *out_ << r.output;
+  if (!r.ok()) {
+    *out_ << "error: " << r.error << "\n";
+    note_error(r.status);
     if (options_.stop_on_error) return false;
   }
-  return !stop;
+  return !r.stop;
 }
 
 void ShellInterpreter::run_stream(std::istream& in) {
   std::string line;
   while (true) {
-    if (options_.interactive) out_ << options_.prompt << std::flush;
+    if (options_.interactive) *out_ << options_.prompt << std::flush;
     if (!std::getline(in, line)) break;
-    if (options_.echo) out_ << options_.prompt << line << "\n";
+    if (options_.echo) *out_ << options_.prompt << line << "\n";
     if (!run_line(line)) break;
   }
 }
@@ -101,23 +170,85 @@ std::string ShellInterpreter::run_script(const std::string& path) {
   return "";
 }
 
-std::string ShellInterpreter::dispatch(const std::vector<std::string>& tokens,
-                                       bool& stop) {
+CommandResult ShellInterpreter::execute_line(const std::string& line) {
+  TokenizeResult tok = tokenize_line(line);
+  if (!tok.ok()) return args_fail(tok.error);
+  if (tok.tokens.empty()) return CommandResult{};
+  return dispatch(tok.tokens);
+}
+
+CommandResult ShellInterpreter::execute_query(const std::string& line,
+                                              const SessionView& view) const {
+  TokenizeResult tok = tokenize_line(line);
+  if (!tok.ok()) return args_fail(tok.error);
+  if (tok.tokens.empty()) {
+    CommandResult r;
+    r.read_only = true;
+    return r;
+  }
+  const auto it = commands_.find(tok.tokens[0]);
+  if (it == commands_.end()) {
+    return fail(CommandStatus::UnknownCommand,
+                "unknown command '" + tok.tokens[0] + "' (try help)");
+  }
+  const Command& cmd = it->second;
+  if (!cmd.query) {
+    return args_fail("command '" + tok.tokens[0] +
+                     "' mutates the session (writer path required)");
+  }
+  ParsedCommand parsed;
+  if (std::string err = parse_command(cmd, tok.tokens, parsed); !err.empty()) {
+    return args_fail(std::move(err));
+  }
+  CommandResult r = cmd.query(parsed, view);
+  r.read_only = true;
+  return r;
+}
+
+bool ShellInterpreter::classify_read_only(const std::string& line) const {
+  TokenizeResult tok = tokenize_line(line);
+  if (!tok.ok()) return false;
+  if (tok.tokens.empty()) return true;
+  const auto it = commands_.find(tok.tokens[0]);
+  return it != commands_.end() && it->second.query != nullptr;
+}
+
+SessionView ShellInterpreter::current_view() {
+  SessionView v;
+  if (!session_.loaded()) return v;
+  v.snap = session_.timing_view();
+  if (options_.snapshot_names) {
+    const std::shared_ptr<const TimingGraph>& graph = v.snap->graph_ref();
+    if (name_table_ == nullptr || name_table_->graph != graph) {
+      name_table_ = NodeNameTable::build(graph);
+    }
+    v.names = name_table_;
+  }
+  return v;
+}
+
+CommandResult ShellInterpreter::dispatch(
+    const std::vector<std::string>& tokens) {
   const std::string& name = tokens[0];
   if (name == "exit" || name == "quit") {
-    stop = true;
-    return "";
+    CommandResult r;
+    r.stop = true;
+    return r;
   }
   const auto it = commands_.find(name);
   if (it == commands_.end()) {
-    return "unknown command '" + name + "' (try help)";
+    return fail(CommandStatus::UnknownCommand,
+                "unknown command '" + name + "' (try help)");
   }
+  const Command& cmd = it->second;
   ParsedCommand parsed;
-  if (std::string err = parse_command(it->second, tokens, parsed);
-      !err.empty()) {
-    return err;
+  if (std::string err = parse_command(cmd, tokens, parsed); !err.empty()) {
+    return args_fail(std::move(err));
   }
-  return it->second.handler(parsed);
+  CommandResult r =
+      cmd.query ? cmd.query(parsed, current_view()) : cmd.handler(parsed);
+  r.read_only = cmd.query != nullptr;
+  return r;
 }
 
 std::string ShellInterpreter::parse_command(
@@ -153,241 +284,267 @@ std::string ShellInterpreter::parse_command(
   return "";
 }
 
-std::string ShellInterpreter::resolve_corner(
-    const ParsedCommand& p, std::optional<CornerId>& corner) const {
-  corner.reset();
-  const std::string* name = p.value("corner");
-  if (name == nullptr) return "";
-  if (!session_.loaded()) return "no design loaded (read_netlist first)";
-  const auto c = session_.timer().find_corner(*name);
-  if (!c.has_value()) return "no corner named '" + *name + "'";
-  corner = *c;
-  return "";
-}
-
 // --- handlers --------------------------------------------------------------
 
-std::string ShellInterpreter::cmd_help(const ParsedCommand& p) {
+CommandResult ShellInterpreter::cmd_help(const ParsedCommand& p) const {
+  std::ostringstream os;
   if (!p.positional.empty()) {
     const auto it = commands_.find(p.positional[0]);
     if (it == commands_.end()) {
-      return "unknown command '" + p.positional[0] + "'";
+      return args_fail("unknown command '" + p.positional[0] + "'");
     }
-    out_ << "usage: " << it->second.usage << "\n  " << it->second.help
-         << "\n";
+    os << "usage: " << it->second.usage << "\n  " << it->second.help << "\n";
     for (const std::string& v : it->second.value_options) {
-      out_ << "  -" << v << " <value>\n";
+      os << "  -" << v << " <value>\n";
     }
     for (const std::string& f : it->second.flag_options) {
-      out_ << "  -" << f << "\n";
+      os << "  -" << f << "\n";
     }
-    return "";
+    return ok_result(os.str());
   }
-  out_ << "commands:\n";
+  os << "commands:\n";
   for (const auto& [name, cmd] : commands_) {
-    out_ << str_format("  %-38s %s\n", cmd.usage.c_str(), cmd.help.c_str());
+    os << str_format("  %-38s %s\n", cmd.usage.c_str(), cmd.help.c_str());
   }
-  out_ << str_format("  %-38s %s\n", "exit | quit", "leave the shell");
-  return "";
+  os << str_format("  %-38s %s\n", "exit | quit", "leave the shell");
+  return ok_result(os.str());
 }
 
-std::string ShellInterpreter::cmd_read_netlist(const ParsedCommand& p) {
+CommandResult ShellInterpreter::cmd_read_netlist(const ParsedCommand& p) {
   LoadRequest request;
   if (!p.positional.empty()) request.netlist_path = p.positional[0];
   std::size_t design = 0;
   std::string err;
-  if ((err = read_size_option(p, "design", design)), !err.empty()) return err;
+  if ((err = read_size_option(p, "design", design)), !err.empty()) {
+    return args_fail(std::move(err));
+  }
   request.design = static_cast<int>(design);
   if ((err = read_size_option(p, "gates", request.gates)), !err.empty()) {
-    return err;
+    return args_fail(std::move(err));
   }
   if ((err = read_size_option(p, "flops", request.flops)), !err.empty()) {
-    return err;
+    return args_fail(std::move(err));
   }
   std::size_t seed = 1;
-  if ((err = read_size_option(p, "seed", seed)), !err.empty()) return err;
+  if ((err = read_size_option(p, "seed", seed)), !err.empty()) {
+    return args_fail(std::move(err));
+  }
   request.seed = seed;
   if ((err = read_size_option(p, "depth", request.depth)), !err.empty()) {
-    return err;
+    return args_fail(std::move(err));
   }
   if (p.value("period") != nullptr) {
     double period = 0.0;
     if ((err = read_double_option(p, "period", period)), !err.empty()) {
-      return err;
+      return args_fail(std::move(err));
     }
     request.period_ps = period;
   }
   if ((err = read_double_option(p, "utilization", request.utilization)),
       !err.empty()) {
-    return err;
+    return args_fail(std::move(err));
   }
   if ((err = read_double_option(p, "uncertainty", request.uncertainty_ps)),
       !err.empty()) {
-    return err;
+    return args_fail(std::move(err));
   }
   if (const std::string* clock = p.value("clock_port"); clock != nullptr) {
     request.clock_port = *clock;
   }
 
-  if ((err = session_.load(request)), !err.empty()) return err;
-  out_ << str_format(
+  if ((err = session_.load(request)), !err.empty()) {
+    return engine_fail(std::move(err));
+  }
+  return ok_result(str_format(
       "loaded %s: %zu instances, %zu nets, %zu endpoints, clock period "
       "%.6g ps\n",
       session_.design().name().c_str(), session_.design().num_instances(),
       session_.design().num_nets(),
       session_.timer().graph().endpoints().size(),
-      session_.clock_period_ps());
-  return "";
+      session_.clock_period_ps()));
 }
 
-std::string ShellInterpreter::cmd_report_wns_tns(const ParsedCommand& p,
-                                                bool tns) {
-  if (!session_.loaded()) return "no design loaded (read_netlist first)";
-  const auto view = session_.timing_view();
+CommandResult ShellInterpreter::cmd_report_wns_tns(const ParsedCommand& p,
+                                                   const SessionView& view,
+                                                   bool tns) const {
+  if (!view.loaded()) return no_design();
+  const TimingSnapshot& snap = *view.snap;
   const Mode mode = p.has_flag("early") ? Mode::Early : Mode::Late;
   const char* what = tns ? "tns" : "wns";
   std::optional<CornerId> corner;
-  if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
+  if (std::string err = resolve_corner(p, view, corner); !err.empty()) {
+    return args_fail(std::move(err));
+  }
   const auto value = [&](CornerId c) {
-    return tns ? view->tns(mode, c) : view->wns(mode, c);
+    return tns ? snap.tns(mode, c) : snap.wns(mode, c);
   };
+  std::ostringstream os;
   if (corner.has_value()) {
-    out_ << str_format("%s %s = %.6f ps\n", what,
-                       corner_label(*view, *corner).c_str(), value(*corner));
-    return "";
+    os << str_format("%s %s = %.6f ps\n", what,
+                     corner_label(snap, *corner).c_str(), value(*corner));
+    return ok_result(os.str());
   }
-  for (CornerId c = 0; c < view->num_corners(); ++c) {
-    out_ << str_format("%s %s = %.6f ps\n", what,
-                       corner_label(*view, c).c_str(), value(c));
+  for (CornerId c = 0; c < snap.num_corners(); ++c) {
+    os << str_format("%s %s = %.6f ps\n", what, corner_label(snap, c).c_str(),
+                     value(c));
   }
-  if (session_.multi_corner()) {
-    const double merged =
-        tns ? view->tns_merged(mode) : view->wns_merged(mode);
-    out_ << str_format("%s merged = %.6f ps\n", what, merged);
+  if (view.multi_corner()) {
+    const double merged = tns ? snap.tns_merged(mode) : snap.wns_merged(mode);
+    os << str_format("%s merged = %.6f ps\n", what, merged);
   }
-  return "";
+  return ok_result(os.str());
 }
 
-std::string ShellInterpreter::cmd_report_worst_slack(const ParsedCommand& p) {
-  if (!session_.loaded()) return "no design loaded (read_netlist first)";
-  const auto view = session_.timing_view();
+CommandResult ShellInterpreter::cmd_report_worst_slack(
+    const ParsedCommand& p, const SessionView& view) const {
+  if (!view.loaded()) return no_design();
+  const TimingSnapshot& snap = *view.snap;
   const Mode mode = p.has_flag("early") ? Mode::Early : Mode::Late;
   std::optional<CornerId> corner;
-  if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
+  if (std::string err = resolve_corner(p, view, corner); !err.empty()) {
+    return args_fail(std::move(err));
+  }
   if (corner.has_value()) {
     // Worst endpoint at one specific corner.
     NodeId worst = kInvalidNode;
     double worst_slack = 0.0;
-    for (const NodeId e : view->graph().endpoints()) {
-      const double s = view->slack(e, mode, *corner);
+    for (const NodeId e : snap.graph().endpoints()) {
+      const double s = snap.slack(e, mode, *corner);
       if (worst == kInvalidNode || s < worst_slack) {
         worst = e;
         worst_slack = s;
       }
     }
-    if (worst == kInvalidNode) return "design has no endpoints";
-    out_ << str_format("worst slack %s = %.6f ps at %s\n",
-                       corner_label(*view, *corner).c_str(), worst_slack,
-                       view->graph().node_name(worst).c_str());
-    return "";
+    if (worst == kInvalidNode) return engine_fail("design has no endpoints");
+    return ok_result(str_format("worst slack %s = %.6f ps at %s\n",
+                                corner_label(snap, *corner).c_str(),
+                                worst_slack, view.node_name(worst).c_str()));
   }
-  const NodeId worst = view->worst_endpoint_merged(mode);
-  if (worst == kInvalidNode) return "design has no endpoints";
-  const CornerId at = view->worst_slack_corner(worst, mode);
-  out_ << str_format("worst slack = %.6f ps at %s (%s)\n",
-                     view->slack_merged(worst, mode),
-                     view->graph().node_name(worst).c_str(),
-                     corner_label(*view, at).c_str());
-  return "";
+  const NodeId worst = snap.worst_endpoint_merged(mode);
+  if (worst == kInvalidNode) return engine_fail("design has no endpoints");
+  const CornerId at = snap.worst_slack_corner(worst, mode);
+  return ok_result(str_format("worst slack = %.6f ps at %s (%s)\n",
+                              snap.slack_merged(worst, mode),
+                              view.node_name(worst).c_str(),
+                              corner_label(snap, at).c_str()));
 }
 
-std::string ShellInterpreter::cmd_get_slack(const ParsedCommand& p) {
-  if (!session_.loaded()) return "no design loaded (read_netlist first)";
-  const auto view = session_.timing_view();
+CommandResult ShellInterpreter::cmd_get_slack(const ParsedCommand& p,
+                                              const SessionView& view) const {
+  if (!view.loaded()) return no_design();
+  const TimingSnapshot& snap = *view.snap;
   const std::string& name = p.positional[0];
-  const auto endpoint = view->graph().find_endpoint(name);
-  if (!endpoint.has_value()) return "no endpoint named '" + name + "'";
+  const auto endpoint = view.find_endpoint(name);
+  if (!endpoint.has_value()) {
+    return args_fail("no endpoint named '" + name + "'");
+  }
   const Mode mode = p.has_flag("early") ? Mode::Early : Mode::Late;
   const char* mode_tag = p.has_flag("early") ? " early" : "";
   std::optional<CornerId> corner;
-  if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
+  if (std::string err = resolve_corner(p, view, corner); !err.empty()) {
+    return args_fail(std::move(err));
+  }
+  std::ostringstream os;
   if (corner.has_value()) {
-    out_ << str_format("slack(%s)%s %s = %.17g ps\n", name.c_str(), mode_tag,
-                       corner_label(*view, *corner).c_str(),
-                       view->slack(*endpoint, mode, *corner));
-    return "";
+    os << str_format("slack(%s)%s %s = %.17g ps\n", name.c_str(), mode_tag,
+                     corner_label(snap, *corner).c_str(),
+                     snap.slack(*endpoint, mode, *corner));
+    return ok_result(os.str());
   }
-  for (CornerId c = 0; c < view->num_corners(); ++c) {
-    out_ << str_format("slack(%s)%s %s = %.17g ps\n", name.c_str(), mode_tag,
-                       corner_label(*view, c).c_str(),
-                       view->slack(*endpoint, mode, c));
+  for (CornerId c = 0; c < snap.num_corners(); ++c) {
+    os << str_format("slack(%s)%s %s = %.17g ps\n", name.c_str(), mode_tag,
+                     corner_label(snap, c).c_str(),
+                     snap.slack(*endpoint, mode, c));
   }
-  if (session_.multi_corner()) {
-    out_ << str_format("slack(%s)%s merged = %.17g ps\n", name.c_str(),
-                       mode_tag, view->slack_merged(*endpoint, mode));
+  if (view.multi_corner()) {
+    os << str_format("slack(%s)%s merged = %.17g ps\n", name.c_str(),
+                     mode_tag, snap.slack_merged(*endpoint, mode));
   }
-  return "";
+  return ok_result(os.str());
 }
 
-std::string ShellInterpreter::cmd_report_path(const ParsedCommand& p) {
-  if (!session_.loaded()) return "no design loaded (read_netlist first)";
-  const auto view = session_.timing_view();
+CommandResult ShellInterpreter::cmd_report_path(const ParsedCommand& p,
+                                                const SessionView& view) const {
+  if (!view.loaded()) return no_design();
+  const TimingSnapshot& snap = *view.snap;
   NodeId endpoint = kInvalidNode;
   if (!p.positional.empty()) {
-    const auto found = view->graph().find_endpoint(p.positional[0]);
+    const auto found = view.find_endpoint(p.positional[0]);
     if (!found.has_value()) {
-      return "no endpoint named '" + p.positional[0] + "'";
+      return args_fail("no endpoint named '" + p.positional[0] + "'");
     }
     endpoint = *found;
   } else {
-    endpoint = view->worst_endpoint_merged(Mode::Late);
-    if (endpoint == kInvalidNode) return "design has no endpoints";
+    endpoint = snap.worst_endpoint_merged(Mode::Late);
+    if (endpoint == kInvalidNode) {
+      return engine_fail("design has no endpoints");
+    }
   }
   std::optional<CornerId> corner;
-  if (std::string err = resolve_corner(p, corner); !err.empty()) return err;
+  if (std::string err = resolve_corner(p, view, corner); !err.empty()) {
+    return args_fail(std::move(err));
+  }
   const CornerId at =
-      corner.value_or(view->worst_slack_corner(endpoint, Mode::Late));
-  out_ << report_worst_path(*view, endpoint, at);
-  return "";
+      corner.value_or(snap.worst_slack_corner(endpoint, Mode::Late));
+  return ok_result(report_worst_path(
+      snap, endpoint, at, [&view](NodeId n) { return view.node_name(n); }));
 }
 
-std::string ShellInterpreter::cmd_report_qor(const ParsedCommand& /*p*/) {
-  if (!session_.loaded()) return "no design loaded (read_netlist first)";
+CommandResult ShellInterpreter::cmd_report_endpoints(
+    const ParsedCommand& p, const SessionView& view) const {
+  if (!view.loaded()) return no_design();
+  std::size_t count = 10;
+  if (!p.positional.empty() && !parse_size(p.positional[0], count)) {
+    return args_fail("not a count: " + p.positional[0]);
+  }
+  std::optional<CornerId> corner;
+  if (std::string err = resolve_corner(p, view, corner); !err.empty()) {
+    return args_fail(std::move(err));
+  }
+  return ok_result(report_endpoints(
+      *view.snap, count, corner.value_or(kDefaultCorner),
+      [&view](NodeId n) { return view.node_name(n); }));
+}
+
+CommandResult ShellInterpreter::cmd_report_qor(const ParsedCommand& /*p*/) {
+  if (!session_.loaded()) return no_design();
   const Timer& timer = session_.timer();
+  std::ostringstream os;
   if (!session_.multi_corner()) {
-    out_ << "qor: " << measure_qor(timer).to_string() << "\n";
-    return "";
+    os << "qor: " << measure_qor(timer).to_string() << "\n";
+    return ok_result(os.str());
   }
   for (CornerId c = 0; c < timer.num_corners(); ++c) {
-    out_ << "qor " << corner_label(timer, c) << ": "
-         << measure_qor(timer, c).to_string() << "\n";
+    os << "qor " << corner_label(timer, c) << ": "
+       << measure_qor(timer, c).to_string() << "\n";
   }
-  out_ << "qor merged: " << measure_qor(timer).to_string() << "\n";
-  return "";
+  os << "qor merged: " << measure_qor(timer).to_string() << "\n";
+  return ok_result(os.str());
 }
 
-std::string ShellInterpreter::cmd_fit_mgba(const ParsedCommand& p) {
+CommandResult ShellInterpreter::cmd_fit_mgba(const ParsedCommand& p) {
   MgbaFlowOptions options;
   if (p.has_flag("hold")) options.check_kind = CheckKind::Hold;
   std::string err;
   if ((err = read_size_option(p, "paths", options.paths_per_endpoint)),
       !err.empty()) {
-    return err;
+    return args_fail(std::move(err));
   }
   options.candidate_paths_per_endpoint = std::max(
       options.candidate_paths_per_endpoint, options.paths_per_endpoint);
   std::vector<MgbaFlowResult> results;
   if ((err = session_.fit(options, p.has_flag("all_corners"), results)),
       !err.empty()) {
-    return err;
+    return engine_fail(std::move(err));
   }
+  std::ostringstream os;
   for (const MgbaFlowResult& fit : results) {
-    out_ << fit_result_summary(session_.timer(), fit, options.check_kind);
+    os << fit_result_summary(session_.timer(), fit, options.check_kind);
   }
-  return "";
+  return ok_result(os.str());
 }
 
-std::string ShellInterpreter::cmd_size_cell(const ParsedCommand& p) {
+CommandResult ShellInterpreter::cmd_size_cell(const ParsedCommand& p) {
   std::string old_cell;
   if (session_.loaded()) {
     if (const auto inst = session_.design().find_instance(p.positional[0]);
@@ -397,330 +554,407 @@ std::string ShellInterpreter::cmd_size_cell(const ParsedCommand& p) {
   }
   if (std::string err = session_.size_cell(p.positional[0], p.positional[1]);
       !err.empty()) {
-    return err;
+    return engine_fail(std::move(err));
   }
-  out_ << str_format("sized %s: %s -> %s\n", p.positional[0].c_str(),
-                     old_cell.c_str(), p.positional[1].c_str());
-  return "";
+  return ok_result(str_format("sized %s: %s -> %s\n", p.positional[0].c_str(),
+                              old_cell.c_str(), p.positional[1].c_str()));
 }
 
-std::string ShellInterpreter::cmd_insert_buffer(const ParsedCommand& p) {
+CommandResult ShellInterpreter::cmd_insert_buffer(const ParsedCommand& p) {
   const std::string* cell = p.value("cell");
   std::string buffer_name;
   if (std::string err =
           session_.insert_buffer(p.positional[0], p.positional[1],
                                  cell != nullptr ? *cell : "", buffer_name);
       !err.empty()) {
-    return err;
+    return engine_fail(std::move(err));
   }
   const auto inst = session_.design().find_instance(buffer_name);
-  out_ << str_format("inserted buffer %s (%s) before %s on net %s\n",
-                     buffer_name.c_str(),
-                     session_.design().cell_of(*inst).name.c_str(),
-                     p.positional[1].c_str(), p.positional[0].c_str());
-  return "";
+  return ok_result(
+      str_format("inserted buffer %s (%s) before %s on net %s\n",
+                 buffer_name.c_str(),
+                 session_.design().cell_of(*inst).name.c_str(),
+                 p.positional[1].c_str(), p.positional[0].c_str()));
 }
 
-std::string ShellInterpreter::cmd_optimize(const ParsedCommand& p) {
+CommandResult ShellInterpreter::cmd_optimize(const ParsedCommand& p) {
   OptimizerOptions options;
   std::string err;
   if ((err = read_size_option(p, "passes", options.max_passes)),
       !err.empty()) {
-    return err;
+    return args_fail(std::move(err));
   }
   if ((err = read_size_option(p, "acceptable",
                               options.acceptable_violations)),
       !err.empty()) {
-    return err;
+    return args_fail(std::move(err));
   }
   if (p.has_flag("mgba")) options.use_mgba = true;
   OptimizerReport report;
-  if ((err = session_.optimize(options, report)), !err.empty()) return err;
-  out_ << str_format(
+  if ((err = session_.optimize(options, report)), !err.empty()) {
+    return engine_fail(std::move(err));
+  }
+  std::ostringstream os;
+  os << str_format(
       "optimize: %zu passes, %zu upsizes, %zu downsizes, %zu buffers "
       "inserted (%zu reverted)\n",
       report.passes, report.upsizes, report.downsizes,
       report.buffers_inserted, report.buffers_reverted);
-  out_ << "  initial: " << report.initial.to_string() << "\n";
-  out_ << "  final:   " << report.final_qor.to_string() << "\n";
+  os << "  initial: " << report.initial.to_string() << "\n";
+  os << "  final:   " << report.final_qor.to_string() << "\n";
   if (session_.multi_corner()) {
     const Timer& timer = session_.timer();
     for (CornerId c = 0; c < timer.num_corners(); ++c) {
-      out_ << "  final " << corner_label(timer, c) << ": "
-           << report.final_per_corner[c].to_string() << "\n";
+      os << "  final " << corner_label(timer, c) << ": "
+         << report.final_per_corner[c].to_string() << "\n";
     }
   }
-  return "";
+  return ok_result(os.str());
 }
 
 void ShellInterpreter::register_commands() {
   const auto add = [this](const std::string& name, Command cmd) {
     commands_.emplace(name, std::move(cmd));
   };
+  // Wraps a read-only body into the Command::query slot.
+  using QueryFn =
+      std::function<CommandResult(const ParsedCommand&, const SessionView&)>;
+  const auto query_cmd = [](std::string usage, std::string help,
+                            std::size_t min_args, std::size_t max_args,
+                            std::vector<std::string> value_options,
+                            std::vector<std::string> flag_options,
+                            QueryFn fn) {
+    Command cmd;
+    cmd.usage = std::move(usage);
+    cmd.help = std::move(help);
+    cmd.min_args = min_args;
+    cmd.max_args = max_args;
+    cmd.value_options = std::move(value_options);
+    cmd.flag_options = std::move(flag_options);
+    cmd.query = std::move(fn);
+    return cmd;
+  };
+  const auto mutating_cmd =
+      [](std::string usage, std::string help, std::size_t min_args,
+         std::size_t max_args, std::vector<std::string> value_options,
+         std::vector<std::string> flag_options,
+         std::function<CommandResult(const ParsedCommand&)> fn) {
+        Command cmd;
+        cmd.usage = std::move(usage);
+        cmd.help = std::move(help);
+        cmd.min_args = min_args;
+        cmd.max_args = max_args;
+        cmd.value_options = std::move(value_options);
+        cmd.flag_options = std::move(flag_options);
+        cmd.handler = std::move(fn);
+        return cmd;
+      };
 
-  add("help", {"help [command]", "list commands or describe one", 0, 1, {},
-               {},
-               [this](const ParsedCommand& p) { return cmd_help(p); }});
-  add("echo", {"echo [words...]", "print its arguments", 0, SIZE_MAX, {}, {},
-               [this](const ParsedCommand& p) {
-                 for (std::size_t i = 0; i < p.positional.size(); ++i) {
-                   out_ << (i == 0 ? "" : " ") << p.positional[i];
-                 }
-                 out_ << "\n";
-                 return std::string();
-               }});
-  add("source", {"source <file>", "run a script file in this session", 1, 1,
-                 {},
-                 {},
-                 [this](const ParsedCommand& p) {
-                   return run_script(p.positional[0]);
-                 }});
+  add("help", query_cmd("help [command]", "list commands or describe one", 0,
+                        1, {}, {},
+                        [this](const ParsedCommand& p, const SessionView&) {
+                          return cmd_help(p);
+                        }));
+  add("echo", query_cmd("echo [words...]", "print its arguments", 0, SIZE_MAX,
+                        {}, {},
+                        [](const ParsedCommand& p, const SessionView&) {
+                          std::ostringstream os;
+                          for (std::size_t i = 0; i < p.positional.size();
+                               ++i) {
+                            os << (i == 0 ? "" : " ") << p.positional[i];
+                          }
+                          os << "\n";
+                          return ok_result(os.str());
+                        }));
+  add("source",
+      mutating_cmd("source <file>", "run a script file in this session", 1, 1,
+                   {}, {}, [this](const ParsedCommand& p) {
+                     // Nested output (including nested "error:" lines,
+                     // which run_line prints and counts as usual) is
+                     // captured so the daemon can ship it as a payload;
+                     // the stream drivers re-print it unchanged.
+                     std::ostringstream capture;
+                     std::ostream* saved = out_;
+                     out_ = &capture;
+                     const std::string err = run_script(p.positional[0]);
+                     out_ = saved;
+                     CommandResult r = ok_result(capture.str());
+                     if (!err.empty()) {
+                       r.status = CommandStatus::EngineError;
+                       r.error = err;
+                     }
+                     return r;
+                   }));
 
   // Loading.
   add("read_library",
-      {"read_library <file>", "replace the cell library (resets the design)",
-       1, 1, {}, {}, [this](const ParsedCommand& p) {
-         if (std::string err = session_.load_library(p.positional[0]);
-             !err.empty()) {
-           return err;
-         }
-         out_ << str_format("library: %zu cells\n",
-                            session_.library().num_cells());
-         return std::string();
-       }});
+      mutating_cmd("read_library <file>",
+                   "replace the cell library (resets the design)", 1, 1, {},
+                   {}, [this](const ParsedCommand& p) {
+                     if (std::string err = session_.load_library(
+                             p.positional[0]);
+                         !err.empty()) {
+                       return engine_fail(std::move(err));
+                     }
+                     return ok_result(str_format(
+                         "library: %zu cells\n",
+                         session_.library().num_cells()));
+                   }));
   add("read_derates",
-      {"read_derates <file>", "replace the base AOCV derate table", 1, 1, {},
-       {}, [this](const ParsedCommand& p) {
-         return session_.load_derates(p.positional[0]);
-       }});
+      mutating_cmd("read_derates <file>", "replace the base AOCV derate table",
+                   1, 1, {}, {}, [this](const ParsedCommand& p) {
+                     if (std::string err = session_.load_derates(
+                             p.positional[0]);
+                         !err.empty()) {
+                       return engine_fail(std::move(err));
+                     }
+                     return ok_result();
+                   }));
   add("read_netlist",
-      {"read_netlist [file] [-design N | -gates N]",
-       "load a netlist/Verilog file or generate a design", 0, 1,
-       {"design", "gates", "flops", "seed", "depth", "period", "utilization",
-        "uncertainty", "clock_port"},
-       {},
-       [this](const ParsedCommand& p) { return cmd_read_netlist(p); }});
+      mutating_cmd("read_netlist [file] [-design N | -gates N]",
+                   "load a netlist/Verilog file or generate a design", 0, 1,
+                   {"design", "gates", "flops", "seed", "depth", "period",
+                    "utilization", "uncertainty", "clock_port"},
+                   {},
+                   [this](const ParsedCommand& p) {
+                     return cmd_read_netlist(p);
+                   }));
   add("read_corners",
-      {"read_corners <file>", "install an MCMM corner set from a spec file",
-       1, 1, {}, {}, [this](const ParsedCommand& p) {
-         if (std::string err = session_.load_corners(p.positional[0]);
-             !err.empty()) {
-           return err;
-         }
-         out_ << str_format("%zu corners:", session_.setups().size());
-         for (const CornerSetup& s : session_.setups()) {
-           out_ << " '" << s.corner.name << "'";
-         }
-         out_ << "\n";
-         return std::string();
-       }});
+      mutating_cmd("read_corners <file>",
+                   "install an MCMM corner set from a spec file", 1, 1, {},
+                   {}, [this](const ParsedCommand& p) {
+                     if (std::string err = session_.load_corners(
+                             p.positional[0]);
+                         !err.empty()) {
+                       return engine_fail(std::move(err));
+                     }
+                     std::ostringstream os;
+                     os << str_format("%zu corners:",
+                                      session_.setups().size());
+                     for (const CornerSetup& s : session_.setups()) {
+                       os << " '" << s.corner.name << "'";
+                     }
+                     os << "\n";
+                     return ok_result(os.str());
+                   }));
 
-  // Queries.
+  // Queries (read-only: answered from a SessionView, never the live Timer).
   add("report_wns",
-      {"report_wns [-corner C] [-early]", "worst negative slack per corner",
-       0, 0, {"corner"}, {"early"}, [this](const ParsedCommand& p) {
-         return cmd_report_wns_tns(p, false);
-       }});
+      query_cmd("report_wns [-corner C] [-early]",
+                "worst negative slack per corner", 0, 0, {"corner"},
+                {"early"},
+                [this](const ParsedCommand& p, const SessionView& view) {
+                  return cmd_report_wns_tns(p, view, false);
+                }));
   add("report_tns",
-      {"report_tns [-corner C] [-early]", "total negative slack per corner",
-       0, 0, {"corner"}, {"early"}, [this](const ParsedCommand& p) {
-         return cmd_report_wns_tns(p, true);
-       }});
+      query_cmd("report_tns [-corner C] [-early]",
+                "total negative slack per corner", 0, 0, {"corner"},
+                {"early"},
+                [this](const ParsedCommand& p, const SessionView& view) {
+                  return cmd_report_wns_tns(p, view, true);
+                }));
   add("report_worst_slack",
-      {"report_worst_slack [-corner C] [-early]",
-       "worst endpoint and its slack", 0, 0, {"corner"}, {"early"},
-       [this](const ParsedCommand& p) { return cmd_report_worst_slack(p); }});
+      query_cmd("report_worst_slack [-corner C] [-early]",
+                "worst endpoint and its slack", 0, 0, {"corner"}, {"early"},
+                [this](const ParsedCommand& p, const SessionView& view) {
+                  return cmd_report_worst_slack(p, view);
+                }));
   add("get_slack",
-      {"get_slack <endpoint> [-corner C] [-early]",
-       "full-precision slack of one endpoint", 1, 1, {"corner"}, {"early"},
-       [this](const ParsedCommand& p) { return cmd_get_slack(p); }});
+      query_cmd("get_slack <endpoint> [-corner C] [-early]",
+                "full-precision slack of one endpoint", 1, 1, {"corner"},
+                {"early"},
+                [this](const ParsedCommand& p, const SessionView& view) {
+                  return cmd_get_slack(p, view);
+                }));
   add("report_path",
-      {"report_path [endpoint] [-corner C]",
-       "worst-path trace (default: worst endpoint)", 0, 1, {"corner"}, {},
-       [this](const ParsedCommand& p) { return cmd_report_path(p); }});
+      query_cmd("report_path [endpoint] [-corner C]",
+                "worst-path trace (default: worst endpoint)", 0, 1,
+                {"corner"}, {},
+                [this](const ParsedCommand& p, const SessionView& view) {
+                  return cmd_report_path(p, view);
+                }));
   add("report_endpoints",
-      {"report_endpoints [count] [-corner C]", "table of the worst endpoints",
-       0, 1, {"corner"}, {}, [this](const ParsedCommand& p) {
-         if (!session_.loaded()) {
-           return std::string("no design loaded (read_netlist first)");
-         }
-         std::size_t count = 10;
-         if (!p.positional.empty() && !parse_size(p.positional[0], count)) {
-           return "not a count: " + p.positional[0];
-         }
-         std::optional<CornerId> corner;
-         if (std::string err = resolve_corner(p, corner); !err.empty()) {
-           return err;
-         }
-         out_ << report_endpoints(*session_.timing_view(), count,
-                                  corner.value_or(kDefaultCorner));
-         return std::string();
-       }});
+      query_cmd("report_endpoints [count] [-corner C]",
+                "table of the worst endpoints", 0, 1, {"corner"}, {},
+                [this](const ParsedCommand& p, const SessionView& view) {
+                  return cmd_report_endpoints(p, view);
+                }));
   add("report_qor",
-      {"report_qor", "WNS/TNS/area/leakage/buffer-count summary", 0, 0, {},
-       {},
-       [this](const ParsedCommand& p) { return cmd_report_qor(p); }});
+      mutating_cmd("report_qor", "WNS/TNS/area/leakage/buffer-count summary",
+                   0, 0, {}, {},
+                   [this](const ParsedCommand& p) {
+                     return cmd_report_qor(p);
+                   }));
   add("stats",
-      {"stats", "timing-update statistics (updates, frontier sizes, "
-                "delay-cache hit rate, trial checkpoints, memory footprint)",
-       0, 0, {}, {}, [this](const ParsedCommand&) {
-         if (!session_.loaded()) {
-           return std::string("no design loaded (read_netlist first)");
-         }
-         const Timer& timer = session_.timer();
-         out_ << timer.update_stats().to_string() << "\n";
-         out_ << timer.memory_stats().to_string() << "\n";
-         if (const Partitioning* part = timer.partitioning()) {
-           out_ << part->stats().to_string();
-         }
-         return std::string();
-       }});
+      mutating_cmd("stats",
+                   "timing-update statistics (updates, frontier sizes, "
+                   "delay-cache hit rate, trial checkpoints, memory "
+                   "footprint)",
+                   0, 0, {}, {}, [this](const ParsedCommand&) {
+                     if (!session_.loaded()) return no_design();
+                     const Timer& timer = session_.timer();
+                     std::ostringstream os;
+                     os << timer.update_stats().to_string() << "\n";
+                     os << timer.memory_stats().to_string() << "\n";
+                     if (const Partitioning* part = timer.partitioning()) {
+                       os << part->stats().to_string();
+                     }
+                     return ok_result(os.str());
+                   }));
   add("partition",
-      {"partition [regions] [-seed S] [-rounds N] [-off]",
-       "decompose the graph into regions for partitioned updates "
-       "(-off returns to flat)",
-       0, 1, {"seed", "rounds"}, {"off"}, [this](const ParsedCommand& p) {
-         if (!session_.loaded()) {
-           return std::string("no design loaded (read_netlist first)");
-         }
-         Timer& timer = session_.timer();
-         if (p.has_flag("off")) {
-           timer.clear_partitioning();
-           out_ << "partitioning cleared (flat updates)\n";
-           return std::string();
-         }
-         PartitionOptions options;
-         options.num_partitions = 4;
-         if (!p.positional.empty() &&
-             !parse_size(p.positional[0], options.num_partitions)) {
-           return "not a region count: " + p.positional[0];
-         }
-         if (const std::string* s = p.value("seed")) {
-           std::size_t seed = 0;
-           if (!parse_size(*s, seed)) return "not a seed: " + *s;
-           options.seed = seed;
-         }
-         if (const std::string* r = p.value("rounds")) {
-           if (!parse_size(*r, options.max_rounds)) {
-             return "not a round cap: " + *r;
-           }
-         }
-         timer.set_partitioning(options);
-         out_ << timer.partitioning()->stats().to_string();
-         return std::string();
-       }});
+      mutating_cmd(
+          "partition [regions] [-seed S] [-rounds N] [-off]",
+          "decompose the graph into regions for partitioned updates "
+          "(-off returns to flat)",
+          0, 1, {"seed", "rounds"}, {"off"}, [this](const ParsedCommand& p) {
+            if (!session_.loaded()) return no_design();
+            Timer& timer = session_.timer();
+            if (p.has_flag("off")) {
+              timer.clear_partitioning();
+              return ok_result("partitioning cleared (flat updates)\n");
+            }
+            PartitionOptions options;
+            options.num_partitions = 4;
+            if (!p.positional.empty() &&
+                !parse_size(p.positional[0], options.num_partitions)) {
+              return args_fail("not a region count: " + p.positional[0]);
+            }
+            if (const std::string* s = p.value("seed")) {
+              std::size_t seed = 0;
+              if (!parse_size(*s, seed)) {
+                return args_fail("not a seed: " + *s);
+              }
+              options.seed = seed;
+            }
+            if (const std::string* r = p.value("rounds")) {
+              if (!parse_size(*r, options.max_rounds)) {
+                return args_fail("not a round cap: " + *r);
+              }
+            }
+            timer.set_partitioning(options);
+            return ok_result(timer.partitioning()->stats().to_string());
+          }));
 
   // Fitting and transforms.
   add("fit_mgba",
-      {"fit_mgba [-all_corners] [-hold] [-paths N]",
-       "fit and install mGBA weighting factors", 0, 0, {"paths"},
-       {"all_corners", "hold"},
-       [this](const ParsedCommand& p) { return cmd_fit_mgba(p); }});
+      mutating_cmd("fit_mgba [-all_corners] [-hold] [-paths N]",
+                   "fit and install mGBA weighting factors", 0, 0, {"paths"},
+                   {"all_corners", "hold"},
+                   [this](const ParsedCommand& p) { return cmd_fit_mgba(p); }));
   add("size_cell",
-      {"size_cell <inst> <cell>", "swap an instance within its footprint",
-       2, 2, {}, {},
-       [this](const ParsedCommand& p) { return cmd_size_cell(p); }});
+      mutating_cmd("size_cell <inst> <cell>",
+                   "swap an instance within its footprint", 2, 2, {}, {},
+                   [this](const ParsedCommand& p) {
+                     return cmd_size_cell(p);
+                   }));
   add("insert_buffer",
-      {"insert_buffer <net> <sink> [-cell C]",
-       "splice a buffer in front of one sink", 2, 2, {"cell"}, {},
-       [this](const ParsedCommand& p) { return cmd_insert_buffer(p); }});
+      mutating_cmd("insert_buffer <net> <sink> [-cell C]",
+                   "splice a buffer in front of one sink", 2, 2, {"cell"}, {},
+                   [this](const ParsedCommand& p) {
+                     return cmd_insert_buffer(p);
+                   }));
   add("optimize",
-      {"optimize [-passes N] [-acceptable N] [-mgba]",
-       "run the timing-closure flow", 0, 0, {"passes", "acceptable"},
-       {"mgba"},
-       [this](const ParsedCommand& p) { return cmd_optimize(p); }});
+      mutating_cmd("optimize [-passes N] [-acceptable N] [-mgba]",
+                   "run the timing-closure flow", 0, 0,
+                   {"passes", "acceptable"}, {"mgba"},
+                   [this](const ParsedCommand& p) { return cmd_optimize(p); }));
 
   // ECO journal.
-  add("begin_eco", {"begin_eco", "open an ECO transaction", 0, 0, {}, {},
-                    [this](const ParsedCommand&) {
-                      if (std::string err = session_.begin_eco();
-                          !err.empty()) {
-                        return err;
-                      }
-                      out_ << "eco: transaction opened\n";
-                      return std::string();
-                    }});
-  add("end_eco", {"end_eco", "commit the open ECO transaction", 0, 0, {}, {},
-                  [this](const ParsedCommand&) {
-                    std::size_t records = 0;
-                    if (std::string err = session_.end_eco(records);
-                        !err.empty()) {
-                      return err;
-                    }
-                    out_ << str_format(
-                        "eco: committed transaction %zu (%zu records)\n",
-                        session_.journal().transactions().size(), records);
-                    return std::string();
-                  }});
+  add("begin_eco",
+      mutating_cmd("begin_eco", "open an ECO transaction", 0, 0, {}, {},
+                   [this](const ParsedCommand&) {
+                     if (std::string err = session_.begin_eco();
+                         !err.empty()) {
+                       return engine_fail(std::move(err));
+                     }
+                     return ok_result("eco: transaction opened\n");
+                   }));
+  add("end_eco",
+      mutating_cmd("end_eco", "commit the open ECO transaction", 0, 0, {}, {},
+                   [this](const ParsedCommand&) {
+                     std::size_t records = 0;
+                     if (std::string err = session_.end_eco(records);
+                         !err.empty()) {
+                       return engine_fail(std::move(err));
+                     }
+                     return ok_result(str_format(
+                         "eco: committed transaction %zu (%zu records)\n",
+                         session_.journal().transactions().size(), records));
+                   }));
   add("undo_eco",
-      {"undo_eco", "roll back the most recent committed transaction", 0, 0,
-       {}, {}, [this](const ParsedCommand&) {
-         if (std::string err = session_.undo_eco(); !err.empty()) return err;
-         out_ << str_format("eco: undone (%zu committed remain)\n",
-                            session_.journal().transactions().size());
-         return std::string();
-       }});
+      mutating_cmd("undo_eco",
+                   "roll back the most recent committed transaction", 0, 0,
+                   {}, {}, [this](const ParsedCommand&) {
+                     if (std::string err = session_.undo_eco();
+                         !err.empty()) {
+                       return engine_fail(std::move(err));
+                     }
+                     return ok_result(str_format(
+                         "eco: undone (%zu committed remain)\n",
+                         session_.journal().transactions().size()));
+                   }));
   add("write_eco",
-      {"write_eco <file>", "serialize the committed transactions", 1, 1, {},
-       {}, [this](const ParsedCommand& p) {
-         if (std::string err = session_.write_eco(p.positional[0]);
-             !err.empty()) {
-           return err;
-         }
-         out_ << str_format("eco: wrote %zu transactions to %s\n",
-                            session_.journal().transactions().size(),
-                            p.positional[0].c_str());
-         return std::string();
-       }});
+      mutating_cmd("write_eco <file>", "serialize the committed transactions",
+                   1, 1, {}, {}, [this](const ParsedCommand& p) {
+                     if (std::string err = session_.write_eco(p.positional[0]);
+                         !err.empty()) {
+                       return engine_fail(std::move(err));
+                     }
+                     return ok_result(str_format(
+                         "eco: wrote %zu transactions to %s\n",
+                         session_.journal().transactions().size(),
+                         p.positional[0].c_str()));
+                   }));
   // Versioned timing snapshots.
   add("snapshot",
-      {"snapshot", "pin the current timing state as a frozen snapshot", 0, 0,
-       {}, {}, [this](const ParsedCommand&) {
-         if (!session_.loaded()) {
-           return std::string("no design loaded (read_netlist first)");
-         }
-         const std::size_t id = session_.take_snapshot();
-         const Timer::MemoryStats m = session_.timer().memory_stats();
-         out_ << str_format(
-             "snapshot %zu pinned (%zu live, %zu bytes retained)\n", id,
-             m.live_snapshots, m.cow_retained_bytes);
-         return std::string();
-       }});
+      mutating_cmd("snapshot",
+                   "pin the current timing state as a frozen snapshot", 0, 0,
+                   {}, {}, [this](const ParsedCommand&) {
+                     if (!session_.loaded()) return no_design();
+                     const std::size_t id = session_.take_snapshot();
+                     const Timer::MemoryStats m =
+                         session_.timer().memory_stats();
+                     return ok_result(str_format(
+                         "snapshot %zu pinned (%zu live, %zu bytes "
+                         "retained)\n",
+                         id, m.live_snapshots, m.cow_retained_bytes));
+                   }));
   add("release",
-      {"release <snapshot>", "release a pinned timing snapshot", 1, 1, {}, {},
-       [this](const ParsedCommand& p) {
-         if (!session_.loaded()) {
-           return std::string("no design loaded (read_netlist first)");
-         }
-         std::size_t id = 0;
-         if (!parse_size(p.positional[0], id)) {
-           return "not a snapshot id: " + p.positional[0];
-         }
-         if (std::string err = session_.release_snapshot(id); !err.empty()) {
-           return err;
-         }
-         const Timer::MemoryStats m = session_.timer().memory_stats();
-         out_ << str_format(
-             "snapshot %zu released (%zu live, %zu bytes retained)\n", id,
-             m.live_snapshots, m.cow_retained_bytes);
-         return std::string();
-       }});
+      mutating_cmd("release <snapshot>", "release a pinned timing snapshot",
+                   1, 1, {}, {}, [this](const ParsedCommand& p) {
+                     if (!session_.loaded()) return no_design();
+                     std::size_t id = 0;
+                     if (!parse_size(p.positional[0], id)) {
+                       return args_fail("not a snapshot id: " +
+                                        p.positional[0]);
+                     }
+                     if (std::string err = session_.release_snapshot(id);
+                         !err.empty()) {
+                       return engine_fail(std::move(err));
+                     }
+                     const Timer::MemoryStats m =
+                         session_.timer().memory_stats();
+                     return ok_result(str_format(
+                         "snapshot %zu released (%zu live, %zu bytes "
+                         "retained)\n",
+                         id, m.live_snapshots, m.cow_retained_bytes));
+                   }));
 
   add("replay_eco",
-      {"replay_eco <file>", "apply a journal file to this session", 1, 1, {},
-       {}, [this](const ParsedCommand& p) {
-         std::size_t transactions = 0;
-         std::size_t records = 0;
-         if (std::string err =
-                 session_.replay_eco(p.positional[0], transactions, records);
-             !err.empty()) {
-           return err;
-         }
-         out_ << str_format(
-             "eco: replayed %zu transactions (%zu records) from %s\n",
-             transactions, records, p.positional[0].c_str());
-         return std::string();
-       }});
+      mutating_cmd("replay_eco <file>", "apply a journal file to this session",
+                   1, 1, {}, {}, [this](const ParsedCommand& p) {
+                     std::size_t transactions = 0;
+                     std::size_t records = 0;
+                     if (std::string err = session_.replay_eco(
+                             p.positional[0], transactions, records);
+                         !err.empty()) {
+                       return engine_fail(std::move(err));
+                     }
+                     return ok_result(str_format(
+                         "eco: replayed %zu transactions (%zu records) "
+                         "from %s\n",
+                         transactions, records, p.positional[0].c_str()));
+                   }));
 }
 
 }  // namespace mgba::shell

@@ -3,17 +3,30 @@
 /// \file interpreter.hpp
 /// The timing-shell command interpreter: a registry of named commands with
 /// declared usage, arity, and options, executed against one ShellSession.
-/// Drives both `mgba_timer --script FILE` (echoed, golden-diffable
-/// transcripts) and `mgba_timer --shell` (interactive REPL on stdin).
+/// Every command produces a structured CommandResult — a status code, the
+/// output payload, and a one-line error — so the same registry drives
+/// `mgba_timer --script FILE` (echoed, golden-diffable transcripts),
+/// `mgba_timer --shell` (interactive REPL), and the daemon's framed
+/// request/response protocol (src/server/) without reformatting.
+///
+/// Commands are classified read-only or mutating at registration. A
+/// read-only command executes against a SessionView — a copy-on-write
+/// TimingSnapshot plus an optional frozen node-name table — and never
+/// touches the live Timer/Design, so the server answers such queries on
+/// connection threads concurrently with the session's writer thread
+/// (execute_query below). Mutating commands run only on the owner thread.
 ///
 /// Determinism contract: no command prints wall-clock times, pointers, or
 /// iteration-order-dependent text, so a script run twice — or at different
-/// --threads counts — produces byte-identical transcripts (the property
-/// the ctest smoke test diffs against examples/close_timing.golden).
+/// --threads counts, or through the daemon — produces byte-identical
+/// transcripts (the property the ctest smoke tests diff against
+/// examples/close_timing.golden).
 
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -32,7 +45,72 @@ struct InterpreterOptions {
   /// Abort run_stream at the first command error (scripts fail fast so a
   /// broken transcript never silently diverges from its golden).
   bool stop_on_error = false;
+  /// Build a frozen node-name table into current_view() so read-only
+  /// commands resolve names without touching the live Design (the server
+  /// sets this; single-threaded CLI runs skip the O(nodes) table build).
+  bool snapshot_names = false;
   std::string prompt = "mgba> ";
+};
+
+/// Machine-readable outcome class of one command. The numeric values are
+/// the wire encoding (src/server/protocol.hpp) and map to `--script` /
+/// mgba_client exit codes, so keep them stable.
+enum class CommandStatus : int {
+  Ok = 0,
+  UnknownCommand = 1,  ///< no such command in the registry
+  BadArgs = 2,         ///< arity/option/argument errors, unresolvable names
+  EngineError = 3,     ///< the session/engine rejected the operation
+};
+
+/// What one command produced: transcript text in `output`, and when
+/// status != Ok a one-line message in `error` (printed as "error: <msg>"
+/// by the stream drivers, carried verbatim by the server protocol).
+struct CommandResult {
+  CommandStatus status = CommandStatus::Ok;
+  std::string output;
+  std::string error;
+  bool stop = false;       ///< exit/quit was requested
+  bool read_only = false;  ///< the executed command's classification
+
+  [[nodiscard]] bool ok() const { return status == CommandStatus::Ok; }
+};
+
+/// Node display names frozen against one graph version. node_name()
+/// resolves through the live Design (an instance's cell id is read to
+/// find its pin names), which races with a concurrent resize; the table
+/// is built once on the writer thread per graph identity and then read
+/// concurrently. Endpoint names are stable across resizes (flops keep
+/// their footprint, ports are never renamed), so a table built at any
+/// point in a graph's life answers find_endpoint consistently.
+struct NodeNameTable {
+  std::shared_ptr<const TimingGraph> graph;  ///< names rendered from this
+  std::vector<std::string> names;            ///< indexed by NodeId
+  std::map<std::string, NodeId> endpoints;   ///< endpoint name -> node
+
+  static std::shared_ptr<const NodeNameTable> build(
+      const std::shared_ptr<const TimingGraph>& graph);
+};
+
+/// One consistent, immutable view of a session's timing state: the COW
+/// snapshot plus (optionally) a frozen name table. Read-only commands
+/// execute against a SessionView only — never the live Timer/Design — so
+/// any number of threads can answer queries while the owner mutates.
+/// While an ECO transaction is open the session's view is the pinned
+/// pre-ECO snapshot, so concurrent readers see snapshot-isolated answers
+/// mid-ECO for free.
+struct SessionView {
+  std::shared_ptr<const TimingSnapshot> snap;  ///< null = no design loaded
+  std::shared_ptr<const NodeNameTable> names;  ///< null = resolve via the
+                                               ///< live graph (owner-thread
+                                               ///< callers only)
+
+  [[nodiscard]] bool loaded() const { return snap != nullptr; }
+  [[nodiscard]] bool multi_corner() const {
+    return snap != nullptr && snap->num_corners() > 1;
+  }
+  [[nodiscard]] std::string node_name(NodeId node) const;
+  [[nodiscard]] std::optional<NodeId> find_endpoint(
+      const std::string& name) const;
 };
 
 /// A command line split into positionals, -name value options, and -flag
@@ -57,11 +135,17 @@ class ShellInterpreter {
 
   [[nodiscard]] ShellSession& session() { return session_; }
   [[nodiscard]] const ShellSession& session() const { return session_; }
-  /// Command errors seen so far (parse errors, unknown commands, and
-  /// non-empty handler results all count).
+  /// Command errors seen so far by the printing drivers (run_line /
+  /// run_stream / run_script). execute_line callers track their own.
   [[nodiscard]] std::size_t errors() const { return errors_; }
+  /// Status of the first failed command (Ok when none failed) — what
+  /// `mgba_timer --script` maps to its exit code.
+  [[nodiscard]] CommandStatus first_error_status() const {
+    return first_error_;
+  }
 
-  /// Tokenizes and executes one line. Returns false when the shell should
+  /// Tokenizes and executes one line, printing output and "error: …"
+  /// lines to the output stream. Returns false when the shell should
   /// stop (exit/quit, or stop_on_error after a failed command).
   bool run_line(const std::string& line);
 
@@ -73,6 +157,30 @@ class ShellInterpreter {
   /// --script driver). Returns "" or an error for an unopenable file.
   std::string run_script(const std::string& path);
 
+  /// Structured execution against the live session: tokenizes, dispatches,
+  /// and returns the result without printing anything. The daemon's writer
+  /// thread (and the only thread elsewhere) calls this.
+  CommandResult execute_line(const std::string& line);
+
+  /// Executes a read-only command against an explicit view, touching no
+  /// interpreter or session state. Safe to call from any thread
+  /// concurrently with execute_line on the owner thread — the daemon's
+  /// reader path. Mutating commands are rejected with BadArgs.
+  [[nodiscard]] CommandResult execute_query(const std::string& line,
+                                            const SessionView& view) const;
+
+  /// True when the line's command is registered read-only (answerable
+  /// from a snapshot). Unknown commands, parse errors, and exit/quit
+  /// classify as mutating so they flow through the writer path's error
+  /// reporting; empty lines are read-only no-ops.
+  [[nodiscard]] bool classify_read_only(const std::string& line) const;
+
+  /// The view read-only commands should answer from right now: the pinned
+  /// pre-ECO snapshot while a transaction is open, the head otherwise,
+  /// plus a cached frozen name table when options.snapshot_names is set.
+  /// Owner-thread only (forks a snapshot and refreshes the cache).
+  [[nodiscard]] SessionView current_view();
+
  private:
   struct Command {
     std::string usage;  ///< "size_cell <inst> <cell>"
@@ -81,7 +189,11 @@ class ShellInterpreter {
     std::size_t max_args = 0;
     std::vector<std::string> value_options;  ///< options taking a value
     std::vector<std::string> flag_options;   ///< boolean switches
-    std::function<std::string(const ParsedCommand&)> handler;  ///< "" = ok
+    /// Mutating command body (owner thread; null for read-only commands).
+    std::function<CommandResult(const ParsedCommand&)> handler;
+    /// Read-only command body (any thread; answers from the view only).
+    std::function<CommandResult(const ParsedCommand&, const SessionView&)>
+        query;
   };
 
   void register_commands();
@@ -89,33 +201,39 @@ class ShellInterpreter {
   std::string parse_command(const Command& cmd,
                             const std::vector<std::string>& tokens,
                             ParsedCommand& out) const;
-  /// Executes already-tokenized input; fills \p stop on exit/quit.
-  std::string dispatch(const std::vector<std::string>& tokens, bool& stop);
+  /// Executes already-tokenized input.
+  CommandResult dispatch(const std::vector<std::string>& tokens);
+  void note_error(CommandStatus status);
 
   // Handlers grouped by theme (registered in register_commands).
-  std::string cmd_help(const ParsedCommand& p);
-  std::string cmd_read_netlist(const ParsedCommand& p);
-  std::string cmd_report_wns_tns(const ParsedCommand& p, bool tns);
-  std::string cmd_report_worst_slack(const ParsedCommand& p);
-  std::string cmd_get_slack(const ParsedCommand& p);
-  std::string cmd_report_path(const ParsedCommand& p);
-  std::string cmd_report_qor(const ParsedCommand& p);
-  std::string cmd_fit_mgba(const ParsedCommand& p);
-  std::string cmd_size_cell(const ParsedCommand& p);
-  std::string cmd_insert_buffer(const ParsedCommand& p);
-  std::string cmd_optimize(const ParsedCommand& p);
+  CommandResult cmd_help(const ParsedCommand& p) const;
+  CommandResult cmd_read_netlist(const ParsedCommand& p);
+  CommandResult cmd_report_wns_tns(const ParsedCommand& p,
+                                   const SessionView& view, bool tns) const;
+  CommandResult cmd_report_worst_slack(const ParsedCommand& p,
+                                       const SessionView& view) const;
+  CommandResult cmd_get_slack(const ParsedCommand& p,
+                              const SessionView& view) const;
+  CommandResult cmd_report_path(const ParsedCommand& p,
+                                const SessionView& view) const;
+  CommandResult cmd_report_endpoints(const ParsedCommand& p,
+                                     const SessionView& view) const;
+  CommandResult cmd_report_qor(const ParsedCommand& p);
+  CommandResult cmd_fit_mgba(const ParsedCommand& p);
+  CommandResult cmd_size_cell(const ParsedCommand& p);
+  CommandResult cmd_insert_buffer(const ParsedCommand& p);
+  CommandResult cmd_optimize(const ParsedCommand& p);
 
-  /// Resolves an optional "-corner NAME" to a CornerId; kDefaultCorner
-  /// when absent. Requires a loaded session.
-  std::string resolve_corner(const ParsedCommand& p,
-                             std::optional<CornerId>& corner) const;
-
-  std::ostream& out_;
+  std::ostream* out_;  ///< pointer so `source` can capture nested output
   InterpreterOptions options_;
   ShellSession session_;
   std::map<std::string, Command> commands_;
   std::size_t errors_ = 0;
+  CommandStatus first_error_ = CommandStatus::Ok;
   std::size_t source_depth_ = 0;
+  /// Name-table cache for current_view(), keyed on graph identity
+  /// (rebuilt only when the session's graph object changes).
+  std::shared_ptr<const NodeNameTable> name_table_;
 };
 
 }  // namespace mgba::shell

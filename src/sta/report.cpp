@@ -59,6 +59,13 @@ std::string report_summary_merged(const TimingSnapshot& view, Mode mode) {
 
 std::string report_endpoints(const TimingSnapshot& view, std::size_t count,
                              CornerId corner) {
+  return report_endpoints(view, count, corner, [&](NodeId n) {
+    return view.graph().node_name(n);
+  });
+}
+
+std::string report_endpoints(const TimingSnapshot& view, std::size_t count,
+                             CornerId corner, const NodeNamer& namer) {
   std::vector<std::pair<double, NodeId>> slacks;
   for (const NodeId e : view.graph().endpoints()) {
     slacks.emplace_back(view.slack(e, Mode::Late, corner), e);
@@ -68,8 +75,7 @@ std::string report_endpoints(const TimingSnapshot& view, std::size_t count,
       str_format("endpoint [%s]                    setup slack (ps)\n",
                  corner_label(view, corner).c_str());
   for (std::size_t i = 0; i < std::min(count, slacks.size()); ++i) {
-    out += str_format("%-32s  %10.2f\n",
-                      view.graph().node_name(slacks[i].second).c_str(),
+    out += str_format("%-32s  %10.2f\n", namer(slacks[i].second).c_str(),
                       slacks[i].first);
   }
   return out;
@@ -77,16 +83,23 @@ std::string report_endpoints(const TimingSnapshot& view, std::size_t count,
 
 std::string report_worst_path(const TimingSnapshot& view, NodeId endpoint,
                               CornerId corner) {
+  return report_worst_path(view, endpoint, corner, [&](NodeId n) {
+    return view.graph().node_name(n);
+  });
+}
+
+std::string report_worst_path(const TimingSnapshot& view, NodeId endpoint,
+                              CornerId corner, const NodeNamer& namer) {
   const std::vector<NodeId> path = view.worst_path(endpoint, corner);
   std::string out = str_format("worst path to %s [%s] (slack %.2fps)\n",
-                               view.graph().node_name(endpoint).c_str(),
+                               namer(endpoint).c_str(),
                                corner_label(view, corner).c_str(),
                                view.slack(endpoint, Mode::Late, corner));
   double prev_arrival = 0.0;
   for (std::size_t i = 0; i < path.size(); ++i) {
     const double arr = view.arrival(path[i], Mode::Late, corner);
     out += str_format("  %-32s arrival=%9.2f  +%8.2f\n",
-                      view.graph().node_name(path[i]).c_str(), arr,
+                      namer(path[i]).c_str(), arr,
                       i == 0 ? 0.0 : arr - prev_arrival);
     prev_arrival = arr;
   }

@@ -12,12 +12,19 @@
 /// mix. The Timer& overloads are convenience bridges that fork a snapshot
 /// of the current state first.
 
+#include <functional>
 #include <string>
 
 #include "sta/snapshot.hpp"
 #include "sta/timer.hpp"
 
 namespace mgba {
+
+/// Renders a node's display name. The default namer reads the view's
+/// graph (TimingGraph::node_name resolves through the live Design, so it
+/// is writer-thread only); the server's reader path substitutes a lookup
+/// into a frozen name table so concurrent design edits can't tear a name.
+using NodeNamer = std::function<std::string(NodeId)>;
 
 /// The label reports print for a corner: its name, e.g. "corner 'slow'".
 std::string corner_label(const TimingSnapshot& view, CornerId corner);
@@ -34,10 +41,18 @@ std::string report_endpoints(const TimingSnapshot& view,
                              std::size_t count = 10,
                              CornerId corner = kDefaultCorner);
 
+/// Same table with an explicit node namer (reader-thread safe).
+std::string report_endpoints(const TimingSnapshot& view, std::size_t count,
+                             CornerId corner, const NodeNamer& namer);
+
 /// Full trace of the worst path into \p endpoint at a corner: per-node
 /// arrival and the arc delays along the path.
 std::string report_worst_path(const TimingSnapshot& view, NodeId endpoint,
                               CornerId corner = kDefaultCorner);
+
+/// Same trace with an explicit node namer (reader-thread safe).
+std::string report_worst_path(const TimingSnapshot& view, NodeId endpoint,
+                              CornerId corner, const NodeNamer& namer);
 
 /// Text histogram of endpoint setup slacks (the classic closure progress
 /// view) at one corner: \p num_bins bins spanning [wns, best positive

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sta/query_ops.hpp"
@@ -44,7 +45,23 @@ class TimingSnapshot {
     return *constraints_;
   }
 
+  /// The refcounted graph handle itself; callers that cache per-graph
+  /// derived data (e.g. the server's frozen node-name tables) key the
+  /// cache on this pointer, which changes exactly when the head rebuilds.
+  [[nodiscard]] const std::shared_ptr<const TimingGraph>& graph_ref() const {
+    return graph_;
+  }
+
   [[nodiscard]] std::size_t num_corners() const { return corners_.size(); }
+  /// Corner with the given name, if any (mirrors Timer::find_corner but
+  /// reads the frozen corner set, so it is safe on reader threads).
+  [[nodiscard]] std::optional<CornerId> find_corner(
+      const std::string& name) const {
+    for (CornerId c = 0; c < corners_.size(); ++c) {
+      if (corners_[c].name == name) return c;
+    }
+    return std::nullopt;
+  }
   [[nodiscard]] const AnalysisCorner& corner(CornerId c) const {
     return corners_[c];
   }

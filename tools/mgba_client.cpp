@@ -1,0 +1,157 @@
+/// \file mgba_client.cpp
+/// CLI client for the timing daemon (`mgba_timer --serve SOCKET`):
+///
+///   mgba_client SOCKET report_wns "get_slack out_3"
+///   mgba_client SOCKET --script close_timing.mgbash --echo
+///   mgba_client SOCKET --attach 2 report_qor
+///   mgba_client SOCKET --recover 1 "get_slack out_25"
+///
+/// Each argv command (or script line) is one shell command. By default
+/// commands are sent one frame at a time and the client stops at the
+/// first error — with --echo the output is byte-identical to
+/// `mgba_timer --script` on the same lines, which is what the ctest
+/// smoke diffs. --batch ships every line in a single frame instead
+/// (the server still executes in order; the transcript stops at the
+/// first error either way).
+///
+/// Exit codes: 0 all commands ok; 2 usage; 3 connection/protocol
+/// failure; 4/5/6 first failing command's status (unknown command / bad
+/// args / engine error) — the same mapping as `mgba_timer --script`.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+
+namespace {
+
+using mgba::server::Client;
+using mgba::server::WireResult;
+using mgba::shell::CommandStatus;
+
+constexpr int kExitUsage = 2;
+constexpr int kExitConnection = 3;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mgba_client SOCKET [options] [command ...]\n"
+      "  --attach ID      reattach to a live session\n"
+      "  --recover ID     rebuild a saved session from its recipe+journal\n"
+      "  --script FILE    read command lines from FILE\n"
+      "  --batch          send all commands in one frame\n"
+      "  --echo           echo each command as 'mgba> ...' (transcript\n"
+      "                   mode, byte-compatible with mgba_timer --script)\n"
+      "  --detach         leave the session attached-able on exit\n"
+      "                   (default sends bye; the session stays live\n"
+      "                   either way until idle eviction)\n"
+      "  --print-session  print the granted session id on stdout first\n");
+  return kExitUsage;
+}
+
+/// Prints one command's transcript slice; returns its exit code (0 = ok).
+int print_result(const std::string& line, const WireResult& r, bool echo) {
+  if (echo) std::printf("mgba> %s\n", line.c_str());
+  std::fwrite(r.output.data(), 1, r.output.size(), stdout);
+  if (r.status != 0) std::printf("error: %s\n", r.error.c_str());
+  return mgba::server::exit_code_for_status(
+      static_cast<CommandStatus>(r.status));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string mode = "new";
+  std::string script_path;
+  std::vector<std::string> commands;
+  bool batch = false;
+  bool echo = false;
+  bool detach = false;
+  bool print_session = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--attach" || arg == "--recover") {
+      const char* id = next();
+      if (id == nullptr) return usage();
+      mode = arg.substr(2) + " " + id;
+    } else if (arg == "--script") {
+      const char* path = next();
+      if (path == nullptr) return usage();
+      script_path = path;
+    } else if (arg == "--batch") {
+      batch = true;
+    } else if (arg == "--echo") {
+      echo = true;
+    } else if (arg == "--detach") {
+      detach = true;
+    } else if (arg == "--print-session") {
+      print_session = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    } else if (socket_path.empty()) {
+      socket_path = arg;
+    } else {
+      commands.push_back(arg);
+    }
+  }
+  if (socket_path.empty()) return usage();
+
+  if (!script_path.empty()) {
+    std::ifstream in(script_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open script %s\n", script_path.c_str());
+      return kExitConnection;
+    }
+    std::string line;
+    while (std::getline(in, line)) commands.push_back(line);
+  }
+
+  Client client;
+  if (const std::string err = client.connect(socket_path, mode);
+      !err.empty()) {
+    std::fprintf(stderr, "mgba_client: %s\n", err.c_str());
+    return kExitConnection;
+  }
+  if (print_session) {
+    std::printf("%llu\n",
+                static_cast<unsigned long long>(client.session_id()));
+  }
+
+  int exit_code = 0;
+  std::vector<WireResult> results;
+  if (batch) {
+    if (const std::string err = client.run_batch(commands, results);
+        !err.empty()) {
+      std::fprintf(stderr, "mgba_client: %s\n", err.c_str());
+      return kExitConnection;
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      exit_code = print_result(commands[i], results[i], echo);
+      if (exit_code != 0) break;  // transcript stops at the first error
+    }
+  } else {
+    for (const std::string& line : commands) {
+      if (const std::string err = client.run_batch({line}, results);
+          !err.empty()) {
+        std::fprintf(stderr, "mgba_client: %s\n", err.c_str());
+        return kExitConnection;
+      }
+      exit_code = print_result(line, results[0], echo);
+      if (exit_code != 0) break;
+    }
+  }
+  std::fflush(stdout);
+
+  std::string reply;
+  client.control(detach ? "detach" : "bye", reply);
+  return exit_code;
+}

@@ -17,6 +17,9 @@
 /// results plus the merged worst-corner view, and the optimizer closes
 /// timing against the merge.
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdarg>
 #include <cstdio>
 #include <fstream>
@@ -42,6 +45,8 @@
 #include "sta/report.hpp"
 #include "sta/sdc.hpp"
 #include "sta/timer.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
 #include "shell/interpreter.hpp"
 #include "util/thread_pool.hpp"
 
@@ -75,6 +80,9 @@ int usage() {
                "script)\n"
                "       mgba_timer --shell         (interactive timing "
                "shell on stdin)\n"
+               "       mgba_timer --serve SOCKET [--state-dir DIR]\n"
+               "                  [--idle-timeout S]  (timing daemon on a\n"
+               "                   Unix socket; drive with mgba_client)\n"
                "  common: --library FILE (liberty-lite cell library)\n"
                "          --threads N (parallel STA/PBA/solver threads;\n"
                "                       default MGBA_THREADS env or all cores)\n"
@@ -411,7 +419,9 @@ void apply_threads(const Args& args) {
 
 /// `mgba_timer --script FILE`: executes the script with every line echoed
 /// ("mgba> ..."), stopping at the first error, so runs are golden-diffable
-/// transcripts. Exit 0 only when every command succeeded.
+/// transcripts. Exit 0 only when every command succeeded; a failure exits
+/// with the status-mapped code (4 unknown command, 5 bad args, 6 engine
+/// error) so callers can react without parsing the transcript.
 int run_script_mode(const Args& args) {
   const std::string path = args.get("script");
   if (path.empty()) fail(kExitBadArgs, "--script needs a file");
@@ -422,7 +432,7 @@ int run_script_mode(const Args& args) {
   if (const std::string err = interpreter.run_script(path); !err.empty()) {
     fail(kExitBadFile, "%s", err.c_str());
   }
-  return interpreter.errors() == 0 ? 0 : 1;
+  return server::exit_code_for_status(interpreter.first_error_status());
 }
 
 /// `mgba_timer --shell`: interactive REPL on stdin.
@@ -433,6 +443,42 @@ int run_shell_mode() {
   interpreter.run_stream(std::cin);
   std::cout << "\n";
   return 0;
+}
+
+// `mgba_timer --serve`: the stop pipe the signal handler writes to. The
+// handler does one async-signal-safe write; the poll loop does the rest.
+int g_stop_fd = -1;
+
+extern "C" void handle_stop_signal(int /*sig*/) {
+  if (g_stop_fd >= 0) {
+    const char b = 's';
+    [[maybe_unused]] const ssize_t n = ::write(g_stop_fd, &b, 1);
+  }
+}
+
+/// `mgba_timer --serve SOCKET`: hosts concurrent timing sessions over a
+/// Unix-domain socket (protocol: src/server/protocol.hpp; drive it with
+/// tools/mgba_client). SIGINT/SIGTERM drain in-flight requests, flush
+/// every session's ECO journal, and exit 0.
+int run_serve_mode(const Args& args) {
+  const std::string socket_path = args.get("serve");
+  if (socket_path.empty()) fail(kExitBadArgs, "--serve needs a socket path");
+  server::ServerOptions options;
+  options.state_dir = args.get("state-dir");
+  const double idle = args.get_double("idle-timeout", 900.0);
+  if (idle > 0) options.idle_timeout_s = idle;
+  server::TimingServer server(socket_path, options);
+  if (const std::string err = server.start(); !err.empty()) {
+    fail(kExitBadFile, "%s", err.c_str());
+  }
+  g_stop_fd = server.stop_fd();
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  std::printf("mgba_timer serving on %s\n", socket_path.c_str());
+  std::fflush(stdout);
+  return server.run();
 }
 
 }  // namespace
@@ -446,6 +492,7 @@ int main(int argc, char** argv) {
     apply_threads(args);
     if (args.has("script")) return run_script_mode(args);
     if (args.has("shell")) return run_shell_mode();
+    if (args.has("serve")) return run_serve_mode(args);
     return usage();
   }
   const Args args(argc - 1, argv + 1);
