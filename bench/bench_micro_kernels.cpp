@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+
 #include "aocv/aocv_model.hpp"
 #include "bench_common.hpp"
 #include "linalg/sampling.hpp"
@@ -13,7 +15,9 @@
 #include "mgba/solvers.hpp"
 #include "pba/path_enum.hpp"
 #include "pba/path_eval.hpp"
+#include "sta/kernels.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -160,6 +164,136 @@ void BM_PbaPathEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PbaPathEvaluation);
+
+// --- SIMD kernel tiers ------------------------------------------------------
+// Each BM_Kernel* runs once per tier (Arg 0 = scalar, 1 = sse2, 2 = avx2);
+// unsupported tiers are skipped. Inputs are deterministic pseudo-random
+// vectors sized well past kernels::kBlock so the blocked reductions take
+// their full multi-block path.
+
+constexpr std::size_t kKernelN = 1 << 15;
+
+/// Restores the previously active tier on scope exit so kernel benches
+/// cannot leak a tier override into the timing benches above.
+struct TierGuard {
+  explicit TierGuard(simd::Tier t) : prev(simd::active_tier()) {
+    simd::set_tier(t);
+  }
+  ~TierGuard() { simd::set_tier(prev); }
+  simd::Tier prev;
+};
+
+bool skip_unsupported(benchmark::State& state, simd::Tier tier) {
+  if (simd::supported(tier)) return false;
+  state.SkipWithError("SIMD tier unsupported on this host");
+  return true;
+}
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed, double lo,
+                               double hi) {
+  std::vector<double> v(n);
+  Rng rng(seed);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+void BM_KernelEffCand(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unsupported(state, tier)) return;
+  const TierGuard guard(tier);
+  const auto base = random_vec(kKernelN, 1, 1.0, 80.0);
+  const auto fd = random_vec(kKernelN, 2, 0.9, 1.1);
+  const auto fw = random_vec(kKernelN, 3, 0.85, 1.25);
+  const auto arr = random_vec(kKernelN, 4, 0.0, 4000.0);
+  std::vector<double> eff(kKernelN), cand(kKernelN);
+  for (auto _ : state) {
+    kernels::eff_cand(base.data(), fd.data(), fw.data(), arr.data(),
+                      eff.data(), cand.data(), kKernelN);
+    benchmark::DoNotOptimize(cand.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelN));
+}
+BENCHMARK(BM_KernelEffCand)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelGather(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unsupported(state, tier)) return;
+  const TierGuard guard(tier);
+  const auto src = random_vec(4 * kKernelN, 5, 0.0, 4000.0);
+  std::vector<std::uint32_t> idx(kKernelN);
+  Rng rng(6);
+  for (auto& i : idx) {
+    i = static_cast<std::uint32_t>(rng.uniform_index(src.size()));
+  }
+  std::vector<double> out(kKernelN);
+  for (auto _ : state) {
+    kernels::gather(src.data(), idx.data(), out.data(), kKernelN);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelN));
+}
+BENCHMARK(BM_KernelGather)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelProbe(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unsupported(state, tier)) return;
+  const TierGuard guard(tier);
+  const auto slew = random_vec(kKernelN, 7, 1.0, 200.0);
+  std::vector<std::uint64_t> memo_bits(kKernelN);
+  std::vector<std::uint32_t> memo_key(kKernelN), want_key(kKernelN);
+  std::vector<std::uint8_t> hit(kKernelN);
+  Rng rng(8);
+  for (std::size_t i = 0; i < kKernelN; ++i) {
+    // ~90% hit rate: the steady state of the solver loop's warm memo.
+    const bool is_hit = rng.uniform(0.0, 1.0) < 0.9;
+    memo_bits[i] = is_hit ? std::bit_cast<std::uint64_t>(slew[i]) : 0;
+    want_key[i] = static_cast<std::uint32_t>(i % 37);
+    memo_key[i] = is_hit ? want_key[i] : want_key[i] + 1;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::probe(slew.data(), memo_bits.data(),
+                                            memo_key.data(), want_key.data(),
+                                            hit.data(), kKernelN));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelN));
+}
+BENCHMARK(BM_KernelProbe)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelReduceMin(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unsupported(state, tier)) return;
+  const TierGuard guard(tier);
+  const auto x = random_vec(kKernelN, 9, -50.0, 500.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::reduce_min(x.data(), kKernelN));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelN));
+}
+BENCHMARK(BM_KernelReduceMin)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelDotGather(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (skip_unsupported(state, tier)) return;
+  const TierGuard guard(tier);
+  const auto vals = random_vec(kKernelN, 10, -1.0, 1.0);
+  const auto x = random_vec(4 * kKernelN, 11, -1.0, 1.0);
+  std::vector<std::uint32_t> cols(kKernelN);
+  Rng rng(12);
+  for (auto& c : cols) {
+    c = static_cast<std::uint32_t>(rng.uniform_index(x.size()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::dot_gather(vals.data(), cols.data(), x.data(), kKernelN));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelN));
+}
+BENCHMARK(BM_KernelDotGather)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

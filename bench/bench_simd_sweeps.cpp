@@ -1,0 +1,349 @@
+/// SIMD sweep bench: the headline measurement of the vectorized timing
+/// kernels (PR 9). On generated designs at two scales (50k and ~1M
+/// instances) it times, per SIMD tier (scalar reference, SSE2, AVX2 where
+/// the host supports it):
+///
+///   1. Full weight update: set_instance_weights + update_timing, the
+///      solver-loop full re-propagation. With a warm delay memo this is
+///      almost pure kernel work (gather / probe / eff_cand / fold), so it
+///      carries the acceptance criterion: best tier >= 1.3x over
+///      MGBA_SIMD=off on the 50k design, single thread, best-of-3.
+///   2. Localized update: a reversible gate-resize ECO through the
+///      incremental path — recorded so the JSON shows the tier does not
+///      tax the O(touched-cone) path (its frontier recompute is scalar).
+///
+/// After the timed phases every tier re-times the same canonical weight
+/// state at 1 and 4 threads and the whole queryable timing state —
+/// arrival/slew/required per (corner, mode, node), endpoint slacks, plus
+/// every effective and base arc delay — is compared bit-for-bit against
+/// the scalar tier's single-thread reference. Any divergence prints the
+/// offending (tier, threads) pair and the binary exits nonzero. Emits
+/// BENCH_simd_sweeps.json. `--smoke` runs a seconds-scale design with the
+/// same exit contract — wired into ctest.
+///
+/// Scale note: this host is single-core, so the speedup measured here is
+/// data-parallel width (wider lanes per instruction), not thread
+/// parallelism; the 4-thread pass is a determinism check, not a timing.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sta/state_signature.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mgba::bench {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<double> make_weights(std::size_t num_instances,
+                                 std::uint64_t seed) {
+  std::vector<double> w(num_instances, 0.0);
+  Rng rng(seed);
+  for (double& x : w) x = rng.uniform(-0.15, 0.25);
+  return w;
+}
+
+/// Whole-arena signature: the canonical queryable state plus every
+/// effective and base arc delay — bitwise equality of this vector across
+/// tiers/threads is the bench's correctness contract.
+std::vector<double> arena_signature(const Timer& timer) {
+  std::vector<double> sig = state_signature(timer);
+  const TimingGraph& g = timer.graph();
+  sig.reserve(sig.size() +
+              timer.num_corners() * 2 * 2 * g.num_arcs());
+  for (CornerId c = 0; c < timer.num_corners(); ++c) {
+    for (const Mode mode : {Mode::Early, Mode::Late}) {
+      for (ArcId a = 0; a < g.num_arcs(); ++a) {
+        sig.push_back(timer.arc_delay(g.new_arc(a), mode, c));
+        sig.push_back(timer.arc_delay_base(g.new_arc(a), mode, c));
+      }
+    }
+  }
+  return sig;
+}
+
+/// First resizable non-clock combinational gate with a same-footprint
+/// sibling cell: the localized-update victim.
+struct EcoVictim {
+  bool found = false;
+  InstanceId inst = 0;
+  std::size_t base_cell = 0;
+  std::size_t alt_cell = 0;
+};
+
+EcoVictim find_victim(const Library& library, const Design& design,
+                      const Timer& timer) {
+  for (std::size_t i = 0; i < design.num_instances(); ++i) {
+    const auto inst = static_cast<InstanceId>(i);
+    const LibCell& cell = design.cell_of(inst);
+    if (cell.kind == CellKind::FlipFlop) continue;
+    const NodeId out = timer.graph().node_of_pin(
+        inst, static_cast<std::uint32_t>(cell.output_pin()));
+    if (out == kInvalidNode || timer.graph().node(out).is_clock_network) {
+      continue;
+    }
+    for (std::size_t j = 0; j < library.num_cells(); ++j) {
+      const LibCell& c = library.cell(j);
+      if (c.footprint == cell.footprint && j != design.instance(inst).cell &&
+          c.kind != CellKind::FlipFlop) {
+        return {true, inst, design.instance(inst).cell, j};
+      }
+    }
+  }
+  return {};
+}
+
+/// One dispatch configuration. "off" is the acceptance baseline: the
+/// staged kernel path disabled entirely, i.e. the legacy per-node sweeps
+/// this PR replaces. "scalar" runs the staged path with the reference
+/// kernels; sse2/avx2 are the SIMD tiers.
+struct TierConfig {
+  const char* name;
+  bool staged;
+  simd::Tier tier;
+};
+
+struct TierResult {
+  const char* name = "off";
+  double full_ms = 0.0;       ///< best-of-reps full weight update
+  double localized_ms = 0.0;  ///< best-of-reps ECO round trip (2 updates)
+  bool identical_t1 = true;
+  bool identical_t4 = true;
+};
+
+struct DesignResult {
+  std::string name;
+  std::size_t instances = 0;
+  std::size_t nodes = 0;
+  std::size_t arcs = 0;
+  double clock_period_ps = 0.0;
+  std::size_t layout_bytes = 0;
+  std::size_t kernel_scratch_bytes = 0;
+  std::vector<TierResult> tiers;
+};
+
+DesignResult run_design(std::size_t target, int d, double period_ps, int reps,
+                        const std::vector<TierConfig>& tiers) {
+  GeneratorOptions gen = scaled_design_options(target, d);
+  gen.name = "simd_sweeps_" + std::to_string(target);
+  BenchStack stack(gen);
+  stack.constraints.clock_port = stack.generated.clock_port;
+  stack.constraints.clock_period_ps = period_ps;
+  // CRPR off: the credit recomputation is scalar graph walking that would
+  // dilute the kernel fraction this bench is trying to isolate (and its
+  // launch-set index would dominate memory at 1M instances).
+  stack.constraints.enable_crpr = false;
+  stack.timer =
+      std::make_unique<Timer>(stack.generated.design, stack.constraints);
+  Timer& timer = *stack.timer;
+  // AOCV derates make the eff = (base * derate) * weight chain non-trivial
+  // for every arc, so the factor-table kernels do real work.
+  timer.set_instance_derates(compute_gba_derates(timer.graph(), stack.table));
+  timer.update_timing();
+
+  DesignResult res;
+  res.name = gen.name;
+  res.instances = stack.design().num_instances();
+  res.nodes = timer.graph().num_nodes();
+  res.arcs = timer.graph().num_arcs();
+  res.clock_period_ps = period_ps;
+
+  const std::vector<double> wa = make_weights(res.instances, 101);
+  const std::vector<double> wb = make_weights(res.instances, 202);
+  const EcoVictim victim = find_victim(stack.library, stack.design(), timer);
+
+  std::vector<double> reference;  // legacy sweeps, 1 thread
+  for (const TierConfig& tc : tiers) {
+    simd::set_staged_enabled(tc.staged);
+    simd::set_tier(tc.tier);
+    set_num_threads(1);
+    TierResult r;
+    r.name = tc.name;
+
+    // Warm the delay memo: weights do not touch base delays, so after one
+    // full sweep every timed update runs at ~100% memo hits — the
+    // steady-state of the solver loop.
+    timer.set_instance_weights(wa);
+    timer.update_timing();
+
+    r.full_ms = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::vector<double>& w = rep % 2 == 0 ? wb : wa;
+      const double t0 = now_ms();
+      timer.set_instance_weights(w);
+      timer.update_timing();
+      r.full_ms = std::min(r.full_ms, now_ms() - t0);
+    }
+
+    if (victim.found) {
+      r.localized_ms = 1e300;
+      for (int rep = 0; rep < reps; ++rep) {
+        const double t0 = now_ms();
+        stack.design().resize_instance(victim.inst, victim.alt_cell);
+        timer.invalidate_instance(victim.inst);
+        timer.update_timing();
+        stack.design().resize_instance(victim.inst, victim.base_cell);
+        timer.invalidate_instance(victim.inst);
+        timer.update_timing();
+        r.localized_ms = std::min(r.localized_ms, now_ms() - t0);
+      }
+    }
+
+    // Determinism: canonical weight state, 1 and 4 threads, bit-compared
+    // against the scalar single-thread reference.
+    timer.set_instance_weights(wa);
+    timer.update_timing();
+    const std::vector<double> sig1 = arena_signature(timer);
+    set_num_threads(4);
+    timer.set_instance_weights(wb);
+    timer.update_timing();
+    timer.set_instance_weights(wa);
+    timer.update_timing();
+    const std::vector<double> sig4 = arena_signature(timer);
+    set_num_threads(1);
+    if (reference.empty()) reference = sig1;
+    r.identical_t1 = same_bits(sig1, reference);
+    r.identical_t4 = same_bits(sig4, reference);
+    if (!r.identical_t1 || !r.identical_t4) {
+      std::printf("DIVERGENCE: design %s tier %s (t1 %s, t4 %s)\n",
+                  res.name.c_str(), tc.name,
+                  r.identical_t1 ? "ok" : "DIFFERS",
+                  r.identical_t4 ? "ok" : "DIFFERS");
+    }
+    std::printf(
+        "  %-6s: full %.2f ms, localized %.3f ms, arena %s\n", tc.name,
+        r.full_ms, r.localized_ms,
+        r.identical_t1 && r.identical_t4 ? "bit-identical" : "DIVERGED");
+    res.tiers.push_back(r);
+  }
+  simd::set_staged_enabled(true);
+  simd::set_tier(simd::detect_best());
+
+  const Timer::MemoryStats mem = timer.memory_stats();
+  res.layout_bytes = mem.layout_bytes;
+  res.kernel_scratch_bytes = mem.kernel_scratch_bytes;
+  return res;
+}
+
+int run(bool smoke) {
+  std::vector<TierConfig> tiers{{"off", false, simd::Tier::Scalar},
+                                {"scalar", true, simd::Tier::Scalar}};
+  if (simd::supported(simd::Tier::SSE2)) {
+    tiers.push_back({"sse2", true, simd::Tier::SSE2});
+  }
+  if (simd::supported(simd::Tier::AVX2)) {
+    tiers.push_back({"avx2", true, simd::Tier::AVX2});
+  }
+  std::printf("dispatch configs: ");
+  for (const TierConfig& tc : tiers) std::printf("%s ", tc.name);
+  std::printf("(host best %s)\n", simd::tier_name(simd::detect_best()));
+
+  const int reps = smoke ? 1 : 3;
+  std::vector<DesignResult> designs;
+  if (smoke) {
+    designs.push_back(run_design(12'000, 3, 2200.0, reps, tiers));
+  } else {
+    designs.push_back(run_design(50'000, 3, 2200.0, reps, tiers));
+    designs.push_back(run_design(1'050'000, 7, 4000.0, reps, tiers));
+  }
+
+  bool identical = true;
+  for (const DesignResult& d : designs) {
+    for (const TierResult& t : d.tiers) {
+      identical = identical && t.identical_t1 && t.identical_t4;
+    }
+  }
+
+  // Acceptance: best tier vs MGBA_SIMD=off (legacy sweeps) on the smaller
+  // (50k) design.
+  const DesignResult& accept = designs.front();
+  const double off_ms = accept.tiers.front().full_ms;
+  double best_ms = off_ms;
+  const char* best_name = "off";
+  for (const TierResult& t : accept.tiers) {
+    if (t.full_ms < best_ms) {
+      best_ms = t.full_ms;
+      best_name = t.name;
+    }
+  }
+  const double speedup = off_ms / best_ms;
+  std::printf("full-update speedup on %s: %.2fx (%s vs off; "
+              "acceptance >= 1.3x)\n",
+              accept.name.c_str(), speedup, best_name);
+
+  if (smoke) {
+    std::printf(identical ? "smoke OK: all tiers/threads bit-identical\n"
+                          : "smoke FAILED\n");
+    return identical ? 0 : 1;
+  }
+
+  std::FILE* out = std::fopen("BENCH_simd_sweeps.json", "w");
+  if (out == nullptr) {
+    std::printf("ERROR: cannot open BENCH_simd_sweeps.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"host_best_tier\": \"%s\",\n",
+               simd::tier_name(simd::detect_best()));
+  std::fprintf(out, "  \"reps_best_of\": %d,\n", reps);
+  std::fprintf(out, "  \"bit_identical_all_tiers_and_threads\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(out,
+               "  \"acceptance\": {\"design\": \"%s\", \"metric\": "
+               "\"single_thread_full_update\", \"baseline\": \"off\", "
+               "\"required_speedup\": 1.3, "
+               "\"best_tier\": \"%s\", \"measured_speedup\": %.3f, "
+               "\"pass\": %s},\n",
+               accept.name.c_str(), best_name, speedup,
+               speedup >= 1.3 ? "true" : "false");
+  std::fprintf(out, "  \"designs\": [\n");
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const DesignResult& d = designs[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"instances\": %zu, \"nodes\": %zu, "
+                 "\"arcs\": %zu, \"clock_period_ps\": %.1f, "
+                 "\"layout_bytes\": %zu, \"kernel_scratch_bytes\": %zu,\n",
+                 d.name.c_str(), d.instances, d.nodes, d.arcs,
+                 d.clock_period_ps, d.layout_bytes, d.kernel_scratch_bytes);
+    std::fprintf(out, "     \"tiers\": [\n");
+    const double base = d.tiers.front().full_ms;
+    for (std::size_t j = 0; j < d.tiers.size(); ++j) {
+      const TierResult& t = d.tiers[j];
+      std::fprintf(out,
+                   "       {\"tier\": \"%s\", \"full_update_ms\": %.3f, "
+                   "\"localized_update_ms\": %.4f, \"full_speedup\": %.3f, "
+                   "\"bit_identical_t1\": %s, \"bit_identical_t4\": %s}%s\n",
+                   t.name, t.full_ms, t.localized_ms, base / t.full_ms,
+                   t.identical_t1 ? "true" : "false",
+                   t.identical_t4 ? "true" : "false",
+                   j + 1 < d.tiers.size() ? "," : "");
+    }
+    std::fprintf(out, "     ]}%s\n", i + 1 < designs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_simd_sweeps.json\n");
+  return identical && speedup >= 1.3 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mgba::bench
+
+int main(int argc, char** argv) {
+  const bool smoke =
+      argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return mgba::bench::run(smoke);
+}

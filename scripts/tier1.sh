@@ -33,6 +33,13 @@
 # is exactly the race TSan must clear), and under ASan because the
 # protocol fuzz feeds truncated / oversized / garbage frames through the
 # bounds-checked decoders — an off-by-one there reads out of the payload.
+# The kernel suite (Kernel*) joins the ASan pass because the SIMD tiers
+# read doubles through raw arena slices and index vectors — a bad tail
+# mask or gather index reads past the slice — and the whole ctest suite
+# then repeats under MGBA_SIMD=off (legacy per-node sweeps) and
+# MGBA_SIMD=avx2 (widest tier, skipped with a note when the host lacks
+# AVX2): the dispatch tier is a throughput choice, so every suite must
+# pass with identical answers at the extremes of that choice.
 # Finally the shell's
 # golden-transcript smoke test runs at 1 and 4 threads: the transcript
 # (including full-precision replayed slacks) must be byte-identical —
@@ -47,13 +54,23 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# The SIMD dispatch extremes: the legacy per-node baseline and the widest
+# vector tier must both clear the entire suite (bit-identity is asserted
+# inside the tests themselves).
+MGBA_SIMD=off ctest --test-dir build --output-on-failure -j
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  MGBA_SIMD=avx2 ctest --test-dir build --output-on-failure -j
+else
+  echo "note: host lacks AVX2 — skipping the MGBA_SIMD=avx2 suite pass"
+fi
+
 cmake -B build-tsan -S . -DMGBA_SANITIZE=thread
 cmake --build build-tsan -j --target mgba_tests
 MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*:SolverFastpath*:Partition*:Snapshot*:Server*'
 
 cmake -B build-asan -S . -DMGBA_SANITIZE=address
 cmake --build build-asan -j --target mgba_tests
-MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*:Partition*:Snapshot*:Server*'
+MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*:Partition*:Snapshot*:Server*:Kernel*'
 
 for threads in 1 4; do
   ./scripts/shell_smoke.sh build/tools/mgba_timer \
@@ -64,4 +81,4 @@ for threads in 1 4; do
   ./scripts/server_smoke.sh build/tools/mgba_timer build/tools/mgba_client \
       examples/close_timing.mgbash examples/close_timing.golden "$threads"
 done
-echo "tier-1 OK (ctest + TSan parallel/incremental/server suites + ASan MCMM/shell/incremental/server suites + shell and server smokes)"
+echo "tier-1 OK (ctest + MGBA_SIMD=off/avx2 suite passes + TSan parallel/incremental/server suites + ASan MCMM/shell/incremental/kernel suites + shell and server smokes)"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sta/kernels.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -71,10 +72,12 @@ void CsrMatrix::multiply_transpose(std::span<const double> x,
 }
 
 double CsrMatrix::row_dot(std::size_t i, std::span<const double> x) const {
+  // Sparse dot in the kernels' canonical blocked order — the same result
+  // at every SIMD tier (see kernels.hpp), which is what keeps solver
+  // transcripts reproducible across machines with different ISAs.
   const SparseRowView r = row(i);
-  double acc = 0.0;
-  for (std::size_t k = 0; k < r.nnz(); ++k) acc += r.values[k] * x[r.cols[k]];
-  return acc;
+  return kernels::dot_gather(r.values.data(), r.cols.data(), x.data(),
+                             r.nnz());
 }
 
 void CsrMatrix::add_scaled_row(std::size_t i, double alpha,

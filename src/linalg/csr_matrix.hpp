@@ -17,6 +17,8 @@
 #include <span>
 #include <vector>
 
+#include "sta/kernels.hpp"
+
 namespace mgba {
 
 /// One row of a CSR matrix: parallel index/value spans.
@@ -78,10 +80,10 @@ class CsrMatrix {
                          CoeffFn&& coeff, Sink&& sink) const {
     const std::size_t begin = row_ptr_[i];
     const std::size_t end = row_ptr_[i + 1];
-    double acc = 0.0;
-    for (std::size_t k = begin; k < end; ++k) {
-      acc += values_[k] * x[col_idx_[k]];
-    }
+    // Same canonical blocked dot as row_dot (kernels::dot_gather), so the
+    // fused and unfused paths stay bit-identical to each other.
+    const double acc = kernels::dot_gather(
+        values_.data() + begin, col_idx_.data() + begin, x.data(), end - begin);
     const double alpha = coeff(acc);
     for (std::size_t k = begin; k < end; ++k) {
       sink.add(col_idx_[k], alpha * values_[k]);

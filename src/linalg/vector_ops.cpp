@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sta/kernels.hpp"
 #include "util/check.hpp"
 
 namespace mgba {
@@ -23,18 +24,20 @@ double dot(std::span<const double> a, std::span<const double> b) {
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   MGBA_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  // Elementwise: the SIMD tiers evaluate the identical per-element
+  // expression (no reassociation), so this is a pure throughput change.
+  kernels::axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(std::span<double> v, double alpha) {
-  for (double& x : v) x *= alpha;
+  kernels::scale(alpha, v.data(), v.size());
 }
 
 std::vector<double> subtract(std::span<const double> a,
                              std::span<const double> b) {
   MGBA_CHECK(a.size() == b.size());
   std::vector<double> out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  kernels::subtract(a.data(), b.data(), out.data(), a.size());
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "server/protocol.hpp"
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 
 namespace mgba::server {
@@ -198,9 +199,15 @@ void TimingServer::connection_loop(int fd) {
     cleanup();
     return;
   }
-  if (!write_frame(fd, str_format("ok %u session %llu", kProtocolVersion,
+  // Trailing tokens are ignored by older clients (sscanf stops after the
+  // session id), so the SIMD tier rides the banner compatibly.
+  if (!write_frame(fd, str_format("ok %u session %llu simd %s",
+                                  kProtocolVersion,
                                   static_cast<unsigned long long>(
-                                      session->id())))
+                                      session->id()),
+                                  simd::staged_enabled()
+                                      ? simd::tier_name(simd::active_tier())
+                                      : "off"))
            .empty()) {
     cleanup();
     return;

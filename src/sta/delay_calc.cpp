@@ -7,21 +7,27 @@
 namespace mgba {
 
 void DelayCache::resize(std::size_t n) {
-  entries.assign(n, Entry{});
+  slew_bits.assign(n, 0);
+  cell_key.assign(n, kEmptyKey);
+  delay_ps.assign(n, 0.0);
+  slew_ps.assign(n, 0.0);
   trial_mark_.assign(n, 0);
   trial_epoch_ = 0;
   trial_saved_.clear();
 }
 
 void DelayCache::invalidate(std::size_t index) {
-  if (index >= entries.size()) return;
+  if (index >= size()) return;
   if (trial_active_) trial_record(index);
-  entries[index] = Entry{};
+  slew_bits[index] = 0;
+  cell_key[index] = kEmptyKey;
+  delay_ps[index] = 0.0;
+  slew_ps[index] = 0.0;
 }
 
 void DelayCache::trial_begin() {
-  if (trial_mark_.size() != entries.size()) {
-    trial_mark_.assign(entries.size(), 0);
+  if (trial_mark_.size() != size()) {
+    trial_mark_.assign(size(), 0);
     trial_epoch_ = 0;
   }
   if (trial_epoch_ == 0xffffffffu) {
@@ -39,14 +45,21 @@ void DelayCache::trial_end() {
 }
 
 void DelayCache::trial_record(std::size_t index) {
-  if (!trial_active_ || index >= entries.size()) return;
+  if (!trial_active_ || index >= size()) return;
   if (trial_mark_[index] == trial_epoch_) return;
   trial_mark_[index] = trial_epoch_;
-  trial_saved_.emplace_back(index, entries[index]);
+  trial_saved_.emplace_back(
+      index, Saved{slew_bits[index], cell_key[index], delay_ps[index],
+                   slew_ps[index]});
 }
 
 void DelayCache::trial_restore() {
-  for (const auto& [index, entry] : trial_saved_) entries[index] = entry;
+  for (const auto& [index, saved] : trial_saved_) {
+    slew_bits[index] = saved.bits;
+    cell_key[index] = saved.key;
+    delay_ps[index] = saved.delay;
+    slew_ps[index] = saved.slew;
+  }
   trial_end();
 }
 

@@ -57,13 +57,24 @@ struct DelayCache {
   /// Cell key of net-arc entries (real cell ids are small).
   static constexpr std::uint32_t kNetArcKey = 0xfffffffeu;
 
-  struct Entry {
-    std::uint64_t slew_bits = 0;
-    std::uint32_t cell_key = kEmptyKey;
-    ArcTiming timing;
-  };
+  // Structure-of-arrays layout (parallel arrays indexed lane * num_arcs +
+  // arc): the staged sweeps probe a whole level's slice with one
+  // vectorized key/bits compare (kernels::probe) and bulk-read the hit
+  // payloads, which an array-of-structs entry layout cannot feed.
+  std::vector<std::uint64_t> slew_bits;
+  std::vector<std::uint32_t> cell_key;
+  std::vector<double> delay_ps;
+  std::vector<double> slew_ps;
 
-  std::vector<Entry> entries;
+  [[nodiscard]] std::size_t size() const { return cell_key.size(); }
+  [[nodiscard]] bool empty() const { return cell_key.empty(); }
+  /// Allocated payload bytes of the four arrays (memory_stats accounting).
+  [[nodiscard]] std::size_t bytes() const {
+    return slew_bits.capacity() * sizeof(std::uint64_t) +
+           cell_key.capacity() * sizeof(std::uint32_t) +
+           (delay_ps.capacity() + slew_ps.capacity()) * sizeof(double);
+  }
+
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
 
@@ -95,10 +106,18 @@ struct DelayCache {
   [[nodiscard]] bool trial_active() const { return trial_active_; }
 
  private:
+  /// One journaled entry: the four SoA slots of one index.
+  struct Saved {
+    std::uint64_t bits;
+    std::uint32_t key;
+    double delay;
+    double slew;
+  };
+
   bool trial_active_ = false;
   std::uint32_t trial_epoch_ = 0;
   std::vector<std::uint32_t> trial_mark_;
-  std::vector<std::pair<std::size_t, Entry>> trial_saved_;
+  std::vector<std::pair<std::size_t, Saved>> trial_saved_;
 };
 
 class DelayCalculator {

@@ -52,11 +52,6 @@ struct InstanceAdjacency {
   }
 };
 
-std::size_t vec_bytes(const std::vector<std::vector<NodeId>>& v) {
-  std::size_t b = v.size() * sizeof(v[0]);
-  for (const auto& inner : v) b += inner.capacity() * sizeof(NodeId);
-  return b;
-}
 
 }  // namespace
 
@@ -219,11 +214,36 @@ void Partitioning::assign_nodes(const TimingGraph& graph,
     ++nodes_in_part_[p];
   }
 
+  // Per-(region, level) buckets as merged interval runs. Two passes over
+  // the level buckets: count each bucket's runs, then place them — a node
+  // extends its bucket's open run when its id is the run's current end.
   num_levels_ = graph.num_levels();
-  level_nodes_.assign(num_parts_ * num_levels_, {});
+  const std::size_t num_buckets = num_parts_ * num_levels_;
+  run_begin_.assign(num_buckets + 1, 0);
+  std::vector<NodeId> open_end(num_buckets, kInvalidNode);
   for (std::size_t l = 0; l < num_levels_; ++l) {
     for (const NodeId v : graph.level_nodes()[l]) {
-      level_nodes_[part_of_node_[v] * num_levels_ + l].push_back(v);
+      const std::size_t bucket = part_of_node_[v] * num_levels_ + l;
+      if (open_end[bucket] != v) ++run_begin_[bucket + 1];
+      open_end[bucket] = v + 1;
+    }
+  }
+  for (std::size_t i = 0; i < num_buckets; ++i) {
+    run_begin_[i + 1] += run_begin_[i];
+  }
+  runs_.assign(run_begin_[num_buckets], NodeRun{});
+  std::vector<std::uint32_t> fill(run_begin_.begin(),
+                                  run_begin_.end() - 1);
+  std::fill(open_end.begin(), open_end.end(), kInvalidNode);
+  for (std::size_t l = 0; l < num_levels_; ++l) {
+    for (const NodeId v : graph.level_nodes()[l]) {
+      const std::size_t bucket = part_of_node_[v] * num_levels_ + l;
+      if (open_end[bucket] != v) {
+        runs_[fill[bucket]++] = NodeRun{v, v + 1};
+      } else {
+        ++runs_[fill[bucket] - 1].end;
+      }
+      open_end[bucket] = v + 1;
     }
   }
 }
@@ -394,7 +414,8 @@ std::size_t Partitioning::storage_bytes() const {
   b += part_of_instance_.capacity() * sizeof(PartitionId);
   b += part_of_node_.capacity() * sizeof(PartitionId);
   b += nodes_in_part_.capacity() * sizeof(std::size_t);
-  b += vec_bytes(level_nodes_);
+  b += runs_.capacity() * sizeof(NodeRun);
+  b += run_begin_.capacity() * sizeof(std::uint32_t);
   b += fwd_watches_.capacity() * sizeof(BoundaryWatch);
   b += bwd_watches_.capacity() * sizeof(BoundaryWatch);
   b += watch_targets_.capacity() * sizeof(PartitionId);

@@ -34,6 +34,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,17 @@ struct BoundaryWatch {
   std::uint32_t targets_end = 0;
 };
 
+/// Maximal run [begin, end) of consecutive node ids within one region's
+/// slice of one global level. Under the level-contiguous graph layout a
+/// region's level bucket compresses to a handful of runs (the renumbering
+/// keeps instance order within a level, and regions are grown over
+/// instance-id-contiguous blocks); under build-order ids most runs are
+/// single nodes — the representation stays correct, just uncompressed.
+struct NodeRun {
+  NodeId begin = 0;
+  NodeId end = 0;  ///< exclusive
+};
+
 class Partitioning {
  public:
   /// Builds the decomposition for the current \p graph. \p design is the
@@ -103,11 +115,22 @@ class Partitioning {
     return part_of_node_[node];
   }
 
-  /// Nodes of region \p p at global topological level \p level (a subset of
-  /// the graph's level bucket, in the same relative order).
-  [[nodiscard]] const std::vector<NodeId>& level_nodes(
-      PartitionId p, std::size_t level) const {
-    return level_nodes_[p * num_levels_ + level];
+  /// Interval runs covering the nodes of region \p p at global topological
+  /// level \p level (a subset of the graph's level bucket, in the same
+  /// relative order, merged into maximal consecutive-id runs). Replaces
+  /// the PR-6 per-bucket index vectors: sweeps walk dense id ranges.
+  [[nodiscard]] std::span<const NodeRun> level_runs(PartitionId p,
+                                                    std::size_t level) const {
+    const std::size_t bucket = p * num_levels_ + level;
+    return {runs_.data() + run_begin_[bucket],
+            run_begin_[bucket + 1] - run_begin_[bucket]};
+  }
+  /// Node count of one (region, level) bucket.
+  [[nodiscard]] std::size_t level_node_count(PartitionId p,
+                                             std::size_t level) const {
+    std::size_t n = 0;
+    for (const NodeRun& r : level_runs(p, level)) n += r.end - r.begin;
+    return n;
   }
   [[nodiscard]] std::size_t num_levels() const { return num_levels_; }
   /// Total graph nodes assigned to region \p p.
@@ -192,8 +215,10 @@ class Partitioning {
   std::vector<PartitionId> part_of_instance_;
   std::vector<PartitionId> part_of_node_;
   std::vector<std::size_t> nodes_in_part_;
-  /// [p * num_levels_ + level] -> nodes of region p at that level.
-  std::vector<std::vector<NodeId>> level_nodes_;
+  /// Pooled interval runs; bucket [p * num_levels_ + level] owns
+  /// runs_[run_begin_[bucket] .. run_begin_[bucket + 1]).
+  std::vector<NodeRun> runs_;
+  std::vector<std::uint32_t> run_begin_;  ///< size P * levels + 1
 
   std::vector<BoundaryWatch> fwd_watches_;
   std::vector<std::uint32_t> fwd_watch_begin_;  ///< size P+1

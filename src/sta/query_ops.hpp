@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sta/corner.hpp"
+#include "sta/kernels.hpp"
 #include "sta/timing_data.hpp"
 #include "sta/timing_graph.hpp"
 #include "sta/timing_types.hpp"
@@ -90,60 +91,73 @@ inline const CheckTiming& check_timing(const TimingData& d, std::size_t i,
   return d.check[d.check_index(corner, i)];
 }
 
+/// Per-endpoint slacks of one (mode, corner) view, densely packed in
+/// endpoint order — the input the slack reductions below run over. The
+/// gather stays scalar (the arena is a chunked COW vector, not a flat
+/// array); the reductions themselves run through the SIMD kernels in
+/// their canonical blocked order, so WNS/TNS answers are identical at
+/// every tier and independent of endpoint count partitioning.
+inline void endpoint_slacks(const TimingData& d, const TimingGraph& g,
+                            Mode mode, CornerId corner,
+                            std::vector<double>& buf) {
+  const auto& endpoints = g.endpoints();
+  buf.resize(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    buf[i] = slack(d, endpoints[i], mode, corner);
+  }
+}
+
+inline void endpoint_slacks_merged(const TimingData& d, const TimingGraph& g,
+                                   Mode mode, std::vector<double>& buf) {
+  const auto& endpoints = g.endpoints();
+  buf.resize(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    buf[i] = slack_merged(d, endpoints[i], mode);
+  }
+}
+
 inline double wns(const TimingData& d, const TimingGraph& g, Mode mode,
                   CornerId corner) {
-  double worst = 0.0;
-  for (const NodeId e : g.endpoints()) {
-    worst = std::min(worst, slack(d, e, mode, corner));
-  }
-  return worst;
+  std::vector<double> s;
+  endpoint_slacks(d, g, mode, corner, s);
+  const double worst = kernels::reduce_min(s.data(), s.size());
+  return worst < 0.0 ? worst : 0.0;  // WNS reports 0 for a clean design
 }
 
 inline double tns(const TimingData& d, const TimingGraph& g, Mode mode,
                   CornerId corner) {
-  double total = 0.0;
-  for (const NodeId e : g.endpoints()) {
-    const double s = slack(d, e, mode, corner);
-    if (s < 0.0) total += s;
-  }
-  return total;
+  std::vector<double> s;
+  endpoint_slacks(d, g, mode, corner, s);
+  return kernels::reduce_sum_neg(s.data(), s.size());
 }
 
 inline std::size_t num_violations(const TimingData& d, const TimingGraph& g,
                                   Mode mode, CornerId corner) {
-  std::size_t count = 0;
-  for (const NodeId e : g.endpoints()) {
-    if (slack(d, e, mode, corner) < 0.0) ++count;
-  }
-  return count;
+  std::vector<double> s;
+  endpoint_slacks(d, g, mode, corner, s);
+  return kernels::count_neg(s.data(), s.size());
 }
 
 inline double wns_merged(const TimingData& d, const TimingGraph& g,
                          Mode mode) {
-  double worst = 0.0;
-  for (const NodeId e : g.endpoints()) {
-    worst = std::min(worst, slack_merged(d, e, mode));
-  }
-  return worst;
+  std::vector<double> s;
+  endpoint_slacks_merged(d, g, mode, s);
+  const double worst = kernels::reduce_min(s.data(), s.size());
+  return worst < 0.0 ? worst : 0.0;
 }
 
 inline double tns_merged(const TimingData& d, const TimingGraph& g,
                          Mode mode) {
-  double total = 0.0;
-  for (const NodeId e : g.endpoints()) {
-    const double s = slack_merged(d, e, mode);
-    if (s < 0.0) total += s;
-  }
-  return total;
+  std::vector<double> s;
+  endpoint_slacks_merged(d, g, mode, s);
+  return kernels::reduce_sum_neg(s.data(), s.size());
 }
 
 inline std::size_t num_violations_merged(const TimingData& d,
                                          const TimingGraph& g, Mode mode) {
-  std::size_t count = 0;
-  for (const NodeId e : g.endpoints()) {
-    if (slack_merged(d, e, mode) < 0.0) ++count;
-  }
-  return count;
+  std::vector<double> s;
+  endpoint_slacks_merged(d, g, mode, s);
+  return kernels::count_neg(s.data(), s.size());
 }
 
 /// Worst-slack path to \p endpoint traced back through worst fanins.

@@ -4,12 +4,15 @@
 #include <atomic>
 #include <bit>
 #include <cmath>
+#include <cstring>
 #include <functional>
 
+#include "sta/kernels.hpp"
 #include "sta/query_ops.hpp"
 #include "sta/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/float_bits.hpp"
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -56,10 +59,11 @@ struct Timer::TrialState {
 };
 
 Timer::Timer(const Design& design, TimingConstraints constraints,
-             WireModel wire)
+             WireModel wire, GraphLayout layout)
     : design_(&design),
       constraints_(std::move(constraints)),
-      delay_(design, wire) {
+      delay_(design, wire),
+      layout_(layout) {
   derates_.assign(corners_.size(),
                   std::make_shared<const std::vector<DeratePair>>());
   weights_.resize(corners_.size());
@@ -107,6 +111,7 @@ void Timer::set_instance_derates(std::vector<DeratePair> derates) {
       std::make_shared<const std::vector<DeratePair>>(std::move(derates));
   for (auto& per_corner : derates_) per_corner = shared;
   dirty_full_ = true;
+  fac_derate_dirty_ = true;
   eco_poisoned_ = true;  // every matrix entry a_ij = d_j * lambda_j moved
   // The coming full update rewrites every slot — more than a value journal
   // covers. Structural snapshots hold their own derate copy, so they keep.
@@ -119,6 +124,7 @@ void Timer::set_corner_derates(CornerId corner,
   derates_[corner] =
       std::make_shared<const std::vector<DeratePair>>(std::move(derates));
   dirty_full_ = true;
+  fac_derate_dirty_ = true;
   eco_poisoned_ = true;
   break_value_trial();
 }
@@ -141,6 +147,7 @@ void Timer::set_instance_weights(CornerId corner,
     dirty_full_ = true;
   }
   weights_[corner] = std::move(weights);
+  fac_weight_dirty_ = true;
   // Weights are not part of either checkpoint kind; a mid-trial weight
   // change cannot be rolled back, so the trial degrades to the fallback.
   if (trial_) trial_->broken = true;
@@ -159,6 +166,7 @@ void Timer::set_instance_weights_early(CornerId corner,
     dirty_full_ = true;
   }
   weights_early_[corner] = std::move(weights);
+  fac_weight_dirty_ = true;
   if (trial_) trial_->broken = true;
 }
 
@@ -210,6 +218,9 @@ void Timer::invalidate_instance(InstanceId inst) {
   // Stale memo entries must be dropped even when this call escalates to a
   // full update below: the delay cache persists across full propagations.
   invalidate_cache_for(inst);
+  // The instance's cell (and with it the arc keys / weight-gather indices
+  // the staged sweeps cache) may have changed.
+  arc_statics_dirty_ = true;
 
   // CRPR credits are cached across incremental updates on the assumption
   // that clock-network delays do not change; a mutation touching a clock
@@ -275,7 +286,8 @@ void Timer::rebuild_graph() {
   eco_poisoned_ = true;
   break_value_trial();
   // Fresh graph object: snapshots taken against the old one keep it alive.
-  graph_ = std::make_shared<TimingGraph>(*design_, constraints_.clock_port);
+  graph_ =
+      std::make_shared<TimingGraph>(*design_, constraints_.clock_port, layout_);
   ++state_version_;
   allocate_storage();
   compute_instance_arcs();
@@ -353,6 +365,65 @@ void Timer::resize_incremental_scratch() {
   backward_seeded_.assign(graph_->num_nodes(), false);
   backward_seeds_.clear();
   touched_checks_.clear();
+
+  // Staged-sweep tables. Only a level-contiguous layout runs the staged
+  // sweeps; Original keeps the legacy per-node bodies and pays nothing.
+  const std::size_t num_arcs = graph_->num_arcs();
+  if (graph_->level_contiguous()) {
+    arc_from_.resize(num_arcs);
+    arc_key_.assign(num_arcs, DelayCache::kEmptyKey);
+    arc_widx_.assign(num_arcs, 0);
+    for (ArcId a = 0; a < num_arcs; ++a) arc_from_[a] = graph_->arc(a).from;
+    const std::span<const ArcId> pool = graph_->fanout_pool();
+    fo_to_.resize(pool.size());
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      fo_to_[p] = graph_->arc(pool[p]).to;
+    }
+    max_level_fanin_ = 0;
+    max_level_fanout_ = 0;
+    for (std::size_t l = 0; l < graph_->num_levels(); ++l) {
+      const auto [a0, a1] = graph_->level_arc_range(l);
+      max_level_fanin_ = std::max(max_level_fanin_, std::size_t{a1 - a0});
+      const auto [u0, u1] = graph_->level_range(l);
+      max_level_fanout_ = std::max(
+          max_level_fanout_,
+          std::size_t{graph_->fanout_begin(u1) - graph_->fanout_begin(u0)});
+    }
+    const std::size_t wide = std::max(max_level_fanin_, max_level_fanout_);
+    lvl_a_.resize(wide);
+    lvl_b_.resize(wide);
+    lvl_c_.resize(wide);
+    lvl_d_.resize(max_level_fanin_);
+    lvl_e_.resize(max_level_fanin_);
+    lvl_f_.resize(max_level_fanin_);
+    lvl_hit_.resize(max_level_fanin_);
+    fac_derate_.assign(lanes * num_arcs, 1.0);
+    fac_weight_.assign(lanes * num_arcs, 1.0);
+  } else {
+    arc_from_.clear();
+    arc_key_.clear();
+    arc_widx_.clear();
+    fo_to_.clear();
+    fac_derate_.clear();
+    fac_weight_.clear();
+    wfac_.clear();
+    shadow_a_.clear();
+    shadow_b_.clear();
+    dly_late_.clear();
+    dly_early_.clear();
+    lvl_a_.clear();
+    lvl_b_.clear();
+    lvl_c_.clear();
+    lvl_d_.clear();
+    lvl_e_.clear();
+    lvl_f_.clear();
+    lvl_hit_.clear();
+    max_level_fanin_ = 0;
+    max_level_fanout_ = 0;
+  }
+  fac_derate_dirty_ = true;
+  fac_weight_dirty_ = true;
+  arc_statics_dirty_ = true;
 }
 
 void Timer::compute_instance_arcs() {
@@ -521,27 +592,29 @@ ArcTiming Timer::arc_timing(ArcId a, const TimingArc& arc, double input_slew,
   // where nearly every lookup hits. Load is deliberately not part of the
   // key (recomputing it per lookup would cost what the lookup saves); load
   // changes are handled by explicit invalidation (invalidate_cache_for).
-  DelayCache::Entry& e = delay_cache_.entries[TimingData::lane(corner, mode) *
-                                                  data_.num_arcs +
-                                              a];
+  const std::size_t at =
+      TimingData::lane(corner, mode) * data_.num_arcs + a;
   const std::uint64_t bits = float_bits(input_slew);
   const std::uint32_t key =
       arc.kind == TimingArc::Kind::Cell
           ? static_cast<std::uint32_t>(design_->instance(arc.inst).cell)
           : DelayCache::kNetArcKey;
-  if (e.cell_key == key && e.slew_bits == bits) {
+  if (delay_cache_.cell_key[at] == key && delay_cache_.slew_bits[at] == bits) {
     ++tally.hits;
-    return e.timing;
+    return ArcTiming{delay_cache_.delay_ps[at], delay_cache_.slew_ps[at]};
   }
   ++tally.misses;
-  e.slew_bits = bits;
-  e.cell_key = key;
-  e.timing = delay_.evaluate(*graph_, a, input_slew, corners_[corner].scaling);
-  return e.timing;
+  const ArcTiming timing =
+      delay_.evaluate(*graph_, a, input_slew, corners_[corner].scaling);
+  delay_cache_.slew_bits[at] = bits;
+  delay_cache_.cell_key[at] = key;
+  delay_cache_.delay_ps[at] = timing.delay_ps;
+  delay_cache_.slew_ps[at] = timing.slew_ps;
+  return timing;
 }
 
 void Timer::invalidate_cache_for(InstanceId inst) {
-  if (delay_cache_.entries.empty() || inst >= statics_->instance_arcs.size()) return;
+  if (delay_cache_.empty() || inst >= statics_->instance_arcs.size()) return;
   // Arcs whose memoized timing can be stale after a value-only edit of
   // this instance: its own cell arcs (cell footprint changed), the cell
   // arcs of each input net's driver instance (its output load changed),
@@ -568,6 +641,13 @@ void Timer::invalidate_cache_for(InstanceId inst) {
 }
 
 void Timer::full_forward() {
+  // MGBA_SIMD=off (simd::staged_enabled() false) keeps the legacy per-node
+  // body below — the pre-vectorization baseline, bit-identical by the
+  // invariance suites.
+  if (graph_->level_contiguous() && simd::staged_enabled()) {
+    full_forward_staged();
+    return;
+  }
   // Level-synchronous parallel propagation: nodes within one level have no
   // mutual dependencies (every arc crosses levels), and recompute_node
   // writes only its own node's arrival/slew plus its own fanin arcs'
@@ -587,6 +667,238 @@ void Timer::full_forward() {
       }
       delay_cache_.add_counts(tally.hits, tally.misses);
     });
+  }
+}
+
+// --- staged vectorized sweeps ------------------------------------------------
+
+void Timer::refresh_arc_statics() {
+  if (!arc_statics_dirty_) return;
+  arc_statics_dirty_ = false;
+  const std::size_t num_arcs = graph_->num_arcs();
+  const std::uint32_t sentinel =
+      static_cast<std::uint32_t>(design_->num_instances());
+  bool widx_moved = false;
+  for (ArcId a = 0; a < num_arcs; ++a) {
+    const TimingArc& arc = graph_->arc(a);
+    arc_key_[a] =
+        arc.kind == TimingArc::Kind::Cell
+            ? static_cast<std::uint32_t>(design_->instance(arc.inst).cell)
+            : DelayCache::kNetArcKey;
+    const std::uint32_t widx = is_weighted_arc(arc) ? arc.inst : sentinel;
+    if (arc_widx_[a] != widx) {
+      arc_widx_[a] = widx;
+      widx_moved = true;
+    }
+  }
+  // A moved index — a resize_instance cell swap flipping the flip-flop
+  // test, or reverted-trial tombstones shifting the sentinel slot — makes
+  // the gathered weight-factor lanes stale.
+  if (widx_moved) fac_weight_dirty_ = true;
+}
+
+void Timer::refresh_factors() {
+  const std::size_t num_arcs = graph_->num_arcs();
+  if (fac_derate_dirty_) {
+    for (CornerId c = 0; c < corners_.size(); ++c) {
+      for (int m = 0; m < kNumModes; ++m) {
+        const Mode mode = static_cast<Mode>(m);
+        double* fd = fac_derate_.data() + TimingData::lane(c, m) * num_arcs;
+        for (ArcId a = 0; a < num_arcs; ++a) {
+          fd[a] = derate_for(graph_->arc(a), mode, c);
+        }
+      }
+    }
+    fac_derate_dirty_ = false;
+  }
+  if (fac_weight_dirty_) {
+    const std::size_t num_inst = design_->num_instances();
+    wfac_.resize(num_inst + 1);
+    for (CornerId c = 0; c < corners_.size(); ++c) {
+      for (int m = 0; m < kNumModes; ++m) {
+        const auto& w = m == idx(Mode::Late) ? weights_[c] : weights_early_[c];
+        // Clamp per instance once, then gather per arc — O(instances +
+        // arcs) instead of a lookup chain per (lane, arc).
+        const std::size_t nw = std::min(w.size(), num_inst);
+        kernels::weight_factor(w.data(), kMinWeightFactor, wfac_.data(), nw);
+        // Instances past the weight vector and the sentinel slot that
+        // unweighted arcs index multiply by exactly 1.0, matching the
+        // legacy sweep's skipped multiply bit-for-bit.
+        std::fill(wfac_.begin() + static_cast<std::ptrdiff_t>(nw), wfac_.end(),
+                  1.0);
+        kernels::gather(wfac_.data(), arc_widx_.data(),
+                        fac_weight_.data() + TimingData::lane(c, m) * num_arcs,
+                        num_arcs);
+      }
+    }
+    fac_weight_dirty_ = false;
+  }
+}
+
+void Timer::full_forward_staged() {
+  // Same math as the legacy recompute_node sweep, restructured around the
+  // kernels: per (corner, mode) lane, each level's fanin arcs form one
+  // dense range, so the sweep gathers the arc inputs into level scratch,
+  // resolves base delays with a vectorized memo probe (scalar fixup for
+  // the misses), applies derate x weight with eff_cand, and folds per node
+  // with the exact legacy expressions in the same ascending-arc order —
+  // bit-identical to recompute_node at every SIMD tier and thread count.
+  // Workers touch only their own nodes' slots in the flat lane shadows and
+  // their own arcs' slots in the scratch; the coordinator lands results in
+  // the COW arena with contiguous write_range calls.
+  refresh_arc_statics();
+  refresh_factors();
+  const std::size_t n = graph_->num_nodes();
+  const std::size_t num_levels = graph_->num_levels();
+  shadow_a_.resize(n);
+  shadow_b_.resize(n);
+
+  for (CornerId corner = 0; corner < corners_.size(); ++corner) {
+    const LibraryScaling& scaling = corners_[corner].scaling;
+    const double boundary_slew = constraints_.input_slew_ps * scaling.slew;
+    for (int m = 0; m < kNumModes; ++m) {
+      const bool late = m == idx(Mode::Late);
+      const std::size_t node_base = data_.node_index(corner, m, 0);
+      const std::size_t arc_lane = data_.arc_index(corner, m, 0);
+
+      // Boundary conditions: level 0 is exactly the empty-fanin nodes
+      // (levelize assigns level 0 to zero-in-degree nodes and only them).
+      const auto [b0, b1] = graph_->level_range(0);
+      for (NodeId u = b0; u < b1; ++u) {
+        const Terminal& terminal = graph_->node(u).terminal;
+        double arr = 0.0;
+        if (u != graph_->clock_source() &&
+            terminal.kind == Terminal::Kind::Port) {
+          arr = port_input_delay_[terminal.id];
+        }
+        shadow_a_[u] = arr;
+        shadow_b_[u] = boundary_slew;
+      }
+
+      for (std::size_t l = 1; l < num_levels; ++l) {
+        const auto [lu0, lu1] = graph_->level_range(l);
+        const auto [la0, la1] = graph_->level_arc_range(l);
+        const NodeId u0 = lu0;
+        const ArcId a0 = la0;
+        const std::size_t level_arcs = la1 - la0;
+        if (lu0 == lu1) continue;
+        parallel_for(lu1 - lu0, 256, [&](std::size_t wb, std::size_t we) {
+          const std::size_t k0 =
+              graph_->fanin_begin(static_cast<NodeId>(u0 + wb));
+          const std::size_t k1 =
+              graph_->fanin_begin(static_cast<NodeId>(u0 + we));
+          const std::size_t cnt = k1 - k0;
+          const std::size_t off = k0 - a0;
+          double* inslew = lvl_a_.data() + off;
+          double* arr_in = lvl_b_.data() + off;
+          double* base = lvl_c_.data() + off;
+          double* oslew = lvl_d_.data() + off;
+          double* eff = lvl_e_.data() + off;
+          double* cand = lvl_f_.data() + off;
+          kernels::gather(shadow_b_.data(), arc_from_.data() + k0, inslew,
+                          cnt);
+          kernels::gather(shadow_a_.data(), arc_from_.data() + k0, arr_in,
+                          cnt);
+          // Base delays: one vectorized memo probe over the worker's arc
+          // run, then a scalar fixup pass for the misses (each miss is an
+          // NLDM evaluation — inherently scalar).
+          if (fastpath_enabled_) {
+            std::uint8_t* hit = lvl_hit_.data() + off;
+            const std::size_t mbase = arc_lane + k0;
+            const std::size_t hits = kernels::probe(
+                inslew, delay_cache_.slew_bits.data() + mbase,
+                delay_cache_.cell_key.data() + mbase, arc_key_.data() + k0,
+                hit, cnt);
+            if (hits == cnt) {
+              // Steady state of the solver loop (weights do not move base
+              // delays): every arc hits, and the memo's SoA layout makes
+              // the result harvest two contiguous copies.
+              std::memcpy(base, delay_cache_.delay_ps.data() + mbase,
+                          cnt * sizeof(double));
+              std::memcpy(oslew, delay_cache_.slew_ps.data() + mbase,
+                          cnt * sizeof(double));
+            } else {
+              for (std::size_t i = 0; i < cnt; ++i) {
+                const std::size_t at = mbase + i;
+                if (hit[i] != 0) {
+                  base[i] = delay_cache_.delay_ps[at];
+                  oslew[i] = delay_cache_.slew_ps[at];
+                } else {
+                  const ArcTiming t = delay_.evaluate(
+                      *graph_, static_cast<ArcId>(k0 + i), inslew[i], scaling);
+                  delay_cache_.slew_bits[at] = float_bits(inslew[i]);
+                  delay_cache_.cell_key[at] = arc_key_[k0 + i];
+                  delay_cache_.delay_ps[at] = t.delay_ps;
+                  delay_cache_.slew_ps[at] = t.slew_ps;
+                  base[i] = t.delay_ps;
+                  oslew[i] = t.slew_ps;
+                }
+              }
+            }
+            delay_cache_.add_counts(hits, cnt - hits);
+          } else {
+            for (std::size_t i = 0; i < cnt; ++i) {
+              const ArcTiming t = delay_.evaluate(
+                  *graph_, static_cast<ArcId>(k0 + i), inslew[i], scaling);
+              base[i] = t.delay_ps;
+              oslew[i] = t.slew_ps;
+            }
+          }
+          kernels::eff_cand(base, fac_derate_.data() + arc_lane + k0,
+                            fac_weight_.data() + arc_lane + k0, arr_in, eff,
+                            cand, cnt);
+          // Per-node fold: recompute_node's expressions verbatim, same
+          // ascending fanin-arc order (scratch index i is arc k0 + i).
+          // Single-fanin nodes — net-arc sinks, the majority — fold to the
+          // lone candidate itself (every candidate is finite, so the ±inf
+          // seed never survives a one-arc fold), and a run of them maps
+          // consecutive arcs to consecutive nodes: two contiguous copies.
+          std::size_t ui = wb;
+          while (ui < we) {
+            const NodeId u = static_cast<NodeId>(u0 + ui);
+            const std::size_t f0 = graph_->fanin_begin(u) - k0;
+            const std::size_t f1 = graph_->fanin_begin(u + 1) - k0;
+            if (f1 - f0 == 1) {
+              std::size_t uj = ui + 1;
+              while (uj < we && graph_->fanin_begin(static_cast<NodeId>(
+                                    u0 + uj + 1)) -
+                                        graph_->fanin_begin(static_cast<NodeId>(
+                                            u0 + uj)) ==
+                                    1) {
+                ++uj;
+              }
+              const std::size_t len = uj - ui;
+              std::memcpy(shadow_a_.data() + u0 + ui, cand + f0,
+                          len * sizeof(double));
+              std::memcpy(shadow_b_.data() + u0 + ui, oslew + f0,
+                          len * sizeof(double));
+              ui = uj;
+              continue;
+            }
+            double best_arr = late ? -kInfPs : kInfPs;
+            double best_slew = late ? -kInfPs : kInfPs;
+            for (std::size_t i = f0; i < f1; ++i) {
+              if (late) {
+                best_arr = std::max(best_arr, cand[i]);
+                best_slew = std::max(best_slew, oslew[i]);
+              } else {
+                best_arr = std::min(best_arr, cand[i]);
+                best_slew = std::min(best_slew, oslew[i]);
+              }
+            }
+            shadow_a_[u] = best_arr;
+            shadow_b_[u] = best_slew;
+            ++ui;
+          }
+        });
+        // The level's arc results are lane-contiguous: two bulk writes.
+        data_.arc_delay_base.write_range(arc_lane + a0, lvl_c_.data(),
+                                         level_arcs);
+        data_.arc_delay.write_range(arc_lane + a0, lvl_e_.data(), level_arcs);
+      }
+      data_.arrival.write_range(node_base, shadow_a_.data(), n);
+      data_.slew.write_range(node_base, shadow_b_.data(), n);
+    }
   }
 }
 
@@ -960,6 +1272,10 @@ double Timer::crpr_credit_exact(std::optional<std::size_t> launch_check,
 }
 
 void Timer::backward_required() {
+  if (graph_->level_contiguous() && simd::staged_enabled()) {
+    backward_required_staged();
+    return;
+  }
   const int late = idx(Mode::Late);
   const int early = idx(Mode::Early);
   const std::size_t n = graph_->num_nodes();
@@ -1058,6 +1374,147 @@ void Timer::backward_required() {
         }
       }
     });
+  }
+
+  // Cache endpoint slacks on the check records.
+  for (CornerId corner = 0; corner < num_corners; ++corner) {
+    const std::size_t late_base = data_.node_index(corner, late, 0);
+    const std::size_t early_base = data_.node_index(corner, early, 0);
+    for (std::size_t c = 0; c < checks.size(); ++c) {
+      const NodeId d = checks[c].data_node;
+      CheckTiming& ct = data_.check.mut(data_.check_index(corner, c));
+      ct.setup_slack_ps =
+          data_.required[late_base + d] - data_.arrival[late_base + d];
+      ct.hold_slack_ps =
+          data_.arrival[early_base + d] - data_.required[early_base + d];
+    }
+  }
+}
+
+void Timer::backward_required_staged() {
+  // The staged mirror of the legacy backward pass. Required times build up
+  // in flat per-node shadows (late in shadow_a_, early in shadow_b_); per
+  // level, a node's fanout entries form one dense run of the fanout pool,
+  // so the sweep gathers the downstream requireds and arc delays, forms
+  // contrib = req[to] - delay with one subtract, and folds per node in
+  // pool order. The legacy +-infinity guards are dropped: an unreached
+  // downstream required is +-kInfPs, its contrib is the same infinity
+  // (delays are finite), and folding an infinity into min/max is the
+  // identity — bit-for-bit what skipping the entry produces.
+  const int late = idx(Mode::Late);
+  const int early = idx(Mode::Early);
+  const std::size_t n = graph_->num_nodes();
+  const std::size_t num_arcs = graph_->num_arcs();
+  const double period = constraints_.clock_period_ps;
+  const auto& checks = graph_->checks();
+  const std::size_t num_levels = graph_->num_levels();
+  const ArcId* pool = graph_->fanout_pool().data();
+  const std::size_t num_corners = corners_.size();
+  shadow_a_.resize(n);
+  shadow_b_.resize(n);
+  dly_late_.resize(num_arcs);
+  dly_early_.resize(num_arcs);
+
+  for (CornerId corner = 0; corner < num_corners; ++corner) {
+    const LibraryScaling& scaling = corners_[corner].scaling;
+    const std::size_t late_base = data_.node_index(corner, late, 0);
+    const std::size_t early_base = data_.node_index(corner, early, 0);
+    std::fill(shadow_a_.begin(), shadow_a_.end(), kInfPs);
+    std::fill(shadow_b_.begin(), shadow_b_.end(), -kInfPs);
+
+    // Endpoint boundary conditions (legacy expressions verbatim).
+    for (std::size_t c = 0; c < checks.size(); ++c) {
+      const TimingCheck& check = checks[c];
+      CheckTiming& ct = data_.check.mut(data_.check_index(corner, c));
+      // Check values use the conservative slew pairing: both setup and hold
+      // margins grow with slew, so the worst (max = late) data slew bounds
+      // them; PBA's per-path slew can then only shrink the requirement.
+      const double data_slew_late = data_.slew[late_base + check.data_node];
+      ct.setup_ps = delay_.setup_time(
+          check, data_.slew[early_base + check.clock_node], data_slew_late,
+          scaling);
+      ct.hold_ps = delay_.hold_time(
+          check, data_.slew[late_base + check.clock_node], data_slew_late,
+          scaling);
+
+      if (endpoint_false_[check.data_node]) continue;  // set_false_path
+      // set_multicycle_path moves the setup capture edge out by N periods;
+      // hold stays at the launch edge (the -setup multicycle default).
+      const double capture_edge =
+          period * static_cast<double>(endpoint_multicycle_[check.data_node]);
+      const double req_late = capture_edge +
+                              data_.arrival[early_base + check.clock_node] -
+                              ct.setup_ps + ct.crpr_credit_ps -
+                              constraints_.clock_uncertainty_ps;
+      const double req_early = data_.arrival[late_base + check.clock_node] +
+                               ct.hold_ps - ct.crpr_credit_ps +
+                               constraints_.clock_uncertainty_ps;
+      shadow_a_[check.data_node] =
+          std::min(shadow_a_[check.data_node], req_late);
+      shadow_b_[check.data_node] =
+          std::max(shadow_b_[check.data_node], req_early);
+    }
+    for (std::size_t p = 0; p < design_->num_ports(); ++p) {
+      const Port& port = design_->port(static_cast<PortId>(p));
+      if (port.direction != PortDirection::Output) continue;
+      const NodeId node = graph_->node_of_port(static_cast<PortId>(p));
+      if (node == kInvalidNode) continue;
+      if (endpoint_false_[node]) continue;
+      const double capture_edge =
+          period * static_cast<double>(endpoint_multicycle_[node]);
+      shadow_a_[node] =
+          std::min(shadow_a_[node], capture_edge - port_output_delay_[p]);
+    }
+
+    // Flat mirrors of this corner's arc-delay lanes (gather sources).
+    data_.arc_delay.read_range(data_.arc_index(corner, late, 0),
+                               dly_late_.data(), num_arcs);
+    data_.arc_delay.read_range(data_.arc_index(corner, early, 0),
+                               dly_early_.data(), num_arcs);
+
+    for (std::size_t l = num_levels; l-- > 0;) {
+      const auto [lu0, lu1] = graph_->level_range(l);
+      const NodeId u0 = lu0;
+      if (lu0 == lu1) continue;
+      const std::size_t p0 = graph_->fanout_begin(lu0);
+      if (graph_->fanout_begin(lu1) == p0) continue;  // no fanout anywhere
+      parallel_for(lu1 - lu0, 256, [&](std::size_t wb, std::size_t we) {
+        const std::size_t q0 =
+            graph_->fanout_begin(static_cast<NodeId>(u0 + wb));
+        const std::size_t q1 =
+            graph_->fanout_begin(static_cast<NodeId>(u0 + we));
+        const std::size_t cnt = q1 - q0;
+        const std::size_t off = q0 - p0;
+        double* req_at_to = lvl_a_.data() + off;
+        double* dly = lvl_b_.data() + off;
+        double* contrib = lvl_c_.data() + off;
+        // Late then early; fanout targets live on strictly higher levels,
+        // so the shadow slots gathered here are final — no same-level
+        // writer ever touches them.
+        for (int pass = 0; pass < 2; ++pass) {
+          const bool is_late = pass == 0;
+          double* shadow = is_late ? shadow_a_.data() : shadow_b_.data();
+          kernels::gather(shadow, fo_to_.data() + q0, req_at_to, cnt);
+          kernels::gather(is_late ? dly_late_.data() : dly_early_.data(),
+                          pool + q0, dly, cnt);
+          kernels::subtract(req_at_to, dly, contrib, cnt);
+          for (std::size_t ui = wb; ui < we; ++ui) {
+            const NodeId u = static_cast<NodeId>(u0 + ui);
+            const std::size_t f0 = graph_->fanout_begin(u) - q0;
+            const std::size_t f1 = graph_->fanout_begin(u + 1) - q0;
+            double r = shadow[u];
+            if (is_late) {
+              for (std::size_t i = f0; i < f1; ++i) r = std::min(r, contrib[i]);
+            } else {
+              for (std::size_t i = f0; i < f1; ++i) r = std::max(r, contrib[i]);
+            }
+            shadow[u] = r;
+          }
+        }
+      });
+    }
+    data_.required.write_range(late_base, shadow_a_.data(), n);
+    data_.required.write_range(early_base, shadow_b_.data(), n);
   }
 
   // Cache endpoint slacks on the check records.
@@ -1213,7 +1670,8 @@ void Timer::sweep_partition_forward(PartitionId p) {
   for (std::size_t l = 0; l < num_levels; ++l) {
     if (!own_buckets[l]) continue;
     own_buckets[l] = 0;
-    for (const NodeId u : part.level_nodes(p, l)) {
+    for (const NodeRun& run : part.level_runs(p, l)) {
+    for (NodeId u = run.begin; u < run.end; ++u) {
       if (!node_pending_[u]) continue;
       node_pending_[u] = 0;
       bool moved = false;
@@ -1265,6 +1723,7 @@ void Timer::sweep_partition_forward(PartitionId p) {
           }
         }
       }
+    }
     }
   }
   delay_cache_.add_counts(tally.hits, tally.misses);
@@ -1361,7 +1820,8 @@ void Timer::sweep_partition_backward(PartitionId p) {
   for (std::size_t l = num_levels; l-- > 0;) {
     if (!own_buckets[l]) continue;
     own_buckets[l] = 0;
-    for (const NodeId u : part.level_nodes(p, l)) {
+    for (const NodeRun& run : part.level_runs(p, l)) {
+    for (NodeId u = run.begin; u < run.end; ++u) {
       if (!node_pending_bwd_[u]) continue;
       node_pending_bwd_[u] = 0;
       if (graph_->fanout(u).empty()) continue;
@@ -1371,6 +1831,7 @@ void Timer::sweep_partition_backward(PartitionId p) {
       }
       ++recomputed;
       if (moved) push_fanin(u);
+    }
     }
   }
   part_sweep_nodes_[p] += recomputed;
@@ -1830,6 +2291,19 @@ std::string Timer::UpdateStats::to_string() const {
       partition_fallbacks, eco_partitions_touched);
 }
 
+std::size_t Timer::staged_bytes() const {
+  return (arc_from_.capacity() + arc_key_.capacity() + arc_widx_.capacity() +
+          fo_to_.capacity()) *
+             sizeof(std::uint32_t) +
+         (fac_derate_.capacity() + fac_weight_.capacity() + wfac_.capacity() +
+          shadow_a_.capacity() + shadow_b_.capacity() + dly_late_.capacity() +
+          dly_early_.capacity() + lvl_a_.capacity() + lvl_b_.capacity() +
+          lvl_c_.capacity() + lvl_d_.capacity() + lvl_e_.capacity() +
+          lvl_f_.capacity()) *
+             sizeof(double) +
+         lvl_hit_.capacity();
+}
+
 Timer::MemoryStats Timer::memory_stats() const {
   MemoryStats m;
   m.num_nodes = graph_ ? graph_->num_nodes() : 0;
@@ -1838,9 +2312,8 @@ Timer::MemoryStats Timer::memory_stats() const {
   m.arena_bytes = data_.bytes();
   const std::size_t lanes = corners_.size() * kNumModes;
   m.arena_bytes_per_lane = lanes == 0 ? 0 : m.arena_bytes / lanes;
-  m.delay_cache_entries = delay_cache_.entries.size();
-  m.delay_cache_bytes =
-      delay_cache_.entries.capacity() * sizeof(DelayCache::Entry);
+  m.delay_cache_entries = delay_cache_.size();
+  m.delay_cache_bytes = delay_cache_.bytes();
   m.launch_set_bytes =
       launch_sets_.size() *
           (sizeof(std::vector<std::uint64_t>) + launch_words_ * 8) +
@@ -1859,6 +2332,8 @@ Timer::MemoryStats Timer::memory_stats() const {
         scc_scratch_.capacity() * sizeof(std::uint32_t) +
         part_sweep_nodes_.capacity() * sizeof(std::size_t);
   }
+  m.layout_bytes = graph_ ? graph_->permutation_bytes() : 0;
+  m.kernel_scratch_bytes = staged_bytes();
   m.eco_log_entries = eco_touched_.size();
   const TimingData::CowStats cs = data_.cow_stats();
   m.cow_chunks = cs.chunks;
@@ -1883,13 +2358,16 @@ std::string Timer::MemoryStats::to_string() const {
       "delay cache        : %zu entries, %.1f MB\n"
       "crpr launch sets   : %.1f MB\n"
       "partition tables   : %.1f MB\n"
+      "layout permutation : %.1f MB\n"
+      "kernel scratch     : %.1f MB\n"
       "eco log            : %zu touched instances\n"
       "cow arena          : %zu chunks (%zu shared), %zu live snapshots, "
       "%.1f MB retained\n"
       "total tracked      : %.1f MB",
       num_nodes, num_arcs, num_corners, mb(arena_bytes),
       mb(arena_bytes_per_lane), delay_cache_entries, mb(delay_cache_bytes),
-      mb(launch_set_bytes), mb(partition_bytes), eco_log_entries, cow_chunks,
+      mb(launch_set_bytes), mb(partition_bytes), mb(layout_bytes),
+      mb(kernel_scratch_bytes), eco_log_entries, cow_chunks,
       cow_shared_chunks, live_snapshots, mb(cow_retained_bytes),
       mb(total_bytes()));
 }

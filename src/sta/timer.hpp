@@ -64,9 +64,13 @@ class Timer {
   /// The design and the constraint object must outlive the Timer. The
   /// design may be mutated through its own interface; the caller must then
   /// notify the Timer (invalidate_instance / rebuild_graph). Starts with a
-  /// single identity "default" corner.
+  /// single identity "default" corner. \p layout picks the node/arc id
+  /// policy for every graph this Timer builds (including rebuilds); the
+  /// timing fixed point is bit-identical across layouts per terminal, but
+  /// only LevelContiguous feeds the dense vectorized sweeps.
   Timer(const Design& design, TimingConstraints constraints,
-        WireModel wire = {});
+        WireModel wire = {},
+        GraphLayout layout = GraphLayout::LevelContiguous);
   ~Timer();
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
@@ -238,6 +242,11 @@ class Timer {
     std::size_t delay_cache_bytes = 0;
     std::size_t launch_set_bytes = 0;  ///< CRPR launch bitsets (0 when off)
     std::size_t partition_bytes = 0;   ///< decomposition tables (0 when flat)
+    /// Graph old<->new id permutation tables (0 under GraphLayout::Original).
+    std::size_t layout_bytes = 0;
+    /// Staged-sweep state: factor lanes, gather tables, shadows, scratch
+    /// (0 under GraphLayout::Original, which runs the legacy sweeps).
+    std::size_t kernel_scratch_bytes = 0;
     std::size_t eco_log_entries = 0;   ///< accumulated ECO-touched instances
     /// COW accounting (PR 7): total arena chunks at head, chunks some
     /// snapshot or open trial still shares, live snapshot count, and the
@@ -249,7 +258,7 @@ class Timer {
     std::size_t cow_retained_bytes = 0;
     [[nodiscard]] std::size_t total_bytes() const {
       return arena_bytes + delay_cache_bytes + launch_set_bytes +
-             partition_bytes;
+             partition_bytes + layout_bytes + kernel_scratch_bytes;
     }
     [[nodiscard]] std::string to_string() const;
   };
@@ -470,6 +479,32 @@ class Timer {
   void compute_crpr_credits();
   void backward_required();
 
+  // --- staged vectorized sweeps ---------------------------------------------
+  // Level-contiguous layouts run the full forward/backward propagation
+  // through the SIMD kernel layer (sta/kernels.hpp): per level, gather the
+  // fanin inputs into dense scratch, probe the delay memo with one
+  // vectorized compare, apply derate x weight with eff_cand, and fold
+  // per-node with the exact legacy expressions — bit-identical to the
+  // scalar recompute_node path (see DESIGN.md §16). GraphLayout::Original
+  // keeps the legacy per-node bodies.
+
+  /// The staged implementation behind full_forward() (LevelContiguous).
+  void full_forward_staged();
+  /// The staged implementation behind backward_required().
+  void backward_required_staged();
+  /// Re-derives the per-arc gather keys that can drift without a graph
+  /// rebuild: the memo cell key (resize_instance swaps an instance's cell
+  /// in place) and the weighted-instance index. Runs at the top of every
+  /// staged forward sweep.
+  void refresh_arc_statics();
+  /// Rebuilds the per-(lane, arc) derate and weight factor tables when the
+  /// corresponding dirty flag is set. Weight factors go through the
+  /// per-instance table + gather so the cost is O(instances + arcs), not
+  /// O(arcs x lookup).
+  void refresh_factors();
+  /// Heap bytes of the staged-sweep tables (memory_stats accounting).
+  [[nodiscard]] std::size_t staged_bytes() const;
+
   /// Drops every delay-cache entry whose memoized timing may be stale
   /// after a value-only mutation of \p inst (its own cell arcs, the cell
   /// arcs of the drivers of its input nets, and the net arcs of those
@@ -546,6 +581,7 @@ class Timer {
   const Design* design_;
   TimingConstraints constraints_;
   DelayCalculator delay_;
+  GraphLayout layout_ = GraphLayout::LevelContiguous;
   /// Shared with snapshots; replaced wholesale by rebuild_graph and cloned
   /// before the in-place pad_instances mutation when still shared.
   std::shared_ptr<TimingGraph> graph_;
@@ -605,6 +641,53 @@ class Timer {
   /// Memoized base arc timings (see DelayCache); sized lanes x arcs in
   /// allocate_storage, which clears it on every structural change.
   DelayCache delay_cache_;
+
+  // --- staged-sweep state (LevelContiguous only; empty under Original) ------
+  // Static gather tables, rebuilt per graph shape in
+  // resize_incremental_scratch; arc_key_/arc_widx_ are additionally
+  // refreshed per staged sweep (refresh_arc_statics).
+  std::vector<std::uint32_t> arc_from_;  ///< from-node per arc id
+  std::vector<std::uint32_t> arc_key_;   ///< memo cell key per arc id
+  /// Weight-table index per arc: the instance id for weighted cell arcs,
+  /// else the sentinel slot num_instances (factor 1.0).
+  std::vector<std::uint32_t> arc_widx_;
+  std::vector<std::uint32_t> fo_to_;  ///< to-node per fanout-pool slot
+  /// Effective per-(lane, arc) factors the kernels consume: fac_derate_ is
+  /// derate_for(arc, mode, corner); fac_weight_ is the clamped mGBA
+  /// multiplier (1.0 for unweighted arcs). Lazily refreshed via the dirty
+  /// flags — set_instance_weights flips fac_weight_dirty_, the derate
+  /// setters flip fac_derate_dirty_.
+  std::vector<double> fac_derate_;  ///< [lane * num_arcs + arc]
+  std::vector<double> fac_weight_;  ///< [lane * num_arcs + arc]
+  std::vector<double> wfac_;        ///< per-instance factor + sentinel 1.0
+  bool fac_derate_dirty_ = true;
+  bool fac_weight_dirty_ = true;
+  /// Cell keys / weight indices follow the instance->cell mapping, which
+  /// only moves under invalidate_instance or a graph rebuild — skipping
+  /// the per-arc rescan on clean sweeps keeps the steady-state solver
+  /// loop (weights-only changes) out of this O(arcs) scalar walk.
+  bool arc_statics_dirty_ = true;
+  /// Flat per-node shadows of the lane being swept (arrival/slew forward,
+  /// required late/early backward): workers read finalized lower levels
+  /// and write their own level's nodes; the coordinator copies the lane
+  /// back into the CowVec arena with one write_range at the end.
+  std::vector<double> shadow_a_;
+  std::vector<double> shadow_b_;
+  /// Flat mirrors of one corner's late/early arc-delay lanes (backward
+  /// sweep gather source).
+  std::vector<double> dly_late_;
+  std::vector<double> dly_early_;
+  /// Per-level dense scratch, indexed (arc - level_arc_begin) forward and
+  /// (pool slot - level_pool_begin) backward; sized to the widest level.
+  std::vector<double> lvl_a_;
+  std::vector<double> lvl_b_;
+  std::vector<double> lvl_c_;
+  std::vector<double> lvl_d_;
+  std::vector<double> lvl_e_;
+  std::vector<double> lvl_f_;
+  std::vector<std::uint8_t> lvl_hit_;
+  std::size_t max_level_fanin_ = 0;   ///< widest level's fanin-arc count
+  std::size_t max_level_fanout_ = 0;  ///< widest level's fanout-pool span
 
   // Reusable incremental-update scratch, sized to the graph in
   // allocate_storage and cleaned per corner pass by revisiting exactly the

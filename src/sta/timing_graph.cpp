@@ -2,18 +2,26 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
 
 #include "util/check.hpp"
 
 namespace mgba {
 
 TimingGraph::TimingGraph(const Design& design,
-                         const std::string& clock_port_name)
-    : design_(&design) {
+                         const std::string& clock_port_name,
+                         GraphLayout layout)
+    : design_(&design), layout_(layout) {
   build_nodes();
-  build_arcs();
-  mark_clock_network(clock_port_name);
-  levelize();
+  // Adjacency is needed before arc ids settle (clock BFS + levelize), so
+  // the build phase keeps a per-node scratch fanout and converts to the
+  // final CSR only after the renumbering fixed the id spaces.
+  std::vector<std::vector<ArcId>> fanout_scratch(nodes_.size());
+  build_arcs(fanout_scratch);
+  mark_clock_network(clock_port_name, fanout_scratch);
+  levelize(fanout_scratch);
+  if (layout_ == GraphLayout::LevelContiguous) renumber_level_contiguous();
+  build_adjacency();
   collect_checks_and_endpoints();
   trace_clock_paths();
 }
@@ -42,17 +50,14 @@ void TimingGraph::build_nodes() {
     port_nodes_[p] = static_cast<NodeId>(nodes_.size());
     nodes_.push_back(node);
   }
-  fanin_.assign(nodes_.size(), {});
-  fanout_.assign(nodes_.size(), {});
 }
 
-void TimingGraph::build_arcs() {
+void TimingGraph::build_arcs(std::vector<std::vector<ArcId>>& fanout_scratch) {
   const Design& d = *design_;
 
   const auto add_arc = [&](TimingArc arc) {
     const ArcId id = static_cast<ArcId>(arcs_.size());
-    fanout_[arc.from].push_back(id);
-    fanin_[arc.to].push_back(id);
+    fanout_scratch[arc.from].push_back(id);
     arcs_.push_back(arc);
   };
 
@@ -97,7 +102,9 @@ void TimingGraph::build_arcs() {
   }
 }
 
-void TimingGraph::mark_clock_network(const std::string& clock_port_name) {
+void TimingGraph::mark_clock_network(
+    const std::string& clock_port_name,
+    const std::vector<std::vector<ArcId>>& fanout) {
   const Design& d = *design_;
   const auto clock_port = d.find_port(clock_port_name);
   MGBA_CHECK(clock_port.has_value());
@@ -117,7 +124,7 @@ void TimingGraph::mark_clock_network(const std::string& clock_port_name) {
       const LibCell& cell = d.cell_of(t.id);
       if (cell.pins[t.pin].is_clock) continue;  // stop at FF CK pins
     }
-    for (const ArcId a : fanout_[u]) {
+    for (const ArcId a : fanout[u]) {
       const NodeId v = arcs_[a].to;
       if (!nodes_[v].is_clock_network) {
         nodes_[v].is_clock_network = true;
@@ -127,7 +134,7 @@ void TimingGraph::mark_clock_network(const std::string& clock_port_name) {
   }
 }
 
-void TimingGraph::levelize() {
+void TimingGraph::levelize(const std::vector<std::vector<ArcId>>& fanout) {
   std::vector<std::uint32_t> in_degree(nodes_.size(), 0);
   for (const TimingArc& arc : arcs_) ++in_degree[arc.to];
 
@@ -144,7 +151,7 @@ void TimingGraph::levelize() {
     const NodeId u = ready.front();
     ready.pop_front();
     topo_order_.push_back(u);
-    for (const ArcId a : fanout_[u]) {
+    for (const ArcId a : fanout[u]) {
       const NodeId v = arcs_[a].to;
       nodes_[v].level = std::max(nodes_[v].level, nodes_[u].level + 1);
       if (--in_degree[v] == 0) ready.push_back(v);
@@ -159,6 +166,106 @@ void TimingGraph::levelize() {
   }
   level_nodes_.assign(nodes_.empty() ? 0 : max_level + 1, {});
   for (const NodeId u : topo_order_) level_nodes_[nodes_[u].level].push_back(u);
+}
+
+void TimingGraph::renumber_level_contiguous() {
+  const std::size_t n = nodes_.size();
+  node_new2old_.resize(n);
+  node_old2new_.resize(n);
+  // New id order: concatenated level buckets, ascending build-order id
+  // within each level (any within-level order is valid — bucket members
+  // have no mutual dependencies — and ascending build order keeps the ids
+  // of one instance's same-level pins adjacent, which is what compresses
+  // the per-(region, level) buckets of a Partitioning into short runs).
+  std::size_t next = 0;
+  for (auto& bucket : level_nodes_) {
+    std::sort(bucket.begin(), bucket.end());
+    for (const NodeId old_id : bucket) {
+      node_new2old_[next] = old_id;
+      node_old2new_[old_id] = static_cast<NodeId>(next);
+      ++next;
+    }
+  }
+
+  std::vector<TimingNode> renumbered(n);
+  for (std::size_t new_id = 0; new_id < n; ++new_id) {
+    renumbered[new_id] = nodes_[node_new2old_[new_id]];
+  }
+  nodes_ = std::move(renumbered);
+  for (auto& pins : inst_pin_nodes_) {
+    for (NodeId& id : pins) {
+      if (id != kInvalidNode) id = node_old2new_[id];
+    }
+  }
+  for (NodeId& id : port_nodes_) {
+    if (id != kInvalidNode) id = node_old2new_[id];
+  }
+  clock_source_ = node_old2new_[clock_source_];
+
+  // Sort arcs by (destination, old arc id): the fanin arcs of one level
+  // become a single contiguous arc range, and the stable old-id tiebreak
+  // keeps each node's fanin arcs in build order — fanin folds visit the
+  // same arc sequence as the Original layout, so arrival/slew merge
+  // results keep their bits.
+  for (TimingArc& arc : arcs_) {
+    arc.from = node_old2new_[arc.from];
+    arc.to = node_old2new_[arc.to];
+  }
+  const std::size_t m = arcs_.size();
+  arc_new2old_.resize(m);
+  std::iota(arc_new2old_.begin(), arc_new2old_.end(), ArcId{0});
+  std::sort(arc_new2old_.begin(), arc_new2old_.end(),
+            [this](ArcId x, ArcId y) {
+              return arcs_[x].to != arcs_[y].to ? arcs_[x].to < arcs_[y].to
+                                                : x < y;
+            });
+  arc_old2new_.resize(m);
+  std::vector<TimingArc> sorted(m);
+  for (std::size_t new_id = 0; new_id < m; ++new_id) {
+    sorted[new_id] = arcs_[arc_new2old_[new_id]];
+    arc_old2new_[arc_new2old_[new_id]] = static_cast<ArcId>(new_id);
+  }
+  arcs_ = std::move(sorted);
+
+  // Level buckets and the topological order are now identity runs.
+  level_begin_.assign(level_nodes_.size() + 1, 0);
+  NodeId at = 0;
+  for (std::size_t l = 0; l < level_nodes_.size(); ++l) {
+    level_begin_[l] = at;
+    std::iota(level_nodes_[l].begin(), level_nodes_[l].end(), at);
+    at += static_cast<NodeId>(level_nodes_[l].size());
+  }
+  level_begin_[level_nodes_.size()] = at;
+  std::iota(topo_order_.begin(), topo_order_.end(), NodeId{0});
+}
+
+void TimingGraph::build_adjacency() {
+  const std::size_t n = nodes_.size();
+  const std::size_t m = arcs_.size();
+  fanin_begin_.assign(n + 1, 0);
+  fanout_begin_.assign(n + 1, 0);
+  for (const TimingArc& arc : arcs_) {
+    ++fanin_begin_[arc.to + 1];
+    ++fanout_begin_[arc.from + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    fanin_begin_[i + 1] += fanin_begin_[i];
+    fanout_begin_[i + 1] += fanout_begin_[i];
+  }
+  fanin_arcs_.resize(m);
+  fanout_arcs_.resize(m);
+  // Place arcs ascending id so each node's list stays in build order (and
+  // ascending arc id, which under LevelContiguous makes every fanin list a
+  // consecutive id run).
+  std::vector<std::uint32_t> in_pos(fanin_begin_.begin(),
+                                    fanin_begin_.end() - 1);
+  std::vector<std::uint32_t> out_pos(fanout_begin_.begin(),
+                                     fanout_begin_.end() - 1);
+  for (std::size_t a = 0; a < m; ++a) {
+    const TimingArc& arc = arcs_[a];
+    fanin_arcs_[in_pos[arc.to]++] = static_cast<ArcId>(a);
+    fanout_arcs_[out_pos[arc.from]++] = static_cast<ArcId>(a);
+  }
 }
 
 void TimingGraph::collect_checks_and_endpoints() {
@@ -208,9 +315,9 @@ void TimingGraph::trace_clock_paths() {
     std::vector<InstanceId> path;
     NodeId cur = checks_[c].clock_node;
     while (cur != clock_source_) {
-      MGBA_CHECK(fanin_[cur].size() == 1 &&
+      MGBA_CHECK(fanin(cur).size() == 1 &&
                  "clock network must be tree-structured for CRPR");
-      const TimingArc& arc = arcs_[fanin_[cur][0]];
+      const TimingArc& arc = arcs_[fanin(cur)[0]];
       if (arc.kind == TimingArc::Kind::Cell) path.push_back(arc.inst);
       cur = arc.from;
     }

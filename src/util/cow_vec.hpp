@@ -169,6 +169,53 @@ class CowVec {
     }
   }
 
+  // Bulk copy src[0..n) into slots [begin, begin + n), privatizing the
+  // chunks it touches. Writer-side (coordinating thread only): the staged
+  // vectorized sweeps compute into flat scratch and publish through this
+  // choke point, so pool workers never touch COW state.
+  void write_range(std::size_t begin, const T* src, std::size_t n) {
+    if (n == 0) return;
+    ensure_unique_table();
+    const std::size_t end = begin + n;
+    const std::size_t last = (end - 1) >> kShift;
+    for (std::size_t ci = begin >> kShift; ci <= last; ++ci) {
+      const std::size_t lo_abs = std::max(begin, ci << kShift);
+      const std::size_t hi_abs = std::min(end, (ci + 1) << kShift);
+      const std::size_t chunk_live =
+          std::min(table_->size, (ci + 1) << kShift) - (ci << kShift);
+      Chunk* c = table_->chunks[ci];
+      if (hi_abs - lo_abs == chunk_live &&
+          c->refs.load(std::memory_order_acquire) > 1) {
+        // The write covers the chunk's whole live span: take a fresh
+        // chunk instead of cloning bytes we are about to overwrite.
+        Chunk* fresh = new Chunk;
+        table_->chunks[ci] = fresh;
+        release_chunk(c);
+        c = fresh;
+      } else {
+        privatize_chunk(ci);
+        c = table_->chunks[ci];
+      }
+      std::memcpy(c->data + (lo_abs & kMask), src + (lo_abs - begin),
+                  (hi_abs - lo_abs) * sizeof(T));
+    }
+  }
+
+  // Bulk copy slots [begin, begin + n) into dst. Safe concurrently with
+  // other readers; not concurrently with writer mutation of these slots.
+  void read_range(std::size_t begin, T* dst, std::size_t n) const {
+    if (n == 0) return;
+    const std::size_t end = begin + n;
+    const std::size_t last = (end - 1) >> kShift;
+    for (std::size_t ci = begin >> kShift; ci <= last; ++ci) {
+      const std::size_t lo_abs = std::max(begin, ci << kShift);
+      const std::size_t hi_abs = std::min(end, (ci + 1) << kShift);
+      std::memcpy(dst + (lo_abs - begin),
+                  table_->chunks[ci]->data + (lo_abs & kMask),
+                  (hi_abs - lo_abs) * sizeof(T));
+    }
+  }
+
   struct Stats {
     std::size_t chunks = 0;         // total chunks reachable from this handle
     std::size_t shared_chunks = 0;  // chunks some other handle also holds

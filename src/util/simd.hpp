@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file simd.hpp
+/// Runtime SIMD dispatch for the vectorized timing kernels (sta/kernels.hpp).
+///
+/// Three tiers: Scalar (plain C++, the canonical reference), SSE2 (x86-64
+/// baseline, 2 doubles/op) and AVX2 (4 doubles/op + vector gathers). The
+/// active tier is picked once at startup: the highest tier the CPU
+/// supports, clamped by the MGBA_SIMD environment variable
+/// (off | scalar | sse2 | avx2). Tests override it at runtime with
+/// set_tier().
+///
+/// MGBA_SIMD=off is stronger than =scalar: it disables the staged
+/// (level-dense, kernel-built) sweep path entirely and the engine runs the
+/// legacy per-node sweeps — the pre-vectorization baseline. =scalar keeps
+/// the staged path but dispatches every kernel to the scalar reference.
+/// Both produce bit-identical timing state to every other setting; the
+/// canonical blocked reductions (WNS/TNS, solver dots) stay in force under
+/// =off too, since they define the engine's answers, not a fast path.
+///
+/// Every kernel produces byte-identical results at every tier — the SIMD
+/// variants replicate the scalar reference's canonical operation order
+/// (see kernels.hpp) — so the tier is purely a throughput choice and the
+/// engine's bit-identity invariants (threads, snapshots, incremental vs
+/// full) hold across tiers.
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace mgba::simd {
+
+enum class Tier : int { Scalar = 0, SSE2 = 1, AVX2 = 2 };
+
+[[nodiscard]] constexpr const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::SSE2:
+      return "sse2";
+    case Tier::AVX2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+/// True when the host CPU can execute the tier's instructions.
+[[nodiscard]] inline bool supported(Tier t) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (t == Tier::AVX2) return __builtin_cpu_supports("avx2") != 0;
+  return true;  // SSE2 is the x86-64 baseline; Scalar always works.
+#else
+  return t == Tier::Scalar;
+#endif
+}
+
+/// Best tier the CPU supports, clamped by MGBA_SIMD (off | sse2 | avx2).
+/// An MGBA_SIMD tier the CPU cannot run falls back to the best supported
+/// one rather than crashing on an illegal instruction.
+[[nodiscard]] inline Tier detect_best() {
+  Tier best = Tier::Scalar;
+  if (supported(Tier::AVX2)) {
+    best = Tier::AVX2;
+  } else if (supported(Tier::SSE2)) {
+    best = Tier::SSE2;
+  }
+  if (const char* env = std::getenv("MGBA_SIMD")) {
+    const std::string_view v(env);
+    if (v == "off" || v == "scalar") return Tier::Scalar;
+    if (v == "sse2" && supported(Tier::SSE2)) return Tier::SSE2;
+    if (v == "avx2" && supported(Tier::AVX2)) return Tier::AVX2;
+  }
+  return best;
+}
+
+namespace detail {
+inline std::atomic<int>& tier_slot() {
+  static std::atomic<int> t{static_cast<int>(detect_best())};
+  return t;
+}
+
+inline bool detect_staged_enabled() {
+  const char* env = std::getenv("MGBA_SIMD");
+  return env == nullptr || std::string_view(env) != "off";
+}
+
+inline std::atomic<bool>& staged_slot() {
+  static std::atomic<bool> e{detect_staged_enabled()};
+  return e;
+}
+}  // namespace detail
+
+/// Tier the kernels currently dispatch to.
+[[nodiscard]] inline Tier active_tier() {
+  return static_cast<Tier>(detail::tier_slot().load(std::memory_order_relaxed));
+}
+
+/// Runtime override (tests / benches sweep tiers in one process). A tier
+/// the CPU cannot execute is ignored and the current tier kept; returns
+/// the tier now active.
+inline Tier set_tier(Tier t) {
+  if (supported(t)) {
+    detail::tier_slot().store(static_cast<int>(t), std::memory_order_relaxed);
+  }
+  return active_tier();
+}
+
+/// False under MGBA_SIMD=off: the engine runs the legacy per-node sweeps
+/// instead of the staged kernel path (see the file comment).
+[[nodiscard]] inline bool staged_enabled() {
+  return detail::staged_slot().load(std::memory_order_relaxed);
+}
+
+/// Runtime override of staged_enabled() for tests / benches comparing the
+/// legacy and staged sweeps in one process.
+inline void set_staged_enabled(bool enabled) {
+  detail::staged_slot().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace mgba::simd

@@ -89,9 +89,11 @@ TEST(Partition, BuilderDeterministicBalancedAndCovering) {
   for (PartitionId p = 0; p < 4; ++p) {
     std::size_t in_p = 0;
     for (std::size_t l = 0; l < a.num_levels(); ++l) {
-      for (const NodeId n : a.level_nodes(p, l)) {
-        EXPECT_EQ(a.partition_of_node(n), p);
-        ++in_p;
+      for (const NodeRun& run : a.level_runs(p, l)) {
+        for (NodeId n = run.begin; n < run.end; ++n) {
+          EXPECT_EQ(a.partition_of_node(n), p);
+          ++in_p;
+        }
       }
     }
     EXPECT_EQ(in_p, a.nodes_in_partition(p));
