@@ -35,7 +35,13 @@
 # bounds-checked decoders — an off-by-one there reads out of the payload.
 # The kernel suite (Kernel*) joins the ASan pass because the SIMD tiers
 # read doubles through raw arena slices and index vectors — a bad tail
-# mask or gather index reads past the slice — and the whole ctest suite
+# mask or gather index reads past the slice. The path-engine suites
+# (PathEngine*) join both passes: under TSan because the warm sweep's
+# per-level recompute runs on pool workers writing disjoint rank-major
+# arena slots and per-node changed flags concurrently, and under ASan
+# because the candidate arena, frontier flags, and per-level pending
+# lists index per-node/per-level arrays that a stale graph rebind after
+# rebuild_graph would overrun — and the whole ctest suite
 # then repeats under MGBA_SIMD=off (legacy per-node sweeps) and
 # MGBA_SIMD=avx2 (widest tier, skipped with a note when the host lacks
 # AVX2): the dispatch tier is a throughput choice, so every suite must
@@ -66,11 +72,11 @@ fi
 
 cmake -B build-tsan -S . -DMGBA_SANITIZE=thread
 cmake --build build-tsan -j --target mgba_tests
-MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*:SolverFastpath*:Partition*:Snapshot*:Server*'
+MGBA_THREADS=4 ./build-tsan/tests/mgba_tests --gtest_filter='Parallel*:ThreadPool*:Incremental*:SolverFastpath*:Partition*:Snapshot*:Server*:PathEngine*'
 
 cmake -B build-asan -S . -DMGBA_SANITIZE=address
 cmake --build build-asan -j --target mgba_tests
-MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*:Partition*:Snapshot*:Server*:Kernel*'
+MGBA_THREADS=4 ./build-asan/tests/mgba_tests --gtest_filter='Mcmm*:Parallel*:Shell*:Incremental*:SolverFastpath*:Partition*:Snapshot*:Server*:Kernel*:PathEngine*'
 
 for threads in 1 4; do
   ./scripts/shell_smoke.sh build/tools/mgba_timer \
@@ -81,4 +87,4 @@ for threads in 1 4; do
   ./scripts/server_smoke.sh build/tools/mgba_timer build/tools/mgba_client \
       examples/close_timing.mgbash examples/close_timing.golden "$threads"
 done
-echo "tier-1 OK (ctest + MGBA_SIMD=off/avx2 suite passes + TSan parallel/incremental/server suites + ASan MCMM/shell/incremental/kernel suites + shell and server smokes)"
+echo "tier-1 OK (ctest + MGBA_SIMD=off/avx2 suite passes + TSan parallel/incremental/server/path-engine suites + ASan MCMM/shell/incremental/kernel/path-engine suites + shell and server smokes)"

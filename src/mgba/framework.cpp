@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "mgba/metrics.hpp"
 #include "mgba/path_selection.hpp"
+#include "pba/path_engine.hpp"
 #include "pba/path_enum.hpp"
 #include "sta/report.hpp"
 #include "util/check.hpp"
@@ -33,8 +35,8 @@ struct FitCapture {
 /// its solver scratch so the cold fit already warms the refit arena.
 MgbaFlowResult run_mgba_flow_impl(Timer& timer, const DerateTable& table,
                                   const MgbaFlowOptions& options,
-                                  FitCapture* capture,
-                                  SolverScratch* scratch) {
+                                  FitCapture* capture, SolverScratch* scratch,
+                                  PathEngineHub* path_hub) {
   MGBA_CHECK(options.candidate_paths_per_endpoint >=
              options.paths_per_endpoint);
   const Stopwatch total_watch;
@@ -57,11 +59,26 @@ MgbaFlowResult run_mgba_flow_impl(Timer& timer, const DerateTable& table,
   // Candidate enumeration (per-endpoint k-best under GBA delays). When the
   // flow targets violations only, skip clean endpoints entirely — this is
   // what keeps the fit overhead a small fraction of the closure flow
-  // (paper Table 5: mGBA column ~2% of the flow runtime).
-  const PathEnumerator enumerator(timer, options.candidate_paths_per_endpoint,
-                                  mode, corner);
+  // (paper Table 5: mGBA column ~2% of the flow runtime). With a hub the
+  // enumeration comes from its persistent engine (warm across fits); the
+  // golden evaluation shares whichever frozen view the paths came from,
+  // so the whole fit forks at most one snapshot.
+  PathEngine* engine = nullptr;
+  if (path_hub != nullptr) {
+    engine =
+        &path_hub->engine(options.candidate_paths_per_endpoint, mode, corner);
+    engine->sync();
+  }
+  std::shared_ptr<const TimingSnapshot> view =
+      engine != nullptr ? engine->view() : timer.snapshot();
+  std::unique_ptr<MgbaProblem> problem;
   std::vector<TimingPath> paths;
   {
+    std::optional<PathEnumerator> enumerator;
+    if (engine == nullptr) {
+      enumerator.emplace(view, options.candidate_paths_per_endpoint, mode,
+                         corner);
+    }
     std::vector<NodeId> endpoints;
     for (const NodeId e : timer.graph().endpoints()) {
       if (!options.only_violated || timer.slack(e, mode, corner) < 0.0) {
@@ -73,19 +90,24 @@ MgbaFlowResult run_mgba_flow_impl(Timer& timer, const DerateTable& table,
       // Hold checks exist only at flip-flop data pins; keep the path list
       // aligned 1:1 with the problem rows by filtering here.
       if (hold && !timer.graph().check_at(e).has_value()) continue;
-      for (TimingPath& p : enumerator.paths_to(e)) {
+      for (TimingPath& p : engine != nullptr ? engine->paths_to(e)
+                                             : enumerator->paths_to(e)) {
         paths.push_back(std::move(p));
       }
     }
-  }
-  result.candidate_paths = paths.size();
-  if (paths.empty()) return result;
+    result.candidate_paths = paths.size();
+    if (paths.empty()) return result;
 
-  // Full problem over all candidates (also the measurement set).
-  const PathEvaluator evaluator(timer, table, options.eval_options, corner);
-  auto problem = std::make_unique<MgbaProblem>(timer, evaluator, paths,
-                                               options.epsilon,
-                                               options.check_kind);
+    // Full problem over all candidates (also the measurement set).
+    const PathEvaluator evaluator(view, table, options.eval_options, corner);
+    problem = std::make_unique<MgbaProblem>(timer, evaluator, paths,
+                                            options.epsilon,
+                                            options.check_kind);
+    // Done reading the frozen version: release it before the weight
+    // application below so head writes stop privatizing against it (the
+    // engine keeps its own pinned view as the next sync's diff base).
+    view.reset();
+  }
   result.variables = problem->num_cols();
   if (problem->num_rows() == 0 || problem->num_cols() == 0) return result;
 
@@ -160,19 +182,20 @@ MgbaFlowResult run_mgba_flow_impl(Timer& timer, const DerateTable& table,
 }  // namespace
 
 MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
-                             const MgbaFlowOptions& options) {
-  return run_mgba_flow_impl(timer, table, options, nullptr, nullptr);
+                             const MgbaFlowOptions& options,
+                             PathEngineHub* path_hub) {
+  return run_mgba_flow_impl(timer, table, options, nullptr, nullptr, path_hub);
 }
 
 std::vector<MgbaFlowResult> run_mgba_flow_all_corners(
-    Timer& timer, std::span<const CornerSetup> setups,
-    MgbaFlowOptions options) {
+    Timer& timer, std::span<const CornerSetup> setups, MgbaFlowOptions options,
+    PathEngineHub* path_hub) {
   MGBA_CHECK(setups.size() == timer.num_corners());
   std::vector<MgbaFlowResult> results;
   results.reserve(setups.size());
   for (std::size_t c = 0; c < setups.size(); ++c) {
     options.corner = static_cast<CornerId>(c);
-    results.push_back(run_mgba_flow(timer, setups[c].table, options));
+    results.push_back(run_mgba_flow(timer, setups[c].table, options, path_hub));
   }
   return results;
 }
@@ -209,8 +232,8 @@ MgbaFlowResult MgbaRefitSession::fit() {
   // propagations, and a live snapshot would force each one to privatize
   // the whole arena for a view nobody will read again.
   fit_view_.reset();
-  MgbaFlowResult result =
-      run_mgba_flow_impl(*timer_, *table_, options_, &capture, &scratch_);
+  MgbaFlowResult result = run_mgba_flow_impl(*timer_, *table_, options_,
+                                             &capture, &scratch_, path_hub_);
   paths_ = std::move(capture.paths);
   problem_ = std::move(capture.problem);
   rows_ = std::move(capture.rows);

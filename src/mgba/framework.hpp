@@ -21,6 +21,8 @@
 
 namespace mgba {
 
+class PathEngineHub;  // pba/path_engine.hpp
+
 enum class MgbaSolverKind {
   GradientDescent,      ///< GD + w/o RS (Table 4 baseline)
   Scg,                  ///< SCG + w/o RS (Algorithm 2)
@@ -85,8 +87,13 @@ struct MgbaFlowResult {
 /// weighting factors applied (Timer::set_instance_weights + update_timing).
 /// Clears any previously applied weights on that corner first so the fit
 /// is against plain GBA. \p table must be the derate table of that corner.
+/// With a \p path_hub the candidate enumeration is served by that hub's
+/// persistent PathEngine for (candidate_paths_per_endpoint, mode, corner)
+/// — warm across fits, bit-identical results — instead of a throwaway
+/// cold PathEnumerator.
 MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
-                             const MgbaFlowOptions& options = {});
+                             const MgbaFlowOptions& options = {},
+                             PathEngineHub* path_hub = nullptr);
 
 /// Fits every corner of \p setups independently (the MCMM flow): corner c
 /// gets its own path enumeration, golden PBA against its own derate table,
@@ -95,7 +102,7 @@ MgbaFlowResult run_mgba_flow(Timer& timer, const DerateTable& table,
 /// corner order.
 std::vector<MgbaFlowResult> run_mgba_flow_all_corners(
     Timer& timer, std::span<const CornerSetup> setups,
-    MgbaFlowOptions options = {});
+    MgbaFlowOptions options = {}, PathEngineHub* path_hub = nullptr);
 
 /// Deterministic multi-line summary of one fit result: problem shape, MSE
 /// and pass-ratio movement, and the iteration count — everything except
@@ -171,6 +178,11 @@ class MgbaRefitSession {
   [[nodiscard]] const RefitStats& stats() const { return stats_; }
   [[nodiscard]] const MgbaFlowOptions& options() const { return options_; }
 
+  /// Serves cold fits' candidate enumeration from \p hub's persistent
+  /// PathEngine (nullptr to restore throwaway enumerators). Not owned;
+  /// must outlive the session.
+  void set_path_hub(PathEngineHub* hub) { path_hub_ = hub; }
+
  private:
   void build_row_index();
   /// Marks rows whose path intersects the forward cone of the logged
@@ -186,6 +198,7 @@ class MgbaRefitSession {
   Timer* timer_;
   const DerateTable* table_;
   MgbaFlowOptions options_;
+  PathEngineHub* path_hub_ = nullptr;
   RefitStats stats_;
   bool has_fit_ = false;
 

@@ -19,6 +19,7 @@ TimingCloser::TimingCloser(Design& design, Timer& timer,
       timer_(&timer),
       table_(&table),
       options_(std::move(options)),
+      path_hub_(timer),
       buffer_counter_(options_.buffer_name_start) {}
 
 void TimingCloser::set_corner_setups(std::vector<CornerSetup> setups) {
@@ -39,10 +40,10 @@ void TimingCloser::refresh_mgba(OptimizerReport& report) {
   const Stopwatch mgba_watch;
   if (!options_.mgba_incremental_refit) {
     if (corner_setups_.empty()) {
-      run_mgba_flow(*timer_, *table_, options_.mgba_options);
+      run_mgba_flow(*timer_, *table_, options_.mgba_options, &path_hub_);
     } else {
-      run_mgba_flow_all_corners(*timer_, corner_setups_,
-                                options_.mgba_options);
+      run_mgba_flow_all_corners(*timer_, corner_setups_, options_.mgba_options,
+                                &path_hub_);
     }
     report.mgba_seconds += mgba_watch.seconds();
     return;
@@ -58,6 +59,11 @@ void TimingCloser::refresh_mgba(OptimizerReport& report) {
         mgba_sessions_.emplace_back(*timer_, corner_setups_[c].table,
                                     per_corner);
       }
+    }
+    // Cold fits (the first refresh and every poisoned-log fallback)
+    // enumerate through the closer's persistent engines.
+    for (MgbaRefitSession& session : mgba_sessions_) {
+      session.set_path_hub(&path_hub_);
     }
   }
   // refit() serves the steady state O(touched); the first call of a run
@@ -442,8 +448,11 @@ double choose_clock_period(Timer& timer, const DerateTable& table,
                            double utilization) {
   MGBA_CHECK(utilization > 0.0);
   timer.update_timing();
-  const PathEnumerator enumerator(timer, 4);
-  const PathEvaluator evaluator(timer, table);
+  // One pinned view serves enumeration and evaluation (was: one fork per
+  // constructor), released when this function returns.
+  const std::shared_ptr<const TimingSnapshot> view = timer.snapshot();
+  const PathEnumerator enumerator(view, 4);
+  const PathEvaluator evaluator(view, table);
   double worst_arrival = 0.0;
   double worst_margin = 0.0;
   for (const NodeId endpoint : timer.graph().endpoints()) {

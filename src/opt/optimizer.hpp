@@ -18,6 +18,7 @@
 #include "mgba/framework.hpp"
 #include "netlist/design.hpp"
 #include "opt/qor.hpp"
+#include "pba/path_engine.hpp"
 #include "sta/timer.hpp"
 
 namespace mgba {
@@ -139,6 +140,11 @@ class TimingCloser {
   /// MCMM mode). Valid after run().
   [[nodiscard]] std::vector<RefitStats> mgba_refit_stats() const;
 
+  /// The persistent path-engine hub every mGBA refresh of this closer
+  /// enumerates through (one warm engine per (k, mode, corner) across
+  /// passes instead of a cold DP per refresh).
+  [[nodiscard]] const PathEngineHub& path_hub() const { return path_hub_; }
+
  private:
   void refresh_mgba(OptimizerReport& report);
   bool is_sizable(InstanceId inst) const;
@@ -165,6 +171,9 @@ class TimingCloser {
   /// falls back automatically whenever the timer's ECO log was poisoned in
   /// between). One session in single-corner mode, one per corner in MCMM.
   std::vector<MgbaRefitSession> mgba_sessions_;
+  /// Persistent k-best candidate state shared by every fit this closer
+  /// runs (cold and refit-fallback alike); keyed per (k, mode, corner).
+  PathEngineHub path_hub_;
   std::size_t buffer_counter_ = 0;
   /// family_of() memo, indexed by cell id (empty slot = not yet computed;
   /// every real family contains at least the cell itself).

@@ -14,6 +14,8 @@
 
 namespace mgba {
 
+class PathEngineHub;  // pba/path_engine.hpp
+
 struct QorMetrics {
   double wns_ps = 0.0;
   double tns_ps = 0.0;
@@ -45,6 +47,14 @@ std::vector<QorMetrics> measure_qor_per_corner(const Timer& timer);
 /// numbers (PBA re-derates from base delays), making the figure comparable
 /// across GBA- and mGBA-driven flows.
 QorMetrics measure_golden_qor(Timer& timer, const DerateTable& table,
+                              std::size_t paths_per_endpoint = 8);
+
+/// Same metric served from \p path_hub's persistent PathEngine: the
+/// enumeration is warm across measurement rounds and the evaluator shares
+/// the engine's pinned view, so a round forks no snapshot at all
+/// (bit-identical to the cold overload).
+QorMetrics measure_golden_qor(Timer& timer, const DerateTable& table,
+                              PathEngineHub& path_hub,
                               std::size_t paths_per_endpoint = 8);
 
 /// Total number of buffer-kind instances in a design.

@@ -522,6 +522,55 @@ CommandResult ShellInterpreter::cmd_report_qor(const ParsedCommand& /*p*/) {
   return ok_result(os.str());
 }
 
+CommandResult ShellInterpreter::cmd_report_paths(const ParsedCommand& p) {
+  if (!session_.loaded()) return no_design();
+  std::size_t count = 5;
+  if (!p.positional.empty() && !parse_size(p.positional[0], count)) {
+    return args_fail("not a count: " + p.positional[0]);
+  }
+  std::size_t k = 8;
+  std::string err;
+  if ((err = read_size_option(p, "k", k)), !err.empty()) {
+    return args_fail(std::move(err));
+  }
+  if (k == 0) return args_fail("option -k: must be positive");
+  const Mode mode = p.has_flag("early") ? Mode::Early : Mode::Late;
+  CornerId corner = kDefaultCorner;
+  if (const std::string* name = p.value("corner")) {
+    const auto c = session_.timer().find_corner(*name);
+    if (!c.has_value()) return args_fail("no corner named '" + *name + "'");
+    corner = *c;
+  }
+  // Served from the session's persistent engine: the first call cold-builds,
+  // repeated calls after ECOs re-enumerate only the touched cone. Pruning
+  // on/off returns byte-identical paths (see DESIGN.md §17); the flag exists
+  // for the ablation tests.
+  PathEngine& engine = session_.path_hub()->engine(k, mode, corner);
+  const bool saved_pruning = engine.pruning_enabled();
+  engine.set_pruning_enabled(!p.has_flag("no_prune"));
+  engine.sync();
+  const std::vector<TimingPath> paths = engine.worst_paths(count);
+  engine.set_pruning_enabled(saved_pruning);
+  const TimingSnapshot& snap = *engine.view();
+  const TimingGraph& graph = session_.timer().graph();
+  std::ostringstream os;
+  os << str_format("worst %zu paths (k=%zu, %s, %s):\n", paths.size(), k,
+                   mode == Mode::Late ? "late" : "early",
+                   corner_label(snap, corner).c_str());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const TimingPath& path = paths[i];
+    const NodeId endpoint = path.endpoint();
+    const double required = snap.required(endpoint, mode, corner);
+    const double slack = mode == Mode::Late ? required - path.gba_arrival_ps
+                                            : path.gba_arrival_ps - required;
+    os << str_format("  %zu: slack=%.6f ps  %s <- %s  (%zu nodes)\n", i + 1,
+                     slack, graph.node_name(endpoint).c_str(),
+                     graph.node_name(path.launch()).c_str(),
+                     path.nodes.size());
+  }
+  return ok_result(os.str());
+}
+
 CommandResult ShellInterpreter::cmd_fit_mgba(const ParsedCommand& p) {
   MgbaFlowOptions options;
   if (p.has_flag("hold")) options.check_kind = CheckKind::Hold;
@@ -785,6 +834,13 @@ void ShellInterpreter::register_commands() {
                    [this](const ParsedCommand& p) {
                      return cmd_report_qor(p);
                    }));
+  add("report_paths",
+      mutating_cmd(
+          "report_paths [count] [-k N] [-corner C] [-early] [-no_prune]",
+          "globally worst GBA paths from the persistent path engine "
+          "(warm across ECOs)",
+          0, 1, {"k", "corner"}, {"early", "no_prune"},
+          [this](const ParsedCommand& p) { return cmd_report_paths(p); }));
   add("stats",
       mutating_cmd("stats",
                    "timing-update statistics (updates, frontier sizes, "
@@ -798,6 +854,13 @@ void ShellInterpreter::register_commands() {
                      os << timer.memory_stats().to_string() << "\n";
                      if (const Partitioning* part = timer.partitioning()) {
                        os << part->stats().to_string();
+                     }
+                     // Engine counters appear only once something built an
+                     // engine, keeping pre-existing golden transcripts
+                     // byte-stable.
+                     if (PathEngineHub* hub = session_.path_hub();
+                         hub != nullptr && hub->num_engines() > 0) {
+                       os << hub->to_string();
                      }
                      return ok_result(os.str());
                    }));

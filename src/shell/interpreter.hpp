@@ -219,6 +219,7 @@ class ShellInterpreter {
   CommandResult cmd_report_endpoints(const ParsedCommand& p,
                                      const SessionView& view) const;
   CommandResult cmd_report_qor(const ParsedCommand& p);
+  CommandResult cmd_report_paths(const ParsedCommand& p);
   CommandResult cmd_fit_mgba(const ParsedCommand& p);
   CommandResult cmd_size_cell(const ParsedCommand& p);
   CommandResult cmd_insert_buffer(const ParsedCommand& p);

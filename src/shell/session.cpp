@@ -51,6 +51,7 @@ std::string ShellSession::load_library(const std::string& path) {
   if (!in) return "cannot open library " + path;
   eco_view_.reset();  // snapshots must not outlive the timer they reference
   pinned_snapshots_.clear();
+  path_hub_.reset();  // engines pin snapshots of the old timer
   timer_.reset();  // references the old library via the design
   design_.reset();
   library_ = read_library(in);
@@ -118,6 +119,7 @@ std::string ShellSession::load(const LoadRequest& request) {
   // pinned snapshots reference the old timer and must go first.
   eco_view_.reset();
   pinned_snapshots_.clear();
+  path_hub_.reset();
   timer_.reset();
   design_ = std::move(design);
   journal_ = EcoJournal{};
@@ -156,6 +158,9 @@ std::string ShellSession::load_corners(const std::string& path) {
   std::ifstream in(path);
   if (!in) return "cannot open corner spec " + path;
   setups_ = read_corners(in, table_);
+  // The corner set (and with it the arena shape) changes wholesale; any
+  // existing engines were keyed against the old corner ids.
+  path_hub_.reset();
   apply_corner_setups(*timer_, setups_);
   timer_->update_timing();
   return "";
@@ -300,12 +305,20 @@ std::string ShellSession::fit(MgbaFlowOptions options, bool all_corners,
                               std::vector<MgbaFlowResult>& results) {
   if (!loaded()) return "no design loaded (read_netlist first)";
   if (all_corners) {
-    results = run_mgba_flow_all_corners(*timer_, setups_, options);
+    results = run_mgba_flow_all_corners(*timer_, setups_, options, path_hub());
   } else {
     options.corner = kDefaultCorner;
-    results = {run_mgba_flow(*timer_, setups_[0].table, options)};
+    results = {run_mgba_flow(*timer_, setups_[0].table, options, path_hub())};
   }
   return "";
+}
+
+PathEngineHub* ShellSession::path_hub() {
+  if (!loaded()) return nullptr;
+  if (path_hub_ == nullptr) {
+    path_hub_ = std::make_unique<PathEngineHub>(*timer_);
+  }
+  return path_hub_.get();
 }
 
 ShellSession::WeightSnapshot ShellSession::snapshot_weights() const {

@@ -34,6 +34,7 @@
 #include "mgba/framework.hpp"
 #include "netlist/design.hpp"
 #include "opt/optimizer.hpp"
+#include "pba/path_engine.hpp"
 #include "shell/eco_journal.hpp"
 #include "sta/snapshot.hpp"
 #include "sta/timer.hpp"
@@ -83,6 +84,12 @@ class ShellSession : public TransformListener {
   /// consistent pre-ECO state while the edits mutate the head — otherwise
   /// a fresh snapshot of the current head (bit-identical to live reads).
   [[nodiscard]] std::shared_ptr<const TimingSnapshot> timing_view() const;
+
+  /// The session's persistent path-engine registry: `fit` and
+  /// `report_paths` enumerate through it, so repeated queries after small
+  /// ECOs are served warm. Created lazily; nullptr when no design is
+  /// loaded; reset whenever the Timer is torn down.
+  [[nodiscard]] PathEngineHub* path_hub();
 
   // --- pinned snapshots (`snapshot` / `release` commands) ------------------
 
@@ -184,6 +191,9 @@ class ShellSession : public TransformListener {
   TimingConstraints constraints_;
   std::unique_ptr<Design> design_;
   std::unique_ptr<Timer> timer_;
+  /// Declared after timer_ (and torn down before it in the loading
+  /// methods): engines pin snapshots of the timer they track.
+  std::unique_ptr<PathEngineHub> path_hub_;
   std::vector<CornerSetup> setups_;
 
   EcoJournal journal_;
